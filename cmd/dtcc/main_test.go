@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCompileDecompileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	dtb := filepath.Join(dir, "out.dtb")
+	if err := run([]string{"compile", "../../testdata/customsbc.dts", "-o", dtb}); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	info, err := os.Stat(dtb)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("dtb not written: %v", err)
+	}
+	dts := filepath.Join(dir, "out.dts")
+	if err := run([]string{"decompile", dtb, "-o", dts}); err != nil {
+		t.Fatalf("decompile: %v", err)
+	}
+	text, err := os.ReadFile(dts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"memory@40000000", "cpu@0", "arm,cortex-a53"} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("decompiled DTS missing %q", want)
+		}
+	}
+}
+
+func TestLintClean(t *testing.T) {
+	if err := run([]string{"lint", "../../testdata/customsbc.dts", "-semantic"}); err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+}
+
+func TestLintDetectsClash(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.dts")
+	src := `
+/dts-v1/;
+/ {
+	#address-cells = <1>;
+	#size-cells = <1>;
+	memory@40000000 {
+		device_type = "memory";
+		reg = <0x40000000 0x20000000>;
+	};
+	uart@40000000 { compatible = "ns16550a"; reg = <0x40000000 0x1000>; };
+};
+`
+	if err := os.WriteFile(bad, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// structural lint alone accepts it
+	if err := run([]string{"lint", bad}); err != nil {
+		t.Fatalf("structural lint should accept: %v", err)
+	}
+	// semantic lint rejects it
+	err := run([]string{"lint", bad, "-semantic"})
+	if err == nil || !strings.Contains(err.Error(), "problem") {
+		t.Fatalf("semantic lint should reject: %v", err)
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"explode"},
+		{"compile"},
+		{"compile", "-o", "x"},
+		{"decompile", "/does/not/exist.dtb"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

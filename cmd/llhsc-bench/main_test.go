@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+func TestListAndSingleExperiment(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+	for _, exp := range []string{"e1", "e4", "e10"} {
+		if err := run([]string{"-exp", exp}); err != nil {
+			t.Errorf("-exp %s: %v", exp, err)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "e99"}); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}

@@ -1,0 +1,41 @@
+// Command llhsc-server serves the llhsc checker as an HTTP API — the
+// "cloud service" deployment of the paper's Section V. See
+// internal/service for the endpoints.
+//
+// Usage:
+//
+//	llhsc-server [-addr :8080]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"llhsc/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "llhsc-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("llhsc-server", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("llhsc-server listening on %s", *addr)
+	return srv.ListenAndServe()
+}

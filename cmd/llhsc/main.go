@@ -1,0 +1,347 @@
+// Command llhsc is the DeviceTree syntax and semantic checker: it
+// derives per-VM DTS products from a core module + delta set + feature
+// model, proves the allocation/syntactic/semantic constraints with the
+// built-in SMT solver, and generates Bao hypervisor configuration files.
+//
+// Usage:
+//
+//	llhsc check    -core board.dts -deltas board.deltas -fm board.fm -vm veth0,... -vm veth1,...
+//	llhsc generate -core board.dts -deltas board.deltas -fm board.fm -vm ... -vm ... -o outdir
+//	llhsc infer-fm -core board.dts
+//	llhsc demo     [-o outdir]      (the paper's running example)
+//
+// VM configurations are comma-separated feature lists; names of
+// abstract parents may be omitted (they are implied by their children).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"llhsc/internal/core"
+	"llhsc/internal/delta"
+	"llhsc/internal/dts"
+	"llhsc/internal/featmodel"
+	"llhsc/internal/runningexample"
+	"llhsc/internal/schema"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "llhsc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "check":
+		return cmdCheckOrGenerate(args[1:], false)
+	case "generate":
+		return cmdCheckOrGenerate(args[1:], true)
+	case "products":
+		return cmdProducts(args[1:])
+	case "infer-fm":
+		return cmdInferFM(args[1:])
+	case "demo":
+		return cmdDemo(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  llhsc check    -core <dts> -deltas <file> -fm <file> -vm <features> [-vm ...] [-schemas <dir>]
+  llhsc generate -core <dts> -deltas <file> -fm <file> -vm <features> [-vm ...] [-o <dir>]
+  llhsc products -fm <file> [-limit n]
+  llhsc infer-fm -core <dts>
+  llhsc demo     [-o <dir>]`)
+}
+
+// vmFlags accumulates repeated -vm flags.
+type vmFlags []string
+
+func (v *vmFlags) String() string { return strings.Join(*v, ";") }
+func (v *vmFlags) Set(s string) error {
+	*v = append(*v, s)
+	return nil
+}
+
+func cmdCheckOrGenerate(args []string, generate bool) error {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	corePath := fs.String("core", "", "core-module DTS file")
+	deltasPath := fs.String("deltas", "", "delta-module file")
+	fmPath := fs.String("fm", "", "feature-model file")
+	schemasDir := fs.String("schemas", "", "directory of dt-schema YAML files (default: built-in set)")
+	outDir := fs.String("o", "out", "output directory (generate only)")
+	var vms vmFlags
+	fs.Var(&vms, "vm", "feature list for one VM (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *corePath == "" || *deltasPath == "" || *fmPath == "" {
+		return fmt.Errorf("check/generate require -core, -deltas and -fm")
+	}
+	if len(vms) == 0 {
+		return fmt.Errorf("at least one -vm configuration is required")
+	}
+
+	tree, err := dts.ParseFile(*corePath)
+	if err != nil {
+		return err
+	}
+	deltaSrc, err := os.ReadFile(*deltasPath)
+	if err != nil {
+		return err
+	}
+	deltas, err := delta.Parse(filepath.Base(*deltasPath), string(deltaSrc))
+	if err != nil {
+		return err
+	}
+	fmSrc, err := os.ReadFile(*fmPath)
+	if err != nil {
+		return err
+	}
+	model, err := featmodel.ParseModel(filepath.Base(*fmPath), string(fmSrc))
+	if err != nil {
+		return err
+	}
+	schemas, err := loadSchemas(*schemasDir)
+	if err != nil {
+		return err
+	}
+
+	configs := make([]featmodel.Configuration, len(vms))
+	for i, list := range vms {
+		configs[i] = completeConfig(model, strings.Split(list, ","))
+	}
+
+	pipeline := &core.Pipeline{
+		Core:      tree,
+		Deltas:    deltas,
+		Model:     model,
+		Schemas:   schemas,
+		VMConfigs: configs,
+	}
+	report, err := pipeline.Run()
+	if err != nil {
+		return err
+	}
+	printReport(report)
+	if !report.OK() {
+		return fmt.Errorf("%d violation(s)", len(report.AllViolations()))
+	}
+	if generate {
+		return writeArtifacts(report, *outDir)
+	}
+	return nil
+}
+
+// completeConfig adds abstract ancestors implied by the selected
+// features, so users can write "-vm memory,cpu@0,uart0,veth0".
+func completeConfig(model *featmodel.Model, names []string) featmodel.Configuration {
+	cfg := make(featmodel.Configuration)
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		cfg[n] = true
+		for p := model.Parent(n); p != nil; p = model.Parent(p.Name) {
+			cfg[p.Name] = true
+		}
+	}
+	cfg[model.Root.Name] = true
+	return cfg
+}
+
+func loadSchemas(dir string) (*schema.Set, error) {
+	if dir == "" {
+		return schema.StandardSet(), nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	set := &schema.Set{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".yaml") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		sc, err := schema.Load(string(src))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		if sc.ID == "" {
+			sc.ID = e.Name()
+		}
+		set.Add(sc)
+	}
+	if len(set.Schemas) == 0 {
+		return nil, fmt.Errorf("no .yaml schemas found in %s", dir)
+	}
+	return set, nil
+}
+
+func printReport(r *core.Report) {
+	status := "PASS"
+	if !r.OK() {
+		status = "FAIL"
+	}
+	fmt.Printf("llhsc: %s (%d VM(s), %d violation(s))\n",
+		status, len(r.VMs), len(r.AllViolations()))
+	for _, v := range r.Allocation {
+		fmt.Printf("  allocation: %s\n", v)
+	}
+	for _, vm := range r.VMs {
+		fmt.Printf("  %s: deltas %v, %d violation(s)\n", vm.Name, vm.Trace, len(vm.Violations))
+		for _, v := range vm.Violations {
+			fmt.Printf("    %s\n", v)
+		}
+	}
+	if len(r.Platform.Violations) > 0 {
+		fmt.Printf("  platform: %d violation(s)\n", len(r.Platform.Violations))
+		for _, v := range r.Platform.Violations {
+			fmt.Printf("    %s\n", v)
+		}
+	}
+}
+
+func writeArtifacts(r *core.Report, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	files := map[string]string{
+		"platform.dts":     r.Platform.DTS,
+		"platform.c":       r.PlatformC,
+		"config.c":         r.ConfigC,
+		"jailhouse-root.c": r.JailhouseRootC,
+		"qemu.sh":          "#!/bin/sh\nexec " + strings.Join(r.QEMUArgs, " ") + " \"$@\"\n",
+	}
+	for i, vm := range r.VMs {
+		files[vm.Name+".dts"] = vm.DTS
+		if i < len(r.JailhouseCellsC) {
+			files["jailhouse-"+vm.Name+".c"] = r.JailhouseCellsC[i]
+		}
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d artifacts to %s\n", len(files), dir)
+	return nil
+}
+
+// cmdProducts enumerates the valid products of a feature model.
+func cmdProducts(args []string) error {
+	fs := flag.NewFlagSet("products", flag.ContinueOnError)
+	fmPath := fs.String("fm", "", "feature-model file")
+	limit := fs.Int("limit", 0, "maximum products to list (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *fmPath == "" {
+		return fmt.Errorf("products requires -fm")
+	}
+	src, err := os.ReadFile(*fmPath)
+	if err != nil {
+		return err
+	}
+	model, err := featmodel.ParseModel(filepath.Base(*fmPath), string(src))
+	if err != nil {
+		return err
+	}
+	products, complete := featmodel.NewAnalyzer(model).EnumerateProducts(*limit)
+	for i, p := range products {
+		fmt.Printf("%3d: %s\n", i+1, strings.Join(p, " "))
+	}
+	if !complete {
+		fmt.Println("... (limit reached)")
+	}
+	fmt.Printf("%d valid product(s)\n", len(products))
+	return nil
+}
+
+func cmdInferFM(args []string) error {
+	fs := flag.NewFlagSet("infer-fm", flag.ContinueOnError)
+	corePath := fs.String("core", "", "core-module DTS file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *corePath == "" {
+		return fmt.Errorf("infer-fm requires -core")
+	}
+	tree, err := dts.ParseFile(*corePath)
+	if err != nil {
+		return err
+	}
+	model, err := featmodel.InferFromDTS(tree, featmodel.InferOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Print(model.Format())
+	return nil
+}
+
+func cmdDemo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ContinueOnError)
+	outDir := fs.String("o", "", "write artifacts to this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tree, err := runningexample.Tree()
+	if err != nil {
+		return err
+	}
+	deltas, err := runningexample.Deltas()
+	if err != nil {
+		return err
+	}
+	model, err := runningexample.Model()
+	if err != nil {
+		return err
+	}
+	pipeline := &core.Pipeline{
+		Core:    tree,
+		Deltas:  deltas,
+		Model:   model,
+		Schemas: schema.StandardSet(),
+		VMConfigs: []featmodel.Configuration{
+			runningexample.VM1Config(), runningexample.VM2Config(),
+		},
+		VMNames: []string{"vm1", "vm2"},
+	}
+	report, err := pipeline.Run()
+	if err != nil {
+		return err
+	}
+	printReport(report)
+	if !report.OK() {
+		return fmt.Errorf("running example failed its own checks")
+	}
+	if *outDir != "" {
+		return writeArtifacts(report, *outDir)
+	}
+	fmt.Println("--- platform.c (Listing 3) ---")
+	fmt.Print(report.PlatformC)
+	fmt.Println("--- config.c (Listing 6) ---")
+	fmt.Print(report.ConfigC)
+	return nil
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"llhsc/internal/featmodel"
+)
+
+const testdata = "../../testdata"
+
+func TestCheckRunningExampleFromFiles(t *testing.T) {
+	err := run([]string{
+		"check",
+		"-core", filepath.Join(testdata, "customsbc.dts"),
+		"-deltas", filepath.Join(testdata, "customsbc.deltas"),
+		"-fm", filepath.Join(testdata, "customsbc.fm"),
+		"-vm", "memory,cpu@0,uart0,uart1,veth0",
+		"-vm", "memory,cpu@1,uart0,uart1,veth1",
+	})
+	if err != nil {
+		t.Fatalf("check failed: %v", err)
+	}
+}
+
+func TestCheckRejectsSharedCPU(t *testing.T) {
+	err := run([]string{
+		"check",
+		"-core", filepath.Join(testdata, "customsbc.dts"),
+		"-deltas", filepath.Join(testdata, "customsbc.deltas"),
+		"-fm", filepath.Join(testdata, "customsbc.fm"),
+		"-vm", "memory,cpu@0,uart0,veth0",
+		"-vm", "memory,cpu@0,uart1",
+	})
+	if err == nil || !strings.Contains(err.Error(), "violation") {
+		t.Fatalf("err = %v, want violations", err)
+	}
+}
+
+func TestGenerateWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"generate",
+		"-core", filepath.Join(testdata, "customsbc.dts"),
+		"-deltas", filepath.Join(testdata, "customsbc.deltas"),
+		"-fm", filepath.Join(testdata, "customsbc.fm"),
+		"-vm", "memory,cpu@0,uart0,uart1,veth0",
+		"-vm", "memory,cpu@1,uart0,uart1,veth1",
+		"-o", dir,
+	})
+	if err != nil {
+		t.Fatalf("generate failed: %v", err)
+	}
+	for _, f := range []string{"vm1.dts", "vm2.dts", "platform.dts", "platform.c", "config.c", "qemu.sh"} {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Errorf("missing artifact %s: %v", f, err)
+			continue
+		}
+		if len(data) == 0 {
+			t.Errorf("artifact %s is empty", f)
+		}
+	}
+	configC, _ := os.ReadFile(filepath.Join(dir, "config.c"))
+	if !strings.Contains(string(configC), ".vmlist_size = 2") {
+		t.Error("config.c lacks the VM list")
+	}
+}
+
+func TestDemoSubcommand(t *testing.T) {
+	if err := run([]string{"demo"}); err != nil {
+		t.Fatalf("demo failed: %v", err)
+	}
+}
+
+func TestInferFM(t *testing.T) {
+	err := run([]string{"infer-fm", "-core", filepath.Join(testdata, "customsbc.dts")})
+	if err != nil {
+		t.Fatalf("infer-fm failed: %v", err)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	tests := [][]string{
+		{},
+		{"unknown-subcommand"},
+		{"check"},
+		{"check", "-core", "x.dts"},
+		{"infer-fm"},
+	}
+	for _, args := range tests {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestCompleteConfigImpliesAncestors(t *testing.T) {
+	fmSrc, err := os.ReadFile(filepath.Join(testdata, "customsbc.fm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := mustModel(t, string(fmSrc))
+	cfg := completeConfig(model, []string{"veth0", " cpu@0", ""})
+	for _, want := range []string{"veth0", "cpu@0", "vEthernet", "cpus", "CustomSBC"} {
+		if !cfg[want] {
+			t.Errorf("completeConfig missing %s: %v", want, cfg.Sorted())
+		}
+	}
+}
+
+func mustModel(t *testing.T, src string) *featmodel.Model {
+	t.Helper()
+	m, err := featmodel.ParseModel("test.fm", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestProductsSubcommand(t *testing.T) {
+	if err := run([]string{"products", "-fm", filepath.Join(testdata, "customsbc.fm")}); err != nil {
+		t.Fatalf("products: %v", err)
+	}
+	if err := run([]string{"products"}); err == nil {
+		t.Error("products without -fm should fail")
+	}
+}
+
+func TestCheckWithYAMLSchemasDir(t *testing.T) {
+	err := run([]string{
+		"check",
+		"-core", filepath.Join(testdata, "customsbc.dts"),
+		"-deltas", filepath.Join(testdata, "customsbc.deltas"),
+		"-fm", filepath.Join(testdata, "customsbc.fm"),
+		"-schemas", filepath.Join(testdata, "schemas"),
+		"-vm", "memory,cpu@0,uart0,uart1,veth0",
+		"-vm", "memory,cpu@1,uart0,uart1,veth1",
+	})
+	if err != nil {
+		t.Fatalf("check with YAML schema dir failed: %v", err)
+	}
+}
+
+func TestSchemasDirWithoutYAML(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"check",
+		"-core", filepath.Join(testdata, "customsbc.dts"),
+		"-deltas", filepath.Join(testdata, "customsbc.deltas"),
+		"-fm", filepath.Join(testdata, "customsbc.fm"),
+		"-schemas", dir,
+		"-vm", "memory,cpu@0,uart0",
+	})
+	if err == nil || !strings.Contains(err.Error(), "no .yaml schemas") {
+		t.Errorf("err = %v", err)
+	}
+}

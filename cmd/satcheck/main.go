@@ -1,0 +1,71 @@
+// Command satcheck is a standalone DIMACS front end for the CDCL
+// solver in internal/sat — useful for validating the solver against
+// external CNF instances and for debugging encodings dumped from the
+// SMT layer.
+//
+// Usage:
+//
+//	satcheck file.cnf     # or: satcheck - (stdin)
+//
+// Output follows SAT-competition conventions:
+//
+//	s SATISFIABLE | s UNSATISFIABLE
+//	v <model literals> 0          (for satisfiable instances)
+//
+// Exit codes: 10 = sat, 20 = unsat (the competition convention), 1 =
+// usage or parse error.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"llhsc/internal/sat"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "satcheck:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
+	if len(args) != 1 {
+		return 0, fmt.Errorf("usage: satcheck <file.cnf | ->")
+	}
+	var r io.Reader
+	if args[0] == "-" {
+		r = stdin
+	} else {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return 0, err
+		}
+		defer f.Close()
+		r = f
+	}
+	status, model, err := sat.SolveDIMACS(r)
+	if err != nil {
+		return 0, err
+	}
+	switch status {
+	case sat.Sat:
+		fmt.Fprintln(stdout, "s SATISFIABLE")
+		fmt.Fprint(stdout, "v")
+		for _, l := range model {
+			fmt.Fprintf(stdout, " %d", l)
+		}
+		fmt.Fprintln(stdout, " 0")
+		return 10, nil
+	case sat.Unsat:
+		fmt.Fprintln(stdout, "s UNSATISFIABLE")
+		return 20, nil
+	default:
+		fmt.Fprintln(stdout, "s UNKNOWN")
+		return 0, nil
+	}
+}

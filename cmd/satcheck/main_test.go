@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSatInstance(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-"}, strings.NewReader("p cnf 2 2\n1 2 0\n-1 0\n"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 10 {
+		t.Errorf("exit = %d, want 10", code)
+	}
+	s := out.String()
+	if !strings.Contains(s, "s SATISFIABLE") || !strings.Contains(s, "v -1 2 0") {
+		t.Errorf("output = %q", s)
+	}
+}
+
+func TestUnsatInstance(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-"}, strings.NewReader("p cnf 1 2\n1 0\n-1 0\n"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 20 || !strings.Contains(out.String(), "s UNSATISFIABLE") {
+		t.Errorf("exit = %d output = %q", code, out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := run(nil, nil, &out); err == nil {
+		t.Error("missing arg should fail")
+	}
+	if _, err := run([]string{"/does/not/exist.cnf"}, nil, &out); err == nil {
+		t.Error("missing file should fail")
+	}
+	if _, err := run([]string{"-"}, strings.NewReader("garbage"), &out); err == nil {
+		t.Error("parse error should fail")
+	}
+}

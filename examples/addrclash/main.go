@@ -1,0 +1,105 @@
+// Addrclash: the two failure stories that motivate the paper.
+//
+// Scenario 1 (Section I-A): a serial port's base address is moved onto
+// the second memory bank. dtc parses it, dt-schema validates it — only
+// the SMT-backed semantic checker sees the clash and produces a
+// counterexample address.
+//
+// Scenario 2 (Section IV-C): delta d3 switches the tree to 32-bit
+// addressing but the memory reg keeps its 64-bit layout. dt-schema
+// accepts any multiple of #address-cells+#size-cells, so the re-read
+// reg silently becomes FOUR banks — two based at 0x0 — and only the
+// semantic checker reports the collision at 0x0.
+//
+// Run with: go run ./examples/addrclash
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"llhsc/internal/addr"
+	"llhsc/internal/constraints"
+	"llhsc/internal/dts"
+	"llhsc/internal/schema"
+)
+
+const clashDTS = `
+/dts-v1/;
+/ {
+	#address-cells = <2>;
+	#size-cells = <2>;
+
+	memory@40000000 {
+		device_type = "memory";
+		reg = <0x0 0x40000000 0x0 0x20000000
+		       0x0 0x60000000 0x0 0x20000000>;
+	};
+
+	/* the user mistyped the base address: it now sits inside bank 2 */
+	uart@60000000 {
+		compatible = "ns16550a";
+		reg = <0x0 0x60000000 0x0 0x1000>;
+	};
+};
+`
+
+const truncatedDTS = `
+/dts-v1/;
+/ {
+	/* delta d3 set 32-bit cells ... */
+	#address-cells = <1>;
+	#size-cells = <1>;
+
+	/* ... but delta d4 (the reg conversion) was forgotten */
+	memory@40000000 {
+		device_type = "memory";
+		reg = <0x0 0x40000000 0x0 0x20000000
+		       0x0 0x60000000 0x0 0x20000000>;
+	};
+};
+`
+
+func main() {
+	fmt.Println("=== Scenario 1: address clash (Section I-A) ===")
+	runScenario(clashDTS)
+
+	fmt.Println("\n=== Scenario 2: 64->32-bit truncation (Section IV-C) ===")
+	tree := runScenario(truncatedDTS)
+
+	regions, err := addr.CollectRegions(tree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("memory banks after 32-bit reinterpretation: %d (originally written as 2)\n",
+		len(regions))
+	for _, r := range regions {
+		fmt.Printf("  bank %d: base 0x%x size 0x%x\n", r.Index, r.Base, r.Size)
+	}
+}
+
+func runScenario(src string) *dts.Tree {
+	tree, err := dts.Parse("scenario.dts", src)
+	if err != nil {
+		log.Fatalf("dtc would reject this, but it parses: %v", err)
+	}
+	fmt.Println("dtc (syntax):            accepts")
+
+	baseline := schema.StandardSet().Validate(tree)
+	if len(baseline) == 0 {
+		fmt.Println("dt-schema (structural):  accepts  <- the fault is invisible")
+	} else {
+		for _, v := range baseline {
+			fmt.Println("dt-schema:", v)
+		}
+	}
+
+	collisions, _ := constraints.NewSemanticChecker().Check(tree)
+	if len(collisions) == 0 {
+		fmt.Println("llhsc (semantic):        accepts")
+	}
+	for _, c := range collisions {
+		fmt.Printf("llhsc (semantic):        REJECTS: %s\n", c)
+	}
+	return tree
+}

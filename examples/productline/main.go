@@ -1,0 +1,167 @@
+// Productline: build a delta-oriented product line for a custom board
+// from scratch — infer a feature model from the core DTS, extend it
+// with a virtual watchdog feature, write deltas, enumerate every valid
+// product, and run the full checker over each one.
+//
+// Run with: go run ./examples/productline
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"llhsc/internal/constraints"
+	"llhsc/internal/delta"
+	"llhsc/internal/dts"
+	"llhsc/internal/featmodel"
+	"llhsc/internal/schema"
+)
+
+const coreDTS = `
+/dts-v1/;
+/ {
+	#address-cells = <1>;
+	#size-cells = <1>;
+	compatible = "acme,iot-gateway";
+
+	memory@80000000 {
+		device_type = "memory";
+		reg = <0x80000000 0x10000000>;
+	};
+
+	cpus {
+		#address-cells = <1>;
+		#size-cells = <0>;
+		cpu@0 {
+			compatible = "arm,cortex-a53";
+			device_type = "cpu";
+			enable-method = "psci";
+			reg = <0x0>;
+		};
+		cpu@1 {
+			compatible = "arm,cortex-a53";
+			device_type = "cpu";
+			enable-method = "psci";
+			reg = <0x1>;
+		};
+	};
+
+	con0: uart@10000000 {
+		compatible = "ns16550a";
+		reg = <0x10000000 0x1000>;
+	};
+
+	con1: uart@10010000 {
+		compatible = "ns16550a";
+		reg = <0x10010000 0x1000>;
+	};
+};
+`
+
+const deltasSrc = `
+// the watchdog is an optional add-on device
+delta add_watchdog when watchdog {
+    adds binding / {
+        watchdog@20000000 {
+            compatible = "acme,wdt";
+            reg = <0x20000000 0x100>;
+        };
+    }
+}
+
+// low-cost variant drops the second console
+delta drop_con1 when !con1 {
+    removes node uart@10010000;
+}
+
+delta drop_con0 when !con0 {
+    removes node uart@10000000;
+}
+
+delta drop_cpu1 when !cpu@1 {
+    removes node cpu@1;
+}
+
+delta drop_cpu0 when !cpu@0 {
+    removes node cpu@0;
+}
+`
+
+func main() {
+	core, err := dts.Parse("gateway.dts", coreDTS)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. infer the feature model from the board description
+	inferred, err := featmodel.InferFromDTS(core, featmodel.InferOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// 2. extend it: an optional watchdog that requires both CPUs alive
+	model, err := inferred.AddVirtualGroup("addons", featmodel.GroupOr,
+		[]string{"watchdog"},
+		featmodel.MustParseExpr("watchdog -> cpu@0"),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("inferred feature model:")
+	fmt.Print(indent(model.Format()))
+
+	deltas, err := delta.Parse("gateway.deltas", deltasSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. enumerate all valid products
+	analyzer := featmodel.NewAnalyzer(model)
+	products, complete := analyzer.EnumerateProducts(0)
+	fmt.Printf("\n%d valid products (complete=%v)\n", len(products), complete)
+
+	// 4. derive and check every product
+	syntactic := constraints.NewSyntacticChecker(schema.StandardSet())
+	semantic := constraints.NewSemanticChecker()
+	clean := 0
+	for i, p := range products {
+		cfg := featmodel.ConfigOf(p...)
+		product, trace, err := deltas.Apply(core, cfg)
+		if err != nil {
+			log.Fatalf("product %d (%v): %v", i, p, err)
+		}
+		vs := syntactic.Check(product)
+		_, sem := semantic.Check(product)
+		vs = append(vs, sem...)
+		status := "ok"
+		if len(vs) > 0 {
+			status = fmt.Sprintf("%d violation(s)", len(vs))
+		} else {
+			clean++
+		}
+		fmt.Printf("  product %2d: %-55s deltas=%v %s\n",
+			i+1, strings.Join(selectConcrete(p), ","), trace, status)
+	}
+	fmt.Printf("\n%d/%d products check out clean\n", clean, len(products))
+}
+
+// selectConcrete drops group features for compact printing.
+func selectConcrete(names []string) []string {
+	var out []string
+	for _, n := range names {
+		switch n {
+		case "acme,iot-gateway", "cpus", "uarts", "addons":
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = "  " + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

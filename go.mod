@@ -1,0 +1,3 @@
+module llhsc
+
+go 1.22

@@ -1,0 +1,314 @@
+// Package baogen generates configuration artifacts for the Bao
+// static-partitioning hypervisor from checked DeviceTrees, performing
+// the source-to-source transformation of Section III-B: a platform
+// description C file (the paper's Listing 3) from the platform DTS and
+// a VM-list configuration C file (Listing 6) from the per-VM DTSs. A
+// QEMU invocation synthesizer covers the paper's note that the
+// generated configurations also serve other virtualization solutions.
+package baogen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"llhsc/internal/addr"
+	"llhsc/internal/dts"
+)
+
+// MemRegion is one physical memory region.
+type MemRegion struct {
+	Base uint64
+	Size uint64
+}
+
+// Cluster is one CPU cluster.
+type Cluster struct {
+	CoreNum int
+}
+
+// Platform is the hypervisor platform description (Listing 3).
+type Platform struct {
+	CPUNum      int
+	Regions     []MemRegion
+	ConsoleBase uint64
+	Clusters    []Cluster
+}
+
+// DevRegion is a pass-through device mapping in a VM configuration.
+type DevRegion struct {
+	PA   uint64
+	VA   uint64
+	Size uint64
+}
+
+// IPC is an inter-VM communication object (the virtual Ethernet
+// devices of the running example map to these).
+type IPC struct {
+	Base    uint64
+	Size    uint64
+	ShmemID int
+}
+
+// Shmem is a shared-memory object backing an IPC.
+type Shmem struct {
+	Size uint64
+}
+
+// VM is one guest's configuration (one entry of Listing 6's vmlist).
+type VM struct {
+	Name        string
+	ImageBase   uint64
+	Entry       uint64
+	CPUAffinity uint64 // bitmask over physical CPUs
+	CPUNum      int
+	Regions     []MemRegion
+	Devices     []DevRegion
+	IPCs        []IPC
+}
+
+// Config is the complete hypervisor configuration: the VM list plus the
+// shared-memory objects referenced by the VMs' IPCs.
+type Config struct {
+	VMs    []*VM
+	Shmems []Shmem
+}
+
+// PlatformFromTree extracts the platform description from the platform
+// DTS (the union product of Section III-A).
+func PlatformFromTree(tree *dts.Tree) (*Platform, error) {
+	p := &Platform{}
+
+	if cpus := tree.Lookup("/cpus"); cpus != nil {
+		n := 0
+		for _, c := range cpus.Children {
+			if c.BaseName() == "cpu" {
+				n++
+			}
+		}
+		p.CPUNum = n
+		if n > 0 {
+			p.Clusters = []Cluster{{CoreNum: n}}
+		}
+	}
+	if p.CPUNum == 0 {
+		return nil, fmt.Errorf("baogen: platform has no CPUs")
+	}
+
+	regions, err := addr.CollectRegions(tree)
+	if err != nil {
+		return nil, fmt.Errorf("baogen: %w", err)
+	}
+	var consoles []uint64
+	for _, r := range regions {
+		switch {
+		case r.Kind == addr.KindMemory:
+			p.Regions = append(p.Regions, MemRegion{Base: r.Base, Size: r.Size})
+		case strings.HasPrefix(r.Path, "/uart"):
+			consoles = append(consoles, r.Base)
+		}
+	}
+	if len(p.Regions) == 0 {
+		return nil, fmt.Errorf("baogen: platform has no memory regions")
+	}
+	sort.Slice(p.Regions, func(i, j int) bool { return p.Regions[i].Base < p.Regions[j].Base })
+	if len(consoles) > 0 {
+		sort.Slice(consoles, func(i, j int) bool { return consoles[i] < consoles[j] })
+		p.ConsoleBase = consoles[0]
+	}
+	return p, nil
+}
+
+// VMFromTree extracts one VM's configuration from its product DTS.
+// Physical CPU numbers for the affinity mask come from the cpu nodes'
+// reg identifiers. Virtual Ethernet nodes become IPC objects whose
+// shmem id is the veth's id property.
+func VMFromTree(name string, tree *dts.Tree) (*VM, error) {
+	vm := &VM{Name: name}
+
+	if cpus := tree.Lookup("/cpus"); cpus != nil {
+		for _, c := range cpus.Children {
+			if c.BaseName() != "cpu" {
+				continue
+			}
+			vm.CPUNum++
+			if id, ok := c.CellValue("reg"); ok {
+				vm.CPUAffinity |= 1 << uint(id)
+			}
+		}
+	}
+	if vm.CPUNum == 0 {
+		return nil, fmt.Errorf("baogen: VM %s has no CPUs", name)
+	}
+
+	regions, err := addr.CollectRegions(tree)
+	if err != nil {
+		return nil, fmt.Errorf("baogen: VM %s: %w", name, err)
+	}
+	for _, r := range regions {
+		switch {
+		case r.Kind == addr.KindMemory:
+			vm.Regions = append(vm.Regions, MemRegion{Base: r.Base, Size: r.Size})
+		case r.Kind == addr.KindVirtual:
+			node := tree.Lookup(r.Path)
+			id := 0
+			if node != nil {
+				if v, ok := node.CellValue("id"); ok {
+					id = int(v)
+				}
+			}
+			vm.IPCs = append(vm.IPCs, IPC{Base: r.Base, Size: r.Size, ShmemID: id})
+		default:
+			vm.Devices = append(vm.Devices, DevRegion{PA: r.Base, VA: r.Base, Size: r.Size})
+		}
+	}
+	if len(vm.Regions) == 0 {
+		return nil, fmt.Errorf("baogen: VM %s has no memory regions", name)
+	}
+	sort.Slice(vm.Regions, func(i, j int) bool { return vm.Regions[i].Base < vm.Regions[j].Base })
+	sort.Slice(vm.Devices, func(i, j int) bool { return vm.Devices[i].PA < vm.Devices[j].PA })
+	sort.Slice(vm.IPCs, func(i, j int) bool { return vm.IPCs[i].Base < vm.IPCs[j].Base })
+	vm.ImageBase = vm.Regions[0].Base
+	vm.Entry = vm.Regions[0].Base
+	return vm, nil
+}
+
+// NewConfig assembles the full hypervisor configuration, deriving the
+// shared-memory list from the VMs' IPC ids (one shmem per distinct id,
+// sized like the largest IPC window that references it).
+func NewConfig(vms []*VM) *Config {
+	maxID := -1
+	sizes := make(map[int]uint64)
+	for _, vm := range vms {
+		for _, ipc := range vm.IPCs {
+			if ipc.ShmemID > maxID {
+				maxID = ipc.ShmemID
+			}
+			if ipc.Size > sizes[ipc.ShmemID] {
+				sizes[ipc.ShmemID] = ipc.Size
+			}
+		}
+	}
+	cfg := &Config{VMs: vms}
+	for id := 0; id <= maxID; id++ {
+		cfg.Shmems = append(cfg.Shmems, Shmem{Size: sizes[id]})
+	}
+	return cfg
+}
+
+// RenderPlatformC renders the platform description in the format of the
+// paper's Listing 3.
+func (p *Platform) RenderPlatformC() string {
+	var b strings.Builder
+	b.WriteString("#include <platform.h>\n\n")
+	b.WriteString("struct platform_desc platform = {\n")
+	fmt.Fprintf(&b, "  .cpu_num = %d,\n", p.CPUNum)
+	fmt.Fprintf(&b, "  .region_num = %d,\n", len(p.Regions))
+	b.WriteString("  .regions =  (struct mem_region[]) {\n")
+	for _, r := range p.Regions {
+		fmt.Fprintf(&b, "    { .base = 0x%x, .size = 0x%x },\n", r.Base, r.Size)
+	}
+	b.WriteString("  },\n\n")
+	if p.ConsoleBase != 0 {
+		fmt.Fprintf(&b, "  .console = { .base = 0x%x },\n\n", p.ConsoleBase)
+	}
+	b.WriteString("  .arch = {\n")
+	b.WriteString("    .clusters =  {\n")
+	coreNums := make([]string, len(p.Clusters))
+	for i, c := range p.Clusters {
+		coreNums[i] = fmt.Sprintf("%d", c.CoreNum)
+	}
+	fmt.Fprintf(&b, "      .num = %d, .core_num = (uint8_t[]) {%s}\n",
+		len(p.Clusters), strings.Join(coreNums, ", "))
+	b.WriteString("    },\n")
+	b.WriteString("  }\n")
+	b.WriteString("};\n")
+	return b.String()
+}
+
+// RenderConfigC renders the VM-list configuration in the format of the
+// paper's Listing 6.
+func (c *Config) RenderConfigC() string {
+	var b strings.Builder
+	b.WriteString("#include <config.h>\n\n")
+	for _, vm := range c.VMs {
+		fmt.Fprintf(&b, "VM_IMAGE(%s, %simage.bin);\n", vm.Name, vm.Name)
+	}
+	b.WriteString("\nstruct config config = {\n")
+	b.WriteString("  CONFIG_HEADER\n")
+	fmt.Fprintf(&b, "  .vmlist_size = %d,\n", len(c.VMs))
+	b.WriteString("  .vmlist = {\n")
+	for _, vm := range c.VMs {
+		b.WriteString("    {\n")
+		b.WriteString("      .image = {\n")
+		fmt.Fprintf(&b, "        .base_addr = 0x%x,\n", vm.ImageBase)
+		fmt.Fprintf(&b, "        .load_addr = VM_IMAGE_OFFSET(%s),\n", vm.Name)
+		fmt.Fprintf(&b, "        .size = VM_IMAGE_SIZE(%s)\n", vm.Name)
+		b.WriteString("      },\n")
+		fmt.Fprintf(&b, "      .entry = 0x%x,\n", vm.Entry)
+		fmt.Fprintf(&b, "      .cpu_affinity = 0b%b,\n", vm.CPUAffinity)
+		fmt.Fprintf(&b, "      .platform = { .cpu_num = %d, .dev_num = %d,\n", vm.CPUNum, len(vm.Devices))
+		fmt.Fprintf(&b, "        .region_num = %d,\n", len(vm.Regions))
+		b.WriteString("        .regions =  (struct mem_region[]) {\n")
+		for _, r := range vm.Regions {
+			fmt.Fprintf(&b, "          { .base = 0x%x, .size = 0x%x },\n", r.Base, r.Size)
+		}
+		b.WriteString("        },\n")
+		if len(vm.Devices) > 0 {
+			b.WriteString("        .devs =  (struct dev_region[]) {\n")
+			for _, d := range vm.Devices {
+				fmt.Fprintf(&b, "          { .pa = 0x%x, .va = 0x%x, .size = 0x%x },\n",
+					d.PA, d.VA, d.Size)
+			}
+			b.WriteString("        },\n")
+		}
+		if len(vm.IPCs) > 0 {
+			fmt.Fprintf(&b, "        .ipc_num = %d,\n", len(vm.IPCs))
+			b.WriteString("        .ipcs =  (struct ipc[]) {\n")
+			for _, ipc := range vm.IPCs {
+				fmt.Fprintf(&b, "          { .base = 0x%x, .size = 0x%x, .shmem_id = %d },\n",
+					ipc.Base, ipc.Size, ipc.ShmemID)
+			}
+			b.WriteString("        },\n")
+		}
+		b.WriteString("      },\n")
+		b.WriteString("    },\n")
+	}
+	b.WriteString("  },\n")
+	if len(c.Shmems) > 0 {
+		fmt.Fprintf(&b, "  .shmemlist_size = %d,\n", len(c.Shmems))
+		b.WriteString("  .shmemlist = (struct shmem[]) {\n")
+		for i, s := range c.Shmems {
+			fmt.Fprintf(&b, "    [%d] = { .size = 0x%08x },\n", i, s.Size)
+		}
+		b.WriteString("  },\n")
+	}
+	b.WriteString("};\n")
+	return b.String()
+}
+
+// QEMUArgs synthesizes a qemu-system invocation matching the platform,
+// covering the paper's claim that the generated configurations can also
+// drive QEMU-based virtual platforms (Section V).
+func QEMUArgs(p *Platform, arch string) []string {
+	var total uint64
+	for _, r := range p.Regions {
+		total += r.Size
+	}
+	machine := "virt"
+	bin := "qemu-system-aarch64"
+	cpu := "cortex-a53"
+	if arch == "rv64" {
+		bin = "qemu-system-riscv64"
+		cpu = "rv64"
+	}
+	return []string{
+		bin,
+		"-machine", machine,
+		"-cpu", cpu,
+		"-smp", fmt.Sprintf("%d", p.CPUNum),
+		"-m", fmt.Sprintf("%dM", total/(1024*1024)),
+		"-nographic",
+		"-serial", "mon:stdio",
+	}
+}

@@ -1,0 +1,66 @@
+package constraints
+
+import (
+	"fmt"
+
+	"llhsc/internal/featmodel"
+)
+
+// AllocationChecker enforces the resource-allocation constraints of
+// Section IV-A: every VM's configuration must be a valid product of the
+// shared feature model, and features marked Exclusive (CPUs under
+// static partitioning) may be selected by at most one VM.
+type AllocationChecker struct {
+	Model *featmodel.Model
+	VMs   int
+
+	analyzer *featmodel.MultiAnalyzer
+}
+
+// NewAllocationChecker builds the multi-product encoding for k VMs.
+func NewAllocationChecker(model *featmodel.Model, vms int) (*AllocationChecker, error) {
+	mm, err := featmodel.NewMultiModel(model, vms)
+	if err != nil {
+		return nil, err
+	}
+	return &AllocationChecker{
+		Model:    model,
+		VMs:      vms,
+		analyzer: featmodel.NewMultiAnalyzer(mm),
+	}, nil
+}
+
+// Check validates the per-VM configurations. A nil return means the
+// partitioning is valid; otherwise the violations identify the
+// conflicting feature literals.
+func (c *AllocationChecker) Check(configs []featmodel.Configuration) []Violation {
+	err := c.analyzer.CheckConfigs(configs)
+	if err == nil {
+		return nil
+	}
+	if ce, ok := err.(*featmodel.ConflictError); ok {
+		return []Violation{{
+			Rule: "allocation:conflict",
+			Message: fmt.Sprintf("invalid static partitioning; conflicting selections: %v",
+				ce.Literals),
+		}}
+	}
+	return []Violation{{
+		Rule:    "allocation:error",
+		Message: err.Error(),
+	}}
+}
+
+// Feasible reports whether any assignment of products to the VMs exists
+// (false exactly when the paper's VM bound is exceeded, e.g. three VMs
+// over two exclusive CPUs).
+func (c *AllocationChecker) Feasible() bool {
+	return !c.analyzer.IsVoid()
+}
+
+// Solve delegates to the multi-analyzer to complete partial per-VM pins
+// into full configurations (automatic CPU assignment, Fig. 1's
+// grayed-out features).
+func (c *AllocationChecker) Solve(pins []map[string]bool) ([]featmodel.Configuration, error) {
+	return c.analyzer.SolveAssignment(pins)
+}

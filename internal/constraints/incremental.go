@@ -1,0 +1,92 @@
+package constraints
+
+import (
+	"fmt"
+
+	"llhsc/internal/addr"
+	"llhsc/internal/sat"
+	"llhsc/internal/smt"
+)
+
+// IncrementalSemanticChecker maintains one long-lived SMT solver across
+// a growing set of address regions, so that each region added after a
+// delta application is checked against all earlier ones without
+// rebuilding the encoding — the workflow the paper's Section VI
+// advocates ("constraints can be added incrementally to the same solver
+// instance"). Experiment E11 measures it against the fresh-solver
+// alternative.
+//
+// The checker is not safe for concurrent use.
+type IncrementalSemanticChecker struct {
+	ctx     *smt.Context
+	solver  *smt.Solver
+	x       *smt.Term
+	width   int
+	regions []addr.Region
+	inTerm  []*smt.Term
+	// virtual-vs-memory pairs are exempt, as in SemanticChecker
+	checkPair func(a, b addr.Region) bool
+}
+
+// NewIncrementalSemanticChecker returns a checker for addresses of the
+// given bit width (1..64).
+func NewIncrementalSemanticChecker(width int) *IncrementalSemanticChecker {
+	ctx := smt.NewContext()
+	return &IncrementalSemanticChecker{
+		ctx:    ctx,
+		solver: smt.NewSolver(ctx),
+		x:      ctx.BVVar("x", width),
+		width:  width,
+		checkPair: func(a, b addr.Region) bool {
+			if a.Kind == addr.KindVirtual && b.Kind == addr.KindMemory ||
+				a.Kind == addr.KindMemory && b.Kind == addr.KindVirtual {
+				return false
+			}
+			return true
+		},
+	}
+}
+
+// Len returns the number of regions added so far.
+func (c *IncrementalSemanticChecker) Len() int { return len(c.regions) }
+
+// Add registers a region and returns the collisions between it and all
+// previously added regions. The underlying solver keeps its learnt
+// clauses and bit-blasted comparators between calls.
+func (c *IncrementalSemanticChecker) Add(r addr.Region) []Collision {
+	term := overlapTerm(c.ctx, c.x, r, c.width)
+	var out []Collision
+	for i, prev := range c.regions {
+		if !c.checkPair(prev, r) {
+			continue
+		}
+		c.solver.Push()
+		c.solver.Assert(c.inTerm[i])
+		c.solver.Assert(term)
+		if c.solver.Check() == sat.Sat {
+			out = append(out, Collision{A: prev, B: r, Witness: c.solver.BVValue(c.x)})
+		}
+		c.solver.Pop()
+	}
+	c.regions = append(c.regions, r)
+	c.inTerm = append(c.inTerm, term)
+	return out
+}
+
+// AddAll adds regions in order and returns every collision found.
+func (c *IncrementalSemanticChecker) AddAll(regions []addr.Region) []Collision {
+	var out []Collision
+	for _, r := range regions {
+		out = append(out, c.Add(r)...)
+	}
+	return out
+}
+
+// Stats exposes the underlying solver statistics (for the E11 report).
+func (c *IncrementalSemanticChecker) Stats() smt.Stats { return c.solver.Stats() }
+
+// String summarizes the checker state.
+func (c *IncrementalSemanticChecker) String() string {
+	return fmt.Sprintf("incremental semantic checker: %d regions, %d checks",
+		len(c.regions), c.solver.Stats().Checks)
+}

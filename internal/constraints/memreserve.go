@@ -1,0 +1,88 @@
+package constraints
+
+import (
+	"fmt"
+
+	"llhsc/internal/addr"
+	"llhsc/internal/dts"
+	"llhsc/internal/sat"
+	"llhsc/internal/smt"
+)
+
+// MemReserveChecker validates /memreserve/ entries with the same
+// bit-vector machinery as the region checker (an extension in the
+// spirit of Section IV-C: reserved ranges are boot-time contracts whose
+// violation is only observable at runtime):
+//
+//   - every reserved range must lie entirely inside some memory bank
+//     (reserving non-RAM addresses is meaningless and usually a typo),
+//   - reserved ranges must not overlap each other.
+type MemReserveChecker struct {
+	// Width is the bit width for address variables; 0 derives it from
+	// the tree's root #address-cells.
+	Width int
+}
+
+// Check validates the tree's memreserve entries.
+func (mc MemReserveChecker) Check(tree *dts.Tree) []Violation {
+	if len(tree.MemReserves) == 0 {
+		return nil
+	}
+	width := mc.Width
+	if width == 0 {
+		width = addr.BitWidth(tree.Root.AddressCells())
+	}
+	regions, _ := addr.CollectRegions(tree)
+	var banks []addr.Region
+	for _, r := range regions {
+		if r.Kind == addr.KindMemory {
+			banks = append(banks, r)
+		}
+	}
+
+	ctx := smt.NewContext()
+	solver := smt.NewSolver(ctx)
+	x := ctx.BVVar("x", width)
+
+	var out []Violation
+
+	// containment: ∃x inside the reserve but outside every bank → violation
+	for i, mr := range tree.MemReserves {
+		reserve := addr.Region{Base: mr.Address, Size: mr.Size}
+		solver.Push()
+		solver.Assert(overlapTerm(ctx, x, reserve, width))
+		for _, b := range banks {
+			solver.Assert(ctx.Not(overlapTerm(ctx, x, b, width)))
+		}
+		if solver.Check() == sat.Sat {
+			out = append(out, Violation{
+				Rule: "semantic:memreserve-outside-ram",
+				Message: fmt.Sprintf(
+					"/memreserve/ %d (0x%x+0x%x) covers address 0x%x outside every memory bank",
+					i, mr.Address, mr.Size, solver.BVValue(x)),
+			})
+		}
+		solver.Pop()
+	}
+
+	// pairwise disjointness of reserves
+	for i := 0; i < len(tree.MemReserves); i++ {
+		for j := i + 1; j < len(tree.MemReserves); j++ {
+			a := addr.Region{Base: tree.MemReserves[i].Address, Size: tree.MemReserves[i].Size}
+			b := addr.Region{Base: tree.MemReserves[j].Address, Size: tree.MemReserves[j].Size}
+			solver.Push()
+			solver.Assert(overlapTerm(ctx, x, a, width))
+			solver.Assert(overlapTerm(ctx, x, b, width))
+			if solver.Check() == sat.Sat {
+				out = append(out, Violation{
+					Rule: "semantic:memreserve-overlap",
+					Message: fmt.Sprintf(
+						"/memreserve/ %d and %d overlap at address 0x%x",
+						i, j, solver.BVValue(x)),
+				})
+			}
+			solver.Pop()
+		}
+	}
+	return out
+}

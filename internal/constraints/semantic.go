@@ -1,0 +1,278 @@
+package constraints
+
+import (
+	"fmt"
+	"sort"
+
+	"llhsc/internal/addr"
+	"llhsc/internal/dts"
+	"llhsc/internal/sat"
+	"llhsc/internal/smt"
+)
+
+// Collision is a detected overlap between two address regions, with the
+// witness address produced by the solver's model (the counterexample of
+// Section IV-C).
+type Collision struct {
+	A, B    addr.Region
+	Witness uint64 // an address contained in both regions
+}
+
+func (c Collision) String() string {
+	return fmt.Sprintf("%s collides with %s at address 0x%x", c.A, c.B, c.Witness)
+}
+
+// Violations converts collisions to the common violation format, with
+// delta blame from both regions' origins.
+func (c Collision) Violations() []Violation {
+	msg := fmt.Sprintf("address region 0x%x+0x%x overlaps %s bank %d (0x%x+0x%x) at address 0x%x",
+		c.A.Base, c.A.Size, c.B.Path, c.B.Index, c.B.Base, c.B.Size, c.Witness)
+	v := []Violation{{
+		Path: c.A.Path, Property: "reg", Rule: "semantic:overlap",
+		Message: msg, Origin: c.A.Origin,
+	}}
+	if c.B.Origin.Delta != "" && c.B.Origin.Delta != c.A.Origin.Delta {
+		v = append(v, Violation{
+			Path: c.B.Path, Property: "reg", Rule: "semantic:overlap",
+			Message: fmt.Sprintf("address region 0x%x+0x%x overlaps %s bank %d at address 0x%x",
+				c.B.Base, c.B.Size, c.A.Path, c.A.Index, c.Witness),
+			Origin: c.B.Origin,
+		})
+	}
+	return v
+}
+
+// SemanticChecker verifies the memory-consistency property of Section
+// IV-C: no two mutually exclusive address regions may overlap. Each
+// candidate pair (i, j) is encoded as the bit-vector satisfiability
+// problem
+//
+//	b_i <= x ∧ x < b_i + s_i ∧ b_j <= x ∧ x < b_j + s_j
+//
+// over a fresh address variable x. A satisfiable query is a violation
+// of formula (7) and the model value of x is the collision witness.
+//
+// (The paper's formula (7) uses two bound variables x1 < x2; read
+// literally that is satisfied by ANY two regions that are not a single
+// shared point, so we implement the evident intent — a shared address —
+// with a single witness variable. EXPERIMENTS.md E5 records this.)
+type SemanticChecker struct {
+	// Width is the bit width used for address variables; 0 derives it
+	// from the tree's root #address-cells.
+	Width int
+	// CheckMemoryBanks also checks banks of the same memory node
+	// against each other (needed for the truncation scenario of E6).
+	// Enabled by default via NewSemanticChecker.
+	CheckMemoryBanks bool
+}
+
+// NewSemanticChecker returns a checker with the paper's defaults.
+func NewSemanticChecker() *SemanticChecker {
+	return &SemanticChecker{CheckMemoryBanks: true}
+}
+
+// Check collects the address regions of the tree and reports every
+// pairwise collision. Region-decoding problems (arity, overflow) are
+// reported as violations as well.
+func (sc *SemanticChecker) Check(tree *dts.Tree) ([]Collision, []Violation) {
+	regions, err := addr.CollectRegions(tree)
+	var violations []Violation
+	if err != nil {
+		violations = append(violations, Violation{
+			Rule:    "semantic:regions",
+			Message: err.Error(),
+		})
+	}
+	width := sc.Width
+	if width == 0 {
+		width = addr.BitWidth(tree.Root.AddressCells())
+	}
+	collisions := sc.FindCollisions(regions, width)
+	for _, c := range collisions {
+		violations = append(violations, c.Violations()...)
+	}
+	return collisions, violations
+}
+
+// candidatePairs enumerates the region pairs that must not overlap.
+// Virtual-device windows (addr.KindVirtual) are IPC overlays onto
+// shared RAM, so they are exempt from clashing with memory regions —
+// the paper's own Listing 6 places the veth IPC base inside a guest
+// memory region — but still must not clash with each other or with
+// physical devices.
+func (sc *SemanticChecker) candidatePairs(regions []addr.Region) [][2]int {
+	var pairs [][2]int
+	for i := 0; i < len(regions); i++ {
+		for j := i + 1; j < len(regions); j++ {
+			a, b := regions[i], regions[j]
+			if a.Path == b.Path {
+				if !sc.CheckMemoryBanks {
+					continue
+				}
+				if a.Index == b.Index {
+					continue
+				}
+			}
+			if a.Kind == addr.KindVirtual && b.Kind == addr.KindMemory ||
+				a.Kind == addr.KindMemory && b.Kind == addr.KindVirtual {
+				continue
+			}
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+	return pairs
+}
+
+// FindCollisions checks every candidate pair with an incremental SMT
+// solver (one Push/Pop scope per pair) and returns all collisions,
+// sorted by region path for determinism.
+func (sc *SemanticChecker) FindCollisions(regions []addr.Region, width int) []Collision {
+	pairs := sc.candidatePairs(regions)
+	if len(pairs) == 0 {
+		return nil
+	}
+	ctx := smt.NewContext()
+	solver := smt.NewSolver(ctx)
+	x := ctx.BVVar("x", width)
+
+	var out []Collision
+	for _, pair := range pairs {
+		a, b := regions[pair[0]], regions[pair[1]]
+		solver.Push()
+		solver.Assert(overlapTerm(ctx, x, a, width))
+		solver.Assert(overlapTerm(ctx, x, b, width))
+		if solver.Check() == sat.Sat {
+			out = append(out, Collision{A: a, B: b, Witness: solver.BVValue(x)})
+		}
+		solver.Pop()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A.Path != out[j].A.Path {
+			return out[i].A.Path < out[j].A.Path
+		}
+		return out[i].B.Path < out[j].B.Path
+	})
+	return out
+}
+
+// AnyCollision poses a single disjunctive query — does ANY candidate
+// pair overlap? This is the formulation closest to the paper's one-shot
+// formula (7) and the workload used by the E8 scaling benchmark.
+//
+// A single witness variable x is shared by all disjuncts (only one
+// colliding pair needs witnessing), so hash-consing reduces the
+// encoding to two comparator chains per *region* plus one small
+// selector clause per pair — O(n) bit-vector logic for O(n²) pairs.
+func (sc *SemanticChecker) AnyCollision(regions []addr.Region, width int) (Collision, bool) {
+	pairs := sc.candidatePairs(regions)
+	if len(pairs) == 0 {
+		return Collision{}, false
+	}
+	ctx := smt.NewContext()
+	solver := smt.NewSolver(ctx)
+	x := ctx.BVVar("x", width)
+
+	inRegion := make([]*smt.Term, len(regions))
+	for i, r := range regions {
+		inRegion[i] = overlapTerm(ctx, x, r, width)
+	}
+	sel := make([]*smt.Term, len(pairs))
+	for k, pair := range pairs {
+		s := ctx.BoolVar(fmt.Sprintf("sel%d", k))
+		sel[k] = s
+		solver.Assert(ctx.Implies(s, ctx.And(inRegion[pair[0]], inRegion[pair[1]])))
+	}
+	solver.Assert(ctx.Or(sel...))
+	if solver.Check() != sat.Sat {
+		return Collision{}, false
+	}
+	for k, pair := range pairs {
+		if solver.BoolValue(sel[k]) {
+			return Collision{
+				A: regions[pair[0]], B: regions[pair[1]],
+				Witness: solver.BVValue(x),
+			}, true
+		}
+	}
+	return Collision{}, false
+}
+
+// overlapTerm encodes b <= x ∧ x < b + s at the given width. Regions
+// whose bounds exceed the width are truncated modulo 2^width, matching
+// the hardware's address decoding.
+func overlapTerm(ctx *smt.Context, x *smt.Term, r addr.Region, width int) *smt.Term {
+	if r.Size == 0 {
+		return ctx.False()
+	}
+	base := ctx.BVConst(width, r.Base)
+	end := r.Base + r.Size
+	overflows := end < r.Base // 64-bit wrap
+	if width < 64 && end >= 1<<uint(width) {
+		overflows = true
+	}
+	if overflows {
+		// The region extends to (or past) the top of the address
+		// space: only the lower bound constrains x. Regions that
+		// genuinely wrap are reported separately by addr.ErrOverflow.
+		return ctx.Ule(base, x)
+	}
+	return ctx.And(ctx.Ule(base, x), ctx.Ult(x, ctx.BVConst(width, end)))
+}
+
+// InterruptChecker is the interrupt-uniqueness extension mentioned in
+// the paper's conclusion ("semantic validation of memory addresses and
+// interrupts is performed using bit-vector constraints"): no two device
+// nodes may claim the same interrupt line.
+type InterruptChecker struct{}
+
+// Check reports devices sharing an interrupt number. The decision is
+// made by the SMT solver: for each pair of interrupt constants it asks
+// whether a shared line value exists (mirroring the overlap encoding).
+func (InterruptChecker) Check(tree *dts.Tree) []Violation {
+	type irqUse struct {
+		path   string
+		irq    uint32
+		origin dts.Origin
+	}
+	var uses []irqUse
+	tree.Root.Walk(func(path string, n *dts.Node) bool {
+		p := n.Property("interrupts")
+		if p == nil {
+			return true
+		}
+		for _, cell := range p.Value.Cells() {
+			uses = append(uses, irqUse{path: path, irq: cell.Val, origin: p.Origin})
+		}
+		return true
+	})
+	if len(uses) < 2 {
+		return nil
+	}
+
+	ctx := smt.NewContext()
+	solver := smt.NewSolver(ctx)
+	line := ctx.BVVar("line", 32)
+
+	var out []Violation
+	for i := 0; i < len(uses); i++ {
+		for j := i + 1; j < len(uses); j++ {
+			if uses[i].path == uses[j].path {
+				continue
+			}
+			solver.Push()
+			solver.Assert(ctx.Eq(line, ctx.BVConst(32, uint64(uses[i].irq))))
+			solver.Assert(ctx.Eq(line, ctx.BVConst(32, uint64(uses[j].irq))))
+			if solver.Check() == sat.Sat {
+				out = append(out, Violation{
+					Path: uses[i].path, Property: "interrupts",
+					Rule: "semantic:interrupt",
+					Message: fmt.Sprintf("interrupt %d also claimed by %s",
+						uses[i].irq, uses[j].path),
+					Origin: uses[i].origin,
+				})
+			}
+			solver.Pop()
+		}
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+// Package core implements the llhsc workflow of the paper's Fig. 2:
+// starting from a core-module DTS, a delta-module set, a feature model
+// and binding schemas, it derives one product DTS per VM plus the
+// platform DTS (the union product), discharges the three constraint
+// families of Section IV (allocation, syntactic, semantic) through the
+// SMT solver, and — when everything is provably correct — generates the
+// Bao hypervisor configuration files of Listings 3 and 6.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"llhsc/internal/baogen"
+	"llhsc/internal/constraints"
+	"llhsc/internal/delta"
+	"llhsc/internal/dts"
+	"llhsc/internal/featmodel"
+	"llhsc/internal/schema"
+)
+
+// Pipeline is a configured llhsc run.
+type Pipeline struct {
+	// Core is the core-module DTS (Listing 1).
+	Core *dts.Tree
+	// Deltas is the product line's delta-module set (Listing 4).
+	Deltas *delta.Set
+	// Model is the feature model (Fig. 1a).
+	Model *featmodel.Model
+	// Schemas are the binding schemas for the syntactic checker;
+	// schema.StandardSet() covers the running example.
+	Schemas *schema.Set
+	// VMConfigs selects one product per VM (Figs. 1b/1c).
+	VMConfigs []featmodel.Configuration
+	// VMNames optionally names the VMs ("vm1", "vm2", ... by default).
+	VMNames []string
+	// SkipInterrupts disables the interrupt-uniqueness extension check.
+	SkipInterrupts bool
+}
+
+// VMResult is the outcome for one VM.
+type VMResult struct {
+	Name       string
+	Config     featmodel.Configuration
+	Trace      []string // applied delta modules, in order
+	Tree       *dts.Tree
+	DTS        string
+	Violations []constraints.Violation
+}
+
+// PlatformResult is the outcome for the platform (union) product.
+type PlatformResult struct {
+	Config     featmodel.Configuration
+	Trace      []string
+	Tree       *dts.Tree
+	DTS        string
+	Violations []constraints.Violation
+}
+
+// Report is the result of a pipeline run.
+type Report struct {
+	Allocation []constraints.Violation
+	VMs        []VMResult
+	Platform   PlatformResult
+
+	// Generated artifacts; empty unless OK().
+	PlatformC string
+	ConfigC   string
+	QEMUArgs  []string
+
+	// Jailhouse equivalents (the paper's "others like Jailhouse can
+	// also be supported"): the root-cell config plus one cell config
+	// per VM, indexed like VMs.
+	JailhouseRootC  string
+	JailhouseCellsC []string
+}
+
+// OK reports whether every check passed.
+func (r *Report) OK() bool {
+	if len(r.Allocation) > 0 || len(r.Platform.Violations) > 0 {
+		return false
+	}
+	for _, vm := range r.VMs {
+		if len(vm.Violations) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AllViolations flattens every violation in the report.
+func (r *Report) AllViolations() []constraints.Violation {
+	var out []constraints.Violation
+	out = append(out, r.Allocation...)
+	for _, vm := range r.VMs {
+		out = append(out, vm.Violations...)
+	}
+	out = append(out, r.Platform.Violations...)
+	return out
+}
+
+// Validate checks that the pipeline is completely configured.
+func (p *Pipeline) Validate() error {
+	switch {
+	case p.Core == nil:
+		return errors.New("core: missing core-module DTS")
+	case p.Deltas == nil:
+		return errors.New("core: missing delta set")
+	case p.Model == nil:
+		return errors.New("core: missing feature model")
+	case p.Schemas == nil:
+		return errors.New("core: missing schema set")
+	case len(p.VMConfigs) == 0:
+		return errors.New("core: no VM configurations")
+	case len(p.VMNames) > 0 && len(p.VMNames) != len(p.VMConfigs):
+		return errors.New("core: VMNames length does not match VMConfigs")
+	}
+	return nil
+}
+
+// Run executes the full workflow. An error is returned only for
+// structural failures (invalid pipeline, delta application errors);
+// constraint violations are reported in the Report, not as errors.
+func (p *Pipeline) Run() (*Report, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	report := &Report{}
+
+	// ---- resource allocation (Section IV-A) ----
+	alloc, err := constraints.NewAllocationChecker(p.Model, len(p.VMConfigs))
+	if err != nil {
+		return nil, err
+	}
+	report.Allocation = alloc.Check(p.VMConfigs)
+
+	// ---- per-VM products ----
+	syntactic := constraints.NewSyntacticChecker(p.Schemas)
+	semantic := constraints.NewSemanticChecker()
+	for i, cfg := range p.VMConfigs {
+		name := fmt.Sprintf("vm%d", i+1)
+		if len(p.VMNames) > 0 {
+			name = p.VMNames[i]
+		}
+		vm := VMResult{Name: name, Config: cfg}
+		tree, trace, err := p.Deltas.Apply(p.Core, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: VM %s: %w", name, err)
+		}
+		vm.Tree = tree
+		vm.Trace = trace
+		vm.DTS = tree.Print()
+		vm.Violations = p.checkTree(syntactic, semantic, tree)
+		report.VMs = append(report.VMs, vm)
+	}
+
+	// ---- platform product: the union of the VM configurations ----
+	union := featmodel.PlatformUnion(p.VMConfigs)
+	ptree, ptrace, err := p.Deltas.Apply(p.Core, union)
+	if err != nil {
+		return nil, fmt.Errorf("core: platform: %w", err)
+	}
+	report.Platform = PlatformResult{
+		Config: union,
+		Trace:  ptrace,
+		Tree:   ptree,
+		DTS:    ptree.Print(),
+	}
+	report.Platform.Violations = p.checkTree(syntactic, semantic, ptree)
+
+	if !report.OK() {
+		return report, nil
+	}
+
+	// ---- artifact generation (Listings 3 and 6) ----
+	platform, err := baogen.PlatformFromTree(ptree)
+	if err != nil {
+		return nil, err
+	}
+	report.PlatformC = platform.RenderPlatformC()
+	report.QEMUArgs = baogen.QEMUArgs(platform, "aarch64")
+	report.JailhouseRootC = baogen.RenderJailhouseRootC(platform)
+
+	vms := make([]*baogen.VM, len(report.VMs))
+	for i, vm := range report.VMs {
+		bvm, err := baogen.VMFromTree(vm.Name, vm.Tree)
+		if err != nil {
+			return nil, err
+		}
+		vms[i] = bvm
+		report.JailhouseCellsC = append(report.JailhouseCellsC,
+			baogen.RenderJailhouseCellC(bvm))
+	}
+	report.ConfigC = baogen.NewConfig(vms).RenderConfigC()
+	return report, nil
+}
+
+func (p *Pipeline) checkTree(syn *constraints.SyntacticChecker, sem *constraints.SemanticChecker, tree *dts.Tree) []constraints.Violation {
+	out := syn.Check(tree)
+	_, semViolations := sem.Check(tree)
+	out = append(out, semViolations...)
+	out = append(out, constraints.MemReserveChecker{}.Check(tree)...)
+	if !p.SkipInterrupts {
+		out = append(out, constraints.InterruptChecker{}.Check(tree)...)
+	}
+	return out
+}

@@ -1,0 +1,440 @@
+// Package delta implements the delta-oriented programming (DOP) product
+// line for DTS files described in Section III-B of the llhsc paper: a
+// core-module DTS is refined by delta modules that add, modify and
+// remove fragments. Each delta carries an activation condition over
+// feature names (the "when" clause) and ordering constraints (the
+// "after" clause); applying the active deltas of a configuration in a
+// valid topological order yields the product DTS.
+//
+// Every node and property written by a delta is stamped with the
+// delta's name (dts.Origin.Delta), which is how llhsc traces a
+// constraint violation back to the delta module that caused it.
+package delta
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"llhsc/internal/dts"
+	"llhsc/internal/featmodel"
+)
+
+// OpKind discriminates delta operations.
+type OpKind int
+
+// Delta operation kinds.
+const (
+	// OpAdds introduces new child nodes/properties under a target node
+	// ("adds binding <target> { ... }"); the added entries must not
+	// already exist.
+	OpAdds OpKind = iota + 1
+	// OpModifies merges the fragment into an existing target node
+	// ("modifies <target> { ... }").
+	OpModifies
+	// OpRemovesNode deletes a node ("removes node <target>").
+	OpRemovesNode
+	// OpRemovesProperty deletes a property
+	// ("removes property <target> <name>").
+	OpRemovesProperty
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpAdds:
+		return "adds"
+	case OpModifies:
+		return "modifies"
+	case OpRemovesNode:
+		return "removes node"
+	case OpRemovesProperty:
+		return "removes property"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Operation is one edit performed by a delta.
+type Operation struct {
+	Kind     OpKind
+	Target   string    // node path ("/" = root) or bare node name
+	Fragment *dts.Node // payload for OpAdds / OpModifies
+	PropName string    // for OpRemovesProperty
+}
+
+// Delta is one delta module.
+type Delta struct {
+	Name  string
+	After []string        // must be applied after these deltas (when active)
+	When  *featmodel.Expr // activation condition; nil = always active
+	Ops   []Operation
+}
+
+// Active reports whether the delta is activated by the configuration.
+func (d *Delta) Active(cfg featmodel.Configuration) bool {
+	if d.When == nil {
+		return true
+	}
+	return d.When.Eval(map[string]bool(cfg))
+}
+
+// Set is a collection of delta modules forming a product line.
+type Set struct {
+	Deltas []*Delta
+	byName map[string]*Delta
+}
+
+// NewSet validates and indexes the deltas: names must be unique and
+// every "after" reference must resolve.
+func NewSet(deltas []*Delta) (*Set, error) {
+	s := &Set{Deltas: deltas, byName: make(map[string]*Delta, len(deltas))}
+	for _, d := range deltas {
+		if d.Name == "" {
+			return nil, fmt.Errorf("delta: module with empty name")
+		}
+		if _, dup := s.byName[d.Name]; dup {
+			return nil, fmt.Errorf("delta: duplicate module name %q", d.Name)
+		}
+		s.byName[d.Name] = d
+	}
+	for _, d := range deltas {
+		for _, dep := range d.After {
+			if _, ok := s.byName[dep]; !ok {
+				return nil, fmt.Errorf("delta: %s is after unknown delta %q", d.Name, dep)
+			}
+		}
+	}
+	return s, nil
+}
+
+// Delta returns the module with the given name, or nil.
+func (s *Set) Delta(name string) *Delta { return s.byName[name] }
+
+// Active returns the deltas activated by the configuration, in
+// declaration order.
+func (s *Set) Active(cfg featmodel.Configuration) []*Delta {
+	var out []*Delta
+	for _, d := range s.Deltas {
+		if d.Active(cfg) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// CycleError reports a cyclic "after" dependency among active deltas.
+type CycleError struct {
+	Names []string
+}
+
+func (e *CycleError) Error() string {
+	return fmt.Sprintf("delta: cyclic after-dependency among %v", e.Names)
+}
+
+// AmbiguityError reports two active deltas that write the same location
+// without an ordering constraint between them, making the product
+// depend on arbitrary application order.
+type AmbiguityError struct {
+	A, B     string // delta names
+	Location string // contested path/property
+}
+
+func (e *AmbiguityError) Error() string {
+	return fmt.Sprintf("delta: %s and %s both write %s with no order between them",
+		e.A, e.B, e.Location)
+}
+
+// Order topologically sorts the active deltas for the configuration
+// according to their after-constraints (restricted to active deltas, as
+// the paper specifies). Ties are broken by declaration order, keeping
+// application deterministic. It returns a CycleError for cyclic
+// constraints and an AmbiguityError when unordered deltas contend for
+// the same write location.
+func (s *Set) Order(cfg featmodel.Configuration) ([]*Delta, error) {
+	active := s.Active(cfg)
+	activeSet := make(map[string]bool, len(active))
+	pos := make(map[string]int, len(active))
+	for i, d := range active {
+		activeSet[d.Name] = true
+		pos[d.Name] = i
+	}
+
+	// edges dep -> d for active deps
+	succ := make(map[string][]string)
+	indeg := make(map[string]int)
+	for _, d := range active {
+		indeg[d.Name] += 0
+		for _, dep := range d.After {
+			if activeSet[dep] {
+				succ[dep] = append(succ[dep], d.Name)
+				indeg[d.Name]++
+			}
+		}
+	}
+
+	// Kahn's algorithm with declaration-order tie-breaking
+	var ready []string
+	for _, d := range active {
+		if indeg[d.Name] == 0 {
+			ready = append(ready, d.Name)
+		}
+	}
+	var orderNames []string
+	for len(ready) > 0 {
+		sort.Slice(ready, func(i, j int) bool { return pos[ready[i]] < pos[ready[j]] })
+		next := ready[0]
+		ready = ready[1:]
+		orderNames = append(orderNames, next)
+		for _, m := range succ[next] {
+			indeg[m]--
+			if indeg[m] == 0 {
+				ready = append(ready, m)
+			}
+		}
+	}
+	if len(orderNames) != len(active) {
+		var cyc []string
+		for _, d := range active {
+			if indeg[d.Name] > 0 {
+				cyc = append(cyc, d.Name)
+			}
+		}
+		return nil, &CycleError{Names: cyc}
+	}
+
+	if err := s.checkAmbiguity(active, orderNames); err != nil {
+		return nil, err
+	}
+
+	out := make([]*Delta, len(orderNames))
+	for i, n := range orderNames {
+		out[i] = s.byName[n]
+	}
+	return out, nil
+}
+
+// checkAmbiguity verifies that any two active deltas writing the same
+// location are ordered by the transitive after-relation.
+func (s *Set) checkAmbiguity(active []*Delta, orderNames []string) error {
+	// transitive reachability over after-edges among active deltas
+	activeSet := make(map[string]bool, len(active))
+	for _, d := range active {
+		activeSet[d.Name] = true
+	}
+	reach := make(map[string]map[string]bool, len(active))
+	var visit func(name string) map[string]bool
+	visit = func(name string) map[string]bool {
+		if r, ok := reach[name]; ok {
+			return r
+		}
+		r := make(map[string]bool)
+		reach[name] = r
+		for _, dep := range s.byName[name].After {
+			if !activeSet[dep] {
+				continue
+			}
+			r[dep] = true
+			for k := range visit(dep) {
+				r[k] = true
+			}
+		}
+		return r
+	}
+	for _, d := range active {
+		visit(d.Name)
+	}
+	ordered := func(a, b string) bool { return reach[a][b] || reach[b][a] }
+
+	for i := 0; i < len(active); i++ {
+		for j := i + 1; j < len(active); j++ {
+			a, b := active[i], active[j]
+			if ordered(a.Name, b.Name) {
+				continue
+			}
+			if loc := writeConflict(a, b); loc != "" {
+				return &AmbiguityError{A: a.Name, B: b.Name, Location: loc}
+			}
+		}
+	}
+	return nil
+}
+
+// writeConflict returns a contested location written by both deltas, or
+// "" when their write sets are disjoint.
+func writeConflict(a, b *Delta) string {
+	wa := writeSet(a)
+	wb := writeSet(b)
+	var keys []string
+	for k := range wa {
+		if wb[k] {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return ""
+	}
+	sort.Strings(keys)
+	return keys[0]
+}
+
+// writeSet lists the locations a delta writes: "path#prop" for property
+// writes and "path/child" for node creation/removal.
+func writeSet(d *Delta) map[string]bool {
+	out := make(map[string]bool)
+	for _, op := range d.Ops {
+		switch op.Kind {
+		case OpAdds, OpModifies:
+			var collect func(prefix string, n *dts.Node)
+			collect = func(prefix string, n *dts.Node) {
+				for _, p := range n.Properties {
+					out[prefix+"#"+p.Name] = true
+				}
+				for _, c := range n.Children {
+					cp := prefix + "/" + c.Name
+					out[cp] = true
+					collect(cp, c)
+				}
+			}
+			collect(op.Target, op.Fragment)
+		case OpRemovesNode:
+			out[op.Target] = true
+		case OpRemovesProperty:
+			out[op.Target+"#"+op.PropName] = true
+		}
+	}
+	return out
+}
+
+// resolveTarget finds the node a target string refers to: "/" or an
+// absolute path is looked up directly, a bare name matches the first
+// node with that name in depth-first order.
+func resolveTarget(t *dts.Tree, target string) *dts.Node {
+	if target == "/" || strings.HasPrefix(target, "/") {
+		return t.Lookup(target)
+	}
+	var found *dts.Node
+	t.Root.Walk(func(_ string, n *dts.Node) bool {
+		if n.Name == target {
+			found = n
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// ApplyError reports a failed delta operation.
+type ApplyError struct {
+	Delta  string
+	Op     OpKind
+	Target string
+	Msg    string
+}
+
+func (e *ApplyError) Error() string {
+	return fmt.Sprintf("delta %s: %v %s: %s", e.Delta, e.Op, e.Target, e.Msg)
+}
+
+// Apply applies the active deltas for cfg, in a valid order, to a clone
+// of the core tree and returns the product DTS together with the
+// applied delta names (the trace used in reports).
+func (s *Set) Apply(core *dts.Tree, cfg featmodel.Configuration) (*dts.Tree, []string, error) {
+	ordered, err := s.Order(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	tree := core.Clone()
+	var trace []string
+	for _, d := range ordered {
+		if err := applyDelta(tree, d); err != nil {
+			return nil, trace, err
+		}
+		trace = append(trace, d.Name)
+	}
+	return tree, trace, nil
+}
+
+func applyDelta(tree *dts.Tree, d *Delta) error {
+	for _, op := range d.Ops {
+		fail := func(format string, args ...interface{}) error {
+			return &ApplyError{Delta: d.Name, Op: op.Kind, Target: op.Target,
+				Msg: fmt.Sprintf(format, args...)}
+		}
+		switch op.Kind {
+		case OpAdds:
+			target := resolveTarget(tree, op.Target)
+			if target == nil {
+				return fail("target node not found")
+			}
+			for _, p := range op.Fragment.Properties {
+				if target.Property(p.Name) != nil {
+					return fail("property %s already exists", p.Name)
+				}
+				np := p.Clone()
+				np.Origin.Delta = d.Name
+				target.SetProperty(np)
+			}
+			for _, c := range op.Fragment.Children {
+				if target.Child(c.Name) != nil {
+					return fail("node %s already exists", c.Name)
+				}
+				nc := c.Clone()
+				stampDelta(nc, d.Name)
+				target.Children = append(target.Children, nc)
+			}
+
+		case OpModifies:
+			target := resolveTarget(tree, op.Target)
+			if target == nil {
+				return fail("target node not found")
+			}
+			frag := op.Fragment.Clone()
+			stampDelta(frag, d.Name)
+			frag.Name = target.Name
+			target.Merge(frag)
+
+		case OpRemovesNode:
+			target := resolveTarget(tree, op.Target)
+			if target == nil {
+				return fail("target node not found")
+			}
+			if target == tree.Root {
+				return fail("cannot remove the root node")
+			}
+			removed := false
+			tree.Root.Walk(func(_ string, n *dts.Node) bool {
+				for _, c := range n.Children {
+					if c == target {
+						n.RemoveChild(c.Name)
+						removed = true
+						return false
+					}
+				}
+				return true
+			})
+			if !removed {
+				return fail("target node not found")
+			}
+
+		case OpRemovesProperty:
+			target := resolveTarget(tree, op.Target)
+			if target == nil {
+				return fail("target node not found")
+			}
+			if !target.RemoveProperty(op.PropName) {
+				return fail("property %s not found", op.PropName)
+			}
+		}
+	}
+	return nil
+}
+
+func stampDelta(n *dts.Node, name string) {
+	n.Origin.Delta = name
+	for _, p := range n.Properties {
+		p.Origin.Delta = name
+	}
+	for _, c := range n.Children {
+		stampDelta(c, name)
+	}
+}

@@ -1,0 +1,349 @@
+package delta
+
+import (
+	"fmt"
+	"strings"
+
+	"llhsc/internal/dts"
+	"llhsc/internal/featmodel"
+)
+
+// Parse reads a delta-module file in the syntax of the paper's
+// Listing 4:
+//
+//	delta d1 after d3 when veth0 {
+//	    adds binding vEthernet {
+//	        veth0@80000000 {
+//	            compatible = "veth";
+//	            reg = <0x80000000 0x10000000>;
+//	            id = <0>;
+//	        };
+//	    }
+//	}
+//
+//	delta d3 when (veth0 || veth1) {
+//	    modifies / {
+//	        #address-cells = <1>;
+//	        #size-cells = <1>;
+//	        vEthernet { };
+//	    }
+//	}
+//
+// plus removal operations:
+//
+//	delta d5 when minimal {
+//	    removes node uart@30000000;
+//	    removes property memory@40000000 some-prop;
+//	}
+//
+// Operation payloads are full DTS node bodies parsed by internal/dts.
+func Parse(file, src string) (*Set, error) {
+	sc := &scanner{file: file, src: src, line: 1}
+	var deltas []*Delta
+	for {
+		sc.skipSpace()
+		if sc.eof() {
+			break
+		}
+		d, err := sc.parseDelta()
+		if err != nil {
+			return nil, err
+		}
+		deltas = append(deltas, d)
+	}
+	return NewSet(deltas)
+}
+
+type scanner struct {
+	file string
+	src  string
+	pos  int
+	line int
+}
+
+func (s *scanner) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("%s:%d: %s", s.file, s.line, fmt.Sprintf(format, args...))
+}
+
+func (s *scanner) eof() bool { return s.pos >= len(s.src) }
+
+func (s *scanner) skipSpace() {
+	for s.pos < len(s.src) {
+		c := s.src[s.pos]
+		switch {
+		case c == '\n':
+			s.line++
+			s.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			s.pos++
+		case c == '/' && s.pos+1 < len(s.src) && s.src[s.pos+1] == '/':
+			for s.pos < len(s.src) && s.src[s.pos] != '\n' {
+				s.pos++
+			}
+		case c == '/' && s.pos+1 < len(s.src) && s.src[s.pos+1] == '*':
+			s.pos += 2
+			for s.pos+1 < len(s.src) && !(s.src[s.pos] == '*' && s.src[s.pos+1] == '/') {
+				if s.src[s.pos] == '\n' {
+					s.line++
+				}
+				s.pos++
+			}
+			s.pos += 2
+		default:
+			return
+		}
+	}
+}
+
+// word reads a whitespace/brace/comma/semicolon-delimited token.
+func (s *scanner) word() string {
+	s.skipSpace()
+	start := s.pos
+	for s.pos < len(s.src) {
+		c := s.src[s.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' ||
+			c == '{' || c == '}' || c == ',' || c == ';' {
+			break
+		}
+		s.pos++
+	}
+	return s.src[start:s.pos]
+}
+
+func (s *scanner) expectByte(b byte) error {
+	s.skipSpace()
+	if s.eof() || s.src[s.pos] != b {
+		found := "end of file"
+		if !s.eof() {
+			found = fmt.Sprintf("%q", string(s.src[s.pos]))
+		}
+		return s.errf("expected %q, found %s", string(b), found)
+	}
+	s.pos++
+	return nil
+}
+
+func (s *scanner) peekByte() byte {
+	s.skipSpace()
+	if s.eof() {
+		return 0
+	}
+	return s.src[s.pos]
+}
+
+// balancedBraces consumes a "{ ... }" block and returns it including
+// the braces, tracking strings and comments.
+func (s *scanner) balancedBraces() (string, error) {
+	if err := s.expectByte('{'); err != nil {
+		return "", err
+	}
+	start := s.pos - 1
+	depth := 1
+	for s.pos < len(s.src) && depth > 0 {
+		c := s.src[s.pos]
+		switch c {
+		case '\n':
+			s.line++
+			s.pos++
+		case '{':
+			depth++
+			s.pos++
+		case '}':
+			depth--
+			s.pos++
+		case '"':
+			s.pos++
+			for s.pos < len(s.src) && s.src[s.pos] != '"' {
+				if s.src[s.pos] == '\\' {
+					s.pos++
+				}
+				s.pos++
+			}
+			s.pos++
+		case '/':
+			if s.pos+1 < len(s.src) && s.src[s.pos+1] == '/' {
+				for s.pos < len(s.src) && s.src[s.pos] != '\n' {
+					s.pos++
+				}
+			} else if s.pos+1 < len(s.src) && s.src[s.pos+1] == '*' {
+				s.pos += 2
+				for s.pos+1 < len(s.src) && !(s.src[s.pos] == '*' && s.src[s.pos+1] == '/') {
+					if s.src[s.pos] == '\n' {
+						s.line++
+					}
+					s.pos++
+				}
+				s.pos += 2
+			} else {
+				s.pos++
+			}
+		default:
+			s.pos++
+		}
+	}
+	if depth != 0 {
+		return "", s.errf("unterminated block")
+	}
+	return s.src[start:s.pos], nil
+}
+
+func (s *scanner) parseDelta() (*Delta, error) {
+	if w := s.word(); w != "delta" {
+		return nil, s.errf("expected 'delta', found %q", w)
+	}
+	name := s.word()
+	if name == "" {
+		return nil, s.errf("expected delta name")
+	}
+	d := &Delta{Name: name}
+
+	for {
+		s.skipSpace()
+		if s.peekByte() == '{' {
+			break
+		}
+		switch kw := s.word(); kw {
+		case "after":
+			for {
+				dep := s.word()
+				if dep == "" {
+					return nil, s.errf("expected delta name after 'after'")
+				}
+				d.After = append(d.After, dep)
+				if s.peekByte() != ',' {
+					break
+				}
+				s.pos++ // ','
+			}
+		case "when":
+			exprText, err := s.untilBrace()
+			if err != nil {
+				return nil, err
+			}
+			expr, err := featmodel.ParseExpr(strings.TrimSpace(exprText))
+			if err != nil {
+				return nil, s.errf("invalid when clause: %v", err)
+			}
+			d.When = expr
+		case "":
+			return nil, s.errf("unexpected end of file in delta %s", name)
+		default:
+			return nil, s.errf("unexpected %q in delta header", kw)
+		}
+	}
+
+	if err := s.expectByte('{'); err != nil {
+		return nil, err
+	}
+	for {
+		s.skipSpace()
+		if s.peekByte() == '}' {
+			s.pos++
+			break
+		}
+		op, err := s.parseOperation(name)
+		if err != nil {
+			return nil, err
+		}
+		d.Ops = append(d.Ops, op)
+	}
+	return d, nil
+}
+
+// untilBrace captures raw text up to (excluding) the next '{' at
+// parenthesis depth 0.
+func (s *scanner) untilBrace() (string, error) {
+	s.skipSpace()
+	start := s.pos
+	depth := 0
+	for s.pos < len(s.src) {
+		switch s.src[s.pos] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case '{':
+			if depth == 0 {
+				return s.src[start:s.pos], nil
+			}
+		case '\n':
+			s.line++
+		}
+		s.pos++
+	}
+	return "", s.errf("expected '{' after when clause")
+}
+
+func (s *scanner) parseOperation(deltaName string) (Operation, error) {
+	switch kw := s.word(); kw {
+	case "adds":
+		if w := s.word(); w != "binding" {
+			return Operation{}, s.errf("expected 'binding' after 'adds', found %q", w)
+		}
+		target := s.word()
+		if target == "" && s.peekByte() == '{' {
+			return Operation{}, s.errf("expected target node after 'adds binding'")
+		}
+		body, err := s.balancedBraces()
+		if err != nil {
+			return Operation{}, err
+		}
+		frag, err := dts.ParseFragment(s.file, target, body)
+		if err != nil {
+			return Operation{}, fmt.Errorf("delta %s: %w", deltaName, err)
+		}
+		return Operation{Kind: OpAdds, Target: target, Fragment: frag}, nil
+
+	case "modifies":
+		target := s.word()
+		if target == "" {
+			if s.peekByte() == '/' { // bare root target
+				s.pos++
+				target = "/"
+			} else {
+				return Operation{}, s.errf("expected target node after 'modifies'")
+			}
+		}
+		body, err := s.balancedBraces()
+		if err != nil {
+			return Operation{}, err
+		}
+		frag, err := dts.ParseFragment(s.file, target, body)
+		if err != nil {
+			return Operation{}, fmt.Errorf("delta %s: %w", deltaName, err)
+		}
+		return Operation{Kind: OpModifies, Target: target, Fragment: frag}, nil
+
+	case "removes":
+		switch what := s.word(); what {
+		case "node":
+			target := s.word()
+			if target == "" {
+				return Operation{}, s.errf("expected target after 'removes node'")
+			}
+			s.optionalSemi()
+			return Operation{Kind: OpRemovesNode, Target: target}, nil
+		case "property":
+			target := s.word()
+			prop := s.word()
+			if target == "" || prop == "" {
+				return Operation{}, s.errf("expected 'removes property <node> <name>'")
+			}
+			s.optionalSemi()
+			return Operation{Kind: OpRemovesProperty, Target: target, PropName: prop}, nil
+		default:
+			return Operation{}, s.errf("expected 'node' or 'property' after 'removes', found %q", what)
+		}
+
+	case "":
+		return Operation{}, s.errf("unexpected end of file in delta body")
+	default:
+		return Operation{}, s.errf("unknown operation %q", kw)
+	}
+}
+
+func (s *scanner) optionalSemi() {
+	if s.peekByte() == ';' {
+		s.pos++
+	}
+}

@@ -1,0 +1,152 @@
+package delta
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"llhsc/internal/dts"
+	"llhsc/internal/featmodel"
+)
+
+// randomDeltaSet builds a set of deltas with random (acyclic) after
+// edges and disjoint write sets, so every topological order must yield
+// the same product.
+func randomDeltaSet(rng *rand.Rand, n int) []*Delta {
+	deltas := make([]*Delta, n)
+	for i := 0; i < n; i++ {
+		frag := &dts.Node{Name: "/"}
+		frag.SetProperty(&dts.Property{
+			Name:  fmt.Sprintf("p%d", i),
+			Value: dts.CellsValue(uint32(i)),
+		})
+		d := &Delta{
+			Name: fmt.Sprintf("d%d", i),
+			Ops:  []Operation{{Kind: OpModifies, Target: "/", Fragment: frag}},
+		}
+		// random edges to earlier deltas only (acyclic by construction)
+		for j := 0; j < i; j++ {
+			if rng.Intn(4) == 0 {
+				d.After = append(d.After, fmt.Sprintf("d%d", j))
+			}
+		}
+		deltas[i] = d
+	}
+	return deltas
+}
+
+func TestPropertyOrderIsTopologicalAndDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 50; iter++ {
+		n := 2 + rng.Intn(10)
+		deltas := randomDeltaSet(rng, n)
+		set, err := NewSet(deltas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := featmodel.ConfigOf()
+		ordered, err := set.Order(cfg)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		pos := make(map[string]int)
+		for i, d := range ordered {
+			pos[d.Name] = i
+		}
+		// topological: after-edges respected
+		for _, d := range deltas {
+			for _, dep := range d.After {
+				if pos[dep] > pos[d.Name] {
+					t.Fatalf("iter %d: %s ordered before its dependency %s", iter, d.Name, dep)
+				}
+			}
+		}
+		// deterministic: same order on repeat
+		again, err := set.Order(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ordered {
+			if ordered[i].Name != again[i].Name {
+				t.Fatalf("iter %d: order not deterministic", iter)
+			}
+		}
+	}
+}
+
+func TestPropertyDisjointWritesCommute(t *testing.T) {
+	// With disjoint write sets, reversing the declaration order of
+	// unordered deltas must not change the product.
+	rng := rand.New(rand.NewSource(9))
+	core := dts.NewTree()
+	for iter := 0; iter < 30; iter++ {
+		n := 2 + rng.Intn(8)
+		deltas := randomDeltaSet(rng, n)
+
+		set1, err := NewSet(deltas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reversed := make([]*Delta, n)
+		for i, d := range deltas {
+			reversed[n-1-i] = d
+		}
+		set2, err := NewSet(reversed)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		cfg := featmodel.ConfigOf()
+		p1, _, err := set1.Apply(core, cfg)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		p2, _, err := set2.Apply(core, cfg)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		// same property set with same values (order may differ)
+		for _, p := range p1.Root.Properties {
+			q := p2.Root.Property(p.Name)
+			if q == nil {
+				t.Fatalf("iter %d: property %s missing after reorder", iter, p.Name)
+			}
+			if p.Value.U32s()[0] != q.Value.U32s()[0] {
+				t.Fatalf("iter %d: property %s value differs", iter, p.Name)
+			}
+		}
+		if len(p1.Root.Properties) != len(p2.Root.Properties) {
+			t.Fatalf("iter %d: property count differs", iter)
+		}
+	}
+}
+
+func TestPropertyActivationMonotone(t *testing.T) {
+	// Adding features to a configuration can only grow the set of
+	// active deltas when all when-clauses are positive (no negation).
+	set, err := Parse("mono", `
+delta a when f1 { modifies / { a = <1>; } }
+delta b when f1 && f2 { modifies / { b = <1>; } }
+delta c when f2 || f3 { modifies / { c = <1>; } }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := featmodel.ConfigOf("f1")
+	big := featmodel.ConfigOf("f1", "f2", "f3")
+	activeSmall := map[string]bool{}
+	for _, d := range set.Active(small) {
+		activeSmall[d.Name] = true
+	}
+	for name := range activeSmall {
+		found := false
+		for _, d := range set.Active(big) {
+			if d.Name == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("delta %s lost when growing the configuration", name)
+		}
+	}
+}

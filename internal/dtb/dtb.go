@@ -1,0 +1,427 @@
+// Package dtb encodes and decodes flattened DeviceTree blobs (FDT /
+// .dtb), the binary format produced by the dtc compiler and consumed by
+// kernels and hypervisors at boot. Together with internal/dts this
+// completes the mini-dtc substrate listed in DESIGN.md §2: parse DTS,
+// manipulate the tree, and emit the same artifact a real toolchain
+// would hand to the Bao hypervisor.
+package dtb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"llhsc/internal/dts"
+)
+
+// FDT structure-block tokens.
+const (
+	tokenBeginNode = 0x1
+	tokenEndNode   = 0x2
+	tokenProp      = 0x3
+	tokenNop       = 0x4
+	tokenEnd       = 0x9
+)
+
+const (
+	magic           = 0xd00dfeed
+	version         = 17
+	lastCompVersion = 16
+	headerSize      = 40
+)
+
+// Errors returned by Decode.
+var (
+	ErrBadMagic  = errors.New("dtb: bad magic")
+	ErrTruncated = errors.New("dtb: truncated blob")
+)
+
+// Encode serializes the tree as a flattened DeviceTree blob. Phandle
+// references (&label) are resolved: every referenced labeled node
+// receives a phandle property, and reference cells are replaced by the
+// phandle value.
+func Encode(t *dts.Tree) ([]byte, error) {
+	work := t.Clone()
+	if err := resolvePhandles(work); err != nil {
+		return nil, err
+	}
+
+	var structBlock []byte
+	strtab := newStringTable()
+	var encodeNode func(n *dts.Node) error
+	encodeNode = func(n *dts.Node) error {
+		name := n.Name
+		if name == "/" {
+			name = ""
+		}
+		structBlock = appendU32(structBlock, tokenBeginNode)
+		structBlock = append(structBlock, name...)
+		structBlock = append(structBlock, 0)
+		structBlock = pad4(structBlock)
+		for _, p := range n.Properties {
+			data, err := propertyBytes(p.Value)
+			if err != nil {
+				return fmt.Errorf("property %s of %s: %w", p.Name, n.Name, err)
+			}
+			structBlock = appendU32(structBlock, tokenProp)
+			structBlock = appendU32(structBlock, uint32(len(data)))
+			structBlock = appendU32(structBlock, strtab.offset(p.Name))
+			structBlock = append(structBlock, data...)
+			structBlock = pad4(structBlock)
+		}
+		for _, c := range n.Children {
+			if err := encodeNode(c); err != nil {
+				return err
+			}
+		}
+		structBlock = appendU32(structBlock, tokenEndNode)
+		return nil
+	}
+	if err := encodeNode(work.Root); err != nil {
+		return nil, err
+	}
+	structBlock = appendU32(structBlock, tokenEnd)
+
+	// memreserve block (terminated by a zero entry)
+	var rsv []byte
+	for _, mr := range work.MemReserves {
+		rsv = appendU64(rsv, mr.Address)
+		rsv = appendU64(rsv, mr.Size)
+	}
+	rsv = appendU64(rsv, 0)
+	rsv = appendU64(rsv, 0)
+
+	strBlock := strtab.bytes()
+
+	offRsv := uint32(headerSize)
+	offStruct := offRsv + uint32(len(rsv))
+	offStrings := offStruct + uint32(len(structBlock))
+	total := offStrings + uint32(len(strBlock))
+
+	out := make([]byte, 0, total)
+	out = appendU32(out, magic)
+	out = appendU32(out, total)
+	out = appendU32(out, offStruct)
+	out = appendU32(out, offStrings)
+	out = appendU32(out, offRsv)
+	out = appendU32(out, version)
+	out = appendU32(out, lastCompVersion)
+	out = appendU32(out, 0) // boot_cpuid_phys
+	out = appendU32(out, uint32(len(strBlock)))
+	out = appendU32(out, uint32(len(structBlock)))
+	out = append(out, rsv...)
+	out = append(out, structBlock...)
+	out = append(out, strBlock...)
+	return out, nil
+}
+
+// Decode parses a flattened DeviceTree blob back into a tree. Labels do
+// not exist in the binary format and are therefore absent from the
+// result; phandle properties are preserved as plain cells.
+func Decode(blob []byte) (*dts.Tree, error) {
+	if len(blob) < headerSize {
+		return nil, ErrTruncated
+	}
+	if be32(blob, 0) != magic {
+		return nil, ErrBadMagic
+	}
+	total := int(be32(blob, 4))
+	if total > len(blob) {
+		return nil, ErrTruncated
+	}
+	offStruct := int(be32(blob, 8))
+	offStrings := int(be32(blob, 12))
+	offRsv := int(be32(blob, 16))
+	sizeStrings := int(be32(blob, 32))
+	sizeStruct := int(be32(blob, 36))
+	if offStruct+sizeStruct > total || offStrings+sizeStrings > total {
+		return nil, ErrTruncated
+	}
+
+	tree := dts.NewTree()
+
+	// memreserve entries
+	for off := offRsv; off+16 <= offStruct; off += 16 {
+		addr := be64(blob, off)
+		size := be64(blob, off+8)
+		if addr == 0 && size == 0 {
+			break
+		}
+		tree.MemReserves = append(tree.MemReserves, dts.MemReserve{Address: addr, Size: size})
+	}
+
+	strAt := func(off int) (string, error) {
+		pos := offStrings + off
+		if pos >= total {
+			return "", ErrTruncated
+		}
+		end := pos
+		for end < total && blob[end] != 0 {
+			end++
+		}
+		return string(blob[pos:end]), nil
+	}
+
+	pos := offStruct
+	var stack []*dts.Node
+	readU32 := func() (uint32, error) {
+		if pos+4 > total {
+			return 0, ErrTruncated
+		}
+		v := be32(blob, pos)
+		pos += 4
+		return v, nil
+	}
+
+	for {
+		tok, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		switch tok {
+		case tokenBeginNode:
+			start := pos
+			for pos < total && blob[pos] != 0 {
+				pos++
+			}
+			if pos >= total {
+				return nil, ErrTruncated
+			}
+			name := string(blob[start:pos])
+			pos++ // NUL
+			pos = align4(pos)
+			var node *dts.Node
+			if len(stack) == 0 {
+				node = tree.Root
+				if name != "" {
+					node.Name = name
+				}
+			} else {
+				node = &dts.Node{Name: name}
+				parent := stack[len(stack)-1]
+				parent.Children = append(parent.Children, node)
+			}
+			stack = append(stack, node)
+
+		case tokenEndNode:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("dtb: unbalanced END_NODE")
+			}
+			stack = stack[:len(stack)-1]
+
+		case tokenProp:
+			dataLen, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			nameOff, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			if pos+int(dataLen) > total {
+				return nil, ErrTruncated
+			}
+			data := blob[pos : pos+int(dataLen)]
+			pos += int(dataLen)
+			pos = align4(pos)
+			name, err := strAt(int(nameOff))
+			if err != nil {
+				return nil, err
+			}
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("dtb: property %s outside any node", name)
+			}
+			node := stack[len(stack)-1]
+			node.SetProperty(&dts.Property{Name: name, Value: valueFromBytes(data)})
+
+		case tokenNop:
+			// skip
+
+		case tokenEnd:
+			if len(stack) != 0 {
+				return nil, fmt.Errorf("dtb: END inside open node")
+			}
+			return tree, nil
+
+		default:
+			return nil, fmt.Errorf("dtb: unknown token %#x at offset %d", tok, pos-4)
+		}
+	}
+}
+
+// propertyBytes serializes a property value per the FDT rules: cells as
+// big-endian u32, strings NUL-terminated, bytes verbatim, and path
+// references as NUL-terminated path strings.
+func propertyBytes(v dts.Value) ([]byte, error) {
+	var out []byte
+	for _, c := range v.Chunks {
+		switch c.Kind {
+		case dts.ChunkCells:
+			for _, cell := range c.CellList {
+				if cell.Ref != "" {
+					return nil, fmt.Errorf("unresolved reference &%s", cell.Ref)
+				}
+				out = appendU32(out, cell.Val)
+			}
+		case dts.ChunkString:
+			out = append(out, c.Str...)
+			out = append(out, 0)
+		case dts.ChunkBytes:
+			out = append(out, c.Bytes...)
+		case dts.ChunkRef:
+			out = append(out, c.Ref...)
+			out = append(out, 0)
+		}
+	}
+	return out, nil
+}
+
+// valueFromBytes reconstructs a property value from raw FDT data using
+// the standard heuristic: printable NUL-terminated runs decode as
+// strings, 4-byte-aligned data as cells, anything else as bytes.
+func valueFromBytes(data []byte) dts.Value {
+	if len(data) == 0 {
+		return dts.Value{}
+	}
+	if isStringList(data) {
+		parts := strings.Split(string(data[:len(data)-1]), "\x00")
+		return dts.StringValueOf(parts...)
+	}
+	if len(data)%4 == 0 {
+		vals := make([]uint32, len(data)/4)
+		for i := range vals {
+			vals[i] = be32(data, i*4)
+		}
+		return dts.CellsValue(vals...)
+	}
+	return dts.BytesValue(data)
+}
+
+func isStringList(data []byte) bool {
+	if data[len(data)-1] != 0 {
+		return false
+	}
+	sawChar := false
+	for _, b := range data[:len(data)-1] {
+		if b == 0 {
+			if !sawChar {
+				return false
+			}
+			sawChar = false
+			continue
+		}
+		if b < 0x20 || b > 0x7e {
+			return false
+		}
+		sawChar = true
+	}
+	return sawChar
+}
+
+// resolvePhandles assigns phandle values to labeled nodes referenced by
+// cells and substitutes the numeric values.
+func resolvePhandles(t *dts.Tree) error {
+	// collect referenced labels
+	refs := make(map[string]bool)
+	t.Root.Walk(func(_ string, n *dts.Node) bool {
+		for _, p := range n.Properties {
+			for _, ch := range p.Value.Chunks {
+				if ch.Kind != dts.ChunkCells {
+					continue
+				}
+				for _, cell := range ch.CellList {
+					if cell.Ref != "" {
+						refs[cell.Ref] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(refs) == 0 {
+		return nil
+	}
+	labels := make([]string, 0, len(refs))
+	for l := range refs {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+
+	phandles := make(map[string]uint32, len(labels))
+	next := uint32(1)
+	for _, label := range labels {
+		target := t.LookupLabel(label)
+		if target == nil {
+			return fmt.Errorf("dtb: reference to undefined label &%s", label)
+		}
+		if v, ok := target.CellValue("phandle"); ok {
+			phandles[label] = v
+			continue
+		}
+		target.SetProperty(&dts.Property{Name: "phandle", Value: dts.CellsValue(next)})
+		phandles[label] = next
+		next++
+	}
+
+	t.Root.Walk(func(_ string, n *dts.Node) bool {
+		for _, p := range n.Properties {
+			for ci, ch := range p.Value.Chunks {
+				if ch.Kind != dts.ChunkCells {
+					continue
+				}
+				for i, cell := range ch.CellList {
+					if cell.Ref != "" {
+						p.Value.Chunks[ci].CellList[i] = dts.Cell{Val: phandles[cell.Ref]}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// stringTable builds the FDT strings block with de-duplication.
+type stringTable struct {
+	offsets map[string]uint32
+	data    []byte
+}
+
+func newStringTable() *stringTable {
+	return &stringTable{offsets: make(map[string]uint32)}
+}
+
+func (s *stringTable) offset(name string) uint32 {
+	if off, ok := s.offsets[name]; ok {
+		return off
+	}
+	off := uint32(len(s.data))
+	s.offsets[name] = off
+	s.data = append(s.data, name...)
+	s.data = append(s.data, 0)
+	return off
+}
+
+func (s *stringTable) bytes() []byte { return s.data }
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(b, v)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(b, v)
+}
+
+func be32(b []byte, off int) uint32 { return binary.BigEndian.Uint32(b[off : off+4]) }
+func be64(b []byte, off int) uint64 { return binary.BigEndian.Uint64(b[off : off+8]) }
+
+func pad4(b []byte) []byte {
+	for len(b)%4 != 0 {
+		b = append(b, 0)
+	}
+	return b
+}
+
+func align4(n int) int { return (n + 3) &^ 3 }

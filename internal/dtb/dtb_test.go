@@ -1,0 +1,239 @@
+package dtb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"llhsc/internal/dts"
+)
+
+const sampleDTS = `
+/dts-v1/;
+
+/memreserve/ 0x10000000 0x4000;
+
+/ {
+	#address-cells = <2>;
+	#size-cells = <2>;
+	compatible = "vortex,custom-sbc";
+
+	memory@40000000 {
+		device_type = "memory";
+		reg = <0x0 0x40000000 0x0 0x20000000>;
+	};
+
+	uart0: uart@20000000 {
+		compatible = "ns16550a";
+		reg = <0x0 0x20000000 0x0 0x1000>;
+		mac = [de ad be ef 00 4c];
+	};
+
+	aliases-like {
+		link = <&uart0 0x7>;
+	};
+};
+`
+
+func mustParse(t *testing.T, src string) *dts.Tree {
+	t.Helper()
+	tree, err := dts.Parse("test.dts", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return tree
+}
+
+func TestEncodeHeader(t *testing.T) {
+	tree := mustParse(t, sampleDTS)
+	blob, err := Encode(tree)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if got := binary.BigEndian.Uint32(blob[0:4]); got != 0xd00dfeed {
+		t.Errorf("magic = %#x", got)
+	}
+	if got := binary.BigEndian.Uint32(blob[4:8]); int(got) != len(blob) {
+		t.Errorf("totalsize = %d, len = %d", got, len(blob))
+	}
+	if got := binary.BigEndian.Uint32(blob[20:24]); got != 17 {
+		t.Errorf("version = %d, want 17", got)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tree := mustParse(t, sampleDTS)
+	blob, err := Encode(tree)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	back, err := Decode(blob)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+
+	if len(back.MemReserves) != 1 || back.MemReserves[0].Address != 0x10000000 {
+		t.Errorf("memreserves = %+v", back.MemReserves)
+	}
+
+	mem := back.Lookup("/memory@40000000")
+	if mem == nil {
+		t.Fatal("memory node lost")
+	}
+	if got, _ := mem.StringValue("device_type"); got != "memory" {
+		t.Errorf("device_type = %q", got)
+	}
+	reg := mem.Property("reg").Value.U32s()
+	if len(reg) != 4 || reg[1] != 0x40000000 || reg[3] != 0x20000000 {
+		t.Errorf("reg = %#x", reg)
+	}
+
+	uart := back.Lookup("/uart@20000000")
+	if uart == nil {
+		t.Fatal("uart lost")
+	}
+	if got := uart.Property("mac").Value.Bytes(); !bytes.Equal(got, []byte{0xde, 0xad, 0xbe, 0xef, 0x00, 0x4c}) {
+		t.Errorf("mac = %x", got)
+	}
+
+	// phandle resolution: uart0 got a phandle, the link references it
+	ph, ok := uart.CellValue("phandle")
+	if !ok {
+		t.Fatal("uart should carry a phandle after encoding")
+	}
+	link := back.Lookup("/aliases-like").Property("link").Value.U32s()
+	if len(link) != 2 || link[0] != ph || link[1] != 7 {
+		t.Errorf("link = %v, want [%d 7]", link, ph)
+	}
+
+	if got, _ := back.Root.StringValue("compatible"); got != "vortex,custom-sbc" {
+		t.Errorf("root compatible = %q", got)
+	}
+}
+
+func TestRoundTripIdempotent(t *testing.T) {
+	tree := mustParse(t, sampleDTS)
+	blob1, err := Encode(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(blob1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := Encode(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob1, blob2) {
+		t.Error("encode(decode(encode(t))) differs from encode(t)")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short blob: %v, want ErrTruncated", err)
+	}
+	bad := make([]byte, 64)
+	if _, err := Decode(bad); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("zero blob: %v, want ErrBadMagic", err)
+	}
+
+	tree := mustParse(t, sampleDTS)
+	blob, _ := Encode(tree)
+	if _, err := Decode(blob[:len(blob)-8]); err == nil {
+		t.Error("truncated blob should fail to decode")
+	}
+}
+
+func TestUndefinedReference(t *testing.T) {
+	tree := mustParse(t, `
+/dts-v1/;
+/ {
+	n { link = <&missing>; };
+};
+`)
+	if _, err := Encode(tree); err == nil {
+		t.Error("undefined label should fail encoding")
+	}
+}
+
+func TestEmptyPropertyAndEmptyTree(t *testing.T) {
+	tree := mustParse(t, `
+/dts-v1/;
+/ {
+	n {
+		flag;
+	};
+};
+`)
+	blob, err := Encode(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flag := back.Lookup("/n").Property("flag")
+	if flag == nil || !flag.Value.IsEmpty() {
+		t.Error("boolean marker property lost")
+	}
+
+	empty := dts.NewTree()
+	blob2, err := Encode(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(blob2); err != nil {
+		t.Errorf("empty tree round trip: %v", err)
+	}
+}
+
+func TestStringHeuristic(t *testing.T) {
+	tests := []struct {
+		name string
+		data []byte
+		want dts.ChunkKind
+	}{
+		{"string", []byte("hello\x00"), dts.ChunkString},
+		{"string list", []byte("a\x00b\x00"), dts.ChunkString},
+		{"cells", []byte{0, 0, 0, 5}, dts.ChunkCells},
+		{"bytes", []byte{1, 2, 3}, dts.ChunkBytes},
+		{"not a string: leading nul", []byte{0, 'a', 0, 0}, dts.ChunkCells},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			v := valueFromBytes(tt.data)
+			if len(v.Chunks) == 0 {
+				t.Fatal("no chunks")
+			}
+			if v.Chunks[0].Kind != tt.want {
+				t.Errorf("kind = %v, want %v", v.Chunks[0].Kind, tt.want)
+			}
+		})
+	}
+}
+
+func TestRunningExampleBlob(t *testing.T) {
+	tree, err := dts.ParseFile("../../testdata/customsbc.dts")
+	if err != nil {
+		t.Fatalf("parse running example: %v", err)
+	}
+	blob, err := Encode(tree)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	back, err := Decode(blob)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	cpu0 := back.Lookup("/cpus/cpu@0")
+	if cpu0 == nil {
+		t.Fatal("cpu@0 lost in dtb round trip")
+	}
+	if got := cpu0.Compatible(); len(got) != 1 || got[0] != "arm,cortex-a53" {
+		t.Errorf("compatible = %v", got)
+	}
+}

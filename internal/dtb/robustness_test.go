@@ -1,0 +1,123 @@
+package dtb
+
+import (
+	"math/rand"
+	"testing"
+
+	"llhsc/internal/dts"
+)
+
+// TestDecodeNeverPanicsOnMutatedBlobs flips random bytes of a valid
+// blob and requires Decode to return (tree or error) without panicking.
+func TestDecodeNeverPanicsOnMutatedBlobs(t *testing.T) {
+	tree := mustParse(t, sampleDTS)
+	blob, err := Encode(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 2000; iter++ {
+		mutated := append([]byte(nil), blob...)
+		flips := 1 + rng.Intn(8)
+		for i := 0; i < flips; i++ {
+			pos := rng.Intn(len(mutated))
+			mutated[pos] ^= byte(1 << uint(rng.Intn(8)))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("iter %d: Decode panicked: %v", iter, r)
+				}
+			}()
+			_, _ = Decode(mutated)
+		}()
+	}
+}
+
+// TestDecodeNeverPanicsOnTruncatedBlobs checks every truncation length.
+func TestDecodeNeverPanicsOnTruncatedBlobs(t *testing.T) {
+	tree := mustParse(t, sampleDTS)
+	blob, err := Encode(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(blob); cut++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("cut %d: Decode panicked: %v", cut, r)
+				}
+			}()
+			_, _ = Decode(blob[:cut])
+		}()
+	}
+}
+
+// TestDecodeNeverPanicsOnRandomBytes feeds pure noise.
+func TestDecodeNeverPanicsOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for iter := 0; iter < 500; iter++ {
+		junk := make([]byte, rng.Intn(512))
+		rng.Read(junk)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("iter %d: Decode panicked: %v", iter, r)
+				}
+			}()
+			_, _ = Decode(junk)
+		}()
+	}
+}
+
+// TestEncodeDecodeRandomTrees round-trips randomized trees built from
+// the dts package's constructors.
+func TestEncodeDecodeRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		tree := dts.NewTree()
+		nNodes := 1 + rng.Intn(10)
+		for i := 0; i < nNodes; i++ {
+			n := tree.Root.EnsureChild(nodeName(rng, i))
+			switch rng.Intn(3) {
+			case 0:
+				vals := make([]uint32, 1+rng.Intn(4))
+				for j := range vals {
+					vals[j] = rng.Uint32()
+				}
+				n.SetProperty(&dts.Property{Name: "cells", Value: dts.CellsValue(vals...)})
+			case 1:
+				n.SetProperty(&dts.Property{Name: "s", Value: dts.StringValueOf("value")})
+			case 2:
+				n.SetProperty(&dts.Property{Name: "flag"})
+			}
+		}
+		blob, err := Encode(tree)
+		if err != nil {
+			t.Fatalf("iter %d: encode: %v", iter, err)
+		}
+		back, err := Decode(blob)
+		if err != nil {
+			t.Fatalf("iter %d: decode: %v", iter, err)
+		}
+		if len(back.Root.Children) != len(tree.Root.Children) {
+			t.Fatalf("iter %d: children %d != %d", iter,
+				len(back.Root.Children), len(tree.Root.Children))
+		}
+		// second encode must be byte-identical (idempotence)
+		blob2, err := Encode(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(blob) != string(blob2) {
+			t.Fatalf("iter %d: re-encode differs", iter)
+		}
+	}
+}
+
+func nodeName(rng *rand.Rand, i int) string {
+	if rng.Intn(2) == 0 {
+		return "node" + string(rune('a'+i%26))
+	}
+	return "dev" + string(rune('a'+i%26))
+}

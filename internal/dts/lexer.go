@@ -1,0 +1,430 @@
+package dts
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokNumber
+	tokString
+	tokLabel     // ident ':'
+	tokRef       // &ident or &{/path}
+	tokDirective // /dts-v1/, /include/, /memreserve/, /delete-node/, /delete-property/, /bits/
+	tokLBrace    // {
+	tokRBrace    // }
+	tokLAngle    // <
+	tokRAngle    // >
+	tokLBracket  // [
+	tokRBracket  // ]
+	tokLParen    // (
+	tokRParen    // )
+	tokEquals    // =
+	tokSemi      // ;
+	tokComma     // ,
+	tokSlash     // a bare / (the root node)
+	tokOp        // arithmetic operator inside cell expressions
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of file"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokLabel:
+		return "label"
+	case tokRef:
+		return "reference"
+	case tokDirective:
+		return "directive"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLAngle:
+		return "'<'"
+	case tokRAngle:
+		return "'>'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokEquals:
+		return "'='"
+	case tokSemi:
+		return "';'"
+	case tokComma:
+		return "','"
+	case tokSlash:
+		return "'/'"
+	case tokOp:
+		return "operator"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	num  uint64
+	line int
+}
+
+// ParseError reports a syntax error with its source position.
+type ParseError struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	file string
+	pos  int
+	line int
+
+	// cellMode changes how '-' and numbers are tokenized: inside angle
+	// brackets, '-' is an arithmetic operator; outside, it is a name
+	// character.
+	cellMode bool
+}
+
+func newLexer(file, src string) *lexer {
+	return &lexer{src: src, file: file, line: 1}
+}
+
+func (l *lexer) errf(format string, args ...interface{}) error {
+	return &ParseError{File: l.file, Line: l.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) at(i int) byte {
+	if l.pos+i >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+i]
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.at(1) == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.at(1) == '*':
+			l.pos += 2
+			for {
+				if l.pos >= len(l.src) {
+					return l.errf("unterminated block comment")
+				}
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				if l.src[l.pos] == '*' && l.at(1) == '/' {
+					l.pos += 2
+					break
+				}
+				l.pos++
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// isNameByte reports whether c may continue a node/property name.
+// Names may contain ',' ("arm,cortex-a53"), '@' (unit addresses) and
+// '-' — but inside angle brackets (cellMode) '-' is an arithmetic
+// operator and ','/'@' never occur in names.
+func isNameByte(c byte, cellMode bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	case c == '.' || c == '_' || c == '+' || c == '?' || c == '#':
+		return true
+	case c == ',' || c == '@' || c == '-':
+		return !cellMode
+	default:
+		return false
+	}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	line := l.line
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line}, nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '{':
+		l.pos++
+		return token{kind: tokLBrace, line: line}, nil
+	case '}':
+		l.pos++
+		return token{kind: tokRBrace, line: line}, nil
+	case '<':
+		l.pos++
+		if l.cellMode {
+			if l.peekByte() == '<' {
+				l.pos++
+				return token{kind: tokOp, text: "<<", line: line}, nil
+			}
+			return token{kind: tokOp, text: "<", line: line}, nil
+		}
+		l.cellMode = true
+		return token{kind: tokLAngle, line: line}, nil
+	case '>':
+		l.pos++
+		if l.cellMode && l.peekByte() == '>' {
+			l.pos++
+			return token{kind: tokOp, text: ">>", line: line}, nil
+		}
+		l.cellMode = false
+		return token{kind: tokRAngle, line: line}, nil
+	case '[':
+		l.pos++
+		return token{kind: tokLBracket, line: line}, nil
+	case ']':
+		l.pos++
+		return token{kind: tokRBracket, line: line}, nil
+	case '(':
+		l.pos++
+		return token{kind: tokLParen, line: line}, nil
+	case ')':
+		l.pos++
+		return token{kind: tokRParen, line: line}, nil
+	case '=':
+		l.pos++
+		return token{kind: tokEquals, line: line}, nil
+	case ';':
+		l.pos++
+		return token{kind: tokSemi, line: line}, nil
+	case ',':
+		l.pos++
+		return token{kind: tokComma, line: line}, nil
+	case '"':
+		return l.lexString()
+	case '&':
+		// In cell mode '&' is bitwise-and unless immediately followed
+		// by a name or '{' (a phandle reference like <&uart0>).
+		if l.cellMode && l.at(1) != '{' && !isNameByte(l.at(1), false) {
+			l.pos++
+			return token{kind: tokOp, text: "&", line: line}, nil
+		}
+		return l.lexRef()
+	case '/':
+		return l.lexSlashForm()
+	}
+
+	if l.cellMode {
+		switch c {
+		case '+', '-', '*', '%', '|', '^', '~':
+			l.pos++
+			return token{kind: tokOp, text: string(c), line: line}, nil
+		}
+	}
+
+	if isDigit(c) {
+		return l.lexNumber()
+	}
+	if isNameByte(c, l.cellMode) || c == '\\' {
+		return l.lexIdentOrLabel()
+	}
+	return token{}, l.errf("unexpected character %q", string(c))
+}
+
+func (l *lexer) lexString() (token, error) {
+	line := l.line
+	l.pos++ // opening quote
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return token{}, l.errf("unterminated string")
+		}
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			return token{kind: tokString, text: b.String(), line: line}, nil
+		case '\\':
+			l.pos++
+			if l.pos >= len(l.src) {
+				return token{}, l.errf("unterminated escape")
+			}
+			e := l.src[l.pos]
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '0':
+				b.WriteByte(0)
+			default:
+				b.WriteByte(e)
+			}
+			l.pos++
+		case '\n':
+			return token{}, l.errf("newline in string")
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+}
+
+func (l *lexer) lexRef() (token, error) {
+	line := l.line
+	l.pos++ // '&'
+	if l.peekByte() == '{' {
+		l.pos++
+		start := l.pos
+		for l.pos < len(l.src) && l.src[l.pos] != '}' {
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, l.errf("unterminated path reference")
+		}
+		path := l.src[start:l.pos]
+		l.pos++ // '}'
+		return token{kind: tokRef, text: path, line: line}, nil
+	}
+	start := l.pos
+	for l.pos < len(l.src) && isNameByte(l.src[l.pos], false) {
+		l.pos++
+	}
+	if l.pos == start {
+		return token{}, l.errf("empty reference")
+	}
+	return token{kind: tokRef, text: l.src[start:l.pos], line: line}, nil
+}
+
+// lexSlashForm handles '/' starts: directives (/dts-v1/, /include/ ...)
+// and the bare root-node slash.
+func (l *lexer) lexSlashForm() (token, error) {
+	line := l.line
+	start := l.pos
+	l.pos++ // '/'
+	nameStart := l.pos
+	for l.pos < len(l.src) && (isNameByte(l.src[l.pos], false) || l.src[l.pos] == '-') {
+		l.pos++
+	}
+	if l.pos > nameStart && l.peekByte() == '/' {
+		l.pos++
+		return token{kind: tokDirective, text: l.src[start:l.pos], line: line}, nil
+	}
+	// plain '/': the root node (or, in cell mode, division)
+	l.pos = start + 1
+	if l.cellMode {
+		return token{kind: tokOp, text: "/", line: line}, nil
+	}
+	return token{kind: tokSlash, line: line}, nil
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	line := l.line
+	start := l.pos
+	var val uint64
+	if l.peekByte() == '0' && (l.at(1) == 'x' || l.at(1) == 'X') {
+		l.pos += 2
+		digitStart := l.pos
+		for l.pos < len(l.src) && isHexDigit(l.src[l.pos]) {
+			c := l.src[l.pos]
+			var d uint64
+			switch {
+			case c >= '0' && c <= '9':
+				d = uint64(c - '0')
+			case c >= 'a' && c <= 'f':
+				d = uint64(c-'a') + 10
+			default:
+				d = uint64(c-'A') + 10
+			}
+			val = val<<4 | d
+			l.pos++
+		}
+		if l.pos == digitStart {
+			return token{}, l.errf("malformed hex literal")
+		}
+	} else {
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			val = val*10 + uint64(l.src[l.pos]-'0')
+			l.pos++
+		}
+	}
+	// In name position (outside cells), digits may start an identifier
+	// like "1st-level"; continue as identifier if name bytes follow.
+	if !l.cellMode && l.pos < len(l.src) && isNameByte(l.src[l.pos], false) &&
+		!isDigit(l.src[l.pos]) {
+		for l.pos < len(l.src) && isNameByte(l.src[l.pos], false) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		if l.peekByte() == ':' {
+			l.pos++
+			return token{kind: tokLabel, text: text, line: line}, nil
+		}
+		return token{kind: tokIdent, text: text, line: line}, nil
+	}
+	return token{kind: tokNumber, num: val, text: l.src[start:l.pos], line: line}, nil
+}
+
+func (l *lexer) lexIdentOrLabel() (token, error) {
+	line := l.line
+	start := l.pos
+	for l.pos < len(l.src) && isNameByte(l.src[l.pos], l.cellMode) {
+		l.pos++
+	}
+	if l.pos == start {
+		return token{}, l.errf("unexpected character %q", string(l.src[l.pos]))
+	}
+	text := l.src[start:l.pos]
+	if l.peekByte() == ':' && !l.cellMode {
+		l.pos++
+		return token{kind: tokLabel, text: text, line: line}, nil
+	}
+	return token{kind: tokIdent, text: text, line: line}, nil
+}

@@ -1,0 +1,140 @@
+package dts
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// LintWarning is a well-formedness problem found by Lint.
+type LintWarning struct {
+	Path    string
+	Rule    string
+	Message string
+	Origin  Origin
+}
+
+func (w LintWarning) String() string {
+	return fmt.Sprintf("%s: %s [%s]", w.Path, w.Message, w.Rule)
+}
+
+// Lint performs the well-formedness checks a real dtc would warn about
+// beyond pure syntax:
+//
+//   - duplicate labels,
+//   - a unit address in the node name that does not match the first
+//     reg address ("unit_address_vs_reg"),
+//   - a node with a reg property but no unit address, and vice versa,
+//   - #address-cells/#size-cells on leaf nodes with no addressable
+//     children ("avoid_unnecessary_addr_size"),
+//   - unresolved phandle references.
+func (t *Tree) Lint() []LintWarning {
+	var out []LintWarning
+	labels := make(map[string]string) // label -> first path
+
+	t.Root.Walk(func(path string, n *Node) bool {
+		if n.Label != "" {
+			if first, dup := labels[n.Label]; dup {
+				out = append(out, LintWarning{
+					Path: path, Rule: "duplicate_label",
+					Message: fmt.Sprintf("label %q already used by %s", n.Label, first),
+					Origin:  n.Origin,
+				})
+			} else {
+				labels[n.Label] = path
+			}
+		}
+		return true
+	})
+
+	var walk func(parent *Node, path string)
+	walk = func(parent *Node, path string) {
+		for _, n := range parent.Children {
+			childPath := path + "/" + n.Name
+			out = append(out, lintNode(n, parent, childPath)...)
+			walk(n, childPath)
+		}
+	}
+	walk(t.Root, "")
+
+	// unresolved references in cells
+	t.Root.Walk(func(path string, n *Node) bool {
+		for _, p := range n.Properties {
+			for _, ch := range p.Value.Chunks {
+				refs := []string{}
+				if ch.Kind == ChunkRef {
+					refs = append(refs, ch.Ref)
+				}
+				for _, cell := range ch.CellList {
+					if cell.Ref != "" {
+						refs = append(refs, cell.Ref)
+					}
+				}
+				for _, ref := range refs {
+					if strings.HasPrefix(ref, "/") {
+						if t.Lookup(ref) == nil {
+							out = append(out, LintWarning{
+								Path: path, Rule: "unresolved_reference",
+								Message: fmt.Sprintf("property %s references missing path %s", p.Name, ref),
+								Origin:  p.Origin,
+							})
+						}
+					} else if _, ok := labels[ref]; !ok {
+						out = append(out, LintWarning{
+							Path: path, Rule: "unresolved_reference",
+							Message: fmt.Sprintf("property %s references undefined label &%s", p.Name, ref),
+							Origin:  p.Origin,
+						})
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func lintNode(n, parent *Node, path string) []LintWarning {
+	var out []LintWarning
+	warn := func(rule, format string, args ...interface{}) {
+		out = append(out, LintWarning{
+			Path: path, Rule: rule,
+			Message: fmt.Sprintf(format, args...),
+			Origin:  n.Origin,
+		})
+	}
+
+	unit := n.UnitAddress()
+	reg := n.Property("reg")
+
+	switch {
+	case reg != nil && unit == "":
+		warn("unit_address_missing", "node has a reg property but no unit address")
+	case reg == nil && unit != "":
+		warn("unit_address_without_reg", "node has a unit address but no reg property")
+	case reg != nil && unit != "":
+		// the unit address must match the first reg address
+		cells := reg.Value.U32s()
+		ac := parent.AddressCells()
+		if ac >= 1 && ac <= 2 && len(cells) >= ac {
+			var first uint64
+			for i := 0; i < ac; i++ {
+				first = first<<32 | uint64(cells[i])
+			}
+			if parsed, err := strconv.ParseUint(unit, 16, 64); err != nil {
+				warn("unit_address_format", "unit address %q is not hexadecimal", unit)
+			} else if parsed != first {
+				warn("unit_address_vs_reg",
+					"unit address 0x%s does not match the first reg address 0x%x", unit, first)
+			}
+		}
+	}
+
+	if len(n.Children) == 0 {
+		if n.Property("#address-cells") != nil || n.Property("#size-cells") != nil {
+			warn("avoid_unnecessary_addr_size",
+				"#address-cells/#size-cells on a node without children")
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package dts
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintOf(t *testing.T, src string) []LintWarning {
+	t.Helper()
+	tree, err := Parse("lint.dts", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return tree.Lint()
+}
+
+func rulesOf(ws []LintWarning) map[string]int {
+	out := make(map[string]int)
+	for _, w := range ws {
+		out[w.Rule]++
+	}
+	return out
+}
+
+func TestLintCleanRunningExample(t *testing.T) {
+	tree, err := ParseFile("../../testdata/customsbc.dts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws := tree.Lint(); len(ws) != 0 {
+		t.Errorf("running example should lint clean: %v", ws)
+	}
+}
+
+func TestLintUnitAddressMismatch(t *testing.T) {
+	ws := lintOf(t, `
+/dts-v1/;
+/ {
+	#address-cells = <1>;
+	#size-cells = <1>;
+	uart@1000 {
+		reg = <0x2000 0x100>;
+	};
+};
+`)
+	if rulesOf(ws)["unit_address_vs_reg"] != 1 {
+		t.Errorf("warnings = %v, want unit_address_vs_reg", ws)
+	}
+	if !strings.Contains(ws[0].Message, "0x2000") {
+		t.Errorf("message = %q", ws[0].Message)
+	}
+}
+
+func TestLintUnitAddress64Bit(t *testing.T) {
+	// matching 64-bit unit address (2 address cells): no warning
+	ws := lintOf(t, `
+/dts-v1/;
+/ {
+	#address-cells = <2>;
+	#size-cells = <2>;
+	memory@140000000 {
+		device_type = "memory";
+		reg = <0x1 0x40000000 0x0 0x1000>;
+	};
+};
+`)
+	if len(ws) != 0 {
+		t.Errorf("warnings = %v, want none", ws)
+	}
+}
+
+func TestLintMissingUnitAddress(t *testing.T) {
+	ws := lintOf(t, `
+/dts-v1/;
+/ {
+	#address-cells = <1>;
+	#size-cells = <1>;
+	uart {
+		reg = <0x1000 0x100>;
+	};
+	mystery@5000 { };
+};
+`)
+	rules := rulesOf(ws)
+	if rules["unit_address_missing"] != 1 {
+		t.Errorf("warnings = %v, want unit_address_missing", ws)
+	}
+	if rules["unit_address_without_reg"] != 1 {
+		t.Errorf("warnings = %v, want unit_address_without_reg", ws)
+	}
+}
+
+func TestLintDuplicateLabel(t *testing.T) {
+	ws := lintOf(t, `
+/dts-v1/;
+/ {
+	l: a { };
+	l: b { };
+};
+`)
+	if rulesOf(ws)["duplicate_label"] != 1 {
+		t.Errorf("warnings = %v, want duplicate_label", ws)
+	}
+}
+
+func TestLintUnnecessaryAddrSize(t *testing.T) {
+	ws := lintOf(t, `
+/dts-v1/;
+/ {
+	leaf {
+		#address-cells = <1>;
+	};
+};
+`)
+	if rulesOf(ws)["avoid_unnecessary_addr_size"] != 1 {
+		t.Errorf("warnings = %v", ws)
+	}
+}
+
+func TestLintUnresolvedReference(t *testing.T) {
+	ws := lintOf(t, `
+/dts-v1/;
+/ {
+	n {
+		link = <&ghost>;
+		alias = &{/also/missing};
+	};
+};
+`)
+	if rulesOf(ws)["unresolved_reference"] != 2 {
+		t.Errorf("warnings = %v, want 2 unresolved references", ws)
+	}
+}
+
+func TestLintResolvedReferenceIsClean(t *testing.T) {
+	ws := lintOf(t, `
+/dts-v1/;
+/ {
+	tgt: target { };
+	n {
+		link = <&tgt>;
+		path = &{/target};
+	};
+};
+`)
+	if len(ws) != 0 {
+		t.Errorf("warnings = %v, want none", ws)
+	}
+}
+
+func TestLintBadUnitAddressFormat(t *testing.T) {
+	ws := lintOf(t, `
+/dts-v1/;
+/ {
+	#address-cells = <1>;
+	#size-cells = <1>;
+	dev@zz {
+		reg = <0x1000 0x100>;
+	};
+};
+`)
+	if rulesOf(ws)["unit_address_format"] != 1 {
+		t.Errorf("warnings = %v", ws)
+	}
+}

@@ -1,0 +1,621 @@
+package dts
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Includer resolves /include/ directives to file contents.
+type Includer interface {
+	Resolve(name string) ([]byte, error)
+}
+
+// DirIncluder resolves includes relative to a directory on disk.
+type DirIncluder string
+
+// Resolve implements Includer.
+func (d DirIncluder) Resolve(name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(string(d), name))
+}
+
+// MapIncluder resolves includes from an in-memory map (used by tests
+// and by embedded workloads).
+type MapIncluder map[string]string
+
+// Resolve implements Includer.
+func (m MapIncluder) Resolve(name string) ([]byte, error) {
+	src, ok := m[name]
+	if !ok {
+		return nil, fmt.Errorf("include %q not found", name)
+	}
+	return []byte(src), nil
+}
+
+// ParseOption configures parsing.
+type ParseOption func(*parser)
+
+// WithIncluder supplies the resolver for /include/ directives. Without
+// one, includes are an error.
+func WithIncluder(inc Includer) ParseOption {
+	return func(p *parser) { p.includer = inc }
+}
+
+// Parse parses DTS source text into a Tree. file is used in error
+// messages and origins.
+func Parse(file, src string, opts ...ParseOption) (*Tree, error) {
+	p := &parser{tree: NewTree(), maxDepth: 32}
+	for _, o := range opts {
+		o(p)
+	}
+	if err := p.parseSource(file, src, 0); err != nil {
+		return nil, err
+	}
+	return p.tree, nil
+}
+
+// ParseFile reads and parses a DTS file; /include/ directives resolve
+// relative to the file's directory.
+func ParseFile(path string, opts ...ParseOption) (*Tree, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	opts = append([]ParseOption{WithIncluder(DirIncluder(filepath.Dir(path)))}, opts...)
+	return Parse(filepath.Base(path), string(src), opts...)
+}
+
+// ParseFragment parses a bare node body of the form "{ ... }" — the
+// payload syntax of delta-module operations (internal/delta). The
+// returned node carries the fragment's properties and children under
+// the given name.
+func ParseFragment(file, name, src string) (*Node, error) {
+	p := &parser{tree: NewTree(), maxDepth: 32}
+	p.lex = newLexer(file, src)
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	n, err := p.parseNodeBody(name)
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("unexpected %v after fragment", p.tok.kind)
+	}
+	return n, nil
+}
+
+type parser struct {
+	lex      *lexer
+	tok      token
+	tree     *Tree
+	includer Includer
+	maxDepth int
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &ParseError{File: p.lex.file, Line: p.tok.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	if p.tok.kind != k {
+		return token{}, p.errf("expected %v, found %v", k, p.tok.kind)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+// parseSource parses one source unit (top level of a file) into the
+// shared tree, recursing into includes.
+func (p *parser) parseSource(file, src string, depth int) error {
+	if depth > p.maxDepth {
+		return fmt.Errorf("include nesting deeper than %d (cycle?)", p.maxDepth)
+	}
+	savedLex, savedTok := p.lex, p.tok
+	p.lex = newLexer(file, src)
+	if err := p.advance(); err != nil {
+		return err
+	}
+	err := p.parseTopLevel(depth)
+	p.lex, p.tok = savedLex, savedTok
+	return err
+}
+
+func (p *parser) parseTopLevel(depth int) error {
+	for {
+		switch p.tok.kind {
+		case tokEOF:
+			return nil
+
+		case tokDirective:
+			switch p.tok.text {
+			case "/dts-v1/":
+				if err := p.advance(); err != nil {
+					return err
+				}
+				if _, err := p.expect(tokSemi); err != nil {
+					return err
+				}
+			case "/include/":
+				if err := p.advance(); err != nil {
+					return err
+				}
+				name, err := p.expect(tokString)
+				if err != nil {
+					return err
+				}
+				if p.includer == nil {
+					return p.errf("/include/ %q: no includer configured", name.text)
+				}
+				src, err := p.includer.Resolve(name.text)
+				if err != nil {
+					return p.errf("/include/ %q: %v", name.text, err)
+				}
+				if err := p.parseSource(name.text, string(src), depth+1); err != nil {
+					return err
+				}
+			case "/memreserve/":
+				if err := p.advance(); err != nil {
+					return err
+				}
+				addr, err := p.expect(tokNumber)
+				if err != nil {
+					return err
+				}
+				size, err := p.expect(tokNumber)
+				if err != nil {
+					return err
+				}
+				if _, err := p.expect(tokSemi); err != nil {
+					return err
+				}
+				p.tree.MemReserves = append(p.tree.MemReserves, MemReserve{
+					Address: addr.num, Size: size.num,
+				})
+			case "/delete-node/":
+				if err := p.advance(); err != nil {
+					return err
+				}
+				ref, err := p.expect(tokRef)
+				if err != nil {
+					return err
+				}
+				if _, err := p.expect(tokSemi); err != nil {
+					return err
+				}
+				if n := p.tree.LookupLabel(ref.text); n != nil {
+					p.deleteNode(n)
+				}
+			default:
+				return p.errf("unsupported directive %s", p.tok.text)
+			}
+
+		case tokSlash:
+			// root node definition: / { ... };
+			if err := p.advance(); err != nil {
+				return err
+			}
+			n, err := p.parseNodeBody("/")
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tokSemi); err != nil {
+				return err
+			}
+			p.tree.Root.Merge(n)
+
+		case tokRef:
+			// &label { ... }; extends a previously defined node
+			label := p.tok.text
+			if err := p.advance(); err != nil {
+				return err
+			}
+			target := p.tree.LookupLabel(label)
+			if target == nil {
+				return p.errf("reference to undefined label &%s", label)
+			}
+			n, err := p.parseNodeBody(target.Name)
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tokSemi); err != nil {
+				return err
+			}
+			target.Merge(n)
+
+		case tokLabel, tokIdent:
+			// top-level named node (non-standard but common in fragments)
+			n, err := p.parseNamedNode()
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tokSemi); err != nil {
+				return err
+			}
+			if mine := p.tree.Root.Child(n.Name); mine != nil {
+				mine.Merge(n)
+			} else {
+				p.tree.Root.Children = append(p.tree.Root.Children, n)
+			}
+
+		default:
+			return p.errf("unexpected %v at top level", p.tok.kind)
+		}
+	}
+}
+
+func (p *parser) deleteNode(target *Node) {
+	p.tree.Root.Walk(func(path string, n *Node) bool {
+		for _, c := range n.Children {
+			if c == target {
+				n.RemoveChild(c.Name)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// parseNamedNode parses "[label:] name { ... };" with the leading
+// label/ident as the current token.
+func (p *parser) parseNamedNode() (*Node, error) {
+	var label string
+	if p.tok.kind == tokLabel {
+		label = p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	n, err := p.parseNodeBody(name.text)
+	if err != nil {
+		return nil, err
+	}
+	n.Label = label
+	n.Origin = Origin{File: p.lex.file, Line: name.line}
+	return n, nil
+}
+
+// parseNodeBody parses "{ contents };" returning a node with the given
+// name.
+func (p *parser) parseNodeBody(name string) (*Node, error) {
+	n := &Node{Name: name, Origin: Origin{File: p.lex.file, Line: p.tok.line}}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	for p.tok.kind != tokRBrace {
+		switch p.tok.kind {
+		case tokEOF:
+			return nil, p.errf("unexpected end of file in node %s", name)
+
+		case tokDirective:
+			switch p.tok.text {
+			case "/delete-node/":
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				child, err := p.expect(tokIdent)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokSemi); err != nil {
+					return nil, err
+				}
+				n.RemoveChild(child.text)
+				n.delNodes = append(n.delNodes, child.text)
+			case "/delete-property/":
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				prop, err := p.expect(tokIdent)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokSemi); err != nil {
+					return nil, err
+				}
+				n.RemoveProperty(prop.text)
+				n.delProps = append(n.delProps, prop.text)
+			default:
+				return nil, p.errf("unsupported directive %s in node", p.tok.text)
+			}
+
+		case tokLabel:
+			child, err := p.parseNamedNode()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSemi); err != nil {
+				return nil, err
+			}
+			p.mergeChild(n, child)
+
+		case tokIdent, tokNumber:
+			// Could be a property ("name = ...;", "name;") or a child
+			// node ("name { ... };"). Number-leading identifiers (like
+			// unit-address-only names) arrive as tokNumber.
+			ident := p.tok.text
+			line := p.tok.line
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			switch p.tok.kind {
+			case tokEquals:
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				val, err := p.parseValue()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokSemi); err != nil {
+					return nil, err
+				}
+				n.SetProperty(&Property{
+					Name: ident, Value: val,
+					Origin: Origin{File: p.lex.file, Line: line},
+				})
+			case tokSemi:
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				n.SetProperty(&Property{
+					Name:   ident,
+					Origin: Origin{File: p.lex.file, Line: line},
+				})
+			case tokLBrace:
+				child, err := p.parseNodeBody(ident)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokSemi); err != nil {
+					return nil, err
+				}
+				child.Origin = Origin{File: p.lex.file, Line: line}
+				p.mergeChild(n, child)
+			default:
+				return nil, p.errf("expected '=', ';' or '{' after %q, found %v",
+					ident, p.tok.kind)
+			}
+
+		default:
+			return nil, p.errf("unexpected %v in node %s", p.tok.kind, name)
+		}
+	}
+	return n, p.advance() // consume '}'
+}
+
+func (p *parser) mergeChild(parent, child *Node) {
+	if mine := parent.Child(child.Name); mine != nil {
+		mine.Merge(child)
+	} else {
+		parent.Children = append(parent.Children, child)
+	}
+}
+
+// parseValue parses a property value: comma-separated chunks of cells,
+// strings, byte arrays or references.
+func (p *parser) parseValue() (Value, error) {
+	var v Value
+	for {
+		switch p.tok.kind {
+		case tokLAngle:
+			chunk, err := p.parseCells()
+			if err != nil {
+				return Value{}, err
+			}
+			v.Chunks = append(v.Chunks, chunk)
+		case tokString:
+			v.Chunks = append(v.Chunks, Chunk{Kind: ChunkString, Str: p.tok.text})
+			if err := p.advance(); err != nil {
+				return Value{}, err
+			}
+		case tokLBracket:
+			chunk, err := p.parseBytes()
+			if err != nil {
+				return Value{}, err
+			}
+			v.Chunks = append(v.Chunks, chunk)
+		case tokRef:
+			v.Chunks = append(v.Chunks, Chunk{Kind: ChunkRef, Ref: p.tok.text})
+			if err := p.advance(); err != nil {
+				return Value{}, err
+			}
+		default:
+			return Value{}, p.errf("expected property value, found %v", p.tok.kind)
+		}
+		if p.tok.kind != tokComma {
+			return v, nil
+		}
+		if err := p.advance(); err != nil {
+			return Value{}, err
+		}
+	}
+}
+
+func (p *parser) parseCells() (Chunk, error) {
+	if _, err := p.expect(tokLAngle); err != nil {
+		return Chunk{}, err
+	}
+	chunk := Chunk{Kind: ChunkCells}
+	for p.tok.kind != tokRAngle {
+		switch p.tok.kind {
+		case tokNumber, tokLParen:
+			val, err := p.parseCellExpr()
+			if err != nil {
+				return Chunk{}, err
+			}
+			chunk.CellList = append(chunk.CellList, Cell{Val: uint32(val)})
+		case tokRef:
+			chunk.CellList = append(chunk.CellList, Cell{Ref: p.tok.text})
+			if err := p.advance(); err != nil {
+				return Chunk{}, err
+			}
+		case tokEOF:
+			return Chunk{}, p.errf("unterminated cell list")
+		default:
+			return Chunk{}, p.errf("unexpected %v in cell list", p.tok.kind)
+		}
+	}
+	return chunk, p.advance() // consume '>'
+}
+
+// parseCellExpr parses an integer expression: numbers, parentheses and
+// the operators + - * / % << >> & | ^ ~ with C precedence.
+func (p *parser) parseCellExpr() (uint64, error) {
+	return p.parseBinary(0)
+}
+
+var precedence = map[string]int{
+	"|": 1, "^": 2, "&": 3,
+	"<<": 4, ">>": 4,
+	"+": 5, "-": 5,
+	"*": 6, "/": 6, "%": 6,
+}
+
+func (p *parser) parseBinary(minPrec int) (uint64, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return 0, err
+	}
+	for p.tok.kind == tokOp {
+		prec, ok := precedence[p.tok.text]
+		if !ok || prec < minPrec {
+			break
+		}
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return 0, err
+		}
+		right, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return 0, err
+		}
+		switch op {
+		case "+":
+			left += right
+		case "-":
+			left -= right
+		case "*":
+			left *= right
+		case "/":
+			if right == 0 {
+				return 0, p.errf("division by zero in cell expression")
+			}
+			left /= right
+		case "%":
+			if right == 0 {
+				return 0, p.errf("modulo by zero in cell expression")
+			}
+			left %= right
+		case "<<":
+			left <<= right & 63
+		case ">>":
+			left >>= right & 63
+		case "&":
+			left &= right
+		case "|":
+			left |= right
+		case "^":
+			left ^= right
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (uint64, error) {
+	switch p.tok.kind {
+	case tokOp:
+		switch p.tok.text {
+		case "-":
+			if err := p.advance(); err != nil {
+				return 0, err
+			}
+			v, err := p.parseUnary()
+			return -v, err
+		case "~":
+			if err := p.advance(); err != nil {
+				return 0, err
+			}
+			v, err := p.parseUnary()
+			return ^v, err
+		}
+		return 0, p.errf("unexpected operator %q", p.tok.text)
+	case tokNumber:
+		v := p.tok.num
+		return v, p.advance()
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return 0, err
+		}
+		v, err := p.parseBinary(0)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return 0, err
+		}
+		return v, nil
+	default:
+		return 0, p.errf("expected number, found %v", p.tok.kind)
+	}
+}
+
+func (p *parser) parseBytes() (Chunk, error) {
+	if _, err := p.expect(tokLBracket); err != nil {
+		return Chunk{}, err
+	}
+	chunk := Chunk{Kind: ChunkBytes}
+	for p.tok.kind != tokRBracket {
+		var hexText string
+		switch p.tok.kind {
+		case tokNumber:
+			hexText = p.tok.text
+			hexText = strings.TrimPrefix(strings.TrimPrefix(hexText, "0x"), "0X")
+		case tokIdent:
+			hexText = p.tok.text
+		case tokEOF:
+			return Chunk{}, p.errf("unterminated byte array")
+		default:
+			return Chunk{}, p.errf("unexpected %v in byte array", p.tok.kind)
+		}
+		if len(hexText)%2 != 0 {
+			return Chunk{}, p.errf("odd-length hex run %q in byte array", hexText)
+		}
+		for i := 0; i < len(hexText); i += 2 {
+			var b byte
+			for _, c := range []byte(hexText[i : i+2]) {
+				var d byte
+				switch {
+				case c >= '0' && c <= '9':
+					d = c - '0'
+				case c >= 'a' && c <= 'f':
+					d = c - 'a' + 10
+				case c >= 'A' && c <= 'F':
+					d = c - 'A' + 10
+				default:
+					return Chunk{}, p.errf("invalid hex byte %q", hexText[i:i+2])
+				}
+				b = b<<4 | d
+			}
+			chunk.Bytes = append(chunk.Bytes, b)
+		}
+		if err := p.advance(); err != nil {
+			return Chunk{}, err
+		}
+	}
+	return chunk, p.advance() // consume ']'
+}

@@ -1,0 +1,580 @@
+package dts
+
+import (
+	"strings"
+	"testing"
+)
+
+const simpleDTS = `
+/dts-v1/;
+
+/ {
+	#address-cells = <2>;
+	#size-cells = <2>;
+
+	memory@40000000 {
+		device_type = "memory";
+		reg = <0x0 0x40000000 0x0 0x20000000
+		       0x0 0x60000000 0x0 0x20000000>;
+	};
+
+	uart0: uart@20000000 {
+		compatible = "ns16550a";
+		reg = <0x0 0x20000000 0x0 0x1000>;
+	};
+};
+`
+
+func TestParseSimple(t *testing.T) {
+	tree, err := Parse("test.dts", simpleDTS)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := len(tree.Root.Children); got != 2 {
+		t.Fatalf("root children = %d, want 2", got)
+	}
+
+	mem := tree.Lookup("/memory@40000000")
+	if mem == nil {
+		t.Fatal("memory node not found")
+	}
+	if got, _ := mem.StringValue("device_type"); got != "memory" {
+		t.Errorf("device_type = %q, want memory", got)
+	}
+	reg := mem.Property("reg")
+	if reg == nil {
+		t.Fatal("reg property missing")
+	}
+	cells := reg.Value.U32s()
+	want := []uint32{0, 0x40000000, 0, 0x20000000, 0, 0x60000000, 0, 0x20000000}
+	if len(cells) != len(want) {
+		t.Fatalf("reg cells = %v, want %v", cells, want)
+	}
+	for i := range want {
+		if cells[i] != want[i] {
+			t.Fatalf("reg cells = %#x, want %#x", cells, want)
+		}
+	}
+
+	uart := tree.Lookup("/uart@20000000")
+	if uart == nil {
+		t.Fatal("uart node not found")
+	}
+	if uart.Label != "uart0" {
+		t.Errorf("uart label = %q, want uart0", uart.Label)
+	}
+	if tree.LookupLabel("uart0") != uart {
+		t.Error("LookupLabel failed")
+	}
+	if got := uart.Compatible(); len(got) != 1 || got[0] != "ns16550a" {
+		t.Errorf("compatible = %v", got)
+	}
+}
+
+func TestParseWithInclude(t *testing.T) {
+	inc := MapIncluder{
+		"cpus.dtsi": `
+/ {
+	cpus {
+		#address-cells = <0x1>;
+		#size-cells = <0x0>;
+		cpu@0 {
+			compatible = "arm,cortex-a53";
+			device_type = "cpu";
+			enable-method = "psci";
+			reg = <0x0>;
+		};
+		cpu@1 {
+			compatible = "arm,cortex-a53";
+			device_type = "cpu";
+			reg = <0x1>;
+		};
+	};
+};
+`,
+	}
+	src := `
+/dts-v1/;
+/include/ "cpus.dtsi"
+/ {
+	memory@40000000 {
+		device_type = "memory";
+		reg = <0x0 0x40000000 0x0 0x20000000>;
+	};
+};
+`
+	tree, err := Parse("main.dts", src, WithIncluder(inc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	cpus := tree.Lookup("/cpus")
+	if cpus == nil {
+		t.Fatal("cpus node missing after include")
+	}
+	if got := len(cpus.Children); got != 2 {
+		t.Fatalf("cpus children = %d, want 2", got)
+	}
+	if ac := cpus.AddressCells(); ac != 1 {
+		t.Errorf("#address-cells = %d, want 1", ac)
+	}
+	if sc := cpus.SizeCells(); sc != 0 {
+		t.Errorf("#size-cells = %d, want 0", sc)
+	}
+	cpu0 := tree.Lookup("/cpus/cpu@0")
+	if cpu0 == nil {
+		t.Fatal("cpu@0 missing")
+	}
+	if em, ok := cpu0.StringValue("enable-method"); !ok || em != "psci" {
+		t.Errorf("enable-method = %q,%v", em, ok)
+	}
+	if mem := tree.Lookup("/memory@40000000"); mem == nil {
+		t.Error("memory node from the main file missing")
+	}
+}
+
+func TestParseRunningExampleFromDisk(t *testing.T) {
+	tree, err := ParseFile("../../testdata/customsbc.dts")
+	if err != nil {
+		t.Fatalf("ParseFile: %v", err)
+	}
+	for _, path := range []string{
+		"/cpus", "/cpus/cpu@0", "/cpus/cpu@1",
+		"/memory@40000000", "/uart@20000000", "/uart@30000000",
+	} {
+		if tree.Lookup(path) == nil {
+			t.Errorf("node %s missing", path)
+		}
+	}
+	if got := tree.Root.AddressCells(); got != 2 {
+		t.Errorf("root #address-cells = %d, want 2", got)
+	}
+}
+
+func TestMergeSemantics(t *testing.T) {
+	src := `
+/dts-v1/;
+/ {
+	node {
+		a = <1>;
+		b = <2>;
+	};
+};
+/ {
+	node {
+		b = <3>;
+		c = <4>;
+	};
+	extra { };
+};
+`
+	tree, err := Parse("merge.dts", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	n := tree.Lookup("/node")
+	if n == nil {
+		t.Fatal("node missing")
+	}
+	if v, _ := n.CellValue("a"); v != 1 {
+		t.Errorf("a = %d, want 1", v)
+	}
+	if v, _ := n.CellValue("b"); v != 3 {
+		t.Errorf("b = %d, want 3 (overwritten)", v)
+	}
+	if v, _ := n.CellValue("c"); v != 4 {
+		t.Errorf("c = %d, want 4", v)
+	}
+	if tree.Lookup("/extra") == nil {
+		t.Error("extra node missing")
+	}
+}
+
+func TestLabelExtension(t *testing.T) {
+	src := `
+/dts-v1/;
+/ {
+	lbl: target { a = <1>; };
+};
+&lbl {
+	b = <2>;
+};
+`
+	tree, err := Parse("ext.dts", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	n := tree.Lookup("/target")
+	if n == nil {
+		t.Fatal("target missing")
+	}
+	if v, _ := n.CellValue("b"); v != 2 {
+		t.Errorf("b = %d, want 2", v)
+	}
+}
+
+func TestCellExpressions(t *testing.T) {
+	src := `
+/dts-v1/;
+/ {
+	n {
+		a = <(1 << 4)>;
+		b = <(2 + 3 * 4)>;
+		c = <((0x10 | 0x1) & 0xff)>;
+		d = <(~0)>;
+		e = <(100 / 10 - 2)>;
+		f = <(7 % 3)>;
+	};
+};
+`
+	tree, err := Parse("expr.dts", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	n := tree.Lookup("/n")
+	tests := []struct {
+		prop string
+		want uint32
+	}{
+		{"a", 16}, {"b", 14}, {"c", 0x11}, {"d", 0xffffffff}, {"e", 8}, {"f", 1},
+	}
+	for _, tt := range tests {
+		if got, _ := n.CellValue(tt.prop); got != tt.want {
+			t.Errorf("%s = %d, want %d", tt.prop, got, tt.want)
+		}
+	}
+}
+
+func TestBytesAndMixedValues(t *testing.T) {
+	src := `
+/dts-v1/;
+/ {
+	n {
+		mac = [de ad be ef 00 01];
+		mixed = "name", <0x1 0x2>, [ff];
+		flag;
+		handle = <&other 0x5>;
+	};
+	lbl2: other { };
+};
+`
+	tree, err := Parse("bytes.dts", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	n := tree.Lookup("/n")
+	mac := n.Property("mac").Value.Bytes()
+	if len(mac) != 6 || mac[0] != 0xde || mac[5] != 0x01 {
+		t.Errorf("mac = %x", mac)
+	}
+	mixed := n.Property("mixed")
+	if len(mixed.Value.Chunks) != 3 {
+		t.Fatalf("mixed chunks = %d, want 3", len(mixed.Value.Chunks))
+	}
+	if ss := mixed.Value.Strings(); len(ss) != 1 || ss[0] != "name" {
+		t.Errorf("mixed strings = %v", ss)
+	}
+	if flag := n.Property("flag"); flag == nil || !flag.Value.IsEmpty() {
+		t.Error("flag should be an empty marker property")
+	}
+	handle := n.Property("handle").Value.Cells()
+	if len(handle) != 2 || handle[0].Ref != "other" || handle[1].Val != 5 {
+		t.Errorf("handle cells = %+v", handle)
+	}
+}
+
+func TestDeleteNodeAndProperty(t *testing.T) {
+	src := `
+/dts-v1/;
+/ {
+	keep { a = <1>; };
+	gone: dropme { };
+};
+/ {
+	keep {
+		a = <1>;
+		b = <2>;
+		/delete-property/ a;
+		child { };
+		/delete-node/ child;
+	};
+};
+/delete-node/ &gone;
+`
+	tree, err := Parse("del.dts", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if tree.Lookup("/dropme") != nil {
+		t.Error("dropme should have been deleted")
+	}
+	keep := tree.Lookup("/keep")
+	if keep.Property("a") != nil {
+		t.Error("property a should have been deleted")
+	}
+	if v, _ := keep.CellValue("b"); v != 2 {
+		t.Error("property b should survive")
+	}
+	if keep.Child("child") != nil {
+		t.Error("child should have been deleted")
+	}
+}
+
+func TestMemReserve(t *testing.T) {
+	src := `
+/dts-v1/;
+/memreserve/ 0x10000000 0x4000;
+/ { };
+`
+	tree, err := Parse("mr.dts", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(tree.MemReserves) != 1 {
+		t.Fatalf("memreserves = %d, want 1", len(tree.MemReserves))
+	}
+	if mr := tree.MemReserves[0]; mr.Address != 0x10000000 || mr.Size != 0x4000 {
+		t.Errorf("memreserve = %+v", mr)
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+/dts-v1/;
+// line comment
+/ {
+	/* block
+	   comment */
+	n {
+		a = <1>; // trailing
+	};
+};
+`
+	tree, err := Parse("c.dts", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if v, _ := tree.Lookup("/n").CellValue("a"); v != 1 {
+		t.Error("comment parsing broke property")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"unterminated string", `/ { a = "x; };`, "string"},
+		{"missing semicolon", `/ { a = <1> }`, "';'"},
+		{"unknown ref", `&nope { };`, "undefined label"},
+		{"garbage", `$$$`, "unexpected"},
+		{"unterminated node", `/ { a = <1>;`, "end of file"},
+		{"include without includer", `/include/ "x.dtsi"`, "no includer"},
+		{"division by zero", `/ { a = <(1/0)>; };`, "division by zero"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse("err.dts", tt.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	_, err := Parse("pos.dts", "/dts-v1/;\n/ {\n\tbad bad bad\n};\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T, want *ParseError", err)
+	}
+	if pe.File != "pos.dts" || pe.Line != 3 {
+		t.Errorf("position %s:%d, want pos.dts:3", pe.File, pe.Line)
+	}
+}
+
+func TestIncludeCycleDetected(t *testing.T) {
+	inc := MapIncluder{
+		"a.dtsi": `/include/ "b.dtsi"`,
+		"b.dtsi": `/include/ "a.dtsi"`,
+	}
+	_, err := Parse("main.dts", `/include/ "a.dtsi"`, WithIncluder(inc))
+	if err == nil || !strings.Contains(err.Error(), "nesting") {
+		t.Errorf("cycle not detected: %v", err)
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	tree, err := Parse("rt.dts", simpleDTS)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	printed := tree.Print()
+	tree2, err := Parse("rt2.dts", printed)
+	if err != nil {
+		t.Fatalf("reparse printed output: %v\n%s", err, printed)
+	}
+	printed2 := tree2.Print()
+	if printed != printed2 {
+		t.Errorf("print not idempotent:\n--- first ---\n%s\n--- second ---\n%s", printed, printed2)
+	}
+	// structural checks survive the round trip
+	mem := tree2.Lookup("/memory@40000000")
+	if mem == nil {
+		t.Fatal("memory lost in round trip")
+	}
+	if got := mem.Property("reg").Value.U32s(); len(got) != 8 {
+		t.Errorf("reg cells lost: %v", got)
+	}
+	if tree2.Lookup("/uart@20000000").Label != "uart0" {
+		t.Error("label lost in round trip")
+	}
+}
+
+func TestWalk(t *testing.T) {
+	tree, _ := Parse("w.dts", simpleDTS)
+	var paths []string
+	tree.Root.Walk(func(path string, n *Node) bool {
+		paths = append(paths, path)
+		return true
+	})
+	want := []string{"/", "/memory@40000000", "/uart@20000000"}
+	if len(paths) != len(want) {
+		t.Fatalf("paths = %v, want %v", paths, want)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("paths = %v, want %v", paths, want)
+		}
+	}
+	// early stop
+	count := 0
+	tree.Root.Walk(func(string, *Node) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("early stop visited %d nodes, want 1", count)
+	}
+}
+
+func TestSplitName(t *testing.T) {
+	tests := []struct {
+		in, base, unit string
+	}{
+		{"memory@40000000", "memory", "40000000"},
+		{"cpus", "cpus", ""},
+		{"cpu@0", "cpu", "0"},
+	}
+	for _, tt := range tests {
+		base, unit := SplitName(tt.in)
+		if base != tt.base || unit != tt.unit {
+			t.Errorf("SplitName(%q) = %q,%q want %q,%q", tt.in, base, unit, tt.base, tt.unit)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tree, _ := Parse("cl.dts", simpleDTS)
+	clone := tree.Clone()
+	clone.Lookup("/memory@40000000").SetProperty(&Property{
+		Name: "device_type", Value: StringValueOf("changed"),
+	})
+	if got, _ := tree.Lookup("/memory@40000000").StringValue("device_type"); got != "memory" {
+		t.Error("mutation of clone leaked into original")
+	}
+}
+
+func TestValueConstructors(t *testing.T) {
+	v := CellsValue(1, 2, 3)
+	if got := v.U32s(); len(got) != 3 || got[2] != 3 {
+		t.Errorf("CellsValue = %v", got)
+	}
+	v64 := Cells64Value(0x1_0000_0002)
+	if got := v64.U32s(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Cells64Value = %#x", got)
+	}
+	sv := StringValueOf("a", "b")
+	if got := sv.Strings(); len(got) != 2 || got[1] != "b" {
+		t.Errorf("StringValueOf = %v", got)
+	}
+	bv := BytesValue([]byte{1, 2})
+	if got := bv.Bytes(); len(got) != 2 || got[0] != 1 {
+		t.Errorf("BytesValue = %v", got)
+	}
+}
+
+func TestEnsureChildAndChildrenNamed(t *testing.T) {
+	n := &Node{Name: "/"}
+	c1 := n.EnsureChild("uart@1000")
+	c2 := n.EnsureChild("uart@1000")
+	if c1 != c2 {
+		t.Error("EnsureChild should be idempotent")
+	}
+	n.EnsureChild("uart@2000")
+	n.EnsureChild("memory@0")
+	if got := len(n.ChildrenNamed("uart")); got != 2 {
+		t.Errorf("ChildrenNamed(uart) = %d, want 2", got)
+	}
+}
+
+func TestAliases(t *testing.T) {
+	tree, err := Parse("alias.dts", `
+/dts-v1/;
+/ {
+	aliases {
+		serial0 = "/soc/uart@1000";
+		serial1 = &u1;
+		broken = <0x1>;
+	};
+	soc {
+		uart@1000 { };
+		u1: uart@2000 { };
+	};
+};
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliases := tree.Aliases()
+	if aliases["serial0"] != "/soc/uart@1000" {
+		t.Errorf("serial0 = %q", aliases["serial0"])
+	}
+	if aliases["serial1"] != "/soc/uart@2000" {
+		t.Errorf("serial1 = %q", aliases["serial1"])
+	}
+	if _, ok := aliases["broken"]; ok {
+		t.Error("non-path alias should be skipped")
+	}
+	if n := tree.LookupAlias("serial0"); n == nil || n.Name != "uart@1000" {
+		t.Errorf("LookupAlias(serial0) = %v", n)
+	}
+	if tree.LookupAlias("nope") != nil {
+		t.Error("unknown alias should be nil")
+	}
+}
+
+func TestPathOf(t *testing.T) {
+	tree, _ := Parse("p.dts", simpleDTS)
+	mem := tree.Lookup("/memory@40000000")
+	if got := tree.PathOf(mem); got != "/memory@40000000" {
+		t.Errorf("PathOf = %q", got)
+	}
+	stranger := &Node{Name: "stranger"}
+	if got := tree.PathOf(stranger); got != "" {
+		t.Errorf("PathOf(foreign node) = %q, want empty", got)
+	}
+}
+
+func TestAliasesNoNode(t *testing.T) {
+	tree, _ := Parse("n.dts", simpleDTS)
+	if got := tree.Aliases(); len(got) != 0 {
+		t.Errorf("Aliases = %v, want empty", got)
+	}
+}

@@ -1,0 +1,99 @@
+package dts
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the tree as canonical DTS text: /dts-v1/ header,
+// tab indentation, cells in hexadecimal, properties before children.
+func (t *Tree) Print() string {
+	var b strings.Builder
+	b.WriteString("/dts-v1/;\n\n")
+	for _, mr := range t.MemReserves {
+		fmt.Fprintf(&b, "/memreserve/ 0x%x 0x%x;\n", mr.Address, mr.Size)
+	}
+	if len(t.MemReserves) > 0 {
+		b.WriteString("\n")
+	}
+	printNode(&b, t.Root, 0)
+	return b.String()
+}
+
+// PrintNode renders a single node subtree as DTS text (without the
+// /dts-v1/ header).
+func PrintNode(n *Node) string {
+	var b strings.Builder
+	printNode(&b, n, 0)
+	return b.String()
+}
+
+func printNode(b *strings.Builder, n *Node, depth int) {
+	indent := strings.Repeat("\t", depth)
+	b.WriteString(indent)
+	if n.Label != "" {
+		b.WriteString(n.Label)
+		b.WriteString(": ")
+	}
+	b.WriteString(n.Name)
+	b.WriteString(" {\n")
+	inner := indent + "\t"
+	for _, p := range n.Properties {
+		b.WriteString(inner)
+		b.WriteString(p.Name)
+		if !p.Value.IsEmpty() {
+			b.WriteString(" = ")
+			printValue(b, p.Value)
+		}
+		b.WriteString(";\n")
+	}
+	if len(n.Properties) > 0 && len(n.Children) > 0 {
+		b.WriteString("\n")
+	}
+	for i, c := range n.Children {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		printNode(b, c, depth+1)
+	}
+	b.WriteString(indent)
+	b.WriteString("};\n")
+}
+
+func printValue(b *strings.Builder, v Value) {
+	for i, c := range v.Chunks {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch c.Kind {
+		case ChunkCells:
+			b.WriteString("<")
+			for j, cell := range c.CellList {
+				if j > 0 {
+					b.WriteString(" ")
+				}
+				if cell.Ref != "" {
+					b.WriteString("&")
+					b.WriteString(cell.Ref)
+				} else {
+					fmt.Fprintf(b, "0x%x", cell.Val)
+				}
+			}
+			b.WriteString(">")
+		case ChunkString:
+			fmt.Fprintf(b, "%q", c.Str)
+		case ChunkBytes:
+			b.WriteString("[")
+			for j, by := range c.Bytes {
+				if j > 0 {
+					b.WriteString(" ")
+				}
+				fmt.Fprintf(b, "%02x", by)
+			}
+			b.WriteString("]")
+		case ChunkRef:
+			b.WriteString("&")
+			b.WriteString(c.Ref)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package featmodel
+
+import (
+	"fmt"
+	"sort"
+
+	"llhsc/internal/logic"
+	"llhsc/internal/sat"
+)
+
+// Analyzer runs the automated analyses of Section II-B over a model
+// using the CDCL solver. Create one per model; the underlying solver is
+// reused incrementally across queries.
+type Analyzer struct {
+	model   *Model
+	pool    *logic.Pool
+	vm      *VarMap
+	solver  *sat.Solver
+	formula *logic.Formula
+}
+
+// NewAnalyzer prepares the SAT encoding of the model.
+func NewAnalyzer(m *Model) *Analyzer {
+	pool := logic.NewPool()
+	vm := NewVarMap(pool)
+	f := m.ToFormula(vm, "")
+	s := sat.New()
+	s.AddCNF(logic.ToCNF(f, pool))
+	return &Analyzer{model: m, pool: pool, vm: vm, solver: s, formula: f}
+}
+
+// IsVoid reports whether the model admits no products at all.
+func (a *Analyzer) IsVoid() bool {
+	return a.solver.Solve() != sat.Sat
+}
+
+// IsValid reports whether the configuration is a valid product: the
+// assignment that selects exactly the given features (and no others)
+// satisfies the model.
+func (a *Analyzer) IsValid(cfg Configuration) bool {
+	assumptions := a.configAssumptions(cfg)
+	return a.solver.Solve(assumptions...) == sat.Sat
+}
+
+// ExplainInvalid returns, for an invalid configuration, the feature
+// literals (name, selected) that participate in the conflict. For a
+// valid configuration it returns nil.
+func (a *Analyzer) ExplainInvalid(cfg Configuration) []string {
+	assumptions := a.configAssumptions(cfg)
+	if a.solver.Solve(assumptions...) == sat.Sat {
+		return nil
+	}
+	var out []string
+	for _, l := range a.solver.FailedAssumptions() {
+		name, ok := a.vm.Name(l.Var())
+		if !ok {
+			continue
+		}
+		if l.Positive() {
+			out = append(out, name)
+		} else {
+			out = append(out, "!"+name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (a *Analyzer) configAssumptions(cfg Configuration) []logic.Lit {
+	assumptions := make([]logic.Lit, 0, len(a.model.order))
+	for _, name := range a.model.order {
+		v := a.vm.Var(name)
+		if cfg[name] {
+			assumptions = append(assumptions, logic.Lit(v))
+		} else {
+			assumptions = append(assumptions, -logic.Lit(v))
+		}
+	}
+	return assumptions
+}
+
+// DeadFeatures returns features that appear in no valid product.
+func (a *Analyzer) DeadFeatures() []string {
+	var out []string
+	for _, name := range a.model.order {
+		v := a.vm.Var(name)
+		if a.solver.Solve(logic.Lit(v)) != sat.Sat {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// CoreFeatures returns features present in every valid product.
+func (a *Analyzer) CoreFeatures() []string {
+	var out []string
+	for _, name := range a.model.order {
+		v := a.vm.Var(name)
+		if a.solver.Solve(-logic.Lit(v)) != sat.Sat {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// CountProducts counts the valid products of the model (distinct
+// assignments to all features) by iterating models with blocking
+// clauses. limit bounds the count (0 = unlimited); if the limit is hit,
+// the second result is false.
+//
+// Counting mutates the analyzer's solver with blocking clauses, so a
+// fresh Analyzer should be used afterwards for other queries; to keep
+// the API safe, CountProducts operates on a private solver instance.
+func (a *Analyzer) CountProducts(limit int) (int, bool) {
+	products, complete := a.enumerate(limit)
+	return len(products), complete
+}
+
+// EnumerateProducts returns up to limit valid products (0 = all),
+// each as a sorted list of selected feature names. The second result
+// reports whether the enumeration is complete.
+func (a *Analyzer) EnumerateProducts(limit int) ([][]string, bool) {
+	products, complete := a.enumerate(limit)
+	sort.Slice(products, func(i, j int) bool {
+		return fmt.Sprint(products[i]) < fmt.Sprint(products[j])
+	})
+	return products, complete
+}
+
+func (a *Analyzer) enumerate(limit int) ([][]string, bool) {
+	s := sat.New()
+	pool := logic.NewPool()
+	vm := NewVarMap(pool)
+	f := a.model.ToFormula(vm, "")
+	s.AddCNF(logic.ToCNF(f, pool))
+
+	featureVars := make([]logic.Var, 0, len(a.model.order))
+	for _, name := range a.model.order {
+		featureVars = append(featureVars, vm.Var(name))
+	}
+
+	var products [][]string
+	for {
+		if limit > 0 && len(products) >= limit {
+			return products, false
+		}
+		if s.Solve() != sat.Sat {
+			return products, true
+		}
+		var selected []string
+		blocking := make([]logic.Lit, 0, len(featureVars))
+		for i, v := range featureVars {
+			if s.Value(v) {
+				selected = append(selected, a.model.order[i])
+				blocking = append(blocking, -logic.Lit(v))
+			} else {
+				blocking = append(blocking, logic.Lit(v))
+			}
+		}
+		sort.Strings(selected)
+		products = append(products, selected)
+		if !s.AddClause(blocking...) {
+			return products, true
+		}
+	}
+}

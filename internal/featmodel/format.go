@@ -1,0 +1,186 @@
+package featmodel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file defines a textual format for feature models, used by the
+// command-line tools (cmd/llhsc, cmd/fmtool). The running example's
+// Fig. 1a model reads:
+//
+//	feature CustomSBC abstract {
+//	    feature memory mandatory
+//	    xor cpus abstract mandatory {
+//	        feature cpu@0 exclusive
+//	        feature cpu@1 exclusive
+//	    }
+//	    or uarts abstract mandatory {
+//	        feature uart0
+//	        feature uart1
+//	    }
+//	    xor vEthernet abstract {
+//	        feature veth0
+//	        feature veth1
+//	    }
+//	}
+//	constraint veth0 -> cpu@0
+//	constraint veth1 -> cpu@1
+//
+// Node headers are "feature|or|xor <name> [abstract] [mandatory]
+// [exclusive]", with "or"/"xor" setting the decomposition of the
+// children block. Cross-tree constraints use the expression syntax of
+// ParseExpr.
+
+// ParseModel parses the textual feature-model format.
+func ParseModel(file, src string) (*Model, error) {
+	p := &modelParser{file: file}
+	for lineNum, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := p.line(line, lineNum+1); err != nil {
+			return nil, err
+		}
+	}
+	if p.root == nil {
+		return nil, fmt.Errorf("%s: no root feature defined", file)
+	}
+	if len(p.stack) != 0 {
+		return nil, fmt.Errorf("%s: unclosed feature block %q", file, p.stack[len(p.stack)-1].Name)
+	}
+	return NewModel(p.root, p.constraints...)
+}
+
+type modelParser struct {
+	file        string
+	root        *Feature
+	stack       []*Feature
+	constraints []*Expr
+}
+
+func (p *modelParser) errf(line int, format string, args ...interface{}) error {
+	return fmt.Errorf("%s:%d: %s", p.file, line, fmt.Sprintf(format, args...))
+}
+
+func (p *modelParser) line(line string, num int) error {
+	if line == "}" {
+		if len(p.stack) == 0 {
+			return p.errf(num, "unmatched '}'")
+		}
+		p.stack = p.stack[:len(p.stack)-1]
+		return nil
+	}
+	if strings.HasPrefix(line, "constraint ") {
+		expr, err := ParseExpr(strings.TrimSpace(strings.TrimPrefix(line, "constraint ")))
+		if err != nil {
+			return p.errf(num, "invalid constraint: %v", err)
+		}
+		p.constraints = append(p.constraints, expr)
+		return nil
+	}
+
+	opensBlock := strings.HasSuffix(line, "{")
+	if opensBlock {
+		line = strings.TrimSpace(strings.TrimSuffix(line, "{"))
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return p.errf(num, "expected 'feature|or|xor <name> [flags...]'")
+	}
+
+	f := &Feature{Group: GroupAnd}
+	switch fields[0] {
+	case "feature":
+	case "or":
+		f.Group = GroupOr
+	case "xor":
+		f.Group = GroupXor
+	default:
+		return p.errf(num, "unknown keyword %q", fields[0])
+	}
+	f.Name = fields[1]
+	for _, flag := range fields[2:] {
+		switch flag {
+		case "abstract":
+			f.Abstract = true
+		case "mandatory":
+			f.Mandatory = true
+		case "exclusive":
+			f.Exclusive = true
+		default:
+			return p.errf(num, "unknown flag %q", flag)
+		}
+	}
+
+	if len(p.stack) == 0 {
+		if p.root != nil {
+			return p.errf(num, "multiple root features (%q and %q)", p.root.Name, f.Name)
+		}
+		p.root = f
+	} else {
+		parent := p.stack[len(p.stack)-1]
+		parent.Children = append(parent.Children, f)
+	}
+	if opensBlock {
+		p.stack = append(p.stack, f)
+	}
+	return nil
+}
+
+// Format renders the model in the textual format accepted by
+// ParseModel.
+func (m *Model) Format() string {
+	var b strings.Builder
+	var write func(f *Feature, depth int)
+	write = func(f *Feature, depth int) {
+		indent := strings.Repeat("    ", depth)
+		kw := "feature"
+		switch f.Group {
+		case GroupOr:
+			if len(f.Children) > 0 {
+				kw = "or"
+			}
+		case GroupXor:
+			if len(f.Children) > 0 {
+				kw = "xor"
+			}
+		}
+		b.WriteString(indent)
+		b.WriteString(kw)
+		b.WriteString(" ")
+		b.WriteString(f.Name)
+		if f.Abstract {
+			b.WriteString(" abstract")
+		}
+		if f.Mandatory {
+			b.WriteString(" mandatory")
+		}
+		if f.Exclusive {
+			b.WriteString(" exclusive")
+		}
+		if len(f.Children) == 0 {
+			b.WriteString("\n")
+			return
+		}
+		b.WriteString(" {\n")
+		for _, c := range f.Children {
+			write(c, depth+1)
+		}
+		b.WriteString(indent)
+		b.WriteString("}\n")
+	}
+	write(m.Root, 0)
+	for _, c := range m.Constraints {
+		fmt.Fprintf(&b, "constraint %s\n", c)
+	}
+	return b.String()
+}

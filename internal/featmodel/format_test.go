@@ -1,0 +1,123 @@
+package featmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+const fig1aText = `
+// Fig. 1a of the paper
+feature CustomSBC abstract {
+    feature memory mandatory
+    xor cpus abstract mandatory {
+        feature cpu@0 exclusive
+        feature cpu@1 exclusive
+    }
+    or uarts abstract mandatory {
+        feature uart0
+        feature uart1
+    }
+    xor vEthernet abstract {
+        feature veth0
+        feature veth1
+    }
+}
+constraint veth0 -> cpu@0
+constraint veth1 -> cpu@1
+`
+
+func TestParseModelFig1a(t *testing.T) {
+	m, err := ParseModel("fig1a.fm", fig1aText)
+	if err != nil {
+		t.Fatalf("ParseModel: %v", err)
+	}
+	if m.Root.Name != "CustomSBC" || !m.Root.Abstract {
+		t.Errorf("root = %+v", m.Root)
+	}
+	cpus := m.Feature("cpus")
+	if cpus == nil || cpus.Group != GroupXor || !cpus.Mandatory {
+		t.Fatalf("cpus = %+v", cpus)
+	}
+	if !cpus.Children[0].Exclusive {
+		t.Error("cpu@0 should be exclusive")
+	}
+	if got := len(m.Constraints); got != 2 {
+		t.Errorf("constraints = %d, want 2", got)
+	}
+	// semantics check: the parsed model counts 12 products
+	n, complete := NewAnalyzer(m).CountProducts(0)
+	if !complete || n != 12 {
+		t.Errorf("products = %d, want 12", n)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	m, err := ParseModel("fig1a.fm", fig1aText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := m.Format()
+	m2, err := ParseModel("roundtrip.fm", text)
+	if err != nil {
+		t.Fatalf("reparse formatted model: %v\n%s", err, text)
+	}
+	n1, _ := NewAnalyzer(m).CountProducts(0)
+	n2, _ := NewAnalyzer(m2).CountProducts(0)
+	if n1 != n2 {
+		t.Errorf("round trip changed product count: %d vs %d", n1, n2)
+	}
+	names1, names2 := m.Names(), m2.Names()
+	if len(names1) != len(names2) {
+		t.Fatalf("feature count changed: %v vs %v", names1, names2)
+	}
+	for i := range names1 {
+		if names1[i] != names2[i] {
+			t.Fatalf("feature order changed: %v vs %v", names1, names2)
+		}
+	}
+}
+
+func TestParseModelErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"empty", "", "no root"},
+		{"unmatched close", "}", "unmatched"},
+		{"unclosed", "feature a {", "unclosed"},
+		{"two roots", "feature a\nfeature b", "multiple root"},
+		{"unknown keyword", "gadget a", "unknown keyword"},
+		{"unknown flag", "feature a sparkly", "unknown flag"},
+		{"bad constraint", "feature a\nconstraint &&&", ""},
+		{"constraint unknown feature", "feature a\nconstraint ghost", "unknown feature"},
+		{"missing name", "feature", "expected"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ParseModel("t.fm", tt.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if tt.want != "" && !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseModelComments(t *testing.T) {
+	src := `
+# hash comment
+feature root { // trailing comment
+    feature a   # another
+}
+`
+	m, err := ParseModel("c.fm", src)
+	if err != nil {
+		t.Fatalf("ParseModel: %v", err)
+	}
+	if m.Feature("a") == nil {
+		t.Error("feature a missing")
+	}
+}

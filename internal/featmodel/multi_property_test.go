@@ -1,0 +1,118 @@
+package featmodel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// multiModelGroundTruth decides a multi-VM configuration by definition:
+// every VM's configuration must be a valid product of the base model,
+// and each Exclusive feature may be selected by at most one VM.
+func multiModelGroundTruth(m *Model, configs []Configuration) bool {
+	a := NewAnalyzer(m)
+	for _, cfg := range configs {
+		if !a.IsValid(cfg) {
+			return false
+		}
+	}
+	for _, name := range m.Names() {
+		if !m.Feature(name).Exclusive {
+			continue
+		}
+		users := 0
+		for _, cfg := range configs {
+			if cfg[name] {
+				users++
+			}
+		}
+		if users > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// exclusiveModel builds a small model with exclusive leaves for the
+// cross-validation test.
+func exclusiveModel(t *testing.T) *Model {
+	t.Helper()
+	root := &Feature{Name: "r", Abstract: true, Group: GroupAnd, Children: []*Feature{
+		{Name: "base", Mandatory: true, Group: GroupAnd},
+		{Name: "units", Abstract: true, Mandatory: true, Group: GroupXor, Children: []*Feature{
+			{Name: "u0", Exclusive: true, Group: GroupAnd},
+			{Name: "u1", Exclusive: true, Group: GroupAnd},
+			{Name: "u2", Exclusive: true, Group: GroupAnd},
+		}},
+		{Name: "opt", Group: GroupAnd},
+	}}
+	m, err := NewModel(root, MustParseExpr("opt -> u0 || u1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPropertyMultiAnalyzerMatchesGroundTruth(t *testing.T) {
+	m := exclusiveModel(t)
+	mm, err := NewMultiModel(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma := NewMultiAnalyzer(mm)
+
+	names := m.Names()
+	products, complete := NewAnalyzer(m).EnumerateProducts(0)
+	if !complete || len(products) == 0 {
+		t.Fatal("product enumeration failed")
+	}
+	rng := rand.New(rand.NewSource(13))
+	agreeValid, agreeInvalid := 0, 0
+	for iter := 0; iter < 300; iter++ {
+		configs := make([]Configuration, 2)
+		for k := range configs {
+			if rng.Intn(2) == 0 {
+				// sample a valid product (pairs may still violate
+				// cross-VM exclusivity)
+				configs[k] = ConfigOf(products[rng.Intn(len(products))]...)
+				continue
+			}
+			cfg := make(Configuration)
+			for _, n := range names {
+				if rng.Intn(2) == 0 {
+					cfg[n] = true
+				}
+			}
+			configs[k] = cfg
+		}
+		want := multiModelGroundTruth(m, configs)
+		got := ma.CheckConfigs(configs) == nil
+		if got != want {
+			t.Fatalf("iter %d: analyzer=%v ground-truth=%v\nvm1=%v\nvm2=%v",
+				iter, got, want, configs[0].Sorted(), configs[1].Sorted())
+		}
+		if want {
+			agreeValid++
+		} else {
+			agreeInvalid++
+		}
+	}
+	if agreeValid == 0 {
+		t.Error("random sampling never produced a valid partitioning; test is vacuous")
+	}
+	if agreeInvalid == 0 {
+		t.Error("random sampling never produced an invalid partitioning; test is vacuous")
+	}
+}
+
+func TestMultiModelThreeVMsOverThreeUnits(t *testing.T) {
+	m := exclusiveModel(t)
+	mm, _ := NewMultiModel(m, 3)
+	ma := NewMultiAnalyzer(mm)
+	if ma.IsVoid() {
+		t.Fatal("3 VMs over 3 exclusive units should be feasible")
+	}
+	mm4, _ := NewMultiModel(m, 4)
+	if !NewMultiAnalyzer(mm4).IsVoid() {
+		t.Error("4 VMs over 3 exclusive units should be void")
+	}
+}

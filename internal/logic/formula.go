@@ -1,0 +1,331 @@
+// Package logic provides propositional formulas, simplification, and
+// conversion to conjunctive normal form (CNF) via the Tseitin transform.
+//
+// Formulas are the common currency between the feature-model engine
+// (internal/featmodel), the delta activation conditions (internal/delta)
+// and the SMT layer (internal/smt): all of them compile their Boolean
+// structure down to logic.Formula values and ultimately to CNF consumed
+// by the CDCL solver in internal/sat.
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Var identifies a propositional variable. Variables are 1-based;
+// 0 is never a valid variable.
+type Var int
+
+// Lit is a literal: a positive value v denotes the variable v,
+// a negative value -v denotes its negation. 0 is never a valid literal.
+type Lit int
+
+// Neg returns the negation of the literal.
+func (l Lit) Neg() Lit { return -l }
+
+// Var returns the variable underlying the literal.
+func (l Lit) Var() Var {
+	if l < 0 {
+		return Var(-l)
+	}
+	return Var(l)
+}
+
+// Positive reports whether the literal is a positive occurrence.
+func (l Lit) Positive() bool { return l > 0 }
+
+// Kind discriminates formula nodes.
+type Kind int
+
+// Formula node kinds.
+const (
+	KindTrue Kind = iota + 1
+	KindFalse
+	KindVar
+	KindNot
+	KindAnd
+	KindOr
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindTrue:
+		return "true"
+	case KindFalse:
+		return "false"
+	case KindVar:
+		return "var"
+	case KindNot:
+		return "not"
+	case KindAnd:
+		return "and"
+	case KindOr:
+		return "or"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Formula is an immutable propositional formula. Construct formulas with
+// the package-level constructors (True, False, V, Not, And, Or, Implies,
+// Iff, Xor); they perform light simplification (constant folding and
+// flattening of nested conjunctions/disjunctions).
+type Formula struct {
+	kind Kind
+	v    Var
+	args []*Formula
+}
+
+var (
+	trueFormula  = &Formula{kind: KindTrue}
+	falseFormula = &Formula{kind: KindFalse}
+)
+
+// True returns the constant true formula.
+func True() *Formula { return trueFormula }
+
+// False returns the constant false formula.
+func False() *Formula { return falseFormula }
+
+// V returns a formula consisting of the single variable v.
+// It panics if v is not positive, because variable identifiers are
+// 1-based by construction and a zero value indicates a programming error.
+func V(v Var) *Formula {
+	if v <= 0 {
+		panic(fmt.Sprintf("logic: invalid variable %d", v))
+	}
+	return &Formula{kind: KindVar, v: v}
+}
+
+// Lit returns the formula for a literal (a variable or its negation).
+func (l Lit) Formula() *Formula {
+	if l > 0 {
+		return V(Var(l))
+	}
+	return Not(V(Var(-l)))
+}
+
+// Kind returns the node kind.
+func (f *Formula) Kind() Kind { return f.kind }
+
+// Variable returns the variable of a KindVar node; it panics otherwise.
+func (f *Formula) Variable() Var {
+	if f.kind != KindVar {
+		panic("logic: Variable called on non-variable formula")
+	}
+	return f.v
+}
+
+// Args returns the children of the node. The returned slice must not be
+// modified.
+func (f *Formula) Args() []*Formula { return f.args }
+
+// Not returns the negation of f, folding double negations and constants.
+func Not(f *Formula) *Formula {
+	switch f.kind {
+	case KindTrue:
+		return falseFormula
+	case KindFalse:
+		return trueFormula
+	case KindNot:
+		return f.args[0]
+	default:
+		return &Formula{kind: KindNot, args: []*Formula{f}}
+	}
+}
+
+// And returns the conjunction of fs, flattening nested conjunctions and
+// folding constants. And() with no arguments is True.
+func And(fs ...*Formula) *Formula {
+	args := make([]*Formula, 0, len(fs))
+	for _, f := range fs {
+		switch f.kind {
+		case KindTrue:
+			// identity element
+		case KindFalse:
+			return falseFormula
+		case KindAnd:
+			args = append(args, f.args...)
+		default:
+			args = append(args, f)
+		}
+	}
+	switch len(args) {
+	case 0:
+		return trueFormula
+	case 1:
+		return args[0]
+	}
+	return &Formula{kind: KindAnd, args: args}
+}
+
+// Or returns the disjunction of fs, flattening nested disjunctions and
+// folding constants. Or() with no arguments is False.
+func Or(fs ...*Formula) *Formula {
+	args := make([]*Formula, 0, len(fs))
+	for _, f := range fs {
+		switch f.kind {
+		case KindFalse:
+			// identity element
+		case KindTrue:
+			return trueFormula
+		case KindOr:
+			args = append(args, f.args...)
+		default:
+			args = append(args, f)
+		}
+	}
+	switch len(args) {
+	case 0:
+		return falseFormula
+	case 1:
+		return args[0]
+	}
+	return &Formula{kind: KindOr, args: args}
+}
+
+// Implies returns a → b.
+func Implies(a, b *Formula) *Formula { return Or(Not(a), b) }
+
+// Iff returns a ↔ b.
+func Iff(a, b *Formula) *Formula {
+	return And(Implies(a, b), Implies(b, a))
+}
+
+// Xor returns the exclusive or of a and b.
+func Xor(a, b *Formula) *Formula {
+	return Or(And(a, Not(b)), And(Not(a), b))
+}
+
+// ExactlyOne returns a formula that is true iff exactly one of fs is true.
+// ExactlyOne of an empty slice is False.
+func ExactlyOne(fs ...*Formula) *Formula {
+	if len(fs) == 0 {
+		return falseFormula
+	}
+	return And(Or(fs...), AtMostOne(fs...))
+}
+
+// AtMostOne returns the pairwise encoding of the at-most-one constraint
+// over fs. AtMostOne of zero or one formulas is True.
+func AtMostOne(fs ...*Formula) *Formula {
+	if len(fs) <= 1 {
+		return trueFormula
+	}
+	pairs := make([]*Formula, 0, len(fs)*(len(fs)-1)/2)
+	for i := 0; i < len(fs); i++ {
+		for j := i + 1; j < len(fs); j++ {
+			pairs = append(pairs, Or(Not(fs[i]), Not(fs[j])))
+		}
+	}
+	return And(pairs...)
+}
+
+// Vars returns the sorted set of variables occurring in f.
+func (f *Formula) Vars() []Var {
+	seen := make(map[Var]bool)
+	var walk func(g *Formula)
+	walk = func(g *Formula) {
+		if g.kind == KindVar {
+			seen[g.v] = true
+			return
+		}
+		for _, a := range g.args {
+			walk(a)
+		}
+	}
+	walk(f)
+	out := make([]Var, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Eval evaluates f under the given assignment. Variables missing from
+// the assignment evaluate to false.
+func (f *Formula) Eval(assign map[Var]bool) bool {
+	switch f.kind {
+	case KindTrue:
+		return true
+	case KindFalse:
+		return false
+	case KindVar:
+		return assign[f.v]
+	case KindNot:
+		return !f.args[0].Eval(assign)
+	case KindAnd:
+		for _, a := range f.args {
+			if !a.Eval(assign) {
+				return false
+			}
+		}
+		return true
+	case KindOr:
+		for _, a := range f.args {
+			if a.Eval(assign) {
+				return true
+			}
+		}
+		return false
+	default:
+		panic(fmt.Sprintf("logic: unknown kind %v", f.kind))
+	}
+}
+
+// String renders the formula with variables printed as x<N>.
+func (f *Formula) String() string {
+	return f.StringWithNames(nil)
+}
+
+// StringWithNames renders the formula, looking variable names up in
+// names; variables absent from names print as x<N>.
+func (f *Formula) StringWithNames(names map[Var]string) string {
+	var b strings.Builder
+	f.write(&b, names)
+	return b.String()
+}
+
+func (f *Formula) write(b *strings.Builder, names map[Var]string) {
+	switch f.kind {
+	case KindTrue:
+		b.WriteString("true")
+	case KindFalse:
+		b.WriteString("false")
+	case KindVar:
+		if name, ok := names[f.v]; ok {
+			b.WriteString(name)
+		} else {
+			fmt.Fprintf(b, "x%d", f.v)
+		}
+	case KindNot:
+		b.WriteString("!")
+		f.args[0].writeAtom(b, names)
+	case KindAnd:
+		f.writeNary(b, names, " & ")
+	case KindOr:
+		f.writeNary(b, names, " | ")
+	}
+}
+
+func (f *Formula) writeAtom(b *strings.Builder, names map[Var]string) {
+	if f.kind == KindAnd || f.kind == KindOr {
+		b.WriteString("(")
+		f.write(b, names)
+		b.WriteString(")")
+		return
+	}
+	f.write(b, names)
+}
+
+func (f *Formula) writeNary(b *strings.Builder, names map[Var]string, sep string) {
+	for i, a := range f.args {
+		if i > 0 {
+			b.WriteString(sep)
+		}
+		a.writeAtom(b, names)
+	}
+}

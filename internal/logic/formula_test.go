@@ -1,0 +1,264 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorsFoldConstants(t *testing.T) {
+	a, b := V(1), V(2)
+	tests := []struct {
+		name string
+		got  *Formula
+		want *Formula
+	}{
+		{"not true", Not(True()), False()},
+		{"not false", Not(False()), True()},
+		{"double negation", Not(Not(a)), a},
+		{"and identity", And(True(), a), a},
+		{"and absorbing", And(a, False(), b), False()},
+		{"or identity", Or(False(), b), b},
+		{"or absorbing", Or(a, True()), True()},
+		{"empty and", And(), True()},
+		{"empty or", Or(), False()},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.got != tt.want {
+				t.Errorf("got %v, want %v", tt.got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFlattening(t *testing.T) {
+	f := And(And(V(1), V(2)), And(V(3), V(4)))
+	if f.Kind() != KindAnd || len(f.Args()) != 4 {
+		t.Fatalf("nested And not flattened: %v", f)
+	}
+	g := Or(Or(V(1), V(2)), V(3))
+	if g.Kind() != KindOr || len(g.Args()) != 3 {
+		t.Fatalf("nested Or not flattened: %v", g)
+	}
+}
+
+func TestEvalConnectives(t *testing.T) {
+	a, b := V(1), V(2)
+	env := func(va, vb bool) map[Var]bool { return map[Var]bool{1: va, 2: vb} }
+	tests := []struct {
+		name string
+		f    *Formula
+		a, b bool
+		want bool
+	}{
+		{"implies tt", Implies(a, b), true, true, true},
+		{"implies tf", Implies(a, b), true, false, false},
+		{"implies ft", Implies(a, b), false, true, true},
+		{"implies ff", Implies(a, b), false, false, true},
+		{"iff tt", Iff(a, b), true, true, true},
+		{"iff tf", Iff(a, b), true, false, false},
+		{"iff ff", Iff(a, b), false, false, true},
+		{"xor tt", Xor(a, b), true, true, false},
+		{"xor tf", Xor(a, b), true, false, true},
+		{"xor ff", Xor(a, b), false, false, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.f.Eval(env(tt.a, tt.b)); got != tt.want {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestExactlyOne(t *testing.T) {
+	fs := []*Formula{V(1), V(2), V(3)}
+	f := ExactlyOne(fs...)
+	for mask := 0; mask < 8; mask++ {
+		env := map[Var]bool{1: mask&1 != 0, 2: mask&2 != 0, 3: mask&4 != 0}
+		count := 0
+		for _, set := range env {
+			if set {
+				count++
+			}
+		}
+		want := count == 1
+		if got := f.Eval(env); got != want {
+			t.Errorf("mask %03b: got %v, want %v", mask, got, want)
+		}
+	}
+	if got := ExactlyOne(); got != False() {
+		t.Errorf("ExactlyOne() = %v, want false", got)
+	}
+}
+
+func TestAtMostOne(t *testing.T) {
+	fs := []*Formula{V(1), V(2), V(3), V(4)}
+	f := AtMostOne(fs...)
+	for mask := 0; mask < 16; mask++ {
+		env := make(map[Var]bool)
+		count := 0
+		for i := 0; i < 4; i++ {
+			if mask&(1<<i) != 0 {
+				env[Var(i+1)] = true
+				count++
+			}
+		}
+		want := count <= 1
+		if got := f.Eval(env); got != want {
+			t.Errorf("mask %04b: got %v, want %v", mask, got, want)
+		}
+	}
+}
+
+func TestVars(t *testing.T) {
+	f := And(V(3), Or(V(1), Not(V(3))), Implies(V(2), V(5)))
+	got := f.Vars()
+	want := []Var{1, 2, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Vars() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLit(t *testing.T) {
+	l := Lit(5)
+	if l.Var() != 5 || !l.Positive() || l.Neg() != Lit(-5) {
+		t.Errorf("positive literal behaviour wrong: %v", l)
+	}
+	n := Lit(-7)
+	if n.Var() != 7 || n.Positive() || n.Neg() != Lit(7) {
+		t.Errorf("negative literal behaviour wrong: %v", n)
+	}
+	if Lit(-3).Formula().Eval(map[Var]bool{3: false}) != true {
+		t.Errorf("negative literal formula should be true when var false")
+	}
+}
+
+func TestStringWithNames(t *testing.T) {
+	names := map[Var]string{1: "cpu", 2: "mem"}
+	f := Or(Not(V(1)), V(2))
+	if got, want := f.StringWithNames(names), "!cpu | mem"; got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+// assignFromBits builds an assignment for vars 1..n from the low bits of seed.
+func assignFromBits(n int, seed uint64) map[Var]bool {
+	env := make(map[Var]bool, n)
+	for i := 0; i < n; i++ {
+		env[Var(i+1)] = seed&(1<<uint(i)) != 0
+	}
+	return env
+}
+
+// randomFormula deterministically builds a formula over vars 1..nvars
+// from a seed; used by the property tests below.
+func randomFormula(seed uint64, nvars, depth int) *Formula {
+	if depth == 0 || seed%7 == 0 {
+		v := Var(int(seed%uint64(nvars)) + 1)
+		if seed%2 == 0 {
+			return V(v)
+		}
+		return Not(V(v))
+	}
+	next := seed*6364136223846793005 + 1442695040888963407
+	a := randomFormula(next, nvars, depth-1)
+	b := randomFormula(next^0x9e3779b97f4a7c15, nvars, depth-1)
+	switch seed % 5 {
+	case 0:
+		return And(a, b)
+	case 1:
+		return Or(a, b)
+	case 2:
+		return Implies(a, b)
+	case 3:
+		return Iff(a, b)
+	default:
+		return Xor(a, b)
+	}
+}
+
+func TestPropertyDoubleNegationEval(t *testing.T) {
+	prop := func(seed uint64, bits uint64) bool {
+		f := randomFormula(seed, 4, 4)
+		env := assignFromBits(4, bits)
+		return Not(Not(f)).Eval(env) == f.Eval(env)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDeMorgan(t *testing.T) {
+	prop := func(seed uint64, bits uint64) bool {
+		a := randomFormula(seed, 4, 3)
+		b := randomFormula(seed^0xdeadbeef, 4, 3)
+		env := assignFromBits(4, bits)
+		return Not(And(a, b)).Eval(env) == Or(Not(a), Not(b)).Eval(env)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvalidVariablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("V(0) should panic")
+		}
+	}()
+	V(0)
+}
+
+func TestNNFStructure(t *testing.T) {
+	f := Not(And(V(1), Or(Not(V(2)), V(3))))
+	g := NNF(f)
+	if !IsNNF(g) {
+		t.Fatalf("NNF result not in NNF: %v", g)
+	}
+	// !(1 & (!2 | 3)) == !1 | (2 & !3)
+	if got, want := g.String(), "!x1 | (x2 & !x3)"; got != want {
+		t.Errorf("NNF = %q, want %q", got, want)
+	}
+}
+
+func TestNNFPreservesSemantics(t *testing.T) {
+	prop := func(seed uint64, bits uint64) bool {
+		f := randomFormula(seed, 4, 4)
+		g := NNF(f)
+		if !IsNNF(g) {
+			return false
+		}
+		env := assignFromBits(4, bits)
+		return f.Eval(env) == g.Eval(env)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsNNF(t *testing.T) {
+	if !IsNNF(And(V(1), Not(V(2)))) {
+		t.Error("literal conjunction is NNF")
+	}
+	if IsNNF(Not(And(V(1), V(2)))) {
+		t.Error("negated conjunction is not NNF")
+	}
+	if !IsNNF(True()) || !IsNNF(False()) {
+		t.Error("constants are NNF")
+	}
+}
+
+func TestNNFConstants(t *testing.T) {
+	if NNF(Not(True())) != False() {
+		t.Error("NNF(!true) should be false")
+	}
+	if NNF(Not(False())) != True() {
+		t.Error("NNF(!false) should be true")
+	}
+}

@@ -1,0 +1,72 @@
+package logic
+
+import "fmt"
+
+// NNF returns the negation normal form of f: negations appear only
+// directly on variables, with conjunction and disjunction as the only
+// connectives. The transformation applies De Morgan's laws top-down and
+// is linear in the size of the formula.
+func NNF(f *Formula) *Formula {
+	return nnf(f, false)
+}
+
+func nnf(f *Formula, negated bool) *Formula {
+	switch f.kind {
+	case KindTrue:
+		if negated {
+			return falseFormula
+		}
+		return trueFormula
+	case KindFalse:
+		if negated {
+			return trueFormula
+		}
+		return falseFormula
+	case KindVar:
+		if negated {
+			return Not(f)
+		}
+		return f
+	case KindNot:
+		return nnf(f.args[0], !negated)
+	case KindAnd:
+		args := make([]*Formula, len(f.args))
+		for i, a := range f.args {
+			args[i] = nnf(a, negated)
+		}
+		if negated {
+			return Or(args...)
+		}
+		return And(args...)
+	case KindOr:
+		args := make([]*Formula, len(f.args))
+		for i, a := range f.args {
+			args[i] = nnf(a, negated)
+		}
+		if negated {
+			return And(args...)
+		}
+		return Or(args...)
+	default:
+		panic(fmt.Sprintf("logic: unknown kind %v", f.kind))
+	}
+}
+
+// IsNNF reports whether f is in negation normal form.
+func IsNNF(f *Formula) bool {
+	switch f.kind {
+	case KindTrue, KindFalse, KindVar:
+		return true
+	case KindNot:
+		return f.args[0].kind == KindVar
+	case KindAnd, KindOr:
+		for _, a := range f.args {
+			if !IsNNF(a) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}

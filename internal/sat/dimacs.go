@@ -1,0 +1,142 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"llhsc/internal/logic"
+)
+
+// ParseDIMACS reads a CNF formula in DIMACS format ("p cnf <vars>
+// <clauses>" header, clauses as zero-terminated literal lists, 'c'
+// comment lines). It tolerates clauses spanning multiple lines and a
+// missing/underestimated header.
+func ParseDIMACS(r io.Reader) (*logic.CNF, error) {
+	cnf := &logic.CNF{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var current []logic.Lit
+	lineNum := 0
+	for sc.Scan() {
+		lineNum++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("dimacs line %d: malformed problem line %q", lineNum, line)
+			}
+			nvars, err := strconv.Atoi(fields[2])
+			if err != nil || nvars < 0 {
+				return nil, fmt.Errorf("dimacs line %d: bad variable count %q", lineNum, fields[2])
+			}
+			if nvars > cnf.NumVars {
+				cnf.NumVars = nvars
+			}
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("dimacs line %d: bad literal %q", lineNum, tok)
+			}
+			if v == 0 {
+				cnf.AddClause(current...)
+				current = nil
+				continue
+			}
+			current = append(current, logic.Lit(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(current) > 0 {
+		return nil, fmt.Errorf("dimacs: final clause not terminated with 0")
+	}
+	return cnf, nil
+}
+
+// WriteDIMACS writes the CNF in DIMACS format.
+func WriteDIMACS(w io.Writer, cnf *logic.CNF) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", cnf.NumVars, len(cnf.Clauses)); err != nil {
+		return err
+	}
+	for _, cl := range cnf.Clauses {
+		for _, l := range cl {
+			if _, err := fmt.Fprintf(bw, "%d ", int(l)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SolveDIMACS is a convenience: parse, solve, and return the status
+// plus (for Sat) the model as DIMACS-style literals.
+func SolveDIMACS(r io.Reader) (Status, []int, error) {
+	cnf, err := ParseDIMACS(r)
+	if err != nil {
+		return Unknown, nil, err
+	}
+	s := New()
+	s.AddCNF(cnf)
+	st := s.Solve()
+	if st != Sat {
+		return st, nil, nil
+	}
+	model := make([]int, cnf.NumVars)
+	for v := 1; v <= cnf.NumVars; v++ {
+		if s.Value(logic.Var(v)) {
+			model[v-1] = v
+		} else {
+			model[v-1] = -v
+		}
+	}
+	return st, model, nil
+}
+
+// DumpDIMACS writes the solver's current problem clauses (not learnt
+// clauses) in DIMACS format — useful for debugging encodings produced
+// by the SMT layer with external tools or cmd/satcheck.
+func (s *Solver) DumpDIMACS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	units := 0
+	for _, l := range s.trail {
+		if s.level[l.vari()] == 0 {
+			units++
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", len(s.assigns), len(s.clauses)+units); err != nil {
+		return err
+	}
+	// top-level facts first
+	for _, l := range s.trail {
+		if s.level[l.vari()] != 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%d 0\n", int(toLogic(l))); err != nil {
+			return err
+		}
+	}
+	for _, c := range s.clauses {
+		for _, l := range c.lits {
+			if _, err := fmt.Fprintf(bw, "%d ", int(toLogic(l))); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,133 @@
+package sat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"llhsc/internal/logic"
+)
+
+func TestParseDIMACS(t *testing.T) {
+	src := `
+c a simple satisfiable instance
+p cnf 3 3
+1 -2 0
+2 3 0
+-1 0
+`
+	cnf, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ParseDIMACS: %v", err)
+	}
+	if cnf.NumVars != 3 || len(cnf.Clauses) != 3 {
+		t.Fatalf("cnf = %d vars %d clauses", cnf.NumVars, len(cnf.Clauses))
+	}
+	st, model, err := SolveDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Sat {
+		t.Fatalf("status = %v", st)
+	}
+	// -1 forced; clause "1 -2" forces -2; clause "2 3" forces 3
+	if model[0] != -1 || model[1] != -2 || model[2] != 3 {
+		t.Errorf("model = %v", model)
+	}
+}
+
+func TestParseDIMACSMultiLineClause(t *testing.T) {
+	src := "p cnf 4 1\n1 2\n3 4 0\n"
+	cnf, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cnf.Clauses) != 1 || len(cnf.Clauses[0]) != 4 {
+		t.Errorf("clauses = %v", cnf.Clauses)
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{"bad header", "p dnf 1 1\n1 0\n"},
+		{"bad literal", "p cnf 1 1\nx 0\n"},
+		{"unterminated", "p cnf 2 1\n1 2\n"},
+		{"negative vars", "p cnf -5 1\n1 0\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseDIMACS(strings.NewReader(tt.src)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestWriteDIMACSRoundTrip(t *testing.T) {
+	var cnf logic.CNF
+	cnf.AddClause(1, -2, 3)
+	cnf.AddClause(-1)
+	cnf.AddClause(2, -3)
+
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, &cnf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVars != cnf.NumVars || len(back.Clauses) != len(cnf.Clauses) {
+		t.Fatalf("round trip changed shape: %+v vs %+v", back, cnf)
+	}
+	for i, cl := range cnf.Clauses {
+		if len(back.Clauses[i]) != len(cl) {
+			t.Fatalf("clause %d changed", i)
+		}
+		for j, l := range cl {
+			if back.Clauses[i][j] != l {
+				t.Fatalf("clause %d literal %d changed", i, j)
+			}
+		}
+	}
+}
+
+func TestSolveDIMACSUnsat(t *testing.T) {
+	src := "p cnf 1 2\n1 0\n-1 0\n"
+	st, model, err := SolveDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Unsat || model != nil {
+		t.Errorf("status = %v model = %v", st, model)
+	}
+}
+
+func TestDumpDIMACS(t *testing.T) {
+	s := New()
+	s.AddClause(1, -2, 3)
+	s.AddClause(-3) // becomes a top-level fact
+	s.AddClause(2, 4)
+
+	var buf bytes.Buffer
+	if err := s.DumpDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatalf("dump not parseable: %v", err)
+	}
+	// the dumped instance must have the same satisfiability and force
+	// the same top-level facts
+	s2 := New()
+	s2.AddCNF(back)
+	if got, want := s2.Solve(), s.Solve(); got != want {
+		t.Fatalf("dump verdict %v != original %v", got, want)
+	}
+	if s2.Value(3) {
+		t.Error("dumped instance lost the unit fact -3")
+	}
+}

@@ -1,0 +1,150 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"llhsc/internal/logic"
+)
+
+// TestIncrementalInterleavingStress interleaves AddClause and Solve
+// (with random assumptions) on one solver, cross-validating every
+// verdict against brute force over the clauses added so far.
+func TestIncrementalInterleavingStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for round := 0; round < 30; round++ {
+		nvars := 4 + rng.Intn(6)
+		s := New()
+		var clauses [][]logic.Lit
+		dead := false // top-level contradiction reached
+
+		for step := 0; step < 40; step++ {
+			if rng.Intn(3) != 0 {
+				// add a random clause of length 1..3
+				k := 1 + rng.Intn(3)
+				cl := make([]logic.Lit, k)
+				for i := range cl {
+					v := logic.Lit(rng.Intn(nvars) + 1)
+					if rng.Intn(2) == 0 {
+						v = -v
+					}
+					cl[i] = v
+				}
+				clauses = append(clauses, cl)
+				if !s.AddClause(cl...) {
+					dead = true
+				}
+				continue
+			}
+
+			// solve under random assumptions
+			nass := rng.Intn(3)
+			assumptions := make([]logic.Lit, 0, nass)
+			for i := 0; i < nass; i++ {
+				v := logic.Lit(rng.Intn(nvars) + 1)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				assumptions = append(assumptions, v)
+			}
+			got := s.Solve(assumptions...)
+
+			all := append([][]logic.Lit{}, clauses...)
+			for _, a := range assumptions {
+				all = append(all, []logic.Lit{a})
+			}
+			want := bruteForceSat(all, nvars)
+			if want && got != Sat {
+				t.Fatalf("round %d step %d: got %v, want Sat (dead=%v)", round, step, got, dead)
+			}
+			if !want && got != Unsat {
+				t.Fatalf("round %d step %d: got %v, want Unsat", round, step, got)
+			}
+		}
+	}
+}
+
+// TestFailedAssumptionsAreSufficient verifies the unsat-core property:
+// the returned failed assumptions alone (as units) must already be
+// unsatisfiable with the clause set.
+func TestFailedAssumptionsAreSufficient(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for round := 0; round < 60; round++ {
+		nvars := 4 + rng.Intn(5)
+		cls := genRandom3SAT(rng, nvars, nvars*3)
+		s := New()
+		for _, cl := range cls {
+			s.AddClause(cl...)
+		}
+		// assume every variable with a random polarity: likely unsat
+		assumptions := make([]logic.Lit, nvars)
+		for i := range assumptions {
+			l := logic.Lit(i + 1)
+			if rng.Intn(2) == 0 {
+				l = -l
+			}
+			assumptions[i] = l
+		}
+		if s.Solve(assumptions...) != Unsat {
+			continue
+		}
+		failed := s.FailedAssumptions()
+		if len(failed) == 0 {
+			// the clause set itself is unsat at top level
+			if s.Solve() != Unsat {
+				t.Fatalf("round %d: empty core but clauses satisfiable", round)
+			}
+			continue
+		}
+		// the core must be a subset of the assumptions
+		set := make(map[logic.Lit]bool, len(assumptions))
+		for _, a := range assumptions {
+			set[a] = true
+		}
+		for _, f := range failed {
+			if !set[f] {
+				t.Fatalf("round %d: core literal %d is not an assumption", round, f)
+			}
+		}
+		// clauses + core must be unsat (checked with a fresh solver)
+		s2 := New()
+		for _, cl := range cls {
+			s2.AddClause(cl...)
+		}
+		if got := s2.Solve(failed...); got != Unsat {
+			t.Fatalf("round %d: core %v is not sufficient (got %v)", round, failed, got)
+		}
+	}
+}
+
+// TestModelStableAcrossResolve ensures a solved instance re-solves to
+// the same verdict and a valid model after more Solve calls.
+func TestModelStableAcrossResolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	nvars := 8
+	cls := genRandom3SAT(rng, nvars, 20)
+	s := New()
+	for _, cl := range cls {
+		s.AddClause(cl...)
+	}
+	first := s.Solve()
+	for i := 0; i < 5; i++ {
+		if got := s.Solve(); got != first {
+			t.Fatalf("verdict changed on re-solve: %v -> %v", first, got)
+		}
+		if first == Sat {
+			for ci, cl := range cls {
+				ok := false
+				for _, l := range cl {
+					if s.Value(l.Var()) == l.Positive() {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("re-solve %d: model violates clause %d", i, ci)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,307 @@
+// Package schema reimplements the dt-schema subset the llhsc paper uses
+// as its baseline (Section IV-B and the comparisons of Sections I and
+// IV-C): binding schemas that select device nodes by name or compatible
+// string and constrain their properties structurally (required
+// properties, constant values, enums, item counts, reg arity derived
+// from the parent's cell sizes, and name patterns).
+//
+// The structural Validate in this package is the *baseline* checker:
+// by design it accepts the address-clash and truncation faults that
+// llhsc's SMT-based semantic checker catches (experiments E5/E6/E10 in
+// DESIGN.md).
+package schema
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+
+	"llhsc/internal/dts"
+)
+
+// PropType constrains the syntactic shape of a property value.
+type PropType int
+
+// Property value types.
+const (
+	TypeAny    PropType = iota // no shape constraint
+	TypeString                 // one or more strings
+	TypeU32                    // exactly one cell
+	TypeCells                  // one or more cells
+	TypeBytes                  // byte array
+	TypeFlag                   // empty marker property
+)
+
+func (t PropType) String() string {
+	switch t {
+	case TypeAny:
+		return "any"
+	case TypeString:
+		return "string"
+	case TypeU32:
+		return "u32"
+	case TypeCells:
+		return "cells"
+	case TypeBytes:
+		return "bytes"
+	case TypeFlag:
+		return "flag"
+	default:
+		return fmt.Sprintf("PropType(%d)", int(t))
+	}
+}
+
+// PropSchema constrains one property.
+type PropSchema struct {
+	Type     PropType
+	Const    string         // exact string value ("" = unconstrained)
+	ConstU32 *uint32        // exact cell value
+	Enum     []string       // allowed string values
+	Pattern  *regexp.Regexp // string value pattern
+	MinItems int            // minimum items (0 = unconstrained)
+	MaxItems int            // maximum items (0 = unconstrained)
+	// RegLike derives the item granularity from the parent node's
+	// #address-cells + #size-cells: the cell count must be a multiple
+	// of that sum, and Min/MaxItems count (address,size) tuples. This
+	// mirrors dt-schema's reg handling — and inherits its weakness:
+	// any multiple passes, even after a cell-size change (the paper's
+	// truncation example).
+	RegLike bool
+}
+
+// Select decides which nodes a schema applies to.
+type Select struct {
+	NodeName   string   // match on node base name (without unit address)
+	Compatible []string // match if the node's compatible list intersects
+}
+
+// Matches reports whether the selector applies to the node.
+func (s Select) Matches(n *dts.Node) bool {
+	if s.NodeName != "" && n.BaseName() == s.NodeName {
+		return true
+	}
+	if len(s.Compatible) > 0 {
+		for _, c := range n.Compatible() {
+			for _, want := range s.Compatible {
+				if c == want {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Schema is one binding schema.
+type Schema struct {
+	ID         string
+	Select     Select
+	Properties map[string]*PropSchema
+	Required   []string
+	// AdditionalProperties, when false, rejects properties not listed
+	// in Properties (beyond the standard set).
+	AdditionalProperties bool
+}
+
+// standardProperties are always acceptable regardless of schema.
+var standardProperties = map[string]bool{
+	"#address-cells": true,
+	"#size-cells":    true,
+	"compatible":     true,
+	"status":         true,
+	"phandle":        true,
+	"device_type":    true,
+	"reg":            true,
+}
+
+// Violation is one structural check failure.
+type Violation struct {
+	Path     string // node path
+	Property string // offending property ("" for node-level problems)
+	SchemaID string
+	Message  string
+	Origin   dts.Origin
+}
+
+func (v Violation) String() string {
+	if v.Property != "" {
+		return fmt.Sprintf("%s: property %s: %s (schema %s)", v.Path, v.Property, v.Message, v.SchemaID)
+	}
+	return fmt.Sprintf("%s: %s (schema %s)", v.Path, v.Message, v.SchemaID)
+}
+
+// Set is a collection of schemas applied together.
+type Set struct {
+	Schemas []*Schema
+}
+
+// Add appends a schema to the set.
+func (s *Set) Add(sc *Schema) { s.Schemas = append(s.Schemas, sc) }
+
+// For returns the schemas applicable to a node.
+func (s *Set) For(n *dts.Node) []*Schema {
+	var out []*Schema
+	for _, sc := range s.Schemas {
+		if sc.Select.Matches(n) {
+			out = append(out, sc)
+		}
+	}
+	return out
+}
+
+// Validate structurally checks every node of the tree against the
+// applicable schemas and returns all violations, deterministically
+// ordered. This is the dt-schema-equivalent baseline: it performs no
+// cross-node reasoning.
+func (s *Set) Validate(t *dts.Tree) []Violation {
+	var out []Violation
+	var walk func(parent *dts.Node, path string)
+	walk = func(parent *dts.Node, path string) {
+		for _, n := range parent.Children {
+			childPath := path + "/" + n.Name
+			for _, sc := range s.For(n) {
+				out = append(out, sc.check(n, parent, childPath)...)
+			}
+			walk(n, childPath)
+		}
+	}
+	walk(t.Root, "")
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Path != out[j].Path {
+			return out[i].Path < out[j].Path
+		}
+		return out[i].Property < out[j].Property
+	})
+	return out
+}
+
+func (sc *Schema) check(n, parent *dts.Node, path string) []Violation {
+	var out []Violation
+	report := func(prop, format string, args ...interface{}) {
+		v := Violation{
+			Path: path, Property: prop, SchemaID: sc.ID,
+			Message: fmt.Sprintf(format, args...),
+			Origin:  n.Origin,
+		}
+		if p := n.Property(prop); p != nil {
+			v.Origin = p.Origin
+		}
+		out = append(out, v)
+	}
+
+	for _, req := range sc.Required {
+		if n.Property(req) == nil {
+			report(req, "required property is missing")
+		}
+	}
+
+	for name, ps := range sc.Properties {
+		p := n.Property(name)
+		if p == nil {
+			continue
+		}
+		out = append(out, ps.check(p, n, parent, path, sc.ID)...)
+	}
+
+	if !sc.AdditionalProperties && len(sc.Properties) > 0 {
+		for _, p := range n.Properties {
+			if _, ok := sc.Properties[p.Name]; ok {
+				continue
+			}
+			if standardProperties[p.Name] || strings.HasPrefix(p.Name, "#") {
+				continue
+			}
+			report(p.Name, "property not allowed by schema")
+		}
+	}
+	return out
+}
+
+func (ps *PropSchema) check(p *dts.Property, n, parent *dts.Node, path, schemaID string) []Violation {
+	var out []Violation
+	report := func(format string, args ...interface{}) {
+		out = append(out, Violation{
+			Path: path, Property: p.Name, SchemaID: schemaID,
+			Message: fmt.Sprintf(format, args...),
+			Origin:  p.Origin,
+		})
+	}
+
+	strs := p.Value.Strings()
+	cells := p.Value.U32s()
+
+	switch ps.Type {
+	case TypeString:
+		if len(strs) == 0 {
+			report("expected a string value")
+		}
+	case TypeU32:
+		if len(cells) != 1 {
+			report("expected exactly one cell, found %d", len(cells))
+		}
+	case TypeCells:
+		if len(cells) == 0 {
+			report("expected a cell array")
+		}
+	case TypeBytes:
+		if len(p.Value.Bytes()) == 0 {
+			report("expected a byte array")
+		}
+	case TypeFlag:
+		if !p.Value.IsEmpty() {
+			report("expected an empty marker property")
+		}
+	}
+
+	if ps.Const != "" {
+		if len(strs) == 0 || strs[0] != ps.Const {
+			got := "<none>"
+			if len(strs) > 0 {
+				got = strs[0]
+			}
+			report("value %q does not match const %q", got, ps.Const)
+		}
+	}
+	if ps.ConstU32 != nil {
+		if len(cells) == 0 || cells[0] != *ps.ConstU32 {
+			report("cell value does not match const %d", *ps.ConstU32)
+		}
+	}
+	if len(ps.Enum) > 0 && len(strs) > 0 {
+		ok := false
+		for _, e := range ps.Enum {
+			if strs[0] == e {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			report("value %q not in enum %v", strs[0], ps.Enum)
+		}
+	}
+	if ps.Pattern != nil && len(strs) > 0 && !ps.Pattern.MatchString(strs[0]) {
+		report("value %q does not match pattern %s", strs[0], ps.Pattern)
+	}
+
+	items := len(cells)
+	if ps.RegLike {
+		stride := parent.AddressCells() + parent.SizeCells()
+		if stride == 0 {
+			stride = 1
+		}
+		if len(cells)%stride != 0 {
+			report("reg has %d cells, not a multiple of #address-cells+#size-cells (%d)",
+				len(cells), stride)
+			return out
+		}
+		items = len(cells) / stride
+	}
+	if ps.MinItems > 0 && items < ps.MinItems {
+		report("%d items, schema requires at least %d", items, ps.MinItems)
+	}
+	if ps.MaxItems > 0 && items > ps.MaxItems {
+		report("%d items, schema allows at most %d", items, ps.MaxItems)
+	}
+	return out
+}

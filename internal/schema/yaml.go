@@ -1,0 +1,174 @@
+package schema
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements a deliberately small YAML-subset reader — just
+// enough for dt-schema-style binding files: nested maps by indentation,
+// block lists ("- item"), and scalar strings/integers/booleans. Flow
+// syntax, anchors, multi-document streams and multi-line scalars are
+// out of scope (DESIGN.md §6).
+
+// yamlValue is map[string]interface{}, []interface{}, string, int64 or bool.
+type yamlValue interface{}
+
+type yamlError struct {
+	line int
+	msg  string
+}
+
+func (e *yamlError) Error() string {
+	return fmt.Sprintf("yaml line %d: %s", e.line, e.msg)
+}
+
+type yamlLine struct {
+	indent int
+	text   string // content without indentation
+	num    int    // 1-based source line
+}
+
+// parseYAML parses the subset described above into a yamlValue.
+func parseYAML(src string) (yamlValue, error) {
+	var lines []yamlLine
+	for i, raw := range strings.Split(src, "\n") {
+		// strip comments (a # that is not inside a quoted string; our
+		// subset has no quoted strings containing #)
+		if idx := strings.Index(raw, "#"); idx >= 0 {
+			raw = raw[:idx]
+		}
+		trimmed := strings.TrimRight(raw, " \t")
+		if strings.TrimSpace(trimmed) == "" {
+			continue
+		}
+		indent := 0
+		for indent < len(trimmed) && trimmed[indent] == ' ' {
+			indent++
+		}
+		if strings.HasPrefix(trimmed[indent:], "\t") {
+			return nil, &yamlError{line: i + 1, msg: "tabs are not allowed for indentation"}
+		}
+		lines = append(lines, yamlLine{indent: indent, text: trimmed[indent:], num: i + 1})
+	}
+	if len(lines) == 0 {
+		return map[string]yamlValue{}, nil
+	}
+	v, rest, err := parseBlock(lines, lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) > 0 {
+		return nil, &yamlError{line: rest[0].num, msg: "unexpected dedent/content"}
+	}
+	return v, nil
+}
+
+// parseBlock parses consecutive lines at exactly the given indent.
+func parseBlock(lines []yamlLine, indent int) (yamlValue, []yamlLine, error) {
+	if len(lines) == 0 {
+		return nil, lines, nil
+	}
+	if strings.HasPrefix(lines[0].text, "- ") || lines[0].text == "-" {
+		return parseList(lines, indent)
+	}
+	return parseMap(lines, indent)
+}
+
+func parseList(lines []yamlLine, indent int) (yamlValue, []yamlLine, error) {
+	var out []yamlValue
+	for len(lines) > 0 {
+		l := lines[0]
+		if l.indent != indent || !strings.HasPrefix(l.text, "-") {
+			break
+		}
+		item := strings.TrimSpace(strings.TrimPrefix(l.text, "-"))
+		lines = lines[1:]
+		if item == "" {
+			// nested block under the dash
+			if len(lines) == 0 || lines[0].indent <= indent {
+				return nil, nil, &yamlError{line: l.num, msg: "empty list item"}
+			}
+			v, rest, err := parseBlock(lines, lines[0].indent)
+			if err != nil {
+				return nil, nil, err
+			}
+			out = append(out, v)
+			lines = rest
+			continue
+		}
+		if strings.HasSuffix(item, ":") || strings.Contains(item, ": ") {
+			// inline map entry: "- key: value" — parse the remainder as
+			// a map whose first line is the item.
+			sub := append([]yamlLine{{indent: indent + 2, text: item, num: l.num}}, lines...)
+			// collect following deeper lines as part of the map
+			v, rest, err := parseMap(sub, indent+2)
+			if err != nil {
+				return nil, nil, err
+			}
+			out = append(out, v)
+			lines = rest
+			continue
+		}
+		out = append(out, parseScalar(item))
+	}
+	return out, lines, nil
+}
+
+func parseMap(lines []yamlLine, indent int) (yamlValue, []yamlLine, error) {
+	out := make(map[string]yamlValue)
+	for len(lines) > 0 {
+		l := lines[0]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, nil, &yamlError{line: l.num, msg: "unexpected indentation"}
+		}
+		if strings.HasPrefix(l.text, "- ") {
+			break
+		}
+		colon := strings.Index(l.text, ":")
+		if colon < 0 {
+			return nil, nil, &yamlError{line: l.num, msg: "expected 'key: value'"}
+		}
+		key := strings.TrimSpace(l.text[:colon])
+		valText := strings.TrimSpace(l.text[colon+1:])
+		lines = lines[1:]
+		if valText != "" {
+			out[key] = parseScalar(valText)
+			continue
+		}
+		// nested block
+		if len(lines) == 0 || lines[0].indent <= indent {
+			out[key] = nil // empty value
+			continue
+		}
+		v, rest, err := parseBlock(lines, lines[0].indent)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[key] = v
+		lines = rest
+	}
+	return out, lines, nil
+}
+
+func parseScalar(s string) yamlValue {
+	if len(s) >= 2 {
+		if s[0] == '"' && s[len(s)-1] == '"' || s[0] == '\'' && s[len(s)-1] == '\'' {
+			return s[1 : len(s)-1]
+		}
+	}
+	switch s {
+	case "true":
+		return true
+	case "false":
+		return false
+	}
+	if n, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return n
+	}
+	return s
+}

@@ -1,0 +1,287 @@
+// Package service exposes the llhsc pipeline as an HTTP API, mirroring
+// the paper's artifact: "Our llhsc checker was initially designed as a
+// tool but has since evolved into a cloud service" (Section V). The
+// service accepts a product line (core DTS, includes, deltas, feature
+// model, per-VM selections) and returns the full check report plus the
+// generated artifacts.
+//
+// Endpoints:
+//
+//	GET  /healthz   liveness probe
+//	GET  /example   the paper's running example as a ready-made request
+//	POST /check     run the pipeline; body and response are JSON
+//	POST /lint      check a single DTS (structural + optional semantic)
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"llhsc/internal/constraints"
+	"llhsc/internal/core"
+	"llhsc/internal/delta"
+	"llhsc/internal/dts"
+	"llhsc/internal/featmodel"
+	"llhsc/internal/runningexample"
+	"llhsc/internal/schema"
+)
+
+// CheckRequest is the JSON body of POST /check.
+type CheckRequest struct {
+	// CoreDTS is the core-module DeviceTree source (Listing 1).
+	CoreDTS string `json:"coreDts"`
+	// Includes maps include names to contents (e.g. "cpus.dtsi").
+	Includes map[string]string `json:"includes,omitempty"`
+	// Deltas is the delta-module source (Listing 4 syntax).
+	Deltas string `json:"deltas"`
+	// FeatureModel is the textual feature model (Fig. 1a).
+	FeatureModel string `json:"featureModel"`
+	// VMs selects the features of each VM product; abstract ancestors
+	// are implied automatically.
+	VMs [][]string `json:"vms"`
+}
+
+// Violation is the JSON form of a constraint violation.
+type Violation struct {
+	Path     string `json:"path,omitempty"`
+	Property string `json:"property,omitempty"`
+	Rule     string `json:"rule"`
+	Message  string `json:"message"`
+	Delta    string `json:"delta,omitempty"`
+}
+
+// VMResult is the JSON form of one VM's outcome.
+type VMResult struct {
+	Name       string      `json:"name"`
+	Deltas     []string    `json:"deltas"`
+	DTS        string      `json:"dts"`
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// CheckResponse is the JSON response of POST /check.
+type CheckResponse struct {
+	OK         bool        `json:"ok"`
+	Allocation []Violation `json:"allocation,omitempty"`
+	VMs        []VMResult  `json:"vms"`
+	Platform   VMResult    `json:"platform"`
+
+	PlatformC       string   `json:"platformC,omitempty"`
+	ConfigC         string   `json:"configC,omitempty"`
+	JailhouseRootC  string   `json:"jailhouseRootC,omitempty"`
+	JailhouseCellsC []string `json:"jailhouseCellsC,omitempty"`
+	QEMUArgs        []string `json:"qemuArgs,omitempty"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP handler.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", handleHealthz)
+	mux.HandleFunc("/example", handleExample)
+	mux.HandleFunc("/check", handleCheck)
+	mux.HandleFunc("/lint", handleLint)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// Encoding of our plain structs cannot fail; ignore the writer error
+	// (the client has gone away).
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleExample returns the running example as a request body, so
+// clients can GET /example and POST the result to /check unchanged.
+func handleExample(w http.ResponseWriter, r *http.Request) {
+	model, err := runningexample.Model()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CheckRequest{
+		CoreDTS:      runningexample.CoreDTS,
+		Includes:     map[string]string{"cpus.dtsi": runningexample.CPUsDTSI},
+		Deltas:       runningexample.DeltasSource,
+		FeatureModel: model.Format(),
+		VMs: [][]string{
+			runningexample.VM1Config().Sorted(),
+			runningexample.VM2Config().Sorted(),
+		},
+	})
+}
+
+func handleCheck(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req CheckRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	resp, status, err := runCheck(&req)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func runCheck(req *CheckRequest) (*CheckResponse, int, error) {
+	if req.CoreDTS == "" || req.Deltas == "" || req.FeatureModel == "" || len(req.VMs) == 0 {
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("coreDts, deltas, featureModel and vms are all required")
+	}
+	includer := dts.MapIncluder(req.Includes)
+	tree, err := dts.Parse("core.dts", req.CoreDTS, dts.WithIncluder(includer))
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, fmt.Errorf("core DTS: %w", err)
+	}
+	deltas, err := delta.Parse("deltas", req.Deltas)
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, fmt.Errorf("deltas: %w", err)
+	}
+	model, err := featmodel.ParseModel("featuremodel", req.FeatureModel)
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, fmt.Errorf("feature model: %w", err)
+	}
+	configs := make([]featmodel.Configuration, len(req.VMs))
+	for i, names := range req.VMs {
+		cfg := featmodel.ConfigOf(names...)
+		for name := range cfg {
+			if model.Feature(name) == nil {
+				return nil, http.StatusUnprocessableEntity,
+					fmt.Errorf("vm %d selects unknown feature %q", i+1, name)
+			}
+			for p := model.Parent(name); p != nil; p = model.Parent(p.Name) {
+				cfg[p.Name] = true
+			}
+		}
+		cfg[model.Root.Name] = true
+		configs[i] = cfg
+	}
+
+	pipeline := &core.Pipeline{
+		Core:      tree,
+		Deltas:    deltas,
+		Model:     model,
+		Schemas:   schema.StandardSet(),
+		VMConfigs: configs,
+	}
+	report, err := pipeline.Run()
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+
+	resp := &CheckResponse{
+		OK:         report.OK(),
+		Allocation: toViolations(report.Allocation),
+		Platform: VMResult{
+			Name:       "platform",
+			Deltas:     report.Platform.Trace,
+			DTS:        report.Platform.DTS,
+			Violations: toViolations(report.Platform.Violations),
+		},
+		PlatformC:       report.PlatformC,
+		ConfigC:         report.ConfigC,
+		JailhouseRootC:  report.JailhouseRootC,
+		JailhouseCellsC: report.JailhouseCellsC,
+		QEMUArgs:        report.QEMUArgs,
+	}
+	for _, vm := range report.VMs {
+		resp.VMs = append(resp.VMs, VMResult{
+			Name:       vm.Name,
+			Deltas:     vm.Trace,
+			DTS:        vm.DTS,
+			Violations: toViolations(vm.Violations),
+		})
+	}
+	return resp, http.StatusOK, nil
+}
+
+func toViolations(vs []constraints.Violation) []Violation {
+	out := make([]Violation, 0, len(vs))
+	for _, v := range vs {
+		out = append(out, Violation{
+			Path:     v.Path,
+			Property: v.Property,
+			Rule:     v.Rule,
+			Message:  v.Message,
+			Delta:    v.Origin.Delta,
+		})
+	}
+	return out
+}
+
+// LintRequest is the JSON body of POST /lint: a single DTS (plus
+// includes) checked without a product line.
+type LintRequest struct {
+	DTS      string            `json:"dts"`
+	Includes map[string]string `json:"includes,omitempty"`
+	// Semantic enables the SMT-based overlap/interrupt/memreserve
+	// checks in addition to the structural baseline.
+	Semantic bool `json:"semantic"`
+}
+
+// LintResponse is the JSON response of POST /lint.
+type LintResponse struct {
+	OK         bool        `json:"ok"`
+	Warnings   []string    `json:"warnings,omitempty"`   // dtc-style lint
+	Structural []Violation `json:"structural,omitempty"` // dt-schema baseline
+	Semantic   []Violation `json:"semantic,omitempty"`   // SMT-based checks
+}
+
+func handleLint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req LintRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if req.DTS == "" {
+		writeError(w, http.StatusBadRequest, "dts is required")
+		return
+	}
+	tree, err := dts.Parse("input.dts", req.DTS, dts.WithIncluder(dts.MapIncluder(req.Includes)))
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	resp := &LintResponse{}
+	for _, lw := range tree.Lint() {
+		resp.Warnings = append(resp.Warnings, lw.String())
+	}
+	for _, v := range schema.StandardSet().Validate(tree) {
+		resp.Structural = append(resp.Structural, Violation{
+			Path: v.Path, Property: v.Property, Rule: v.SchemaID, Message: v.Message,
+		})
+	}
+	if req.Semantic {
+		_, semViolations := constraints.NewSemanticChecker().Check(tree)
+		semViolations = append(semViolations, constraints.InterruptChecker{}.Check(tree)...)
+		semViolations = append(semViolations, constraints.MemReserveChecker{}.Check(tree)...)
+		resp.Semantic = toViolations(semViolations)
+	}
+	resp.OK = len(resp.Warnings) == 0 && len(resp.Structural) == 0 && len(resp.Semantic) == 0
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,246 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, url string, out interface{}) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+	}
+	return resp
+}
+
+func postJSON(t *testing.T, url string, body interface{}, out interface{}) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+	}
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	srv := newServer(t)
+	var out map[string]string
+	resp := getJSON(t, srv.URL+"/healthz", &out)
+	if resp.StatusCode != http.StatusOK || out["status"] != "ok" {
+		t.Errorf("healthz = %d %v", resp.StatusCode, out)
+	}
+}
+
+func TestExampleRoundTripsThroughCheck(t *testing.T) {
+	// The artifact flow: GET /example, POST it to /check, expect a
+	// passing report with the Listing 3/6 artifacts.
+	srv := newServer(t)
+	var req CheckRequest
+	if resp := getJSON(t, srv.URL+"/example", &req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/example status %d", resp.StatusCode)
+	}
+	if req.CoreDTS == "" || len(req.VMs) != 2 {
+		t.Fatalf("example request incomplete: %+v", req)
+	}
+
+	var out CheckResponse
+	if resp := postJSON(t, srv.URL+"/check", req, &out); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/check status %d", resp.StatusCode)
+	}
+	if !out.OK {
+		t.Fatalf("running example rejected: %+v", out)
+	}
+	if len(out.VMs) != 2 {
+		t.Fatalf("VMs = %d", len(out.VMs))
+	}
+	if !strings.Contains(out.PlatformC, ".cpu_num = 2") {
+		t.Error("platform C missing")
+	}
+	if !strings.Contains(out.ConfigC, ".vmlist_size = 2") {
+		t.Error("config C missing")
+	}
+	if !strings.Contains(out.JailhouseRootC, "JAILHOUSE_SYSTEM_SIGNATURE") {
+		t.Error("jailhouse root missing")
+	}
+	if len(out.JailhouseCellsC) != 2 {
+		t.Error("jailhouse cells missing")
+	}
+}
+
+func TestCheckReportsViolationsWithBlame(t *testing.T) {
+	srv := newServer(t)
+	var req CheckRequest
+	getJSON(t, srv.URL+"/example", &req)
+	// inject the clash delta (Section I-A through the product line)
+	req.Deltas += `
+delta clash after d6 when uart1 && (veth0 || veth1) {
+    modifies uart@30000000 {
+        reg = <0x60000000 0x1000>;
+    }
+}
+`
+	var out CheckResponse
+	resp := postJSON(t, srv.URL+"/check", req, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/check status %d", resp.StatusCode)
+	}
+	if out.OK {
+		t.Fatal("clash not detected")
+	}
+	blamed := false
+	for _, vm := range out.VMs {
+		for _, v := range vm.Violations {
+			if v.Rule == "semantic:overlap" && v.Delta == "clash" {
+				blamed = true
+			}
+		}
+	}
+	if !blamed {
+		t.Errorf("no violation blamed on delta 'clash': %+v", out.VMs)
+	}
+	if out.ConfigC != "" {
+		t.Error("artifacts must not be generated on failure")
+	}
+}
+
+func TestCheckInputValidation(t *testing.T) {
+	srv := newServer(t)
+
+	t.Run("empty body fields", func(t *testing.T) {
+		var out errorResponse
+		resp := postJSON(t, srv.URL+"/check", CheckRequest{}, &out)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("status = %d", resp.StatusCode)
+		}
+	})
+
+	t.Run("bad JSON", func(t *testing.T) {
+		resp, err := http.Post(srv.URL+"/check", "application/json",
+			strings.NewReader("{not json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("status = %d", resp.StatusCode)
+		}
+	})
+
+	t.Run("GET not allowed", func(t *testing.T) {
+		resp := getJSON(t, srv.URL+"/check", nil)
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("status = %d", resp.StatusCode)
+		}
+	})
+
+	t.Run("broken DTS", func(t *testing.T) {
+		var req CheckRequest
+		getJSON(t, srv.URL+"/example", &req)
+		req.CoreDTS = "/ { broken"
+		var out errorResponse
+		resp := postJSON(t, srv.URL+"/check", req, &out)
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Errorf("status = %d (%+v)", resp.StatusCode, out)
+		}
+	})
+
+	t.Run("unknown feature", func(t *testing.T) {
+		var req CheckRequest
+		getJSON(t, srv.URL+"/example", &req)
+		req.VMs = [][]string{{"ghost-feature"}}
+		var out errorResponse
+		resp := postJSON(t, srv.URL+"/check", req, &out)
+		if resp.StatusCode != http.StatusUnprocessableEntity ||
+			!strings.Contains(out.Error, "ghost-feature") {
+			t.Errorf("status = %d err = %q", resp.StatusCode, out.Error)
+		}
+	})
+}
+
+func TestLintEndpoint(t *testing.T) {
+	srv := newServer(t)
+
+	clean := LintRequest{DTS: `
+/dts-v1/;
+/ {
+	#address-cells = <1>;
+	#size-cells = <1>;
+	memory@40000000 {
+		device_type = "memory";
+		reg = <0x40000000 0x1000>;
+	};
+};
+`, Semantic: true}
+	var out LintResponse
+	if resp := postJSON(t, srv.URL+"/lint", clean, &out); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !out.OK {
+		t.Errorf("clean DTS flagged: %+v", out)
+	}
+
+	dirty := LintRequest{DTS: `
+/dts-v1/;
+/ {
+	#address-cells = <1>;
+	#size-cells = <1>;
+	memory@40000000 {
+		device_type = "memory";
+		reg = <0x40000000 0x20000000>;
+	};
+	uart@40000000 { compatible = "ns16550a"; reg = <0x40000000 0x1000>; };
+};
+`, Semantic: true}
+	out = LintResponse{}
+	postJSON(t, srv.URL+"/lint", dirty, &out)
+	if out.OK || len(out.Semantic) == 0 {
+		t.Errorf("overlap not reported: %+v", out)
+	}
+
+	// structural-only run must accept the same input
+	dirty.Semantic = false
+	out = LintResponse{}
+	postJSON(t, srv.URL+"/lint", dirty, &out)
+	if !out.OK {
+		t.Errorf("structural-only lint should accept the overlap: %+v", out)
+	}
+
+	// bad input
+	var errOut errorResponse
+	resp := postJSON(t, srv.URL+"/lint", LintRequest{}, &errOut)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty dts status = %d", resp.StatusCode)
+	}
+	resp = postJSON(t, srv.URL+"/lint", LintRequest{DTS: "/ {"}, &errOut)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("broken dts status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,376 @@
+package smt
+
+import (
+	"fmt"
+
+	"llhsc/internal/logic"
+)
+
+// This file implements bit-blasting: the translation of Boolean,
+// bit-vector and finite-domain string terms into CNF over the
+// underlying SAT solver. Gate clauses are definitional equivalences
+// (they never constrain their inputs on their own) and are therefore
+// added permanently, outside any assertion frame — safe across
+// Push/Pop and reused by every later assertion thanks to the caches.
+
+// blastBool compiles a Boolean term into a literal.
+func (s *Solver) blastBool(t *Term) logic.Lit {
+	s.ctx.wantSort(t, SortBool)
+	if l, ok := s.boolLits[t.id]; ok {
+		return l
+	}
+	var l logic.Lit
+	switch t.op {
+	case OpTrue:
+		l = s.trueLit
+	case OpFalse:
+		l = s.trueLit.Neg()
+	case OpBoolVar:
+		v, ok := s.varLits[t.name]
+		if !ok {
+			v = s.fresh()
+			s.varLits[t.name] = v
+		}
+		l = v
+	case OpNot:
+		l = s.blastBool(t.args[0]).Neg()
+	case OpAnd:
+		lits := make([]logic.Lit, len(t.args))
+		for i, a := range t.args {
+			lits[i] = s.blastBool(a)
+		}
+		l = s.andGate(lits)
+	case OpOr:
+		lits := make([]logic.Lit, len(t.args))
+		for i, a := range t.args {
+			lits[i] = s.blastBool(a)
+		}
+		l = s.orGate(lits)
+	case OpIte:
+		c := s.blastBool(t.args[0])
+		a := s.blastBool(t.args[1])
+		b := s.blastBool(t.args[2])
+		l = s.muxGate(c, a, b)
+	case OpEq:
+		l = s.blastEq(t.args[0], t.args[1])
+	case OpBVUlt:
+		l = s.blastCompare(t.args[0], t.args[1], true)
+	case OpBVUle:
+		l = s.blastCompare(t.args[0], t.args[1], false)
+	default:
+		panic(fmt.Sprintf("smt: cannot blast Boolean term %s", t))
+	}
+	s.boolLits[t.id] = l
+	return l
+}
+
+func (s *Solver) blastEq(a, b *Term) logic.Lit {
+	switch a.sort {
+	case SortBool:
+		return s.iffGate(s.blastBool(a), s.blastBool(b))
+	case SortBV:
+		ab := s.blastBV(a)
+		bb := s.blastBV(b)
+		iffs := make([]logic.Lit, len(ab))
+		for i := range ab {
+			iffs[i] = s.iffGate(ab[i], bb[i])
+		}
+		return s.andGate(iffs)
+	case SortString:
+		return s.blastStrEq(a, b)
+	default:
+		panic("smt: Eq over unknown sort")
+	}
+}
+
+// blastCompare encodes a < b (strict) or a <= b over bit-vectors.
+func (s *Solver) blastCompare(a, b *Term, strict bool) logic.Lit {
+	ab := s.blastBV(a)
+	bb := s.blastBV(b)
+	// lt_0 over the empty suffix: strict -> false, non-strict -> true
+	acc := s.trueLit
+	if strict {
+		acc = s.trueLit.Neg()
+	}
+	for i := 0; i < len(ab); i++ { // LSB to MSB
+		ai, bi := ab[i], bb[i]
+		lessAt := s.andGate([]logic.Lit{ai.Neg(), bi}) // !a_i & b_i
+		eqAt := s.iffGate(ai, bi)
+		acc = s.orGate([]logic.Lit{lessAt, s.andGate([]logic.Lit{eqAt, acc})})
+	}
+	return acc
+}
+
+// blastStrEq encodes equality over the finite string domain.
+//
+// Var-to-const equality becomes a dedicated pair literal, with mutual
+// exclusion against every other pair literal of the same variable.
+// Var-to-var equality expands over the constants interned in the
+// context at blasting time (finite-domain semantics; see package doc).
+func (s *Solver) blastStrEq(a, b *Term) logic.Lit {
+	if a.op == OpStrConst && b.op == OpStrConst {
+		if a.name == b.name {
+			return s.trueLit
+		}
+		return s.trueLit.Neg()
+	}
+	if a.op == OpStrConst {
+		a, b = b, a
+	}
+	if b.op == OpStrConst { // a is a var
+		return s.strPairLit(a.name, b.name)
+	}
+	// var = var: equal iff they agree on some domain constant
+	if a.name == b.name {
+		return s.trueLit
+	}
+	var both []logic.Lit
+	for _, c := range s.ctx.strNames {
+		both = append(both, s.andGate([]logic.Lit{
+			s.strPairLit(a.name, c),
+			s.strPairLit(b.name, c),
+		}))
+	}
+	return s.orGate(both)
+}
+
+// strPairLit returns the literal for "string variable v equals constant
+// c", creating it (and the at-most-one constraints against the
+// variable's other pair literals) on first use.
+func (s *Solver) strPairLit(v, c string) logic.Lit {
+	key := [2]string{v, c}
+	if l, ok := s.strPairs[key]; ok {
+		return l
+	}
+	l := s.fresh()
+	// a variable cannot equal two distinct constants
+	for other, ol := range s.strPairs {
+		if other[0] == v {
+			s.sat.AddClause(l.Neg(), ol.Neg())
+		}
+	}
+	s.strPairs[key] = l
+	return l
+}
+
+// blastBV compiles a bit-vector term into its bit literals, LSB first.
+func (s *Solver) blastBV(t *Term) []logic.Lit {
+	s.ctx.wantSort(t, SortBV)
+	if bs, ok := s.bits[t.id]; ok {
+		return bs
+	}
+	var bs []logic.Lit
+	switch t.op {
+	case OpBVConst:
+		bs = make([]logic.Lit, t.width)
+		for i := range bs {
+			if t.val&(1<<uint(i)) != 0 {
+				bs[i] = s.trueLit
+			} else {
+				bs[i] = s.trueLit.Neg()
+			}
+		}
+	case OpBVVar:
+		existing, ok := s.bvVars[t.name]
+		if !ok {
+			existing = make([]logic.Lit, t.width)
+			for i := range existing {
+				existing[i] = s.fresh()
+			}
+			s.bvVars[t.name] = existing
+		}
+		if len(existing) != t.width {
+			panic(fmt.Sprintf("smt: variable %q used at widths %d and %d",
+				t.name, len(existing), t.width))
+		}
+		bs = existing
+	case OpBVAdd:
+		bs, _ = s.adder(s.blastBV(t.args[0]), s.blastBV(t.args[1]), s.trueLit.Neg())
+	case OpBVSub:
+		// a - b = a + ~b + 1
+		nb := s.notBits(s.blastBV(t.args[1]))
+		bs, _ = s.adder(s.blastBV(t.args[0]), nb, s.trueLit)
+	case OpBVMul:
+		bs = s.multiplier(s.blastBV(t.args[0]), s.blastBV(t.args[1]))
+	case OpBVAnd:
+		bs = s.bitwise(t, func(a, b logic.Lit) logic.Lit { return s.andGate([]logic.Lit{a, b}) })
+	case OpBVOr:
+		bs = s.bitwise(t, func(a, b logic.Lit) logic.Lit { return s.orGate([]logic.Lit{a, b}) })
+	case OpBVXor:
+		bs = s.bitwise(t, s.xorGate)
+	case OpBVNot:
+		bs = s.notBits(s.blastBV(t.args[0]))
+	case OpBVShl:
+		in := s.blastBV(t.args[0])
+		n := int(t.val)
+		bs = make([]logic.Lit, t.width)
+		for i := range bs {
+			if i < n {
+				bs[i] = s.trueLit.Neg()
+			} else {
+				bs[i] = in[i-n]
+			}
+		}
+	case OpBVLshr:
+		in := s.blastBV(t.args[0])
+		n := int(t.val)
+		bs = make([]logic.Lit, t.width)
+		for i := range bs {
+			if i+n < len(in) {
+				bs[i] = in[i+n]
+			} else {
+				bs[i] = s.trueLit.Neg()
+			}
+		}
+	case OpBVExtract:
+		in := s.blastBV(t.args[0])
+		hi, lo := int(t.val>>8), int(t.val&0xff)
+		bs = append([]logic.Lit(nil), in[lo:hi+1]...)
+	case OpBVConcat:
+		hi := s.blastBV(t.args[0])
+		lo := s.blastBV(t.args[1])
+		bs = append(append([]logic.Lit(nil), lo...), hi...)
+	case OpIte:
+		c := s.blastBool(t.args[0])
+		a := s.blastBV(t.args[1])
+		b := s.blastBV(t.args[2])
+		bs = make([]logic.Lit, t.width)
+		for i := range bs {
+			bs[i] = s.muxGate(c, a[i], b[i])
+		}
+	default:
+		panic(fmt.Sprintf("smt: cannot blast bit-vector term %s", t))
+	}
+	if len(bs) != t.width {
+		panic(fmt.Sprintf("smt: internal width error blasting %s", t))
+	}
+	s.bits[t.id] = bs
+	return bs
+}
+
+func (s *Solver) bitwise(t *Term, gate func(a, b logic.Lit) logic.Lit) []logic.Lit {
+	a := s.blastBV(t.args[0])
+	b := s.blastBV(t.args[1])
+	bs := make([]logic.Lit, len(a))
+	for i := range bs {
+		bs[i] = gate(a[i], b[i])
+	}
+	return bs
+}
+
+func (s *Solver) notBits(in []logic.Lit) []logic.Lit {
+	out := make([]logic.Lit, len(in))
+	for i, l := range in {
+		out[i] = l.Neg()
+	}
+	return out
+}
+
+// adder returns the ripple-carry sum of a and b with the given carry-in,
+// along with the final carry-out.
+func (s *Solver) adder(a, b []logic.Lit, carryIn logic.Lit) (sum []logic.Lit, carryOut logic.Lit) {
+	sum = make([]logic.Lit, len(a))
+	carry := carryIn
+	for i := range a {
+		sum[i] = s.xorGate(s.xorGate(a[i], b[i]), carry)
+		carry = s.majGate(a[i], b[i], carry)
+	}
+	return sum, carry
+}
+
+// multiplier implements shift-and-add multiplication (modular).
+func (s *Solver) multiplier(a, b []logic.Lit) []logic.Lit {
+	n := len(a)
+	acc := make([]logic.Lit, n)
+	for i := range acc {
+		acc[i] = s.trueLit.Neg()
+	}
+	for i := 0; i < n; i++ {
+		// partial = (a << i) masked by b[i]
+		partial := make([]logic.Lit, n)
+		for j := range partial {
+			if j < i {
+				partial[j] = s.trueLit.Neg()
+			} else {
+				partial[j] = s.andGate([]logic.Lit{a[j-i], b[i]})
+			}
+		}
+		acc, _ = s.adder(acc, partial, s.trueLit.Neg())
+	}
+	return acc
+}
+
+// ---- gates (definitional clauses, added permanently) ----
+
+func (s *Solver) andGate(lits []logic.Lit) logic.Lit {
+	switch len(lits) {
+	case 0:
+		return s.trueLit
+	case 1:
+		return lits[0]
+	}
+	out := s.fresh()
+	long := make([]logic.Lit, 0, len(lits)+1)
+	for _, l := range lits {
+		s.sat.AddClause(out.Neg(), l)
+		long = append(long, l.Neg())
+	}
+	long = append(long, out)
+	s.sat.AddClause(long...)
+	return out
+}
+
+func (s *Solver) orGate(lits []logic.Lit) logic.Lit {
+	switch len(lits) {
+	case 0:
+		return s.trueLit.Neg()
+	case 1:
+		return lits[0]
+	}
+	out := s.fresh()
+	long := make([]logic.Lit, 0, len(lits)+1)
+	for _, l := range lits {
+		s.sat.AddClause(l.Neg(), out)
+		long = append(long, l)
+	}
+	long = append(long, out.Neg())
+	s.sat.AddClause(long...)
+	return out
+}
+
+// xorGate returns out with out ↔ a ⊕ b.
+func (s *Solver) xorGate(a, b logic.Lit) logic.Lit {
+	out := s.fresh()
+	s.sat.AddClause(a.Neg(), b.Neg(), out.Neg())
+	s.sat.AddClause(a, b, out.Neg())
+	s.sat.AddClause(a, b.Neg(), out)
+	s.sat.AddClause(a.Neg(), b, out)
+	return out
+}
+
+// iffGate returns out with out ↔ (a ↔ b).
+func (s *Solver) iffGate(a, b logic.Lit) logic.Lit {
+	return s.xorGate(a, b).Neg()
+}
+
+// majGate returns out with out ↔ majority(a, b, c).
+func (s *Solver) majGate(a, b, c logic.Lit) logic.Lit {
+	out := s.fresh()
+	s.sat.AddClause(a.Neg(), b.Neg(), out)
+	s.sat.AddClause(a.Neg(), c.Neg(), out)
+	s.sat.AddClause(b.Neg(), c.Neg(), out)
+	s.sat.AddClause(a, b, out.Neg())
+	s.sat.AddClause(a, c, out.Neg())
+	s.sat.AddClause(b, c, out.Neg())
+	return out
+}
+
+// muxGate returns out with out ↔ (c ? a : b).
+func (s *Solver) muxGate(c, a, b logic.Lit) logic.Lit {
+	out := s.fresh()
+	s.sat.AddClause(c.Neg(), a.Neg(), out)
+	s.sat.AddClause(c.Neg(), a, out.Neg())
+	s.sat.AddClause(c, b.Neg(), out)
+	s.sat.AddClause(c, b, out.Neg())
+	return out
+}

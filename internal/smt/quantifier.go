@@ -1,0 +1,39 @@
+package smt
+
+// Finite-domain quantifier expansion. The paper's syntactic constraints
+// quantify over property names (∀x.R(x), Section IV-B); since the
+// domain — the names occurring in schemas and bindings — is finite and
+// known, quantifiers are decided by instantiation: a universal becomes
+// a conjunction over the domain, an existential a disjunction. These
+// helpers make that encoding explicit at the API level.
+
+// ForallFinite instantiates body over every domain element and returns
+// the conjunction. An empty domain yields true (the vacuous universal).
+func (c *Context) ForallFinite(domain []*Term, body func(*Term) *Term) *Term {
+	insts := make([]*Term, len(domain))
+	for i, d := range domain {
+		insts[i] = body(d)
+	}
+	return c.And(insts...)
+}
+
+// ExistsFinite instantiates body over every domain element and returns
+// the disjunction. An empty domain yields false (the vacuous
+// existential).
+func (c *Context) ExistsFinite(domain []*Term, body func(*Term) *Term) *Term {
+	insts := make([]*Term, len(domain))
+	for i, d := range domain {
+		insts[i] = body(d)
+	}
+	return c.Or(insts...)
+}
+
+// StrDomainTerms returns the interned string constants as terms, the
+// canonical quantification domain for name predicates.
+func (c *Context) StrDomainTerms() []*Term {
+	out := make([]*Term, 0, len(c.strNames))
+	for _, name := range c.strNames {
+		out = append(out, c.StrConst(name))
+	}
+	return out
+}

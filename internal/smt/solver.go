@@ -1,0 +1,299 @@
+package smt
+
+import (
+	"fmt"
+
+	"llhsc/internal/logic"
+	"llhsc/internal/sat"
+)
+
+// Solver decides satisfiability of asserted Boolean/bit-vector/string
+// terms by compiling them to CNF (bit-blasting) and running the CDCL
+// solver from internal/sat.
+//
+// Scopes: Push/Pop create assertion frames implemented with activation
+// literals, so the underlying SAT solver keeps all learnt clauses
+// across scope changes (incremental solving, as the paper's Section VI
+// highlights for Z3). Named assertions participate in unsat-name
+// extraction: after an unsatisfiable Check, UnsatNames reports a subset
+// of assertion names sufficient for the contradiction — llhsc uses this
+// to trace a violation back to the delta module that caused it.
+type Solver struct {
+	ctx *Context
+	sat *sat.Solver
+
+	trueLit logic.Lit
+
+	// blasting caches
+	bits     map[int][]logic.Lit // BV term id -> bits (LSB first)
+	boolLits map[int]logic.Lit   // Bool term id -> literal
+	varLits  map[string]logic.Lit
+	bvVars   map[string][]logic.Lit
+
+	// finite-domain string encoding
+	strPairs map[[2]string]logic.Lit // (var name, const) -> "var == const"
+
+	frames []logic.Lit // activation literal per frame; frames[0] is base
+	named  []namedAssertion
+
+	lastUnsatNames []string
+	checks         int
+}
+
+type namedAssertion struct {
+	name  string
+	act   logic.Lit
+	frame int
+}
+
+// NewSolver returns a solver over terms of ctx.
+func NewSolver(ctx *Context) *Solver {
+	s := &Solver{
+		ctx:      ctx,
+		sat:      sat.New(),
+		bits:     make(map[int][]logic.Lit),
+		boolLits: make(map[int]logic.Lit),
+		varLits:  make(map[string]logic.Lit),
+		bvVars:   make(map[string][]logic.Lit),
+		strPairs: make(map[[2]string]logic.Lit),
+	}
+	s.trueLit = s.fresh()
+	s.sat.AddClause(s.trueLit)
+	s.frames = []logic.Lit{s.fresh()} // base frame
+	return s
+}
+
+// Context returns the term context the solver operates over.
+func (s *Solver) Context() *Context { return s.ctx }
+
+func (s *Solver) fresh() logic.Lit {
+	return logic.Lit(s.sat.NewVar())
+}
+
+// Push opens a new assertion scope.
+func (s *Solver) Push() {
+	s.frames = append(s.frames, s.fresh())
+}
+
+// Pop discards the most recent assertion scope and every assertion made
+// in it. Popping the base scope panics.
+func (s *Solver) Pop() {
+	if len(s.frames) == 1 {
+		panic("smt: Pop on base scope")
+	}
+	act := s.frames[len(s.frames)-1]
+	s.frames = s.frames[:len(s.frames)-1]
+	s.sat.AddClause(act.Neg()) // permanently disable the frame's assertions
+	// drop named assertions belonging to the popped frame
+	kept := s.named[:0]
+	for _, n := range s.named {
+		if n.frame < len(s.frames) {
+			kept = append(kept, n)
+		}
+	}
+	s.named = kept
+}
+
+// NumScopes returns the current number of open scopes (0 = base only).
+func (s *Solver) NumScopes() int { return len(s.frames) - 1 }
+
+// Assert adds a Boolean term to the current scope.
+func (s *Solver) Assert(t *Term) {
+	lit := s.blastBool(t)
+	frame := s.frames[len(s.frames)-1]
+	s.sat.AddClause(frame.Neg(), lit)
+}
+
+// AssertNamed adds a Boolean term to the current scope under a name
+// that can appear in UnsatNames after an unsatisfiable Check.
+func (s *Solver) AssertNamed(name string, t *Term) {
+	lit := s.blastBool(t)
+	frame := s.frames[len(s.frames)-1]
+	act := s.fresh()
+	s.sat.AddClause(frame.Neg(), act.Neg(), lit)
+	s.named = append(s.named, namedAssertion{name: name, act: act, frame: len(s.frames) - 1})
+}
+
+// Check decides satisfiability of the current assertion set.
+func (s *Solver) Check() sat.Status {
+	s.checks++
+	assumptions := make([]logic.Lit, 0, len(s.frames)+len(s.named))
+	assumptions = append(assumptions, s.frames...)
+	for _, n := range s.named {
+		assumptions = append(assumptions, n.act)
+	}
+	st := s.sat.Solve(assumptions...)
+	s.lastUnsatNames = nil
+	if st == sat.Unsat {
+		failed := make(map[logic.Lit]bool)
+		for _, l := range s.sat.FailedAssumptions() {
+			failed[l] = true
+		}
+		for _, n := range s.named {
+			if failed[n.act] {
+				s.lastUnsatNames = append(s.lastUnsatNames, n.name)
+			}
+		}
+	}
+	return st
+}
+
+// UnsatNames returns, after an unsatisfiable Check, the names of named
+// assertions that participated in the final conflict. The list may be
+// empty if the contradiction involves only unnamed assertions.
+func (s *Solver) UnsatNames() []string {
+	return append([]string(nil), s.lastUnsatNames...)
+}
+
+// Stats reports underlying SAT-solver statistics plus blasting counters.
+type Stats struct {
+	SAT      sat.Stats
+	Checks   int
+	BoolLits int
+	BVTerms  int
+}
+
+// Stats returns solver statistics.
+func (s *Solver) Stats() Stats {
+	return Stats{
+		SAT:      s.sat.Stats(),
+		Checks:   s.checks,
+		BoolLits: len(s.boolLits),
+		BVTerms:  len(s.bits),
+	}
+}
+
+// ---- model extraction ----
+
+// BoolValue returns the model value of a Boolean term after a Sat Check.
+func (s *Solver) BoolValue(t *Term) bool {
+	s.ctx.wantSort(t, SortBool)
+	switch t.op {
+	case OpTrue:
+		return true
+	case OpFalse:
+		return false
+	case OpNot:
+		return !s.BoolValue(t.args[0])
+	case OpAnd:
+		for _, a := range t.args {
+			if !s.BoolValue(a) {
+				return false
+			}
+		}
+		return true
+	case OpOr:
+		for _, a := range t.args {
+			if s.BoolValue(a) {
+				return true
+			}
+		}
+		return false
+	case OpIte:
+		if s.BoolValue(t.args[0]) {
+			return s.BoolValue(t.args[1])
+		}
+		return s.BoolValue(t.args[2])
+	case OpEq:
+		a, b := t.args[0], t.args[1]
+		switch a.sort {
+		case SortBool:
+			return s.BoolValue(a) == s.BoolValue(b)
+		case SortBV:
+			return s.BVValue(a) == s.BVValue(b)
+		case SortString:
+			av, aok := s.strValueOf(a)
+			bv, bok := s.strValueOf(b)
+			return aok && bok && av == bv
+		}
+		return false
+	case OpBVUlt:
+		return s.BVValue(t.args[0]) < s.BVValue(t.args[1])
+	case OpBVUle:
+		return s.BVValue(t.args[0]) <= s.BVValue(t.args[1])
+	case OpBoolVar:
+		lit, ok := s.varLits[t.name]
+		if !ok {
+			return false // never blasted: unconstrained
+		}
+		return s.sat.Value(lit.Var())
+	default:
+		panic(fmt.Sprintf("smt: BoolValue of %s", t))
+	}
+}
+
+// BVValue returns the model value of a bit-vector term after a Sat
+// Check. Unconstrained variables evaluate to 0.
+func (s *Solver) BVValue(t *Term) uint64 {
+	s.ctx.wantSort(t, SortBV)
+	switch t.op {
+	case OpBVConst:
+		return t.val
+	case OpBVVar:
+		bits, ok := s.bvVars[t.name]
+		if !ok {
+			return 0
+		}
+		var v uint64
+		for i, b := range bits {
+			if s.sat.Value(b.Var()) {
+				v |= 1 << uint(i)
+			}
+		}
+		return v
+	case OpBVAdd:
+		return maskTo(s.BVValue(t.args[0])+s.BVValue(t.args[1]), t.width)
+	case OpBVSub:
+		return maskTo(s.BVValue(t.args[0])-s.BVValue(t.args[1]), t.width)
+	case OpBVMul:
+		return maskTo(s.BVValue(t.args[0])*s.BVValue(t.args[1]), t.width)
+	case OpBVAnd:
+		return s.BVValue(t.args[0]) & s.BVValue(t.args[1])
+	case OpBVOr:
+		return s.BVValue(t.args[0]) | s.BVValue(t.args[1])
+	case OpBVXor:
+		return s.BVValue(t.args[0]) ^ s.BVValue(t.args[1])
+	case OpBVNot:
+		return maskTo(^s.BVValue(t.args[0]), t.width)
+	case OpBVShl:
+		return maskTo(s.BVValue(t.args[0])<<uint(t.val), t.width)
+	case OpBVLshr:
+		return s.BVValue(t.args[0]) >> uint(t.val)
+	case OpBVExtract:
+		hi, lo := int(t.val>>8), int(t.val&0xff)
+		return maskTo(s.BVValue(t.args[0])>>uint(lo), hi-lo+1)
+	case OpBVConcat:
+		hi, lo := t.args[0], t.args[1]
+		return s.BVValue(hi)<<uint(lo.width) | s.BVValue(lo)
+	case OpIte:
+		if s.BoolValue(t.args[0]) {
+			return s.BVValue(t.args[1])
+		}
+		return s.BVValue(t.args[2])
+	default:
+		panic(fmt.Sprintf("smt: BVValue of %s", t))
+	}
+}
+
+// StrValue returns the model value of a string term after a Sat Check.
+// ok is false when the variable is unconstrained (it can take any
+// domain value not mentioned in its constraints).
+func (s *Solver) StrValue(t *Term) (value string, ok bool) {
+	return s.strValueOf(t)
+}
+
+func (s *Solver) strValueOf(t *Term) (string, bool) {
+	switch t.op {
+	case OpStrConst:
+		return t.name, true
+	case OpStrVar:
+		for _, c := range s.ctx.strNames {
+			if lit, ok := s.strPairs[[2]string{t.name, c}]; ok && s.sat.Value(lit.Var()) {
+				return c, true
+			}
+		}
+		return "", false
+	default:
+		panic(fmt.Sprintf("smt: StrValue of %s", t))
+	}
+}

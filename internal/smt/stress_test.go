@@ -1,0 +1,171 @@
+package smt
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"llhsc/internal/sat"
+)
+
+// TestPushPopStress interleaves random assertions, pushes, pops and
+// checks, cross-validating every Check against a fresh solver built
+// from only the currently-live assertions.
+func TestPushPopStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for round := 0; round < 20; round++ {
+		ctx := NewContext()
+		solver := NewSolver(ctx)
+
+		vars := make([]*Term, 6)
+		for i := range vars {
+			vars[i] = ctx.BoolVar(fmt.Sprintf("v%d", i))
+		}
+		randomAssertion := func() *Term {
+			a := vars[rng.Intn(len(vars))]
+			b := vars[rng.Intn(len(vars))]
+			switch rng.Intn(4) {
+			case 0:
+				return ctx.Or(a, b)
+			case 1:
+				return ctx.Or(ctx.Not(a), b)
+			case 2:
+				return ctx.Or(a, ctx.Not(b))
+			default:
+				return ctx.Or(ctx.Not(a), ctx.Not(b))
+			}
+		}
+
+		// stack of assertion frames; frames[0] is the base
+		frames := [][]*Term{{}}
+		for step := 0; step < 60; step++ {
+			switch rng.Intn(5) {
+			case 0:
+				solver.Push()
+				frames = append(frames, nil)
+			case 1:
+				if len(frames) > 1 {
+					solver.Pop()
+					frames = frames[:len(frames)-1]
+				}
+			case 2, 3:
+				a := randomAssertion()
+				solver.Assert(a)
+				frames[len(frames)-1] = append(frames[len(frames)-1], a)
+			default:
+				got := solver.Check()
+				want := freshVerdict(ctx, frames)
+				if got != want {
+					t.Fatalf("round %d step %d: incremental=%v fresh=%v", round, step, got, want)
+				}
+			}
+		}
+		// final check
+		if got, want := solver.Check(), freshVerdict(ctx, frames); got != want {
+			t.Fatalf("round %d final: incremental=%v fresh=%v", round, got, want)
+		}
+	}
+}
+
+// freshVerdict solves the live assertions with a brand-new solver.
+func freshVerdict(ctx *Context, frames [][]*Term) sat.Status {
+	s := NewSolver(ctx)
+	for _, frame := range frames {
+		for _, a := range frame {
+			s.Assert(a)
+		}
+	}
+	return s.Check()
+}
+
+// TestBVConstraintStress cross-validates random small bit-vector
+// constraint systems against brute force.
+func TestBVConstraintStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	const width = 4
+	for round := 0; round < 120; round++ {
+		ctx := NewContext()
+		solver := NewSolver(ctx)
+		x := ctx.BVVar("x", width)
+		y := ctx.BVVar("y", width)
+
+		type constraint func(xv, yv uint64) bool
+		var checks []constraint
+		n := 1 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			c := ctx.BVConst(width, uint64(rng.Intn(16)))
+			cv := c.Uint64()
+			switch rng.Intn(5) {
+			case 0:
+				solver.Assert(ctx.Ult(ctx.Add(x, y), c))
+				checks = append(checks, func(xv, yv uint64) bool { return (xv+yv)&0xf < cv })
+			case 1:
+				solver.Assert(ctx.Ule(c, ctx.BVXor(x, y)))
+				checks = append(checks, func(xv, yv uint64) bool { return cv <= xv^yv })
+			case 2:
+				solver.Assert(ctx.Eq(ctx.BVAnd(x, c), ctx.BVConst(width, 0)))
+				checks = append(checks, func(xv, yv uint64) bool { return xv&cv == 0 })
+			case 3:
+				solver.Assert(ctx.Not(ctx.Eq(x, y)))
+				checks = append(checks, func(xv, yv uint64) bool { return xv != yv })
+			default:
+				solver.Assert(ctx.Eq(ctx.Sub(x, y), c))
+				checks = append(checks, func(xv, yv uint64) bool { return (xv-yv)&0xf == cv })
+			}
+		}
+
+		want := false
+		for xv := uint64(0); xv < 16 && !want; xv++ {
+			for yv := uint64(0); yv < 16; yv++ {
+				ok := true
+				for _, c := range checks {
+					if !c(xv, yv) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					want = true
+					break
+				}
+			}
+		}
+
+		got := solver.Check()
+		if (got == sat.Sat) != want {
+			t.Fatalf("round %d: solver=%v brute=%v", round, got, want)
+		}
+		if got == sat.Sat {
+			xv, yv := solver.BVValue(x), solver.BVValue(y)
+			for i, c := range checks {
+				if !c(xv, yv) {
+					t.Fatalf("round %d: model x=%d y=%d violates constraint %d", round, xv, yv, i)
+				}
+			}
+		}
+	}
+}
+
+// TestManyStringConstants stresses the finite-domain string encoding
+// with a larger intern table.
+func TestManyStringConstants(t *testing.T) {
+	ctx := NewContext()
+	solver := NewSolver(ctx)
+	v := ctx.StrVar("prop")
+
+	var alts []*Term
+	for i := 0; i < 50; i++ {
+		alts = append(alts, ctx.Eq(v, ctx.StrConst(fmt.Sprintf("name-%d", i))))
+	}
+	solver.Assert(ctx.Or(alts...))
+	solver.Assert(ctx.Not(ctx.Eq(v, ctx.StrConst("name-0"))))
+	for i := 2; i < 50; i++ {
+		solver.Assert(ctx.Not(ctx.Eq(v, ctx.StrConst(fmt.Sprintf("name-%d", i)))))
+	}
+	if got := solver.Check(); got != sat.Sat {
+		t.Fatalf("Check = %v", got)
+	}
+	if val, ok := solver.StrValue(v); !ok || val != "name-1" {
+		t.Errorf("StrValue = %q,%v; want name-1", val, ok)
+	}
+}

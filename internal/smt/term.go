@@ -1,0 +1,613 @@
+// Package smt implements a small SMT solver over the fragment the
+// llhsc paper needs: propositional logic, fixed-width bit-vectors
+// (decided by bit-blasting to SAT, exactly the strategy the paper
+// credits Z3 with), and a finite-domain string sort used to encode
+// node/property names ("the hybrid theory in Z3", Section IV-B).
+//
+// Terms are hash-consed in a Context; the Solver compiles asserted
+// terms to CNF and delegates to the CDCL solver in internal/sat.
+// Push/Pop scopes and named assertions (with unsat-name extraction)
+// are implemented with activation literals, mirroring the incremental
+// Z3 usage the paper describes in Section VI.
+package smt
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Sort classifies terms.
+type Sort int
+
+// Term sorts.
+const (
+	SortBool Sort = iota + 1
+	SortBV
+	SortString
+)
+
+func (s Sort) String() string {
+	switch s {
+	case SortBool:
+		return "Bool"
+	case SortBV:
+		return "BitVec"
+	case SortString:
+		return "String"
+	default:
+		return fmt.Sprintf("Sort(%d)", int(s))
+	}
+}
+
+// Op is a term constructor tag.
+type Op int
+
+// Term operators.
+const (
+	OpTrue Op = iota + 1
+	OpFalse
+	OpBoolVar
+	OpNot
+	OpAnd
+	OpOr
+	OpIte // Ite(cond, then, else) over Bool or BV
+
+	OpBVConst
+	OpBVVar
+	OpBVAdd
+	OpBVSub
+	OpBVMul
+	OpBVAnd
+	OpBVOr
+	OpBVXor
+	OpBVNot
+	OpBVShl  // shift left by constant amount (args[1] must be OpBVConst)
+	OpBVLshr // logical shift right by constant amount
+	OpBVUlt
+	OpBVUle
+	OpBVExtract // Extract(t, hi, lo) packed in val: hi<<8|lo
+	OpBVConcat  // Concat(hi, lo)
+
+	OpEq // equality over Bool, BV or String
+
+	OpStrConst
+	OpStrVar
+)
+
+// Term is an immutable, hash-consed SMT term. Terms must be created
+// through a Context; terms from different contexts must not be mixed.
+type Term struct {
+	op    Op
+	sort  Sort
+	width int    // bit width for SortBV
+	val   uint64 // constant value / packed extract bounds
+	name  string // variable name or string constant value
+	args  []*Term
+	id    int
+}
+
+// Op returns the operator tag.
+func (t *Term) Op() Op { return t.op }
+
+// Sort returns the term's sort.
+func (t *Term) Sort() Sort { return t.sort }
+
+// Width returns the bit width of a bit-vector term (0 otherwise).
+func (t *Term) Width() int { return t.width }
+
+// Name returns the variable name or string-constant value.
+func (t *Term) Name() string { return t.name }
+
+// Uint64 returns the value of a BVConst term.
+func (t *Term) Uint64() uint64 { return t.val }
+
+// Args returns the argument terms. The slice must not be modified.
+func (t *Term) Args() []*Term { return t.args }
+
+// String renders the term in an SMT-LIB-flavoured syntax.
+func (t *Term) String() string {
+	var b strings.Builder
+	t.write(&b)
+	return b.String()
+}
+
+func (t *Term) write(b *strings.Builder) {
+	switch t.op {
+	case OpTrue:
+		b.WriteString("true")
+	case OpFalse:
+		b.WriteString("false")
+	case OpBoolVar, OpBVVar, OpStrVar:
+		b.WriteString(t.name)
+	case OpBVConst:
+		fmt.Fprintf(b, "#x%0*x", (t.width+3)/4, t.val)
+	case OpStrConst:
+		fmt.Fprintf(b, "%q", t.name)
+	case OpBVExtract:
+		hi, lo := t.val>>8, t.val&0xff
+		fmt.Fprintf(b, "((_ extract %d %d) %s)", hi, lo, t.args[0])
+	default:
+		b.WriteString("(")
+		b.WriteString(opName(t.op))
+		for _, a := range t.args {
+			b.WriteString(" ")
+			a.write(b)
+		}
+		b.WriteString(")")
+	}
+}
+
+func opName(op Op) string {
+	switch op {
+	case OpNot:
+		return "not"
+	case OpAnd:
+		return "and"
+	case OpOr:
+		return "or"
+	case OpIte:
+		return "ite"
+	case OpBVAdd:
+		return "bvadd"
+	case OpBVSub:
+		return "bvsub"
+	case OpBVMul:
+		return "bvmul"
+	case OpBVAnd:
+		return "bvand"
+	case OpBVOr:
+		return "bvor"
+	case OpBVXor:
+		return "bvxor"
+	case OpBVNot:
+		return "bvnot"
+	case OpBVShl:
+		return "bvshl"
+	case OpBVLshr:
+		return "bvlshr"
+	case OpBVUlt:
+		return "bvult"
+	case OpBVUle:
+		return "bvule"
+	case OpBVConcat:
+		return "concat"
+	case OpEq:
+		return "="
+	default:
+		return fmt.Sprintf("op%d", int(op))
+	}
+}
+
+// Context owns a hash-consed term universe. It is not safe for
+// concurrent use.
+type Context struct {
+	terms   map[string]*Term
+	nextID  int
+	consing bool
+
+	trueT  *Term
+	falseT *Term
+
+	// intern table for the finite string domain, in first-seen order
+	strIndex map[string]int
+	strNames []string
+}
+
+// ContextOption configures a Context.
+type ContextOption func(*Context)
+
+// WithoutHashConsing disables structural sharing of terms. Used only by
+// the ablation benchmark (DESIGN.md §5); production callers should keep
+// consing enabled.
+func WithoutHashConsing() ContextOption {
+	return func(c *Context) { c.consing = false }
+}
+
+// NewContext returns an empty term context.
+func NewContext(opts ...ContextOption) *Context {
+	c := &Context{
+		terms:    make(map[string]*Term),
+		consing:  true,
+		strIndex: make(map[string]int),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.trueT = c.mk(&Term{op: OpTrue, sort: SortBool})
+	c.falseT = c.mk(&Term{op: OpFalse, sort: SortBool})
+	return c
+}
+
+func (c *Context) mk(t *Term) *Term {
+	if !c.consing {
+		c.nextID++
+		t.id = c.nextID
+		return t
+	}
+	key := termKey(t)
+	if existing, ok := c.terms[key]; ok {
+		return existing
+	}
+	c.nextID++
+	t.id = c.nextID
+	c.terms[key] = t
+	return t
+}
+
+func termKey(t *Term) string {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(int(t.op)))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(t.width))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatUint(t.val, 16))
+	b.WriteByte('|')
+	b.WriteString(t.name)
+	for _, a := range t.args {
+		b.WriteByte(',')
+		b.WriteString(strconv.Itoa(a.id))
+	}
+	return b.String()
+}
+
+// NumTerms returns the number of distinct terms created (hash-consed
+// contexts count shared structure once).
+func (c *Context) NumTerms() int { return c.nextID }
+
+// True returns the Boolean constant true.
+func (c *Context) True() *Term { return c.trueT }
+
+// False returns the Boolean constant false.
+func (c *Context) False() *Term { return c.falseT }
+
+// Bool returns the Boolean constant for v.
+func (c *Context) Bool(v bool) *Term {
+	if v {
+		return c.trueT
+	}
+	return c.falseT
+}
+
+// BoolVar returns the Boolean variable with the given name.
+func (c *Context) BoolVar(name string) *Term {
+	return c.mk(&Term{op: OpBoolVar, sort: SortBool, name: name})
+}
+
+// BVConst returns a bit-vector constant of the given width (1..64).
+// Values wider than the width are truncated.
+func (c *Context) BVConst(width int, val uint64) *Term {
+	checkWidth(width)
+	return c.mk(&Term{op: OpBVConst, sort: SortBV, width: width, val: maskTo(val, width)})
+}
+
+// BVVar returns the bit-vector variable with the given name and width.
+func (c *Context) BVVar(name string, width int) *Term {
+	checkWidth(width)
+	return c.mk(&Term{op: OpBVVar, sort: SortBV, width: width, name: name})
+}
+
+// StrConst returns the string constant for value, interning it into the
+// context's finite string domain.
+func (c *Context) StrConst(value string) *Term {
+	if _, ok := c.strIndex[value]; !ok {
+		c.strIndex[value] = len(c.strNames)
+		c.strNames = append(c.strNames, value)
+	}
+	return c.mk(&Term{op: OpStrConst, sort: SortString, name: value})
+}
+
+// StrVar returns the string variable with the given name. String
+// variables range over the finite domain of interned string constants.
+func (c *Context) StrVar(name string) *Term {
+	return c.mk(&Term{op: OpStrVar, sort: SortString, name: name})
+}
+
+// StrDomain returns the interned string constants, in first-seen order.
+func (c *Context) StrDomain() []string {
+	return append([]string(nil), c.strNames...)
+}
+
+func checkWidth(w int) {
+	if w < 1 || w > 64 {
+		panic(fmt.Sprintf("smt: bit-vector width %d out of range [1,64]", w))
+	}
+}
+
+func maskTo(v uint64, width int) uint64 {
+	if width >= 64 {
+		return v
+	}
+	return v & ((1 << uint(width)) - 1)
+}
+
+// Not returns the negation of a Boolean term.
+func (c *Context) Not(t *Term) *Term {
+	c.wantSort(t, SortBool)
+	switch t.op {
+	case OpTrue:
+		return c.falseT
+	case OpFalse:
+		return c.trueT
+	case OpNot:
+		return t.args[0]
+	}
+	return c.mk(&Term{op: OpNot, sort: SortBool, args: []*Term{t}})
+}
+
+// And returns the conjunction of the given Boolean terms.
+func (c *Context) And(ts ...*Term) *Term {
+	args := make([]*Term, 0, len(ts))
+	for _, t := range ts {
+		c.wantSort(t, SortBool)
+		switch t.op {
+		case OpTrue:
+		case OpFalse:
+			return c.falseT
+		case OpAnd:
+			args = append(args, t.args...)
+		default:
+			args = append(args, t)
+		}
+	}
+	switch len(args) {
+	case 0:
+		return c.trueT
+	case 1:
+		return args[0]
+	}
+	return c.mk(&Term{op: OpAnd, sort: SortBool, args: args})
+}
+
+// Or returns the disjunction of the given Boolean terms.
+func (c *Context) Or(ts ...*Term) *Term {
+	args := make([]*Term, 0, len(ts))
+	for _, t := range ts {
+		c.wantSort(t, SortBool)
+		switch t.op {
+		case OpFalse:
+		case OpTrue:
+			return c.trueT
+		case OpOr:
+			args = append(args, t.args...)
+		default:
+			args = append(args, t)
+		}
+	}
+	switch len(args) {
+	case 0:
+		return c.falseT
+	case 1:
+		return args[0]
+	}
+	return c.mk(&Term{op: OpOr, sort: SortBool, args: args})
+}
+
+// Implies returns a → b.
+func (c *Context) Implies(a, b *Term) *Term { return c.Or(c.Not(a), b) }
+
+// Iff returns a ↔ b (equality over Bool).
+func (c *Context) Iff(a, b *Term) *Term { return c.Eq(a, b) }
+
+// Xor returns exclusive-or of two Boolean terms.
+func (c *Context) Xor(a, b *Term) *Term { return c.Not(c.Eq(a, b)) }
+
+// Ite returns if cond then a else b; a and b must share a sort (Bool or
+// BV of equal width).
+func (c *Context) Ite(cond, a, b *Term) *Term {
+	c.wantSort(cond, SortBool)
+	if a.sort != b.sort || a.width != b.width {
+		panic("smt: Ite branch sorts differ")
+	}
+	if cond.op == OpTrue {
+		return a
+	}
+	if cond.op == OpFalse {
+		return b
+	}
+	if a == b {
+		return a
+	}
+	return c.mk(&Term{op: OpIte, sort: a.sort, width: a.width, args: []*Term{cond, a, b}})
+}
+
+// Eq returns equality between two terms of the same sort.
+func (c *Context) Eq(a, b *Term) *Term {
+	if a.sort != b.sort {
+		panic(fmt.Sprintf("smt: Eq over different sorts %v and %v", a.sort, b.sort))
+	}
+	if a.sort == SortBV && a.width != b.width {
+		panic(fmt.Sprintf("smt: Eq over different widths %d and %d", a.width, b.width))
+	}
+	if a == b {
+		return c.trueT
+	}
+	if a.op == OpBVConst && b.op == OpBVConst {
+		return c.Bool(a.val == b.val)
+	}
+	if a.op == OpStrConst && b.op == OpStrConst {
+		return c.Bool(a.name == b.name)
+	}
+	if (a.op == OpTrue || a.op == OpFalse) && (b.op == OpTrue || b.op == OpFalse) {
+		return c.Bool(a.op == b.op)
+	}
+	// canonical argument order for hash-consing
+	if b.id < a.id {
+		a, b = b, a
+	}
+	return c.mk(&Term{op: OpEq, sort: SortBool, args: []*Term{a, b}})
+}
+
+func (c *Context) bvBinary(op Op, a, b *Term) *Term {
+	c.wantSort(a, SortBV)
+	c.wantSort(b, SortBV)
+	if a.width != b.width {
+		panic(fmt.Sprintf("smt: width mismatch %d vs %d", a.width, b.width))
+	}
+	if a.op == OpBVConst && b.op == OpBVConst {
+		if v, ok := foldBV(op, a.val, b.val, a.width); ok {
+			return c.BVConst(a.width, v)
+		}
+	}
+	return c.mk(&Term{op: op, sort: SortBV, width: a.width, args: []*Term{a, b}})
+}
+
+func foldBV(op Op, x, y uint64, width int) (uint64, bool) {
+	switch op {
+	case OpBVAdd:
+		return maskTo(x+y, width), true
+	case OpBVSub:
+		return maskTo(x-y, width), true
+	case OpBVMul:
+		return maskTo(x*y, width), true
+	case OpBVAnd:
+		return x & y, true
+	case OpBVOr:
+		return x | y, true
+	case OpBVXor:
+		return x ^ y, true
+	}
+	return 0, false
+}
+
+// Add returns a + b (modular).
+func (c *Context) Add(a, b *Term) *Term { return c.bvBinary(OpBVAdd, a, b) }
+
+// Sub returns a - b (modular).
+func (c *Context) Sub(a, b *Term) *Term { return c.bvBinary(OpBVSub, a, b) }
+
+// Mul returns a * b (modular).
+func (c *Context) Mul(a, b *Term) *Term { return c.bvBinary(OpBVMul, a, b) }
+
+// BVAnd returns the bitwise and of a and b.
+func (c *Context) BVAnd(a, b *Term) *Term { return c.bvBinary(OpBVAnd, a, b) }
+
+// BVOr returns the bitwise or of a and b.
+func (c *Context) BVOr(a, b *Term) *Term { return c.bvBinary(OpBVOr, a, b) }
+
+// BVXor returns the bitwise xor of a and b.
+func (c *Context) BVXor(a, b *Term) *Term { return c.bvBinary(OpBVXor, a, b) }
+
+// BVNot returns the bitwise complement of a.
+func (c *Context) BVNot(a *Term) *Term {
+	c.wantSort(a, SortBV)
+	if a.op == OpBVConst {
+		return c.BVConst(a.width, ^a.val)
+	}
+	return c.mk(&Term{op: OpBVNot, sort: SortBV, width: a.width, args: []*Term{a}})
+}
+
+// Shl returns a << n for a constant shift amount n.
+func (c *Context) Shl(a *Term, n int) *Term {
+	c.wantSort(a, SortBV)
+	if n < 0 || n > a.width {
+		panic("smt: shift amount out of range")
+	}
+	if a.op == OpBVConst {
+		return c.BVConst(a.width, a.val<<uint(n))
+	}
+	return c.mk(&Term{op: OpBVShl, sort: SortBV, width: a.width, val: uint64(n), args: []*Term{a}})
+}
+
+// Lshr returns a >> n (logical) for a constant shift amount n.
+func (c *Context) Lshr(a *Term, n int) *Term {
+	c.wantSort(a, SortBV)
+	if n < 0 || n > a.width {
+		panic("smt: shift amount out of range")
+	}
+	if a.op == OpBVConst {
+		return c.BVConst(a.width, a.val>>uint(n))
+	}
+	return c.mk(&Term{op: OpBVLshr, sort: SortBV, width: a.width, val: uint64(n), args: []*Term{a}})
+}
+
+// Ult returns the unsigned comparison a < b.
+func (c *Context) Ult(a, b *Term) *Term {
+	c.wantSort(a, SortBV)
+	c.wantSort(b, SortBV)
+	if a.width != b.width {
+		panic("smt: width mismatch in Ult")
+	}
+	if a.op == OpBVConst && b.op == OpBVConst {
+		return c.Bool(a.val < b.val)
+	}
+	return c.mk(&Term{op: OpBVUlt, sort: SortBool, args: []*Term{a, b}})
+}
+
+// Ule returns the unsigned comparison a <= b.
+func (c *Context) Ule(a, b *Term) *Term {
+	c.wantSort(a, SortBV)
+	c.wantSort(b, SortBV)
+	if a.width != b.width {
+		panic("smt: width mismatch in Ule")
+	}
+	if a.op == OpBVConst && b.op == OpBVConst {
+		return c.Bool(a.val <= b.val)
+	}
+	return c.mk(&Term{op: OpBVUle, sort: SortBool, args: []*Term{a, b}})
+}
+
+// Ugt returns a > b.
+func (c *Context) Ugt(a, b *Term) *Term { return c.Ult(b, a) }
+
+// Uge returns a >= b.
+func (c *Context) Uge(a, b *Term) *Term { return c.Ule(b, a) }
+
+// Extract returns bits hi..lo (inclusive) of a, a bit-vector of width
+// hi-lo+1.
+func (c *Context) Extract(a *Term, hi, lo int) *Term {
+	c.wantSort(a, SortBV)
+	if lo < 0 || hi < lo || hi >= a.width {
+		panic(fmt.Sprintf("smt: extract [%d:%d] out of range for width %d", hi, lo, a.width))
+	}
+	w := hi - lo + 1
+	if a.op == OpBVConst {
+		return c.BVConst(w, a.val>>uint(lo))
+	}
+	return c.mk(&Term{
+		op: OpBVExtract, sort: SortBV, width: w,
+		val: uint64(hi)<<8 | uint64(lo), args: []*Term{a},
+	})
+}
+
+// Concat returns the concatenation hi ++ lo, with hi occupying the most
+// significant bits.
+func (c *Context) Concat(hi, lo *Term) *Term {
+	c.wantSort(hi, SortBV)
+	c.wantSort(lo, SortBV)
+	w := hi.width + lo.width
+	checkWidth(w)
+	if hi.op == OpBVConst && lo.op == OpBVConst {
+		return c.BVConst(w, hi.val<<uint(lo.width)|lo.val)
+	}
+	return c.mk(&Term{op: OpBVConcat, sort: SortBV, width: w, args: []*Term{hi, lo}})
+}
+
+// ZeroExtend widens a to the given width by padding with zero bits.
+func (c *Context) ZeroExtend(a *Term, width int) *Term {
+	c.wantSort(a, SortBV)
+	if width < a.width {
+		panic("smt: ZeroExtend to smaller width")
+	}
+	if width == a.width {
+		return a
+	}
+	return c.Concat(c.BVConst(width-a.width, 0), a)
+}
+
+// Distinct returns the pairwise-disequality of the given terms.
+func (c *Context) Distinct(ts ...*Term) *Term {
+	var conj []*Term
+	for i := 0; i < len(ts); i++ {
+		for j := i + 1; j < len(ts); j++ {
+			conj = append(conj, c.Not(c.Eq(ts[i], ts[j])))
+		}
+	}
+	return c.And(conj...)
+}
+
+func (c *Context) wantSort(t *Term, s Sort) {
+	if t.sort != s {
+		panic(fmt.Sprintf("smt: expected sort %v, got %v in %s", s, t.sort, t))
+	}
+}
