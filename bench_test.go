@@ -77,7 +77,11 @@ func BenchmarkE3Products(b *testing.B) {
 			b.Fatal("paper products invalid")
 		}
 		mm, _ := featmodel.NewMultiModel(model, 2)
-		if featmodel.NewMultiAnalyzer(mm).IsVoid() {
+		ma, err := featmodel.NewMultiAnalyzer(mm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ma.IsVoid() {
 			b.Fatal("2-VM partitioning void")
 		}
 	}

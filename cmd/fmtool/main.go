@@ -105,7 +105,10 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		ma := featmodel.NewMultiAnalyzer(mm)
+		ma, err := featmodel.NewMultiAnalyzer(mm)
+		if err != nil {
+			return err
+		}
 		if ma.IsVoid() {
 			fmt.Printf("infeasible: no valid partitioning into %d VMs\n", *vms)
 			return fmt.Errorf("infeasible")

@@ -1,41 +1,116 @@
 // Command llhsc-server serves the llhsc checker as an HTTP API — the
 // "cloud service" deployment of the paper's Section V. See
-// internal/service for the endpoints.
+// internal/service for the endpoints and README.md for the error
+// taxonomy and limit semantics.
 //
 // Usage:
 //
-//	llhsc-server [-addr :8080]
+//	llhsc-server [-addr :8080] [-read-timeout 30s] [-write-timeout 60s]
+//	             [-request-timeout 30s] [-max-inflight 16]
+//	             [-max-body 4194304] [-solver-conflicts 0]
+//	             [-shutdown-grace 15s]
+//
+// The server drains gracefully on SIGINT/SIGTERM: in-flight requests
+// get -shutdown-grace to complete, then the listener closes and the
+// process exits 0.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"llhsc/internal/core"
+	"llhsc/internal/sat"
 	"llhsc/internal/service"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil); errors.Is(err, flag.ErrHelp) {
+		return
+	} else if err != nil {
 		fmt.Fprintln(os.Stderr, "llhsc-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// run starts the server and blocks until ctx is canceled (SIGINT /
+// SIGTERM) or the listener fails. ready, if non-nil, receives the
+// bound address once the server is listening (used by tests with
+// -addr 127.0.0.1:0).
+func run(ctx context.Context, args []string, ready chan<- string) error {
 	fs := flag.NewFlagSet("llhsc-server", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second,
+		"max time to read a full request, including the body (0 = unlimited)")
+	writeTimeout := fs.Duration("write-timeout", 60*time.Second,
+		"max time to write a full response (0 = unlimited)")
+	requestTimeout := fs.Duration("request-timeout", 30*time.Second,
+		"wall-clock budget per /check or /lint request; exceeding it answers 408 (0 = unlimited)")
+	maxInflight := fs.Int("max-inflight", 16,
+		"max concurrent /check and /lint requests; excess answers 429 (0 = unlimited)")
+	maxBody := fs.Int64("max-body", 4<<20,
+		"max request body size in bytes; larger bodies answer 413")
+	solverConflicts := fs.Uint64("solver-conflicts", 0,
+		"max SAT conflicts per request's solver queries; exhaustion answers 503 (0 = unlimited)")
+	shutdownGrace := fs.Duration("shutdown-grace", 15*time.Second,
+		"how long in-flight requests may finish after SIGINT/SIGTERM")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	handler := service.NewHandler(service.Options{
+		RequestTimeout: *requestTimeout,
+		MaxInFlight:    *maxInflight,
+		MaxBodyBytes:   *maxBody,
+		Limits: core.Limits{
+			Solver: sat.Budget{MaxConflicts: *solverConflicts},
+		},
+	})
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           service.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
 	}
-	log.Printf("llhsc-server listening on %s", *addr)
-	return srv.ListenAndServe()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("llhsc-server listening on %s", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("llhsc-server shutting down, draining for up to %v", *shutdownGrace)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("llhsc-server stopped")
+	return nil
 }

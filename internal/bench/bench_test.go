@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"llhsc/internal/addr"
 	"llhsc/internal/constraints"
@@ -118,9 +119,10 @@ func TestDetectionMatrixShape(t *testing.T) {
 			t.Errorf("llhsc missed %v", f)
 		}
 	}
-	// dtc-lint catches exactly the syntax error
+	// dtc-lint catches exactly the faults visible to a parser:
+	// malformed text and nesting past the recursion guard
 	for f, d := range byFault {
-		if want := f == FaultSyntaxError; d.DtcLint != want {
+		if want := f == FaultSyntaxError || f == FaultDeepNesting; d.DtcLint != want {
 			t.Errorf("dtc-lint on %v = %v, want %v", f, d.DtcLint, want)
 		}
 	}
@@ -137,6 +139,36 @@ func TestDetectionMatrixShape(t *testing.T) {
 	} {
 		if byFault[f].Baseline {
 			t.Errorf("baseline should be blind to %v", f)
+		}
+	}
+}
+
+// TestRobustnessFaultsBounded asserts the two solver/parser-hostile
+// fault classes come back as structured resource-limit stops — within
+// the 2s budget, not hangs or panics.
+func TestRobustnessFaultsBounded(t *testing.T) {
+	start := time.Now()
+	matrix, err := DetectionMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("matrix with hostile inputs took %v, want bounded well under 2s", elapsed)
+	}
+	byFault := make(map[Fault]Detection)
+	for _, d := range matrix {
+		byFault[d.Fault] = d
+	}
+	for _, f := range []Fault{FaultPathologicalCNF, FaultDeepNesting} {
+		d, ok := byFault[f]
+		if !ok {
+			t.Fatalf("%v missing from matrix", f)
+		}
+		if !d.Bounded {
+			t.Errorf("%v not reported as a bounded limit stop", f)
+		}
+		if !d.LLHSC {
+			t.Errorf("%v not reported by llhsc", f)
 		}
 	}
 }

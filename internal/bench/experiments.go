@@ -140,7 +140,10 @@ func RunE3(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		ma := featmodel.NewMultiAnalyzer(mm)
+		ma, err := featmodel.NewMultiAnalyzer(mm)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(w, "%d VMs feasible=%v (paper: max 2 VMs)\n", k, !ma.IsVoid())
 	}
 	return nil
@@ -353,9 +356,9 @@ func RunE10(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%-28s %10s %10s %8s\n", "fault", "dtc-lint", "dt-schema", "llhsc")
+	fmt.Fprintf(w, "%-28s %10s %10s %8s %8s\n", "fault", "dtc-lint", "dt-schema", "llhsc", "bounded")
 	for _, d := range matrix {
-		fmt.Fprintf(w, "%-28s %10v %10v %8v\n", d.Fault, d.DtcLint, d.Baseline, d.LLHSC)
+		fmt.Fprintf(w, "%-28s %10v %10v %8v %8v\n", d.Fault, d.DtcLint, d.Baseline, d.LLHSC, d.Bounded)
 	}
 	return nil
 }

@@ -1,12 +1,18 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
+	"strings"
+	"time"
 
 	"llhsc/internal/constraints"
 	"llhsc/internal/dts"
 	"llhsc/internal/featmodel"
+	"llhsc/internal/logic"
 	"llhsc/internal/runningexample"
+	"llhsc/internal/sat"
 	"llhsc/internal/schema"
 )
 
@@ -28,6 +34,8 @@ const (
 	FaultMissingNodeDep                     // feature-model dependency violated (cpu without memory)
 	FaultDuplicateIRQ                       // two devices claim the same interrupt line
 	FaultReserveOutsideRAM                  // /memreserve/ outside every memory bank
+	FaultPathologicalCNF                    // solver-hostile input that exhausts the conflict budget
+	FaultDeepNesting                        // DTS nested past the parser depth guard
 )
 
 // AllFaults lists every fault class in presentation order.
@@ -36,6 +44,7 @@ func AllFaults() []Fault {
 		FaultSyntaxError, FaultMissingRequired, FaultBadConst,
 		FaultBadRegArity, FaultAddrOverlap, FaultTruncation,
 		FaultMissingNodeDep, FaultDuplicateIRQ, FaultReserveOutsideRAM,
+		FaultPathologicalCNF, FaultDeepNesting,
 	}
 }
 
@@ -59,6 +68,10 @@ func (f Fault) String() string {
 		return "duplicate interrupt"
 	case FaultReserveOutsideRAM:
 		return "memreserve outside RAM"
+	case FaultPathologicalCNF:
+		return "pathological CNF"
+	case FaultDeepNesting:
+		return "deep nesting"
 	default:
 		return fmt.Sprintf("Fault(%d)", int(f))
 	}
@@ -191,8 +204,74 @@ func faultyDTS(f Fault) (string, dts.Includer) {
 	uart0: uart@20000000 { compatible = "ns16550a"; reg = <0x0 0x20000000 0x0 0x1000>; };
 };
 `, inc
+	case FaultDeepNesting:
+		// nested twice past the parser's default depth guard
+		return deepNestedDTS(128), inc
 	default:
 		panic(fmt.Sprintf("bench: unknown fault %d", int(f)))
+	}
+}
+
+// deepNestedDTS returns a syntactically well-formed tree of the given
+// node depth, used to probe the parser's recursion guard.
+func deepNestedDTS(depth int) string {
+	var b strings.Builder
+	b.WriteString("/dts-v1/;\n/ {\n")
+	for i := 0; i < depth; i++ {
+		b.WriteString("n {\n")
+	}
+	for i := 0; i < depth; i++ {
+		b.WriteString("};\n")
+	}
+	b.WriteString("};\n")
+	return b.String()
+}
+
+// HardRandomCNF returns a random 3-CNF over nVars variables at the
+// phase-transition clause/variable ratio (~4.26), where random
+// instances are empirically hardest for CDCL solvers. The fixed seed
+// keeps the instance reproducible; seed 1 over 250 variables is
+// verified (TestRobustnessFaultsBounded) to exceed a 500-conflict
+// budget, which stands in for the solver-hostile inputs a hostile
+// tenant could submit to the cloud service.
+func HardRandomCNF(nVars int, seed int64) [][]logic.Lit {
+	rng := rand.New(rand.NewSource(seed))
+	nClauses := int(4.26 * float64(nVars))
+	clauses := make([][]logic.Lit, 0, nClauses)
+	for i := 0; i < nClauses; i++ {
+		vars := rng.Perm(nVars)[:3]
+		cl := make([]logic.Lit, 3)
+		for j, v := range vars {
+			l := logic.Lit(v + 1)
+			if rng.Intn(2) == 0 {
+				l = l.Neg()
+			}
+			cl[j] = l
+		}
+		clauses = append(clauses, cl)
+	}
+	return clauses
+}
+
+// pathologicalCNFDetection runs the hard random instance under a tight
+// conflict budget: the interesting property is not *what* is detected
+// but that the solver answers a structured Unknown within its budget
+// instead of hanging.
+func pathologicalCNFDetection() Detection {
+	s := sat.New()
+	for _, cl := range HardRandomCNF(250, 1) {
+		s.AddClause(cl...)
+	}
+	s.SetBudget(sat.Budget{
+		MaxConflicts: 500,
+		Deadline:     time.Now().Add(2 * time.Second),
+	})
+	status := s.Solve()
+	bounded := status == sat.Unknown && s.LastLimit() != nil
+	return Detection{
+		Fault:   FaultPathologicalCNF,
+		LLHSC:   bounded, // reported as a structured limit, not a hang
+		Bounded: bounded,
 	}
 }
 
@@ -202,6 +281,7 @@ type Detection struct {
 	DtcLint  bool // syntax-only: the mini-dtc parser
 	Baseline bool // dt-schema-equivalent structural validation
 	LLHSC    bool // full llhsc checking
+	Bounded  bool // reported as a structured resource-limit stop
 }
 
 // DetectionMatrix runs every fault class through the three detectors
@@ -215,11 +295,17 @@ func DetectionMatrix() ([]Detection, error) {
 	}
 	var out []Detection
 	for _, f := range AllFaults() {
+		if f == FaultPathologicalCNF {
+			// not a DTS fault: probes the solver's conflict budget
+			out = append(out, pathologicalCNFDetection())
+			continue
+		}
 		src, inc := faultyDTS(f)
 		det := Detection{Fault: f}
 
 		tree, parseErr := dts.Parse("faulty.dts", src, dts.WithIncluder(inc))
 		det.DtcLint = parseErr != nil
+		det.Bounded = errors.Is(parseErr, dts.ErrTooDeep)
 		if parseErr != nil {
 			// unparsable: every downstream tool also reports it
 			det.Baseline = true

@@ -1,9 +1,12 @@
 package constraints
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"llhsc/internal/featmodel"
+	"llhsc/internal/sat"
 )
 
 // AllocationChecker enforces the resource-allocation constraints of
@@ -23,10 +26,14 @@ func NewAllocationChecker(model *featmodel.Model, vms int) (*AllocationChecker, 
 	if err != nil {
 		return nil, err
 	}
+	ma, err := featmodel.NewMultiAnalyzer(mm)
+	if err != nil {
+		return nil, err
+	}
 	return &AllocationChecker{
 		Model:    model,
 		VMs:      vms,
-		analyzer: featmodel.NewMultiAnalyzer(mm),
+		analyzer: ma,
 	}, nil
 }
 
@@ -34,22 +41,38 @@ func NewAllocationChecker(model *featmodel.Model, vms int) (*AllocationChecker, 
 // partitioning is valid; otherwise the violations identify the
 // conflicting feature literals.
 func (c *AllocationChecker) Check(configs []featmodel.Configuration) []Violation {
-	err := c.analyzer.CheckConfigs(configs)
+	out, _ := c.CheckContext(context.Background(), configs)
+	return out
+}
+
+// CheckContext is Check under a context: a budget or cancellation stop
+// is returned as a *sat.LimitError instead of being folded into the
+// violation list, so callers can distinguish "invalid" from "unknown".
+func (c *AllocationChecker) CheckContext(ctx context.Context, configs []featmodel.Configuration) ([]Violation, error) {
+	err := c.analyzer.CheckConfigsContext(ctx, configs)
 	if err == nil {
-		return nil
+		return nil, nil
+	}
+	var lim *sat.LimitError
+	if errors.As(err, &lim) {
+		return nil, lim
 	}
 	if ce, ok := err.(*featmodel.ConflictError); ok {
 		return []Violation{{
 			Rule: "allocation:conflict",
 			Message: fmt.Sprintf("invalid static partitioning; conflicting selections: %v",
 				ce.Literals),
-		}}
+		}}, nil
 	}
 	return []Violation{{
 		Rule:    "allocation:error",
 		Message: err.Error(),
-	}}
+	}}, nil
 }
+
+// SetBudget installs a resource budget on the underlying solver,
+// bounding every subsequent check.
+func (c *AllocationChecker) SetBudget(b sat.Budget) { c.analyzer.SetBudget(b) }
 
 // Feasible reports whether any assignment of products to the VMs exists
 // (false exactly when the paper's VM bound is exceeded, e.g. three VMs

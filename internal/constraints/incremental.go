@@ -1,6 +1,7 @@
 package constraints
 
 import (
+	"context"
 	"fmt"
 
 	"llhsc/internal/addr"
@@ -54,6 +55,15 @@ func (c *IncrementalSemanticChecker) Len() int { return len(c.regions) }
 // previously added regions. The underlying solver keeps its learnt
 // clauses and bit-blasted comparators between calls.
 func (c *IncrementalSemanticChecker) Add(r addr.Region) []Collision {
+	out, _ := c.AddContext(context.Background(), r)
+	return out
+}
+
+// AddContext is Add under a context. When cancellation or a budget
+// (installed via SetBudget) stops the search, the region is NOT
+// registered — the checker's state is as before the call — and the
+// collisions confirmed so far are returned with a *sat.LimitError.
+func (c *IncrementalSemanticChecker) AddContext(ctx context.Context, r addr.Region) ([]Collision, error) {
 	term := overlapTerm(c.ctx, c.x, r, c.width)
 	var out []Collision
 	for i, prev := range c.regions {
@@ -63,24 +73,43 @@ func (c *IncrementalSemanticChecker) Add(r addr.Region) []Collision {
 		c.solver.Push()
 		c.solver.Assert(c.inTerm[i])
 		c.solver.Assert(term)
-		if c.solver.Check() == sat.Sat {
+		st, err := c.solver.CheckContext(ctx)
+		if st == sat.Sat {
 			out = append(out, Collision{A: prev, B: r, Witness: c.solver.BVValue(c.x)})
 		}
 		c.solver.Pop()
+		if err != nil {
+			return out, err
+		}
 	}
 	c.regions = append(c.regions, r)
 	c.inTerm = append(c.inTerm, term)
-	return out
+	return out, nil
 }
 
 // AddAll adds regions in order and returns every collision found.
 func (c *IncrementalSemanticChecker) AddAll(regions []addr.Region) []Collision {
-	var out []Collision
-	for _, r := range regions {
-		out = append(out, c.Add(r)...)
-	}
+	out, _ := c.AddAllContext(context.Background(), regions)
 	return out
 }
+
+// AddAllContext adds regions in order under a context, stopping at the
+// first region whose checks were cut short.
+func (c *IncrementalSemanticChecker) AddAllContext(ctx context.Context, regions []addr.Region) ([]Collision, error) {
+	var out []Collision
+	for _, r := range regions {
+		cs, err := c.AddContext(ctx, r)
+		out = append(out, cs...)
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// SetBudget installs a resource budget on the underlying solver,
+// bounding every subsequent Add query.
+func (c *IncrementalSemanticChecker) SetBudget(b sat.Budget) { c.solver.SetBudget(b) }
 
 // Stats exposes the underlying solver statistics (for the E11 report).
 func (c *IncrementalSemanticChecker) Stats() smt.Stats { return c.solver.Stats() }

@@ -1,6 +1,7 @@
 package constraints
 
 import (
+	"context"
 	"fmt"
 
 	"llhsc/internal/addr"
@@ -25,8 +26,16 @@ type MemReserveChecker struct {
 
 // Check validates the tree's memreserve entries.
 func (mc MemReserveChecker) Check(tree *dts.Tree) []Violation {
+	out, _ := mc.CheckContext(context.Background(), tree)
+	return out
+}
+
+// CheckContext is Check under a context; a non-nil error (a
+// *sat.LimitError) means cancellation cut the checks short, and the
+// violations found so far are still returned.
+func (mc MemReserveChecker) CheckContext(ctx context.Context, tree *dts.Tree) ([]Violation, error) {
 	if len(tree.MemReserves) == 0 {
-		return nil
+		return nil, nil
 	}
 	width := mc.Width
 	if width == 0 {
@@ -40,9 +49,9 @@ func (mc MemReserveChecker) Check(tree *dts.Tree) []Violation {
 		}
 	}
 
-	ctx := smt.NewContext()
-	solver := smt.NewSolver(ctx)
-	x := ctx.BVVar("x", width)
+	sctx := smt.NewContext()
+	solver := smt.NewSolver(sctx)
+	x := sctx.BVVar("x", width)
 
 	var out []Violation
 
@@ -50,11 +59,12 @@ func (mc MemReserveChecker) Check(tree *dts.Tree) []Violation {
 	for i, mr := range tree.MemReserves {
 		reserve := addr.Region{Base: mr.Address, Size: mr.Size}
 		solver.Push()
-		solver.Assert(overlapTerm(ctx, x, reserve, width))
+		solver.Assert(overlapTerm(sctx, x, reserve, width))
 		for _, b := range banks {
-			solver.Assert(ctx.Not(overlapTerm(ctx, x, b, width)))
+			solver.Assert(sctx.Not(overlapTerm(sctx, x, b, width)))
 		}
-		if solver.Check() == sat.Sat {
+		st, err := solver.CheckContext(ctx)
+		if st == sat.Sat {
 			out = append(out, Violation{
 				Rule: "semantic:memreserve-outside-ram",
 				Message: fmt.Sprintf(
@@ -63,6 +73,9 @@ func (mc MemReserveChecker) Check(tree *dts.Tree) []Violation {
 			})
 		}
 		solver.Pop()
+		if err != nil {
+			return out, err
+		}
 	}
 
 	// pairwise disjointness of reserves
@@ -71,9 +84,10 @@ func (mc MemReserveChecker) Check(tree *dts.Tree) []Violation {
 			a := addr.Region{Base: tree.MemReserves[i].Address, Size: tree.MemReserves[i].Size}
 			b := addr.Region{Base: tree.MemReserves[j].Address, Size: tree.MemReserves[j].Size}
 			solver.Push()
-			solver.Assert(overlapTerm(ctx, x, a, width))
-			solver.Assert(overlapTerm(ctx, x, b, width))
-			if solver.Check() == sat.Sat {
+			solver.Assert(overlapTerm(sctx, x, a, width))
+			solver.Assert(overlapTerm(sctx, x, b, width))
+			st, err := solver.CheckContext(ctx)
+			if st == sat.Sat {
 				out = append(out, Violation{
 					Rule: "semantic:memreserve-overlap",
 					Message: fmt.Sprintf(
@@ -82,7 +96,10 @@ func (mc MemReserveChecker) Check(tree *dts.Tree) []Violation {
 				})
 			}
 			solver.Pop()
+			if err != nil {
+				return out, err
+			}
 		}
 	}
-	return out
+	return out, nil
 }

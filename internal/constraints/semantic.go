@@ -1,6 +1,7 @@
 package constraints
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -64,6 +65,9 @@ type SemanticChecker struct {
 	// against each other (needed for the truncation scenario of E6).
 	// Enabled by default via NewSemanticChecker.
 	CheckMemoryBanks bool
+	// Budget bounds the underlying solver's work (per CheckContext /
+	// FindCollisionsContext call). The zero value imposes no limits.
+	Budget sat.Budget
 }
 
 // NewSemanticChecker returns a checker with the paper's defaults.
@@ -75,6 +79,14 @@ func NewSemanticChecker() *SemanticChecker {
 // pairwise collision. Region-decoding problems (arity, overflow) are
 // reported as violations as well.
 func (sc *SemanticChecker) Check(tree *dts.Tree) ([]Collision, []Violation) {
+	collisions, violations, _ := sc.CheckContext(context.Background(), tree)
+	return collisions, violations
+}
+
+// CheckContext is Check under a context and the checker's Budget. A
+// non-nil error (a *sat.LimitError) means the search was cut short;
+// collisions and violations found up to that point are still returned.
+func (sc *SemanticChecker) CheckContext(ctx context.Context, tree *dts.Tree) ([]Collision, []Violation, error) {
 	regions, err := addr.CollectRegions(tree)
 	var violations []Violation
 	if err != nil {
@@ -87,11 +99,11 @@ func (sc *SemanticChecker) Check(tree *dts.Tree) ([]Collision, []Violation) {
 	if width == 0 {
 		width = addr.BitWidth(tree.Root.AddressCells())
 	}
-	collisions := sc.FindCollisions(regions, width)
+	collisions, cerr := sc.FindCollisionsContext(ctx, regions, width)
 	for _, c := range collisions {
 		violations = append(violations, c.Violations()...)
 	}
-	return collisions, violations
+	return collisions, violations, cerr
 }
 
 // candidatePairs enumerates the region pairs that must not overlap.
@@ -127,24 +139,40 @@ func (sc *SemanticChecker) candidatePairs(regions []addr.Region) [][2]int {
 // solver (one Push/Pop scope per pair) and returns all collisions,
 // sorted by region path for determinism.
 func (sc *SemanticChecker) FindCollisions(regions []addr.Region, width int) []Collision {
+	out, _ := sc.FindCollisionsContext(context.Background(), regions, width)
+	return out
+}
+
+// FindCollisionsContext is FindCollisions under a context and the
+// checker's Budget. When a limit stops the search it returns the
+// collisions confirmed so far plus a *sat.LimitError; remaining pairs
+// are unchecked.
+func (sc *SemanticChecker) FindCollisionsContext(ctx context.Context, regions []addr.Region, width int) ([]Collision, error) {
 	pairs := sc.candidatePairs(regions)
 	if len(pairs) == 0 {
-		return nil
+		return nil, nil
 	}
-	ctx := smt.NewContext()
-	solver := smt.NewSolver(ctx)
-	x := ctx.BVVar("x", width)
+	sctx := smt.NewContext()
+	solver := smt.NewSolver(sctx)
+	solver.SetBudget(sc.Budget)
+	x := sctx.BVVar("x", width)
 
 	var out []Collision
+	var lim error
 	for _, pair := range pairs {
 		a, b := regions[pair[0]], regions[pair[1]]
 		solver.Push()
-		solver.Assert(overlapTerm(ctx, x, a, width))
-		solver.Assert(overlapTerm(ctx, x, b, width))
-		if solver.Check() == sat.Sat {
+		solver.Assert(overlapTerm(sctx, x, a, width))
+		solver.Assert(overlapTerm(sctx, x, b, width))
+		st, err := solver.CheckContext(ctx)
+		if st == sat.Sat {
 			out = append(out, Collision{A: a, B: b, Witness: solver.BVValue(x)})
 		}
 		solver.Pop()
+		if err != nil {
+			lim = err
+			break
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].A.Path != out[j].A.Path {
@@ -152,7 +180,7 @@ func (sc *SemanticChecker) FindCollisions(regions []addr.Region, width int) []Co
 		}
 		return out[i].B.Path < out[j].B.Path
 	})
-	return out
+	return out, lim
 }
 
 // AnyCollision poses a single disjunctive query — does ANY candidate
@@ -164,37 +192,50 @@ func (sc *SemanticChecker) FindCollisions(regions []addr.Region, width int) []Co
 // encoding to two comparator chains per *region* plus one small
 // selector clause per pair — O(n) bit-vector logic for O(n²) pairs.
 func (sc *SemanticChecker) AnyCollision(regions []addr.Region, width int) (Collision, bool) {
+	c, ok, _ := sc.AnyCollisionContext(context.Background(), regions, width)
+	return c, ok
+}
+
+// AnyCollisionContext is AnyCollision under a context and the checker's
+// Budget; a non-nil error means the single query was cut short and the
+// answer is unknown.
+func (sc *SemanticChecker) AnyCollisionContext(ctx context.Context, regions []addr.Region, width int) (Collision, bool, error) {
 	pairs := sc.candidatePairs(regions)
 	if len(pairs) == 0 {
-		return Collision{}, false
+		return Collision{}, false, nil
 	}
-	ctx := smt.NewContext()
-	solver := smt.NewSolver(ctx)
-	x := ctx.BVVar("x", width)
+	sctx := smt.NewContext()
+	solver := smt.NewSolver(sctx)
+	solver.SetBudget(sc.Budget)
+	x := sctx.BVVar("x", width)
 
 	inRegion := make([]*smt.Term, len(regions))
 	for i, r := range regions {
-		inRegion[i] = overlapTerm(ctx, x, r, width)
+		inRegion[i] = overlapTerm(sctx, x, r, width)
 	}
 	sel := make([]*smt.Term, len(pairs))
 	for k, pair := range pairs {
-		s := ctx.BoolVar(fmt.Sprintf("sel%d", k))
+		s := sctx.BoolVar(fmt.Sprintf("sel%d", k))
 		sel[k] = s
-		solver.Assert(ctx.Implies(s, ctx.And(inRegion[pair[0]], inRegion[pair[1]])))
+		solver.Assert(sctx.Implies(s, sctx.And(inRegion[pair[0]], inRegion[pair[1]])))
 	}
-	solver.Assert(ctx.Or(sel...))
-	if solver.Check() != sat.Sat {
-		return Collision{}, false
+	solver.Assert(sctx.Or(sel...))
+	st, err := solver.CheckContext(ctx)
+	if err != nil {
+		return Collision{}, false, err
+	}
+	if st != sat.Sat {
+		return Collision{}, false, nil
 	}
 	for k, pair := range pairs {
 		if solver.BoolValue(sel[k]) {
 			return Collision{
 				A: regions[pair[0]], B: regions[pair[1]],
 				Witness: solver.BVValue(x),
-			}, true
+			}, true, nil
 		}
 	}
-	return Collision{}, false
+	return Collision{}, false, nil
 }
 
 // overlapTerm encodes b <= x ∧ x < b + s at the given width. Regions
@@ -228,7 +269,14 @@ type InterruptChecker struct{}
 // Check reports devices sharing an interrupt number. The decision is
 // made by the SMT solver: for each pair of interrupt constants it asks
 // whether a shared line value exists (mirroring the overlap encoding).
-func (InterruptChecker) Check(tree *dts.Tree) []Violation {
+func (ic InterruptChecker) Check(tree *dts.Tree) []Violation {
+	out, _ := ic.CheckContext(context.Background(), tree)
+	return out
+}
+
+// CheckContext is Check under a context; a non-nil error (a
+// *sat.LimitError) means cancellation cut the pair enumeration short.
+func (InterruptChecker) CheckContext(ctx context.Context, tree *dts.Tree) ([]Violation, error) {
 	type irqUse struct {
 		path   string
 		irq    uint32
@@ -246,12 +294,12 @@ func (InterruptChecker) Check(tree *dts.Tree) []Violation {
 		return true
 	})
 	if len(uses) < 2 {
-		return nil
+		return nil, nil
 	}
 
-	ctx := smt.NewContext()
-	solver := smt.NewSolver(ctx)
-	line := ctx.BVVar("line", 32)
+	sctx := smt.NewContext()
+	solver := smt.NewSolver(sctx)
+	line := sctx.BVVar("line", 32)
 
 	var out []Violation
 	for i := 0; i < len(uses); i++ {
@@ -260,9 +308,10 @@ func (InterruptChecker) Check(tree *dts.Tree) []Violation {
 				continue
 			}
 			solver.Push()
-			solver.Assert(ctx.Eq(line, ctx.BVConst(32, uint64(uses[i].irq))))
-			solver.Assert(ctx.Eq(line, ctx.BVConst(32, uint64(uses[j].irq))))
-			if solver.Check() == sat.Sat {
+			solver.Assert(sctx.Eq(line, sctx.BVConst(32, uint64(uses[i].irq))))
+			solver.Assert(sctx.Eq(line, sctx.BVConst(32, uint64(uses[j].irq))))
+			st, err := solver.CheckContext(ctx)
+			if st == sat.Sat {
 				out = append(out, Violation{
 					Path: uses[i].path, Property: "interrupts",
 					Rule: "semantic:interrupt",
@@ -272,7 +321,10 @@ func (InterruptChecker) Check(tree *dts.Tree) []Violation {
 				})
 			}
 			solver.Pop()
+			if err != nil {
+				return out, err
+			}
 		}
 	}
-	return out
+	return out, nil
 }

@@ -16,6 +16,7 @@
 package constraints
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -76,16 +77,33 @@ func NewSyntacticChecker(set *schema.Set) *SyntacticChecker {
 // Check verifies the whole tree and returns all violations in
 // deterministic order.
 func (c *SyntacticChecker) Check(tree *dts.Tree) []Violation {
+	out, _ := c.CheckContext(context.Background(), tree)
+	return out
+}
+
+// CheckContext is Check under a context; a non-nil error (a
+// *sat.LimitError) means cancellation cut the tree walk short, and the
+// violations found so far are still returned.
+func (c *SyntacticChecker) CheckContext(ctx context.Context, tree *dts.Tree) ([]Violation, error) {
 	var out []Violation
-	var walk func(parent *dts.Node, path string)
-	walk = func(parent *dts.Node, path string) {
+	var werr error
+	var walk func(parent *dts.Node, path string) bool
+	walk = func(parent *dts.Node, path string) bool {
 		for _, n := range parent.Children {
 			childPath := path + "/" + n.Name
 			for _, sc := range c.Schemas.For(n) {
-				out = append(out, checkNodeSyntax(n, parent, childPath, sc)...)
+				vs, err := checkNodeSyntax(ctx, n, parent, childPath, sc)
+				out = append(out, vs...)
+				if err != nil {
+					werr = err
+					return false
+				}
 			}
-			walk(n, childPath)
+			if !walk(n, childPath) {
+				return false
+			}
 		}
+		return true
 	}
 	walk(tree.Root, "")
 	sort.Slice(out, func(i, j int) bool {
@@ -97,7 +115,7 @@ func (c *SyntacticChecker) Check(tree *dts.Tree) []Violation {
 		}
 		return out[i].Rule < out[j].Rule
 	})
-	return out
+	return out, werr
 }
 
 // schemaRule is one named schema axiom with its diagnosis.
@@ -111,7 +129,7 @@ type schemaRule struct {
 
 // checkNodeSyntax runs the Section IV-B encoding for one (node, schema)
 // pair, iterating unsat cores to surface every independent violation.
-func checkNodeSyntax(n, parent *dts.Node, path string, sc *schema.Schema) []Violation {
+func checkNodeSyntax(ctx context.Context, n, parent *dts.Node, path string, sc *schema.Schema) ([]Violation, error) {
 	rules := buildSchemaRules(n, parent, sc)
 	ruleByName := make(map[string]schemaRule, len(rules))
 	for _, r := range rules {
@@ -121,16 +139,20 @@ func checkNodeSyntax(n, parent *dts.Node, path string, sc *schema.Schema) []Viol
 	disabled := make(map[string]bool)
 	var out []Violation
 	for iter := 0; iter <= len(rules); iter++ {
-		ctx := smt.NewContext()
-		solver := smt.NewSolver(ctx)
-		assertBindingObligations(ctx, solver, n, sc)
+		sctx := smt.NewContext()
+		solver := smt.NewSolver(sctx)
+		assertBindingObligations(sctx, solver, n, sc)
 		for _, r := range rules {
 			if !disabled[r.name] {
-				r.assert(ctx, solver)
+				r.assert(sctx, solver)
 			}
 		}
-		if solver.Check() == sat.Sat {
-			return out
+		st, err := solver.CheckContext(ctx)
+		if err != nil {
+			return out, err
+		}
+		if st == sat.Sat {
+			return out, nil
 		}
 		progressed := false
 		for _, name := range solver.UnsatNames() {
@@ -155,10 +177,10 @@ func checkNodeSyntax(n, parent *dts.Node, path string, sc *schema.Schema) []Viol
 				Message: fmt.Sprintf("unexplained inconsistency: %v", solver.UnsatNames()),
 				Origin:  n.Origin,
 			})
-			return out
+			return out, nil
 		}
 	}
-	return out
+	return out, nil
 }
 
 // assertBindingObligations adds constraints (4)–(6): the closure over

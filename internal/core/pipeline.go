@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -16,8 +17,38 @@ import (
 	"llhsc/internal/delta"
 	"llhsc/internal/dts"
 	"llhsc/internal/featmodel"
+	"llhsc/internal/sat"
 	"llhsc/internal/schema"
 )
+
+// Limits bounds the resources one pipeline run may consume. The zero
+// value imposes no limits.
+type Limits struct {
+	// Solver bounds every SAT/SMT query issued by the constraint
+	// checkers (deadline, conflicts, learnt-clause memory).
+	Solver sat.Budget
+	// MaxDeltaOps caps the number of delta operations applied while
+	// deriving each product (0 = unlimited).
+	MaxDeltaOps int
+}
+
+// LimitError reports a pipeline run cut short by a resource limit or
+// cancellation. It wraps the underlying cause — a *sat.LimitError, a
+// *delta.StepLimitError, or a context error — so callers can classify
+// it with errors.Is/As.
+type LimitError struct {
+	// Phase names the pipeline stage that was interrupted:
+	// "allocation", "vm:<name>", or "platform".
+	Phase string
+	Err   error
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("core: %s check stopped: %v", e.Phase, e.Err)
+}
+
+// Unwrap returns the underlying cause.
+func (e *LimitError) Unwrap() error { return e.Err }
 
 // Pipeline is a configured llhsc run.
 type Pipeline struct {
@@ -122,6 +153,15 @@ func (p *Pipeline) Validate() error {
 // structural failures (invalid pipeline, delta application errors);
 // constraint violations are reported in the Report, not as errors.
 func (p *Pipeline) Run() (*Report, error) {
+	return p.RunContext(context.Background(), Limits{})
+}
+
+// RunContext executes the full workflow under a context and resource
+// limits. Cancellation or an exhausted budget aborts the run with a
+// *LimitError naming the interrupted phase (errors.Is also matches the
+// underlying ctx.Err() / *sat.LimitError). Constraint violations are
+// reported in the Report, not as errors.
+func (p *Pipeline) RunContext(ctx context.Context, limits Limits) (*Report, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -132,32 +172,46 @@ func (p *Pipeline) Run() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	report.Allocation = alloc.Check(p.VMConfigs)
+	alloc.SetBudget(limits.Solver)
+	report.Allocation, err = alloc.CheckContext(ctx, p.VMConfigs)
+	if err != nil {
+		return nil, &LimitError{Phase: "allocation", Err: err}
+	}
 
 	// ---- per-VM products ----
 	syntactic := constraints.NewSyntacticChecker(p.Schemas)
 	semantic := constraints.NewSemanticChecker()
+	semantic.Budget = limits.Solver
 	for i, cfg := range p.VMConfigs {
 		name := fmt.Sprintf("vm%d", i+1)
 		if len(p.VMNames) > 0 {
 			name = p.VMNames[i]
 		}
 		vm := VMResult{Name: name, Config: cfg}
-		tree, trace, err := p.Deltas.Apply(p.Core, cfg)
+		tree, trace, err := p.Deltas.ApplyContext(ctx, p.Core, cfg, limits.MaxDeltaOps)
 		if err != nil {
+			if isLimitCause(err) {
+				return nil, &LimitError{Phase: "vm:" + name, Err: err}
+			}
 			return nil, fmt.Errorf("core: VM %s: %w", name, err)
 		}
 		vm.Tree = tree
 		vm.Trace = trace
 		vm.DTS = tree.Print()
-		vm.Violations = p.checkTree(syntactic, semantic, tree)
+		vm.Violations, err = p.checkTree(ctx, syntactic, semantic, tree)
+		if err != nil {
+			return nil, &LimitError{Phase: "vm:" + name, Err: err}
+		}
 		report.VMs = append(report.VMs, vm)
 	}
 
 	// ---- platform product: the union of the VM configurations ----
 	union := featmodel.PlatformUnion(p.VMConfigs)
-	ptree, ptrace, err := p.Deltas.Apply(p.Core, union)
+	ptree, ptrace, err := p.Deltas.ApplyContext(ctx, p.Core, union, limits.MaxDeltaOps)
 	if err != nil {
+		if isLimitCause(err) {
+			return nil, &LimitError{Phase: "platform", Err: err}
+		}
 		return nil, fmt.Errorf("core: platform: %w", err)
 	}
 	report.Platform = PlatformResult{
@@ -166,7 +220,10 @@ func (p *Pipeline) Run() (*Report, error) {
 		Tree:   ptree,
 		DTS:    ptree.Print(),
 	}
-	report.Platform.Violations = p.checkTree(syntactic, semantic, ptree)
+	report.Platform.Violations, err = p.checkTree(ctx, syntactic, semantic, ptree)
+	if err != nil {
+		return nil, &LimitError{Phase: "platform", Err: err}
+	}
 
 	if !report.OK() {
 		return report, nil
@@ -195,13 +252,36 @@ func (p *Pipeline) Run() (*Report, error) {
 	return report, nil
 }
 
-func (p *Pipeline) checkTree(syn *constraints.SyntacticChecker, sem *constraints.SemanticChecker, tree *dts.Tree) []constraints.Violation {
-	out := syn.Check(tree)
-	_, semViolations := sem.Check(tree)
-	out = append(out, semViolations...)
-	out = append(out, constraints.MemReserveChecker{}.Check(tree)...)
-	if !p.SkipInterrupts {
-		out = append(out, constraints.InterruptChecker{}.Check(tree)...)
+func (p *Pipeline) checkTree(ctx context.Context, syn *constraints.SyntacticChecker, sem *constraints.SemanticChecker, tree *dts.Tree) ([]constraints.Violation, error) {
+	out, err := syn.CheckContext(ctx, tree)
+	if err != nil {
+		return out, err
 	}
-	return out
+	_, semViolations, err := sem.CheckContext(ctx, tree)
+	out = append(out, semViolations...)
+	if err != nil {
+		return out, err
+	}
+	mrViolations, err := constraints.MemReserveChecker{}.CheckContext(ctx, tree)
+	out = append(out, mrViolations...)
+	if err != nil {
+		return out, err
+	}
+	if !p.SkipInterrupts {
+		irqViolations, err := constraints.InterruptChecker{}.CheckContext(ctx, tree)
+		out = append(out, irqViolations...)
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// isLimitCause reports whether a delta-application error stems from
+// cancellation or a step cap rather than a structural problem.
+func isLimitCause(err error) bool {
+	var sl *delta.StepLimitError
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.As(err, &sl)
 }

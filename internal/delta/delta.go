@@ -12,6 +12,7 @@
 package delta
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -339,13 +340,38 @@ func (e *ApplyError) Error() string {
 // of the core tree and returns the product DTS together with the
 // applied delta names (the trace used in reports).
 func (s *Set) Apply(core *dts.Tree, cfg featmodel.Configuration) (*dts.Tree, []string, error) {
+	return s.ApplyContext(context.Background(), core, cfg, 0)
+}
+
+// StepLimitError reports that delta application exceeded maxOps.
+type StepLimitError struct {
+	Limit int
+}
+
+func (e *StepLimitError) Error() string {
+	return fmt.Sprintf("delta: application exceeded %d operations", e.Limit)
+}
+
+// ApplyContext is Apply under a context and an operation cap: maxOps
+// bounds the total number of delta operations applied (0 = unlimited),
+// and the context is polled between deltas. On a stop it returns the
+// trace so far with ctx.Err() or a *StepLimitError.
+func (s *Set) ApplyContext(ctx context.Context, core *dts.Tree, cfg featmodel.Configuration, maxOps int) (*dts.Tree, []string, error) {
 	ordered, err := s.Order(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
 	tree := core.Clone()
 	var trace []string
+	ops := 0
 	for _, d := range ordered {
+		if err := ctx.Err(); err != nil {
+			return nil, trace, err
+		}
+		ops += len(d.Ops)
+		if maxOps > 0 && ops > maxOps {
+			return nil, trace, &StepLimitError{Limit: maxOps}
+		}
 		if err := applyDelta(tree, d); err != nil {
 			return nil, trace, err
 		}

@@ -1,0 +1,45 @@
+package delta
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"llhsc/internal/featmodel"
+)
+
+func TestApplyContextStepCap(t *testing.T) {
+	set := mustSet(t, listing4)
+	core := mustTree(t, coreDTS)
+	cfg := featmodel.ConfigOf("veth0", "veth1", "memory")
+
+	// unlimited: all four deltas apply
+	if _, trace, err := set.ApplyContext(context.Background(), core, cfg, 0); err != nil {
+		t.Fatalf("unlimited apply: %v", err)
+	} else if len(trace) != 4 {
+		t.Fatalf("trace = %v, want 4 deltas", trace)
+	}
+
+	// the four deltas carry four ops in total; cap at 2
+	_, trace, err := set.ApplyContext(context.Background(), core, cfg, 2)
+	var sl *StepLimitError
+	if !errors.As(err, &sl) {
+		t.Fatalf("err = %v, want *StepLimitError", err)
+	}
+	if len(trace) > 2 {
+		t.Errorf("trace = %v, should stop within the cap", trace)
+	}
+}
+
+func TestApplyContextCanceled(t *testing.T) {
+	set := mustSet(t, listing4)
+	core := mustTree(t, coreDTS)
+	cfg := featmodel.ConfigOf("veth0", "veth1", "memory")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := set.ApplyContext(ctx, core, cfg, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

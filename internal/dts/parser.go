@@ -1,11 +1,30 @@
 package dts
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 )
+
+// Guard errors. Parse errors caused by an exceeded input limit wrap
+// one of these sentinels, so callers can map them to a "request too
+// large" response with errors.Is.
+var (
+	// ErrTooDeep reports node nesting beyond the configured limit
+	// (default defaultMaxNodeDepth) — deeply nested input would
+	// otherwise exhaust the recursive-descent parser's stack.
+	ErrTooDeep = errors.New("dts: node nesting too deep")
+	// ErrSourceTooLarge reports total source size (including resolved
+	// includes) beyond the limit set with WithMaxSourceBytes.
+	ErrSourceTooLarge = errors.New("dts: source too large")
+)
+
+// defaultMaxNodeDepth bounds node-body nesting. Real device trees are
+// a handful of levels deep; 64 leaves generous headroom while keeping
+// adversarial input from exhausting the goroutine stack.
+const defaultMaxNodeDepth = 64
 
 // Includer resolves /include/ directives to file contents.
 type Includer interface {
@@ -42,17 +61,41 @@ func WithIncluder(inc Includer) ParseOption {
 	return func(p *parser) { p.includer = inc }
 }
 
+// WithMaxNodeDepth overrides the node-nesting guard (0 restores the
+// default). Exceeding it fails the parse with an error wrapping
+// ErrTooDeep.
+func WithMaxNodeDepth(n int) ParseOption {
+	return func(p *parser) {
+		if n <= 0 {
+			n = defaultMaxNodeDepth
+		}
+		p.maxNodeDepth = n
+	}
+}
+
+// WithMaxSourceBytes caps the total source size, counting every
+// /include/'d file (0 = unlimited). Exceeding it fails the parse with
+// an error wrapping ErrSourceTooLarge.
+func WithMaxSourceBytes(n int) ParseOption {
+	return func(p *parser) { p.maxSourceBytes = n }
+}
+
 // Parse parses DTS source text into a Tree. file is used in error
 // messages and origins.
 func Parse(file, src string, opts ...ParseOption) (*Tree, error) {
-	p := &parser{tree: NewTree(), maxDepth: 32}
-	for _, o := range opts {
-		o(p)
-	}
+	p := newParser(opts)
 	if err := p.parseSource(file, src, 0); err != nil {
 		return nil, err
 	}
 	return p.tree, nil
+}
+
+func newParser(opts []ParseOption) *parser {
+	p := &parser{tree: NewTree(), maxDepth: 32, maxNodeDepth: defaultMaxNodeDepth}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
 }
 
 // ParseFile reads and parses a DTS file; /include/ directives resolve
@@ -70,8 +113,12 @@ func ParseFile(path string, opts ...ParseOption) (*Tree, error) {
 // payload syntax of delta-module operations (internal/delta). The
 // returned node carries the fragment's properties and children under
 // the given name.
-func ParseFragment(file, name, src string) (*Node, error) {
-	p := &parser{tree: NewTree(), maxDepth: 32}
+func ParseFragment(file, name, src string, opts ...ParseOption) (*Node, error) {
+	p := newParser(opts)
+	if p.maxSourceBytes > 0 && len(src) > p.maxSourceBytes {
+		return nil, fmt.Errorf("%w: fragment %s is %d bytes (limit %d)",
+			ErrSourceTooLarge, file, len(src), p.maxSourceBytes)
+	}
 	p.lex = newLexer(file, src)
 	if err := p.advance(); err != nil {
 		return nil, err
@@ -91,7 +138,12 @@ type parser struct {
 	tok      token
 	tree     *Tree
 	includer Includer
-	maxDepth int
+	maxDepth int // include nesting
+
+	maxNodeDepth   int // node-body nesting guard
+	nodeDepth      int
+	maxSourceBytes int // cumulative source size guard (0 = unlimited)
+	sourceBytes    int
 }
 
 func (p *parser) errf(format string, args ...interface{}) error {
@@ -120,6 +172,11 @@ func (p *parser) expect(k tokenKind) (token, error) {
 func (p *parser) parseSource(file, src string, depth int) error {
 	if depth > p.maxDepth {
 		return fmt.Errorf("include nesting deeper than %d (cycle?)", p.maxDepth)
+	}
+	p.sourceBytes += len(src)
+	if p.maxSourceBytes > 0 && p.sourceBytes > p.maxSourceBytes {
+		return fmt.Errorf("%w: %d bytes of source (limit %d) at %s",
+			ErrSourceTooLarge, p.sourceBytes, p.maxSourceBytes, file)
 	}
 	savedLex, savedTok := p.lex, p.tok
 	p.lex = newLexer(file, src)
@@ -292,6 +349,12 @@ func (p *parser) parseNamedNode() (*Node, error) {
 // parseNodeBody parses "{ contents };" returning a node with the given
 // name.
 func (p *parser) parseNodeBody(name string) (*Node, error) {
+	p.nodeDepth++
+	defer func() { p.nodeDepth-- }()
+	if p.nodeDepth > p.maxNodeDepth {
+		return nil, fmt.Errorf("%w: node %s at %s:%d nests deeper than %d",
+			ErrTooDeep, name, p.lex.file, p.tok.line, p.maxNodeDepth)
+	}
 	n := &Node{Name: name, Origin: Origin{File: p.lex.file, Line: p.tok.line}}
 	if _, err := p.expect(tokLBrace); err != nil {
 		return nil, err

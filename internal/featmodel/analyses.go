@@ -19,11 +19,12 @@ type Analyzer struct {
 	formula *logic.Formula
 }
 
-// NewAnalyzer prepares the SAT encoding of the model.
+// NewAnalyzer prepares the SAT encoding of the model. The model must
+// be well-formed (built via NewModel); NewAnalyzer panics otherwise.
 func NewAnalyzer(m *Model) *Analyzer {
 	pool := logic.NewPool()
 	vm := NewVarMap(pool)
-	f := m.ToFormula(vm, "")
+	f := m.MustToFormula(vm, "")
 	s := sat.New()
 	s.AddCNF(logic.ToCNF(f, pool))
 	return &Analyzer{model: m, pool: pool, vm: vm, solver: s, formula: f}
@@ -131,7 +132,7 @@ func (a *Analyzer) enumerate(limit int) ([][]string, bool) {
 	s := sat.New()
 	pool := logic.NewPool()
 	vm := NewVarMap(pool)
-	f := a.model.ToFormula(vm, "")
+	f := a.model.MustToFormula(vm, "")
 	s.AddCNF(logic.ToCNF(f, pool))
 
 	featureVars := make([]logic.Var, 0, len(a.model.order))

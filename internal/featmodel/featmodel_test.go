@@ -8,6 +8,16 @@ import (
 	"llhsc/internal/dts"
 )
 
+// mustMultiAnalyzer builds a MultiAnalyzer, failing the test on error.
+func mustMultiAnalyzer(t *testing.T, mm *MultiModel) *MultiAnalyzer {
+	t.Helper()
+	ma, err := NewMultiAnalyzer(mm)
+	if err != nil {
+		t.Fatalf("NewMultiAnalyzer: %v", err)
+	}
+	return ma
+}
+
 // paperModel builds the Fig. 1a feature model of the running example.
 func paperModel(t *testing.T) *Model {
 	t.Helper()
@@ -178,7 +188,7 @@ func TestMultiModelStaticPartitioning(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ma := NewMultiAnalyzer(mm)
+	ma := mustMultiAnalyzer(t, mm)
 	if ma.IsVoid() {
 		t.Fatal("2-VM partitioning should be satisfiable")
 	}
@@ -215,7 +225,7 @@ func TestMultiModelMaxVMs(t *testing.T) {
 	// exclusive CPUs and cpus mandatory, three VMs are unsatisfiable.
 	m := paperModel(t)
 	mm, _ := NewMultiModel(m, 3)
-	if !NewMultiAnalyzer(mm).IsVoid() {
+	if !mustMultiAnalyzer(t, mm).IsVoid() {
 		t.Error("3 VMs over 2 exclusive CPUs should be void")
 	}
 }
@@ -225,7 +235,7 @@ func TestSolveAssignmentAutomaticCPUs(t *testing.T) {
 	// assigns CPUs automatically.
 	m := paperModel(t)
 	mm, _ := NewMultiModel(m, 2)
-	ma := NewMultiAnalyzer(mm)
+	ma := mustMultiAnalyzer(t, mm)
 	configs, err := ma.SolveAssignment([]map[string]bool{
 		{"veth0": true},
 		{"veth1": true},
@@ -244,7 +254,7 @@ func TestSolveAssignmentAutomaticCPUs(t *testing.T) {
 func TestSolveAssignmentConflict(t *testing.T) {
 	m := paperModel(t)
 	mm, _ := NewMultiModel(m, 2)
-	ma := NewMultiAnalyzer(mm)
+	ma := mustMultiAnalyzer(t, mm)
 	// veth0 in both VMs forces cpu@0 in both: exclusivity conflict.
 	if _, err := ma.SolveAssignment([]map[string]bool{
 		{"veth0": true},

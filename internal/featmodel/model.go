@@ -204,7 +204,13 @@ func (vm *VarMap) Names() map[logic.Var]string {
 //   - cross-tree constraints hold.
 //
 // Variables for feature f are drawn as vm.Var(prefix + f.Name).
-func (m *Model) ToFormula(vm *VarMap, prefix string) *logic.Formula {
+//
+// An error is returned when a cross-tree constraint references a
+// feature missing from the model — possible only for a Model assembled
+// by hand instead of through NewModel (which validates references).
+// MustToFormula panics instead, for callers that know the model is
+// well-formed.
+func (m *Model) ToFormula(vm *VarMap, prefix string) (*logic.Formula, error) {
 	var parts []*logic.Formula
 	v := func(name string) *logic.Formula { return logic.V(vm.Var(prefix + name)) }
 
@@ -250,12 +256,24 @@ func (m *Model) ToFormula(vm *VarMap, prefix string) *logic.Formula {
 			return vm.Var(prefix + name), true
 		})
 		if err != nil {
-			// NewModel validated the names; this cannot happen.
-			panic(err)
+			// Reachable only for models not built via NewModel; return
+			// the error instead of panicking so a malformed model cannot
+			// crash a server goroutine.
+			return nil, fmt.Errorf("featmodel: %w", err)
 		}
 		parts = append(parts, f)
 	}
-	return logic.And(parts...)
+	return logic.And(parts...), nil
+}
+
+// MustToFormula is ToFormula for models known to be well-formed (built
+// via NewModel); it panics on the error path.
+func (m *Model) MustToFormula(vm *VarMap, prefix string) *logic.Formula {
+	f, err := m.ToFormula(vm, prefix)
+	if err != nil {
+		panic(err)
+	}
+	return f
 }
 
 // Configuration is a set of selected feature names.

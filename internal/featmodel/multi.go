@@ -1,6 +1,7 @@
 package featmodel
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -38,10 +39,14 @@ const PlatformPrefix = "platform/"
 //   - each exclusive feature is selected by at most one VM,
 //   - each platform variable "platform/<f>" is the union (disjunction)
 //     of the per-VM selections.
-func (mm *MultiModel) ToFormula(vm *VarMap) *logic.Formula {
+func (mm *MultiModel) ToFormula(vm *VarMap) (*logic.Formula, error) {
 	var parts []*logic.Formula
 	for k := 1; k <= mm.VMs; k++ {
-		parts = append(parts, mm.Base.ToFormula(vm, VMPrefix(k)))
+		f, err := mm.Base.ToFormula(vm, VMPrefix(k))
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, f)
 	}
 	for _, name := range mm.Base.order {
 		f := mm.Base.features[name]
@@ -55,7 +60,7 @@ func (mm *MultiModel) ToFormula(vm *VarMap) *logic.Formula {
 		platform := logic.V(vm.Var(PlatformPrefix + name))
 		parts = append(parts, logic.Iff(platform, logic.Or(perVM...)))
 	}
-	return logic.And(parts...)
+	return logic.And(parts...), nil
 }
 
 // MultiAnalyzer answers queries over a MultiModel.
@@ -66,14 +71,18 @@ type MultiAnalyzer struct {
 	solver *sat.Solver
 }
 
-// NewMultiAnalyzer prepares the SAT encoding.
-func NewMultiAnalyzer(mm *MultiModel) *MultiAnalyzer {
+// NewMultiAnalyzer prepares the SAT encoding. It errors on a malformed
+// base model (one assembled by hand rather than through NewModel).
+func NewMultiAnalyzer(mm *MultiModel) (*MultiAnalyzer, error) {
 	pool := logic.NewPool()
 	vm := NewVarMap(pool)
-	f := mm.ToFormula(vm)
+	f, err := mm.ToFormula(vm)
+	if err != nil {
+		return nil, err
+	}
 	s := sat.New()
 	s.AddCNF(logic.ToCNF(f, pool))
-	return &MultiAnalyzer{mm: mm, pool: pool, vm: vm, solver: s}
+	return &MultiAnalyzer{mm: mm, pool: pool, vm: vm, solver: s}, nil
 }
 
 // IsVoid reports whether no assignment of products to the VMs exists at
@@ -82,11 +91,22 @@ func (ma *MultiAnalyzer) IsVoid() bool {
 	return ma.solver.Solve() != sat.Sat
 }
 
+// SetBudget installs a resource budget on the underlying SAT solver,
+// bounding every subsequent query.
+func (ma *MultiAnalyzer) SetBudget(b sat.Budget) { ma.solver.SetBudget(b) }
+
 // CheckConfigs validates one configuration per VM simultaneously,
 // including the cross-VM exclusivity constraints. It returns nil when
 // valid and an explanation (conflicting feature literals, prefixed by
 // their VM) otherwise.
 func (ma *MultiAnalyzer) CheckConfigs(configs []Configuration) error {
+	return ma.CheckConfigsContext(context.Background(), configs)
+}
+
+// CheckConfigsContext is CheckConfigs under a context: cancellation
+// and the context deadline bound the underlying SAT search, and the
+// resulting error is a *sat.LimitError wrapping ctx.Err().
+func (ma *MultiAnalyzer) CheckConfigsContext(ctx context.Context, configs []Configuration) error {
 	if len(configs) != ma.mm.VMs {
 		return fmt.Errorf("featmodel: %d configurations for %d VMs", len(configs), ma.mm.VMs)
 	}
@@ -102,7 +122,11 @@ func (ma *MultiAnalyzer) CheckConfigs(configs []Configuration) error {
 			}
 		}
 	}
-	if ma.solver.Solve(assumptions...) == sat.Sat {
+	st, err := ma.solver.SolveContext(ctx, assumptions...)
+	if st == sat.Unknown {
+		return err
+	}
+	if st == sat.Sat {
 		return nil
 	}
 	var conflict []string

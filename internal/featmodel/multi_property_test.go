@@ -58,7 +58,7 @@ func TestPropertyMultiAnalyzerMatchesGroundTruth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ma := NewMultiAnalyzer(mm)
+	ma := mustMultiAnalyzer(t, mm)
 
 	names := m.Names()
 	products, complete := NewAnalyzer(m).EnumerateProducts(0)
@@ -107,12 +107,12 @@ func TestPropertyMultiAnalyzerMatchesGroundTruth(t *testing.T) {
 func TestMultiModelThreeVMsOverThreeUnits(t *testing.T) {
 	m := exclusiveModel(t)
 	mm, _ := NewMultiModel(m, 3)
-	ma := NewMultiAnalyzer(mm)
+	ma := mustMultiAnalyzer(t, mm)
 	if ma.IsVoid() {
 		t.Fatal("3 VMs over 3 exclusive units should be feasible")
 	}
 	mm4, _ := NewMultiModel(m, 4)
-	if !NewMultiAnalyzer(mm4).IsVoid() {
+	if !mustMultiAnalyzer(t, mm4).IsVoid() {
 		t.Error("4 VMs over 3 exclusive units should be void")
 	}
 }

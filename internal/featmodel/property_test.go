@@ -17,7 +17,7 @@ func bruteForceProducts(t *testing.T, m *Model) [][]string {
 	}
 	pool := logic.NewPool()
 	vm := NewVarMap(pool)
-	f := m.ToFormula(vm, "")
+	f := m.MustToFormula(vm, "")
 
 	var out [][]string
 	for mask := uint64(0); mask < 1<<uint(len(names)); mask++ {

@@ -1,0 +1,143 @@
+package sat
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"llhsc/internal/logic"
+)
+
+// Budget bounds the resources one Solve call may consume. The zero
+// value imposes no limits. A Solve that stops because a limit was hit
+// returns Unknown and records a *LimitError retrievable via LastLimit
+// (SolveContext returns it directly).
+//
+// Deadline and Stop are polled every limitCheckInterval propagations,
+// so cancellation latency is bounded by the time the solver needs for
+// that many propagations (microseconds to low milliseconds), never by
+// the total search time.
+type Budget struct {
+	// Deadline is the wall-clock instant after which the search stops.
+	// The zero time means no deadline.
+	Deadline time.Time
+	// MaxConflicts stops the search after this many conflicts
+	// (0 = unlimited). It subsumes the legacy Solver.ConflictBudget
+	// field, which is still honored when MaxConflicts is 0.
+	MaxConflicts uint64
+	// MaxLearntLits caps the total number of literals retained across
+	// learnt clauses — a proxy for the learnt-database memory footprint
+	// (0 = unlimited). Unlike clause-DB reduction, hitting this cap
+	// stops the search instead of shrinking the database, because a
+	// search that keeps exceeding the cap is not converging within the
+	// caller's memory budget.
+	MaxLearntLits int
+	// Stop aborts the search when the channel is closed (or a value is
+	// sent). Wire a context with Stop: ctx.Done(), or use SolveContext.
+	Stop <-chan struct{}
+}
+
+// limitCheckInterval is how many propagations pass between deadline /
+// stop-flag polls. Must be a power of two.
+const limitCheckInterval = 2048
+
+// Stop reasons reported in LimitError.Reason.
+const (
+	StopDeadline  = "deadline"
+	StopConflicts = "conflicts"
+	StopMemory    = "learnt-memory"
+	StopCanceled  = "canceled"
+)
+
+// LimitError is the typed error explaining an Unknown result: the
+// search was stopped by a resource budget or external cancellation,
+// not by a decision procedure failure.
+type LimitError struct {
+	// Reason is one of the Stop* constants.
+	Reason string
+	// Err is the underlying cause when one exists (e.g.
+	// context.Canceled or context.DeadlineExceeded from SolveContext).
+	Err error
+}
+
+func (e *LimitError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("sat: solve stopped (%s): %v", e.Reason, e.Err)
+	}
+	return fmt.Sprintf("sat: solve stopped: %s budget exhausted", e.Reason)
+}
+
+// Unwrap returns the underlying cause, if any.
+func (e *LimitError) Unwrap() error { return e.Err }
+
+// SetBudget installs the budget for subsequent Solve calls. It must
+// not be called while a Solve is running.
+func (s *Solver) SetBudget(b Budget) { s.budget = b }
+
+// Interrupt asks a running Solve to stop at the next limit check,
+// returning Unknown. It is safe to call from another goroutine and is
+// sticky until ClearInterrupt is called.
+func (s *Solver) Interrupt() { s.interrupted.Store(true) }
+
+// ClearInterrupt re-arms the solver after an Interrupt.
+func (s *Solver) ClearInterrupt() { s.interrupted.Store(false) }
+
+// LastLimit returns the limit that stopped the most recent Solve, or
+// nil if it ran to completion.
+func (s *Solver) LastLimit() *LimitError { return s.lastLimit }
+
+// SolveContext runs Solve under the context: cancellation and the
+// context deadline are threaded into the budget (tightening, never
+// loosening, any deadline already set via SetBudget). On a budget or
+// cancellation stop it returns Unknown and a non-nil *LimitError whose
+// Err records ctx.Err() when the context was the cause.
+func (s *Solver) SolveContext(ctx context.Context, assumptions ...logic.Lit) (Status, error) {
+	saved := s.budget
+	defer func() { s.budget = saved }()
+	if d, ok := ctx.Deadline(); ok {
+		if s.budget.Deadline.IsZero() || d.Before(s.budget.Deadline) {
+			s.budget.Deadline = d
+		}
+	}
+	if ctx.Done() != nil {
+		s.budget.Stop = ctx.Done()
+	}
+	st := s.Solve(assumptions...)
+	if st != Unknown {
+		return st, nil
+	}
+	lim := s.lastLimit
+	if lim == nil {
+		lim = &LimitError{Reason: StopCanceled}
+	}
+	if (lim.Reason == StopCanceled || lim.Reason == StopDeadline) && ctx.Err() != nil {
+		lim.Err = ctx.Err()
+	} else if lim.Reason == StopDeadline && lim.Err == nil {
+		// our wall-clock poll can observe the deadline a moment before
+		// the context's own timer fires; attribute it anyway
+		if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+			lim.Err = context.DeadlineExceeded
+		}
+	}
+	return Unknown, lim
+}
+
+// stopRequested polls the cheap external stop conditions: the sticky
+// interrupt flag, the stop channel, and the wall-clock deadline. It is
+// called every limitCheckInterval propagations and once per conflict.
+func (s *Solver) stopRequested() *LimitError {
+	if s.interrupted.Load() {
+		return &LimitError{Reason: StopCanceled}
+	}
+	if s.budget.Stop != nil {
+		select {
+		case <-s.budget.Stop:
+			return &LimitError{Reason: StopCanceled}
+		default:
+		}
+	}
+	if !s.budget.Deadline.IsZero() && time.Now().After(s.budget.Deadline) {
+		return &LimitError{Reason: StopDeadline}
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package sat
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"llhsc/internal/logic"
+)
+
+// pigeonhole builds the (unsatisfiable) instance placing n+1 pigeons
+// into n holes — exponentially hard for resolution-based solvers, so a
+// modest n keeps a CDCL search busy long enough to exercise budgets.
+func pigeonhole(s *Solver, n int) {
+	v := func(p, h int) logic.Lit { return logic.Lit(p*n + h + 1) }
+	for p := 0; p <= n; p++ {
+		cl := make([]logic.Lit, n)
+		for h := 0; h < n; h++ {
+			cl[h] = v(p, h)
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(-v(p1, h), -v(p2, h))
+			}
+		}
+	}
+}
+
+func TestBudgetMaxConflicts(t *testing.T) {
+	s := New()
+	s.SetBudget(Budget{MaxConflicts: 5})
+	pigeonhole(s, 7)
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("Solve = %v, want Unknown", got)
+	}
+	lim := s.LastLimit()
+	if lim == nil || lim.Reason != StopConflicts {
+		t.Fatalf("LastLimit = %+v, want reason %q", lim, StopConflicts)
+	}
+	// the budget applies per Solve call: raising it lets the solver finish
+	s.SetBudget(Budget{})
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("unbudgeted re-solve = %v, want Unsat", got)
+	}
+	if s.LastLimit() != nil {
+		t.Errorf("LastLimit after completed solve = %+v, want nil", s.LastLimit())
+	}
+}
+
+func TestBudgetDeadline(t *testing.T) {
+	s := New()
+	pigeonhole(s, 14)
+	s.SetBudget(Budget{Deadline: time.Now().Add(30 * time.Millisecond)})
+	start := time.Now()
+	got := s.Solve()
+	elapsed := time.Since(start)
+	if got != Unknown {
+		t.Fatalf("Solve = %v, want Unknown (solved pigeonhole-14 in %v?)", got, elapsed)
+	}
+	if lim := s.LastLimit(); lim == nil || lim.Reason != StopDeadline {
+		t.Fatalf("LastLimit = %+v, want reason %q", lim, StopDeadline)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("deadline stop took %v, want well under 2s", elapsed)
+	}
+}
+
+func TestBudgetMaxLearntLits(t *testing.T) {
+	s := New()
+	pigeonhole(s, 12) // never solved: the learnt-lits cap must fire first
+	s.SetBudget(Budget{MaxLearntLits: 50})
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("Solve = %v, want Unknown", got)
+	}
+	if lim := s.LastLimit(); lim == nil || lim.Reason != StopMemory {
+		t.Fatalf("LastLimit = %+v, want reason %q", lim, StopMemory)
+	}
+}
+
+func TestSolveContextCancel(t *testing.T) {
+	s := New()
+	pigeonhole(s, 14)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	st, err := s.SolveContext(ctx)
+	elapsed := time.Since(start)
+	if st != Unknown {
+		t.Fatalf("SolveContext = %v, want Unknown", st)
+	}
+	var lim *LimitError
+	if !errors.As(err, &lim) || lim.Reason != StopCanceled {
+		t.Fatalf("err = %v, want *LimitError with reason %q", err, StopCanceled)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want errors.Is(context.Canceled)", err)
+	}
+	if elapsed > 100*time.Millisecond {
+		t.Errorf("cancellation took %v, want < 100ms", elapsed)
+	}
+}
+
+func TestSolveContextAlreadyCanceled(t *testing.T) {
+	s := New()
+	pigeonhole(s, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := s.SolveContext(ctx)
+	if st != Unknown || !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveContext = %v/%v, want Unknown/context.Canceled", st, err)
+	}
+}
+
+func TestSolveContextDeadline(t *testing.T) {
+	s := New()
+	pigeonhole(s, 14)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	st, err := s.SolveContext(ctx)
+	if st != Unknown {
+		t.Fatalf("SolveContext = %v, want Unknown", st)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want errors.Is(context.DeadlineExceeded)", err)
+	}
+}
+
+func TestSolveContextCompletes(t *testing.T) {
+	s := New()
+	s.AddClause(1, 2)
+	s.AddClause(-1)
+	st, err := s.SolveContext(context.Background())
+	if st != Sat || err != nil {
+		t.Fatalf("SolveContext = %v/%v, want Sat/nil", st, err)
+	}
+	if !s.Value(2) {
+		t.Error("model must set variable 2")
+	}
+}
+
+func TestInterruptFromAnotherGoroutine(t *testing.T) {
+	s := New()
+	pigeonhole(s, 14)
+	done := make(chan Status, 1)
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		s.Interrupt()
+	}()
+	go func() { done <- s.Solve() }()
+	select {
+	case st := <-done:
+		if st != Unknown {
+			t.Fatalf("Solve = %v, want Unknown", st)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("interrupted solve did not return within 2s")
+	}
+	if lim := s.LastLimit(); lim == nil || lim.Reason != StopCanceled {
+		t.Fatalf("LastLimit = %+v, want reason %q", lim, StopCanceled)
+	}
+	// re-arming clears the sticky flag: the next solve runs again (a
+	// conflict budget keeps the hard instance bounded)
+	s.ClearInterrupt()
+	s.SetBudget(Budget{MaxConflicts: 10})
+	s.Solve()
+	if lim := s.LastLimit(); lim != nil && lim.Reason == StopCanceled {
+		t.Error("ClearInterrupt did not re-arm the solver")
+	}
+}
+
+func TestSolverReusableAfterLimitStop(t *testing.T) {
+	// After a budget stop the solver must still give correct answers.
+	s := New()
+	pigeonhole(s, 7)
+	s.SetBudget(Budget{MaxConflicts: 3})
+	if got := s.Solve(); got != Unknown {
+		t.Skipf("pigeonhole-7 solved within 3 conflicts (%v)", got)
+	}
+	s.SetBudget(Budget{})
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("re-solve after budget stop = %v, want Unsat", got)
+	}
+}

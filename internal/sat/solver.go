@@ -16,6 +16,7 @@ package sat
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"llhsc/internal/logic"
 )
@@ -146,9 +147,19 @@ type Solver struct {
 	// learnt DB management
 	maxLearnts   float64
 	learntGrowth float64
+	learntLits   int // total literals across retained learnt clauses
 
-	// budget: stop after this many conflicts (0 = unlimited)
+	// ConflictBudget stops Solve after this many conflicts
+	// (0 = unlimited). Deprecated: prefer SetBudget(Budget{...}),
+	// which also supports deadlines, memory caps and cancellation;
+	// this field is honored when Budget.MaxConflicts is unset.
 	ConflictBudget uint64
+
+	// resource budget state (budget.go)
+	budget      Budget
+	confLimit   uint64 // absolute stats.Conflicts value to stop at (0 = none)
+	interrupted atomic.Bool
+	lastLimit   *LimitError
 
 	stats Stats
 }
@@ -304,6 +315,9 @@ func (s *Solver) propagate() *clause {
 		p := s.trail[s.qhead] // p is now true
 		s.qhead++
 		s.stats.Propagations++
+		if s.stats.Propagations%limitCheckInterval == 0 && s.lastLimit == nil {
+			s.lastLimit = s.stopRequested()
+		}
 		ws := s.watches[p.index()]
 		i, j := 0, 0
 	nextWatcher:
@@ -583,6 +597,7 @@ func (s *Solver) reduceDB() {
 	for i, c := range s.learnts {
 		if i < keepFrom && len(c.lits) > 2 && !locked[c] {
 			c.deleted = true // lazily removed from watch lists
+			s.learntLits -= len(c.lits)
 			continue
 		}
 		kept = append(kept, c)
@@ -591,8 +606,11 @@ func (s *Solver) reduceDB() {
 }
 
 // Solve determines satisfiability of the clause set under the given
-// assumptions (which may be empty).
+// assumptions (which may be empty). When a budget (SetBudget /
+// ConflictBudget) or external stop cuts the search short, Solve
+// returns Unknown and LastLimit reports why.
 func (s *Solver) Solve(assumptions ...logic.Lit) Status {
+	s.lastLimit = nil
 	if !s.okay {
 		s.failed = nil
 		return Unsat
@@ -610,8 +628,21 @@ func (s *Solver) Solve(assumptions ...logic.Lit) Status {
 		s.maxLearnts = float64(len(s.clauses))/3 + 100
 	}
 
+	// absolute conflict count at which to stop (0 = unlimited); the
+	// legacy ConflictBudget field backs Budget.MaxConflicts.
+	maxConf := s.budget.MaxConflicts
+	if maxConf == 0 {
+		maxConf = s.ConflictBudget
+	}
+	s.confLimit = 0
+	if maxConf > 0 {
+		s.confLimit = s.stats.Conflicts + maxConf
+	}
+	if s.lastLimit = s.stopRequested(); s.lastLimit != nil {
+		return Unknown // canceled before the search started
+	}
+
 	var restartN uint64
-	startConflicts := s.stats.Conflicts
 	for {
 		restartN++
 		budget := luby(restartN) * 100
@@ -619,7 +650,7 @@ func (s *Solver) Solve(assumptions ...logic.Lit) Status {
 		if st != Unknown {
 			return st
 		}
-		if s.ConflictBudget > 0 && s.stats.Conflicts-startConflicts >= s.ConflictBudget {
+		if s.lastLimit != nil {
 			s.cancelUntil(0)
 			return Unknown
 		}
@@ -629,11 +660,15 @@ func (s *Solver) Solve(assumptions ...logic.Lit) Status {
 	}
 }
 
-// search runs CDCL until a result is found or budget conflicts occur.
+// search runs CDCL until a result is found, budget conflicts occur
+// (restart boundary), or a resource limit fires (s.lastLimit set).
 func (s *Solver) search(budget uint64) Status {
 	var conflicts uint64
 	for {
 		conflict := s.propagate()
+		if s.lastLimit != nil {
+			return Unknown // stop flag / deadline observed mid-propagation
+		}
 		if conflict != nil {
 			s.stats.Conflicts++
 			conflicts++
@@ -654,12 +689,21 @@ func (s *Solver) search(budget uint64) Status {
 			} else {
 				c := &clause{lits: learnt, learnt: true, act: s.claInc}
 				s.learnts = append(s.learnts, c)
+				s.learntLits += len(c.lits)
 				s.stats.Learnts = len(s.learnts)
 				s.attach(c)
 				s.uncheckedEnqueue(learnt[0], c)
 			}
 			s.varDecay()
 			s.claDecay()
+			if s.confLimit > 0 && s.stats.Conflicts >= s.confLimit {
+				s.lastLimit = &LimitError{Reason: StopConflicts}
+				return Unknown
+			}
+			if s.budget.MaxLearntLits > 0 && s.learntLits > s.budget.MaxLearntLits {
+				s.lastLimit = &LimitError{Reason: StopMemory}
+				return Unknown
+			}
 			if conflicts >= budget {
 				return Unknown
 			}

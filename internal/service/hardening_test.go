@@ -1,0 +1,176 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"llhsc/internal/core"
+)
+
+// exampleRequest fetches the ready-made running-example request from a
+// test server built on the given handler.
+func exampleRequest(t *testing.T, srv *httptest.Server) CheckRequest {
+	t.Helper()
+	var req CheckRequest
+	getJSON(t, srv.URL+"/example", &req)
+	return req
+}
+
+func TestPanicIsolatedAsJSON500(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	mux.HandleFunc("/fine", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	srv := httptest.NewServer(recoverPanics(mux))
+	defer srv.Close()
+
+	var e errorResponse
+	resp := getJSON(t, srv.URL+"/boom", &e)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want JSON", ct)
+	}
+	if !strings.Contains(e.Error, "kaboom") {
+		t.Errorf("error = %q, should mention the panic", e.Error)
+	}
+
+	// the server must keep serving after the panic
+	resp = getJSON(t, srv.URL+"/fine", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after panic: status = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestBudgetExhaustionAnswers503(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(Options{
+		Limits: core.Limits{MaxDeltaOps: 1},
+	}))
+	defer srv.Close()
+
+	start := time.Now()
+	var e errorResponse
+	resp := postJSON(t, srv.URL+"/check", exampleRequest(t, srv), &e)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("budget-limited check took %v, want bounded well under 2s", elapsed)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 (body: %+v)", resp.StatusCode, e)
+	}
+	if e.Reason != "budget:delta-ops" {
+		t.Errorf("reason = %q, want budget:delta-ops", e.Reason)
+	}
+	if e.RetryAfter <= 0 {
+		t.Errorf("retryAfterSeconds = %d, want a positive hint", e.RetryAfter)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("missing Retry-After header on 503")
+	}
+}
+
+func TestRequestTimeoutAnswers408(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(Options{
+		RequestTimeout: time.Nanosecond,
+	}))
+	defer srv.Close()
+
+	var e errorResponse
+	resp := postJSON(t, srv.URL+"/check", exampleRequest(t, srv), &e)
+	if resp.StatusCode != http.StatusRequestTimeout {
+		t.Fatalf("status = %d, want 408 (body: %+v)", resp.StatusCode, e)
+	}
+	if e.Reason != "request-timeout" {
+		t.Errorf("reason = %q, want request-timeout", e.Reason)
+	}
+}
+
+func TestOverloadAnswers429(t *testing.T) {
+	s := &server{
+		opts:     Options{MaxInFlight: 1, MaxBodyBytes: defaultMaxBodyBytes},
+		inflight: make(chan struct{}, 1),
+	}
+	s.inflight <- struct{}{} // occupy the only slot
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/check", strings.NewReader("{}"))
+	s.guard(s.handleCheck).ServeHTTP(rec, req)
+
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("missing Retry-After header on 429")
+	}
+	var e errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatalf("decode 429 body: %v", err)
+	}
+	if e.Reason != "overloaded" {
+		t.Errorf("reason = %q, want overloaded", e.Reason)
+	}
+
+	// freeing the slot restores service
+	<-s.inflight
+	rec = httptest.NewRecorder()
+	req = httptest.NewRequest(http.MethodPost, "/check", strings.NewReader("{}"))
+	s.guard(s.handleCheck).ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest { // {} is missing every field
+		t.Fatalf("status after slot freed = %d, want 400", rec.Code)
+	}
+}
+
+func TestDeepNestingAnswers413(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(Options{MaxNodeDepth: 8}))
+	defer srv.Close()
+
+	var b strings.Builder
+	b.WriteString("/dts-v1/;\n/ {\n")
+	for i := 0; i < 20; i++ {
+		b.WriteString("n {\n")
+	}
+	for i := 0; i < 20; i++ {
+		b.WriteString("};\n")
+	}
+	b.WriteString("};\n")
+
+	var e errorResponse
+	resp := postJSON(t, srv.URL+"/lint", LintRequest{DTS: b.String()}, &e)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413 (body: %+v)", resp.StatusCode, e)
+	}
+}
+
+func TestOversizedBodyAnswers413(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(Options{MaxBodyBytes: 256}))
+	defer srv.Close()
+
+	var e errorResponse
+	resp := postJSON(t, srv.URL+"/lint",
+		LintRequest{DTS: strings.Repeat("x", 1024)}, &e)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413 (body: %+v)", resp.StatusCode, e)
+	}
+	if e.Reason != "body-too-large" {
+		t.Errorf("reason = %q, want body-too-large", e.Reason)
+	}
+}
+
+func TestDefaultHandlerStillChecksExample(t *testing.T) {
+	srv := newServer(t)
+	var out CheckResponse
+	resp := postJSON(t, srv.URL+"/check", exampleRequest(t, srv), &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if !out.OK {
+		t.Errorf("example product line should check clean: %+v", out)
+	}
+}

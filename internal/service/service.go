@@ -11,12 +11,25 @@
 //	GET  /example   the paper's running example as a ready-made request
 //	POST /check     run the pipeline; body and response are JSON
 //	POST /lint      check a single DTS (structural + optional semantic)
+//
+// Error taxonomy (see README.md "Operational limits & failure modes"):
+//
+//	400  malformed JSON / missing fields
+//	408  the per-request timeout expired (Options.RequestTimeout)
+//	413  body, source size or nesting depth over the configured limit
+//	422  input parsed but is not a valid product line
+//	429  too many requests in flight (Options.MaxInFlight); retry later
+//	500  a handler panicked; the panic is isolated and serving continues
+//	503  a solver/delta budget was exhausted: the answer is Unknown
 package service
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"llhsc/internal/constraints"
 	"llhsc/internal/core"
@@ -24,8 +37,32 @@ import (
 	"llhsc/internal/dts"
 	"llhsc/internal/featmodel"
 	"llhsc/internal/runningexample"
+	"llhsc/internal/sat"
 	"llhsc/internal/schema"
 )
+
+// Options configures the hardened handler. The zero value imposes no
+// timeout, no concurrency bound, and only the default body-size cap.
+type Options struct {
+	// RequestTimeout bounds the wall-clock time of one /check or /lint
+	// request (0 = unlimited). An expired request answers 408.
+	RequestTimeout time.Duration
+	// MaxInFlight bounds the number of /check and /lint requests served
+	// concurrently (0 = unlimited). Excess requests answer 429 with a
+	// Retry-After hint instead of queueing without bound.
+	MaxInFlight int
+	// MaxBodyBytes caps the request body (default 4 MiB).
+	MaxBodyBytes int64
+	// MaxNodeDepth caps DTS node nesting (0 = the dts default).
+	MaxNodeDepth int
+	// Limits bounds each pipeline run (solver budgets, delta op cap).
+	Limits core.Limits
+}
+
+const defaultMaxBodyBytes = 4 << 20
+
+// retryAfterSeconds is the hint sent with 429/503 responses.
+const retryAfterSeconds = 1
 
 // CheckRequest is the JSON body of POST /check.
 type CheckRequest struct {
@@ -73,19 +110,119 @@ type CheckResponse struct {
 	QEMUArgs        []string `json:"qemuArgs,omitempty"`
 }
 
-// errorResponse is the JSON error envelope.
+// errorResponse is the JSON error envelope. Reason is a stable
+// machine-readable tag for limit stops ("request-timeout",
+// "budget:conflicts", "overloaded", ...); RetryAfter is the suggested
+// back-off in seconds on 429/503.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error      string `json:"error"`
+	Reason     string `json:"reason,omitempty"`
+	RetryAfter int    `json:"retryAfterSeconds,omitempty"`
 }
 
-// Handler returns the service's HTTP handler.
-func Handler() http.Handler {
+// Handler returns the service's HTTP handler with default options.
+func Handler() http.Handler { return NewHandler(Options{}) }
+
+// NewHandler returns the service's HTTP handler hardened per opts:
+// every endpoint gets panic isolation, and /check + /lint additionally
+// get the per-request timeout and the in-flight bound.
+func NewHandler(opts Options) http.Handler {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	s := &server{opts: opts}
+	if opts.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, opts.MaxInFlight)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", handleHealthz)
 	mux.HandleFunc("/example", handleExample)
-	mux.HandleFunc("/check", handleCheck)
-	mux.HandleFunc("/lint", handleLint)
-	return mux
+	mux.Handle("/check", s.guard(s.handleCheck))
+	mux.Handle("/lint", s.guard(s.handleLint))
+	return recoverPanics(mux)
+}
+
+type server struct {
+	opts     Options
+	inflight chan struct{} // nil = unlimited
+}
+
+// recoverPanics isolates handler panics: the request answers a JSON
+// 500 (when nothing has been written yet) and the server keeps
+// serving, instead of tearing down the connection.
+func recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				writeError(w, http.StatusInternalServerError, "internal error: %v", p)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// guard applies the in-flight semaphore and per-request timeout to a
+// heavy endpoint.
+func (s *server) guard(h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.inflight != nil {
+			select {
+			case s.inflight <- struct{}{}:
+				defer func() { <-s.inflight }()
+			default:
+				w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+				writeJSON(w, http.StatusTooManyRequests, errorResponse{
+					Error:      fmt.Sprintf("too many requests in flight (limit %d)", s.opts.MaxInFlight),
+					Reason:     "overloaded",
+					RetryAfter: retryAfterSeconds,
+				})
+				return
+			}
+		}
+		if s.opts.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(w, r)
+	})
+}
+
+// writeLimitError maps a limit/cancellation stop to the taxonomy: 408
+// when the request's own deadline (or the client hanging up) caused
+// it, 503 with a retry hint when a configured budget ran out first.
+func writeLimitError(w http.ResponseWriter, r *http.Request, err error) {
+	// The solver's wall-clock poll can observe an expired deadline a
+	// moment before the request context's own timer fires, so an
+	// expired request deadline counts as a request timeout even while
+	// r.Context().Err() is still nil.
+	requestExpired := r.Context().Err() != nil
+	if d, ok := r.Context().Deadline(); ok && !time.Now().Before(d) &&
+		errors.Is(err, context.DeadlineExceeded) {
+		requestExpired = true
+	}
+	if requestExpired {
+		writeJSON(w, http.StatusRequestTimeout, errorResponse{
+			Error:  fmt.Sprintf("request aborted: %v", err),
+			Reason: "request-timeout",
+		})
+		return
+	}
+	reason := "budget"
+	var lim *sat.LimitError
+	var step *delta.StepLimitError
+	switch {
+	case errors.As(err, &lim):
+		reason = "budget:" + lim.Reason
+	case errors.As(err, &step):
+		reason = "budget:delta-ops"
+	}
+	w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+		Error:      fmt.Sprintf("check incomplete, result unknown: %v", err),
+		Reason:     reason,
+		RetryAfter: retryAfterSeconds,
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -126,33 +263,78 @@ func handleExample(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func handleCheck(w http.ResponseWriter, r *http.Request) {
+// decodeBody decodes the JSON body under the body-size cap, mapping an
+// exceeded cap to 413 and malformed JSON to 400.
+func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)).Decode(v)
+	if err == nil {
+		return true
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+			Error:  fmt.Sprintf("request body over %d bytes", tooBig.Limit),
+			Reason: "body-too-large",
+		})
+		return false
+	}
+	writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+	return false
+}
+
+// inputStatus classifies a parse failure: guarded-limit errors are 413
+// (the input is too big/deep for this deployment), anything else 422.
+func inputStatus(err error) int {
+	if errors.Is(err, dts.ErrTooDeep) || errors.Is(err, dts.ErrSourceTooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusUnprocessableEntity
+}
+
+func (s *server) parseOpts(inc dts.Includer) []dts.ParseOption {
+	opts := []dts.ParseOption{
+		dts.WithIncluder(inc),
+		// the body cap already bounds one source; includes multiply it,
+		// so cap the total at the same order of magnitude
+		dts.WithMaxSourceBytes(int(s.opts.MaxBodyBytes)),
+	}
+	if s.opts.MaxNodeDepth > 0 {
+		opts = append(opts, dts.WithMaxNodeDepth(s.opts.MaxNodeDepth))
+	}
+	return opts
+}
+
+func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	var req CheckRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	resp, status, err := runCheck(&req)
+	resp, status, err := s.runCheck(r.Context(), &req)
 	if err != nil {
+		var le *core.LimitError
+		if errors.As(err, &le) {
+			writeLimitError(w, r, err)
+			return
+		}
 		writeError(w, status, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func runCheck(req *CheckRequest) (*CheckResponse, int, error) {
+func (s *server) runCheck(ctx context.Context, req *CheckRequest) (*CheckResponse, int, error) {
 	if req.CoreDTS == "" || req.Deltas == "" || req.FeatureModel == "" || len(req.VMs) == 0 {
 		return nil, http.StatusBadRequest,
 			fmt.Errorf("coreDts, deltas, featureModel and vms are all required")
 	}
 	includer := dts.MapIncluder(req.Includes)
-	tree, err := dts.Parse("core.dts", req.CoreDTS, dts.WithIncluder(includer))
+	tree, err := dts.Parse("core.dts", req.CoreDTS, s.parseOpts(includer)...)
 	if err != nil {
-		return nil, http.StatusUnprocessableEntity, fmt.Errorf("core DTS: %w", err)
+		return nil, inputStatus(err), fmt.Errorf("core DTS: %w", err)
 	}
 	deltas, err := delta.Parse("deltas", req.Deltas)
 	if err != nil {
@@ -185,7 +367,7 @@ func runCheck(req *CheckRequest) (*CheckResponse, int, error) {
 		Schemas:   schema.StandardSet(),
 		VMConfigs: configs,
 	}
-	report, err := pipeline.Run()
+	report, err := pipeline.RunContext(ctx, s.opts.Limits)
 	if err != nil {
 		return nil, http.StatusUnprocessableEntity, err
 	}
@@ -248,23 +430,22 @@ type LintResponse struct {
 	Semantic   []Violation `json:"semantic,omitempty"`   // SMT-based checks
 }
 
-func handleLint(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleLint(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	var req LintRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if req.DTS == "" {
 		writeError(w, http.StatusBadRequest, "dts is required")
 		return
 	}
-	tree, err := dts.Parse("input.dts", req.DTS, dts.WithIncluder(dts.MapIncluder(req.Includes)))
+	tree, err := dts.Parse("input.dts", req.DTS, s.parseOpts(dts.MapIncluder(req.Includes))...)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		writeError(w, inputStatus(err), "%v", err)
 		return
 	}
 	resp := &LintResponse{}
@@ -277,9 +458,26 @@ func handleLint(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	if req.Semantic {
-		_, semViolations := constraints.NewSemanticChecker().Check(tree)
-		semViolations = append(semViolations, constraints.InterruptChecker{}.Check(tree)...)
-		semViolations = append(semViolations, constraints.MemReserveChecker{}.Check(tree)...)
+		ctx := r.Context()
+		sem := constraints.NewSemanticChecker()
+		sem.Budget = s.opts.Limits.Solver
+		_, semViolations, err := sem.CheckContext(ctx, tree)
+		if err != nil {
+			writeLimitError(w, r, err)
+			return
+		}
+		irq, err := constraints.InterruptChecker{}.CheckContext(ctx, tree)
+		if err != nil {
+			writeLimitError(w, r, err)
+			return
+		}
+		mr, err := constraints.MemReserveChecker{}.CheckContext(ctx, tree)
+		if err != nil {
+			writeLimitError(w, r, err)
+			return
+		}
+		semViolations = append(semViolations, irq...)
+		semViolations = append(semViolations, mr...)
 		resp.Semantic = toViolations(semViolations)
 	}
 	resp.OK = len(resp.Warnings) == 0 && len(resp.Structural) == 0 && len(resp.Semantic) == 0

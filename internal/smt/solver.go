@@ -1,6 +1,7 @@
 package smt
 
 import (
+	"context"
 	"fmt"
 
 	"llhsc/internal/logic"
@@ -114,15 +115,33 @@ func (s *Solver) AssertNamed(name string, t *Term) {
 	s.named = append(s.named, namedAssertion{name: name, act: act, frame: len(s.frames) - 1})
 }
 
-// Check decides satisfiability of the current assertion set.
+// Check decides satisfiability of the current assertion set. An
+// Unknown result means a budget installed via SetBudget cut the search
+// short; LastLimit explains why.
 func (s *Solver) Check() sat.Status {
+	st, _ := s.check(s.sat.Solve)
+	return st
+}
+
+// CheckContext is Check under a context: cancellation and the context
+// deadline bound the underlying SAT search. On a budget or
+// cancellation stop it returns sat.Unknown and a non-nil error (a
+// *sat.LimitError, wrapping ctx.Err() when the context caused it).
+func (s *Solver) CheckContext(ctx context.Context) (sat.Status, error) {
+	return s.check(func(assumptions ...logic.Lit) sat.Status {
+		st, _ := s.sat.SolveContext(ctx, assumptions...)
+		return st
+	})
+}
+
+func (s *Solver) check(solve func(...logic.Lit) sat.Status) (sat.Status, error) {
 	s.checks++
 	assumptions := make([]logic.Lit, 0, len(s.frames)+len(s.named))
 	assumptions = append(assumptions, s.frames...)
 	for _, n := range s.named {
 		assumptions = append(assumptions, n.act)
 	}
-	st := s.sat.Solve(assumptions...)
+	st := solve(assumptions...)
 	s.lastUnsatNames = nil
 	if st == sat.Unsat {
 		failed := make(map[logic.Lit]bool)
@@ -135,8 +154,25 @@ func (s *Solver) Check() sat.Status {
 			}
 		}
 	}
-	return st
+	if st == sat.Unknown {
+		if lim := s.sat.LastLimit(); lim != nil {
+			return st, lim
+		}
+		return st, &sat.LimitError{Reason: sat.StopCanceled}
+	}
+	return st, nil
 }
+
+// SetBudget installs a resource budget on the underlying SAT solver,
+// bounding every subsequent Check.
+func (s *Solver) SetBudget(b sat.Budget) { s.sat.SetBudget(b) }
+
+// Interrupt asks a running Check to stop (safe from other goroutines).
+func (s *Solver) Interrupt() { s.sat.Interrupt() }
+
+// LastLimit reports why the most recent Check returned Unknown (nil
+// when it completed).
+func (s *Solver) LastLimit() *sat.LimitError { return s.sat.LastLimit() }
 
 // UnsatNames returns, after an unsatisfiable Check, the names of named
 // assertions that participated in the final conflict. The list may be
