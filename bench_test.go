@@ -8,6 +8,7 @@
 package llhsc_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -15,6 +16,7 @@ import (
 	"llhsc/internal/addr"
 	"llhsc/internal/bench"
 	"llhsc/internal/constraints"
+	"llhsc/internal/core"
 	"llhsc/internal/delta"
 	"llhsc/internal/dtb"
 	"llhsc/internal/dts"
@@ -473,6 +475,34 @@ func BenchmarkE12PipelineScaling(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				report, err := pipeline.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !report.OK() {
+					b.Fatal("unexpected violations")
+				}
+			}
+		})
+	}
+}
+
+// ---- E13: parallel-pipeline speedup ----
+
+// BenchmarkE13ParallelSpeedup runs the heavy 8-VM product line at each
+// worker count. Speedup over workers=1 needs real cores: on a 1-CPU
+// machine the sub-benchmarks coincide (modulo pool overhead), which is
+// itself a useful regression signal.
+func BenchmarkE13ParallelSpeedup(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			pipeline, err := bench.HeavyProductLine(8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			limits := core.Limits{Parallelism: workers}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				report, err := pipeline.RunContext(context.Background(), limits)
 				if err != nil {
 					b.Fatal(err)
 				}

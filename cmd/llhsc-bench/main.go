@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	llhsc-bench            # run everything
-//	llhsc-bench -exp e5    # run one experiment
+//	llhsc-bench                              # run everything
+//	llhsc-bench -exp e5                      # run one experiment
+//	llhsc-bench -parallel-json BENCH_parallel.json   # emit the E13 artifact
 //	llhsc-bench -list
 package main
 
@@ -27,10 +28,20 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("llhsc-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id (e1..e11) or 'all'")
+	exp := fs.String("exp", "all", "experiment id (e1..e13) or 'all'")
 	list := fs.Bool("list", false, "list experiments")
+	parallelJSON := fs.String("parallel-json", "",
+		"write the E13 parallel-speedup measurement to this JSON file and exit")
+	parallelVMs := fs.Int("parallel-vms", 8, "product-line size for -parallel-json")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *parallelJSON != "" {
+		if err := bench.WriteParallelJSON(*parallelJSON, *parallelVMs); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *parallelJSON)
+		return nil
 	}
 	if *list {
 		for _, e := range bench.Experiments() {

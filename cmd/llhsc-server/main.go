@@ -8,11 +8,15 @@
 //	llhsc-server [-addr :8080] [-read-timeout 30s] [-write-timeout 60s]
 //	             [-request-timeout 30s] [-max-inflight 16]
 //	             [-max-body 4194304] [-solver-conflicts 0]
-//	             [-shutdown-grace 15s]
+//	             [-shutdown-grace 15s] [-parallel 0] [-cache-size 256]
+//	             [-pprof 0]
 //
 // The server drains gracefully on SIGINT/SIGTERM: in-flight requests
 // get -shutdown-grace to complete, then the listener closes and the
 // process exits 0.
+//
+// -pprof <port> exposes net/http/pprof on 127.0.0.1:<port> (loopback
+// only, never the service listener); 0 keeps profiling off.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux (served only when -pprof is set)
 	"os"
 	"os/signal"
 	"syscall"
@@ -65,6 +70,12 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		"max SAT conflicts per request's solver queries; exhaustion answers 503 (0 = unlimited)")
 	shutdownGrace := fs.Duration("shutdown-grace", 15*time.Second,
 		"how long in-flight requests may finish after SIGINT/SIGTERM")
+	parallel := fs.Int("parallel", 0,
+		"worker count for per-VM checking within one request (0 = GOMAXPROCS, 1 = serial)")
+	cacheSize := fs.Int("cache-size", 256,
+		"capacity of the content-addressed check-result cache, in trees (0 = disabled)")
+	pprofPort := fs.Int("pprof", 0,
+		"expose net/http/pprof on 127.0.0.1:<port> (0 = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,10 +84,30 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		RequestTimeout: *requestTimeout,
 		MaxInFlight:    *maxInflight,
 		MaxBodyBytes:   *maxBody,
+		CacheSize:      *cacheSize,
 		Limits: core.Limits{
-			Solver: sat.Budget{MaxConflicts: *solverConflicts},
+			Solver:      sat.Budget{MaxConflicts: *solverConflicts},
+			Parallelism: *parallel,
 		},
 	})
+
+	if *pprofPort != 0 {
+		// The profiler gets its own loopback-only listener so it can
+		// never be reached through the service address.
+		pprofLn, err := net.Listen("tcp", fmt.Sprintf("127.0.0.1:%d", *pprofPort))
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		defer pprofLn.Close()
+		log.Printf("llhsc-server pprof on http://%s/debug/pprof/", pprofLn.Addr())
+		go func() {
+			// http.DefaultServeMux carries the net/http/pprof routes.
+			err := http.Serve(pprofLn, nil)
+			if err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 	srv := &http.Server{
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -63,8 +64,8 @@ func run(args []string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  llhsc check    -core <dts> -deltas <file> -fm <file> -vm <features> [-vm ...] [-schemas <dir>]
-  llhsc generate -core <dts> -deltas <file> -fm <file> -vm <features> [-vm ...] [-o <dir>]
+  llhsc check    -core <dts> -deltas <file> -fm <file> -vm <features> [-vm ...] [-schemas <dir>] [-parallel n]
+  llhsc generate -core <dts> -deltas <file> -fm <file> -vm <features> [-vm ...] [-o <dir>] [-parallel n]
   llhsc products -fm <file> [-limit n]
   llhsc infer-fm -core <dts>
   llhsc demo     [-o <dir>]`)
@@ -86,6 +87,8 @@ func cmdCheckOrGenerate(args []string, generate bool) error {
 	fmPath := fs.String("fm", "", "feature-model file")
 	schemasDir := fs.String("schemas", "", "directory of dt-schema YAML files (default: built-in set)")
 	outDir := fs.String("o", "out", "output directory (generate only)")
+	parallel := fs.Int("parallel", 0,
+		"worker count for per-VM checking (0 = GOMAXPROCS, 1 = serial)")
 	var vms vmFlags
 	fs.Var(&vms, "vm", "feature list for one VM (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -135,7 +138,7 @@ func cmdCheckOrGenerate(args []string, generate bool) error {
 		Schemas:   schemas,
 		VMConfigs: configs,
 	}
-	report, err := pipeline.Run()
+	report, err := pipeline.RunContext(context.Background(), core.Limits{Parallelism: *parallel})
 	if err != nil {
 		return err
 	}

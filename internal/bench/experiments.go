@@ -41,6 +41,7 @@ func Experiments() []Experiment {
 		{"e10", "Detection matrix: dtc-lint vs dt-schema vs llhsc", RunE10},
 		{"e11", "Scaling: delta chains and incremental re-checking", RunE11},
 		{"e12", "Scaling: full pipeline over k-VM synthetic product lines", RunE12},
+		{"e13", "Parallel pipeline speedup over worker counts", RunE13},
 	}
 }
 

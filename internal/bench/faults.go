@@ -77,6 +77,16 @@ func (f Fault) String() string {
 	}
 }
 
+// FaultSource returns the DTS source text and includer for a fault
+// class, for callers outside the package (e.g. the core determinism
+// tests) that want to run the corpus through their own pipeline. Note
+// FaultSyntaxError and FaultDeepNesting do not parse, and
+// FaultPathologicalCNF has no DTS form (this function panics on it,
+// like every unknown fault).
+func FaultSource(f Fault) (string, dts.Includer) {
+	return faultyDTS(f)
+}
+
 // faultyDTS returns the running-example DTS with the fault injected
 // (as source text, so that FaultSyntaxError is expressible).
 func faultyDTS(f Fault) (string, dts.Includer) {

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"llhsc/internal/core"
+	"llhsc/internal/featmodel"
+)
+
+// HeavyProductLine is SyntheticProductLine tuned for the parallel
+// speedup experiment E13: every VM selects its exclusive cpu@k plus ALL
+// UARTs, so each derived tree carries the full device population. With
+// near-equal weight per tree (VMs + platform union), the run
+// parallelizes cleanly instead of being dominated by one big platform
+// job (Amdahl).
+func HeavyProductLine(vms int) (*core.Pipeline, error) {
+	pipeline, err := SyntheticProductLine(vms, vms, vms)
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k < vms; k++ {
+		cfg := featmodel.ConfigOf("BigBoard", "memory", "cpus", fmt.Sprintf("cpu@%d", k), "uarts")
+		for u := 0; u < vms; u++ {
+			cfg[fmt.Sprintf("uart%d", u)] = true
+		}
+		pipeline.VMConfigs[k] = cfg
+	}
+	return pipeline, nil
+}
+
+// ParallelPoint is one measured configuration of experiment E13.
+type ParallelPoint struct {
+	Workers int     `json:"workers"`
+	Millis  float64 `json:"millis"`
+	Speedup float64 `json:"speedup"` // serial time / this time
+}
+
+// ParallelResult is the JSON artifact of experiment E13
+// (BENCH_parallel.json).
+type ParallelResult struct {
+	VMs    int             `json:"vms"`
+	Rounds int             `json:"rounds"`
+	Points []ParallelPoint `json:"points"`
+}
+
+// MeasureParallel runs the heavy product line at each worker count,
+// keeping the best of rounds runs per point (the usual benchmarking
+// guard against scheduler noise).
+func MeasureParallel(vms int, workerCounts []int, rounds int) (*ParallelResult, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	res := &ParallelResult{VMs: vms, Rounds: rounds}
+	var serial float64
+	for _, workers := range workerCounts {
+		pipeline, err := HeavyProductLine(vms)
+		if err != nil {
+			return nil, err
+		}
+		pipeline.SkipDTS = false
+		best := 0.0
+		for r := 0; r < rounds; r++ {
+			start := time.Now()
+			report, err := pipeline.RunContext(context.Background(),
+				core.Limits{Parallelism: workers})
+			elapsed := time.Since(start).Seconds() * 1000
+			if err != nil {
+				return nil, fmt.Errorf("workers=%d: %w", workers, err)
+			}
+			if !report.OK() {
+				return nil, fmt.Errorf("workers=%d: unexpected violations: %v",
+					workers, report.AllViolations())
+			}
+			if best == 0 || elapsed < best {
+				best = elapsed
+			}
+		}
+		if serial == 0 {
+			serial = best // workerCounts starts at 1 by convention
+		}
+		res.Points = append(res.Points, ParallelPoint{
+			Workers: workers,
+			Millis:  best,
+			Speedup: serial / best,
+		})
+	}
+	return res, nil
+}
+
+// RunE13 measures the parallel pipeline speedup over a synthetic 8-VM
+// product line (experiment E13) and prints the scaling table.
+func RunE13(w io.Writer) error {
+	res, err := MeasureParallel(8, []int{1, 2, 4, 8}, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%8s %12s %10s   (%d VMs + platform, best of %d)\n",
+		"workers", "pipeline", "speedup", res.VMs, res.Rounds)
+	for _, p := range res.Points {
+		fmt.Fprintf(w, "%8d %10.1fms %9.2fx\n", p.Workers, p.Millis, p.Speedup)
+	}
+	return nil
+}
+
+// WriteParallelJSON runs E13's measurement and writes the JSON artifact
+// consumed by CI (BENCH_parallel.json).
+func WriteParallelJSON(path string, vms int) error {
+	res, err := MeasureParallel(vms, []int{1, 2, 4, 8}, 3)
+	if err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

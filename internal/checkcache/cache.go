@@ -1,0 +1,219 @@
+// Package checkcache provides a content-addressed cache for per-tree
+// check results. The llhsc workflow checks one tree per VM plus the
+// platform union, and trees frequently coincide: the platform product
+// of a single-VM line equals the VM product, sibling VMs that select
+// the same features derive identical DTS, and a cloud deployment sees
+// the same request body many times over. Keying the violation list by
+// a hash of the canonical tree text (plus everything else that can
+// change the verdict — schema set, solver budget knobs, checker
+// configuration) turns each repeat into a map lookup instead of a
+// round of SMT solving.
+//
+// The cache is a bounded LRU with hit/miss/eviction counters and
+// single-flight de-duplication: when several goroutines ask for the
+// same missing key concurrently (the parallel pipeline's platform vs.
+// VM trees, or identical simultaneous /check requests), exactly one
+// computes and the rest wait for its result.
+package checkcache
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"llhsc/internal/constraints"
+)
+
+// Key derives a cache key from the parts that determine a check
+// verdict. Parts are length-delimited before hashing, so no two
+// distinct part lists collide by concatenation.
+func Key(parts ...string) string {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, p := range parts {
+		n := len(p)
+		for i := 0; i < 8; i++ {
+			lenBuf[i] = byte(n >> (8 * i))
+		}
+		h.Write(lenBuf[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+type entry struct {
+	key        string
+	violations []constraints.Violation
+}
+
+// flight is one in-progress computation other callers can wait on.
+type flight struct {
+	done chan struct{} // closed when the leader finishes
+	val  []constraints.Violation
+	err  error
+}
+
+// Cache is a bounded LRU of check results, safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List               // front = most recent; values are *entry
+	entries  map[string]*list.Element // key -> lru element
+	inflight map[string]*flight
+
+	hits, misses, evictions uint64
+}
+
+// New returns a cache holding at most capacity results. capacity <= 0
+// returns nil, which every method treats as a disabled cache.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Cache{
+		capacity: capacity,
+		lru:      list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Stats returns a snapshot of the counters. Safe on a nil cache.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.lru.Len(),
+		Capacity:  c.capacity,
+	}
+}
+
+// Do returns the cached violations for key, or computes them with fn.
+// Concurrent calls for the same missing key run fn once (single
+// flight); the others block until the leader finishes or their own ctx
+// is done. A fn error is returned to the leader and every waiter but
+// is never cached — limit stops are transient, so the next request
+// retries. hit reports whether the result came from the cache (waiters
+// joining an in-progress computation count as hits: they triggered no
+// solver work of their own).
+//
+// On a nil cache Do degenerates to calling fn directly.
+func (c *Cache) Do(ctx context.Context, key string, fn func() ([]constraints.Violation, error)) (violations []constraints.Violation, hit bool, err error) {
+	if c == nil {
+		v, err := fn()
+		return v, false, err
+	}
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.lru.MoveToFront(el)
+			c.hits++
+			v := el.Value.(*entry).violations
+			c.mu.Unlock()
+			return copyViolations(v), true, nil
+		}
+		if f, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if f.err == nil {
+				c.mu.Lock()
+				c.hits++
+				c.mu.Unlock()
+				return copyViolations(f.val), true, nil
+			}
+			// The leader failed (budget, cancellation). If this
+			// waiter is still live it retries — its own budget may
+			// suffice where the leader's did not.
+			if ctx.Err() != nil {
+				return nil, false, ctx.Err()
+			}
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		c.inflight[key] = f
+		c.misses++
+		c.mu.Unlock()
+
+		f.val, f.err = fn()
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if f.err == nil {
+			c.insertLocked(key, f.val)
+		}
+		c.mu.Unlock()
+		close(f.done)
+		return copyViolations(f.val), false, f.err
+	}
+}
+
+// Get returns the cached violations for key without computing anything.
+func (c *Cache) Get(key string) ([]constraints.Violation, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return copyViolations(el.Value.(*entry).violations), true
+}
+
+// Put stores a result, evicting the least recently used entry when the
+// cache is full.
+func (c *Cache) Put(key string, violations []constraints.Violation) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insertLocked(key, violations)
+}
+
+func (c *Cache) insertLocked(key string, violations []constraints.Violation) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*entry).violations = copyViolations(violations)
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.lru.Len() >= c.capacity {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*entry).key)
+		c.evictions++
+	}
+	c.entries[key] = c.lru.PushFront(&entry{key: key, violations: copyViolations(violations)})
+}
+
+// copyViolations guards the cached slice against caller appends.
+func copyViolations(v []constraints.Violation) []constraints.Violation {
+	if v == nil {
+		return nil
+	}
+	return append([]constraints.Violation(nil), v...)
+}

@@ -1,0 +1,192 @@
+package checkcache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"llhsc/internal/constraints"
+)
+
+func TestKeyDistinguishesPartBoundaries(t *testing.T) {
+	if Key("ab", "c") == Key("a", "bc") {
+		t.Fatal("length delimiting failed: shifted parts collide")
+	}
+	if Key("a", "b") != Key("a", "b") {
+		t.Fatal("Key is not deterministic")
+	}
+}
+
+func TestDoCachesAndCounts(t *testing.T) {
+	c := New(4)
+	calls := 0
+	fn := func() ([]constraints.Violation, error) {
+		calls++
+		return []constraints.Violation{{Rule: "r", Message: "m"}}, nil
+	}
+	v1, hit, err := c.Do(context.Background(), "k", fn)
+	if err != nil || hit || len(v1) != 1 {
+		t.Fatalf("first Do = %v hit=%v err=%v", v1, hit, err)
+	}
+	v2, hit, err := c.Do(context.Background(), "k", fn)
+	if err != nil || !hit || len(v2) != 1 {
+		t.Fatalf("second Do = %v hit=%v err=%v", v2, hit, err)
+	}
+	if calls != 1 {
+		t.Fatalf("fn called %d times, want 1", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The returned slice is a copy: appending must not corrupt the cache.
+	_ = append(v2, constraints.Violation{Rule: "x"})
+	v3, _, _ := c.Do(context.Background(), "k", fn)
+	if len(v3) != 1 {
+		t.Fatalf("cached slice corrupted by caller append: %v", v3)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Put("a", nil)
+	c.Put("b", nil)
+	if _, ok := c.Get("a"); !ok { // touches a: b is now LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", nil) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived")
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSingleFlightDeduplicates(t *testing.T) {
+	c := New(4)
+	var calls int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		c.Do(context.Background(), "k", func() ([]constraints.Violation, error) {
+			atomic.AddInt32(&calls, 1)
+			close(started)
+			<-release
+			return []constraints.Violation{{Rule: "shared"}}, nil
+		})
+	}()
+	<-started
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([][]constraints.Violation, waiters)
+	hits := make([]bool, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, hit, err := c.Do(context.Background(), "k", func() ([]constraints.Violation, error) {
+				atomic.AddInt32(&calls, 1)
+				return nil, fmt.Errorf("waiter %d should not compute", i)
+			})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			results[i], hits[i] = v, hit
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	<-leaderDone
+
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	for i := range results {
+		if len(results[i]) != 1 || results[i][0].Rule != "shared" {
+			t.Fatalf("waiter %d got %v", i, results[i])
+		}
+		if !hits[i] {
+			t.Errorf("waiter %d not counted as a hit", i)
+		}
+	}
+	if st := c.Stats(); st.Misses != 1 || st.Hits != waiters {
+		t.Errorf("stats = %+v, want 1 miss and %d hits", st, waiters)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := New(4)
+	boom := errors.New("budget exhausted")
+	calls := 0
+	_, _, err := c.Do(context.Background(), "k", func() ([]constraints.Violation, error) {
+		calls++
+		return nil, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	_, hit, err := c.Do(context.Background(), "k", func() ([]constraints.Violation, error) {
+		calls++
+		return nil, nil
+	})
+	if err != nil || hit {
+		t.Fatalf("retry after error: hit=%v err=%v", hit, err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (error must not be cached)", calls)
+	}
+}
+
+func TestWaiterHonorsOwnContext(t *testing.T) {
+	c := New(4)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go func() {
+		c.Do(context.Background(), "k", func() ([]constraints.Violation, error) {
+			close(started)
+			<-release
+			return nil, nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.Do(ctx, "k", func() ([]constraints.Violation, error) {
+		t.Error("canceled waiter must not compute")
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestNilCachePassesThrough(t *testing.T) {
+	var c *Cache
+	v, hit, err := c.Do(context.Background(), "k", func() ([]constraints.Violation, error) {
+		return []constraints.Violation{{Rule: "r"}}, nil
+	})
+	if err != nil || hit || len(v) != 1 {
+		t.Fatalf("nil cache Do = %v hit=%v err=%v", v, hit, err)
+	}
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil cache stats = %+v", st)
+	}
+	c.Put("k", nil)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache stored a value")
+	}
+	if New(0) != nil {
+		t.Fatal("New(0) should be the disabled (nil) cache")
+	}
+}

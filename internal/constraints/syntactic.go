@@ -13,6 +13,20 @@
 // Violations carry blame: the delta module that produced the offending
 // node or property (via dts.Origin.Delta), realizing the traceability
 // goal of Section III-B.
+//
+// # Concurrency contract
+//
+// Checker values are cheap façades over an smt.Context + smt.Solver
+// built fresh inside each Check call, so a single checker value may be
+// used from multiple goroutines as long as each call gets its own
+// stack: Check/CheckContext never share solver state across calls. The
+// parallel pipeline in internal/core still constructs one checker set
+// per worker for clarity, but the hard requirement is only the one
+// documented on smt.Solver — never drive one Solver from two
+// goroutines. Schema sets and parsed trees are read-only during
+// checking and safe to share. The exception is
+// IncrementalSemanticChecker, which owns a long-lived solver and is
+// single-goroutine by design.
 package constraints
 
 import (

@@ -1,0 +1,267 @@
+// Determinism, cancellation and caching tests for the parallel
+// pipeline. External test package so the bench corpus can be imported
+// without a cycle.
+package core_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"llhsc/internal/bench"
+	"llhsc/internal/checkcache"
+	"llhsc/internal/constraints"
+	"llhsc/internal/core"
+	"llhsc/internal/dts"
+	"llhsc/internal/featmodel"
+	"llhsc/internal/runningexample"
+	"llhsc/internal/schema"
+)
+
+// examplePipeline builds the paper's running-example pipeline, with an
+// optional replacement core tree (for the fault corpus).
+func examplePipeline(t *testing.T, coreTree *dts.Tree) *core.Pipeline {
+	t.Helper()
+	if coreTree == nil {
+		var err error
+		coreTree, err = runningexample.Tree()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	deltas, err := runningexample.Deltas()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := runningexample.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &core.Pipeline{
+		Core:    coreTree,
+		Deltas:  deltas,
+		Model:   model,
+		Schemas: schema.StandardSet(),
+		VMConfigs: []featmodel.Configuration{
+			runningexample.VM1Config(), runningexample.VM2Config(),
+		},
+		VMNames: []string{"vm1", "vm2"},
+	}
+}
+
+// fingerprint renders every user-visible part of a report into one
+// string, so byte-identity across runs is a single comparison.
+func fingerprint(r *core.Report) string {
+	var b strings.Builder
+	dump := func(vs []constraints.Violation) {
+		for _, v := range vs {
+			fmt.Fprintf(&b, "  %s\n", v)
+		}
+	}
+	b.WriteString("allocation:\n")
+	dump(r.Allocation)
+	for _, vm := range r.VMs {
+		fmt.Fprintf(&b, "vm %s trace=%v\n", vm.Name, vm.Trace)
+		b.WriteString(vm.DTS)
+		dump(vm.Violations)
+	}
+	fmt.Fprintf(&b, "platform trace=%v\n", r.Platform.Trace)
+	b.WriteString(r.Platform.DTS)
+	dump(r.Platform.Violations)
+	b.WriteString(r.PlatformC)
+	b.WriteString(r.ConfigC)
+	b.WriteString(r.JailhouseRootC)
+	for _, c := range r.JailhouseCellsC {
+		b.WriteString(c)
+	}
+	fmt.Fprintf(&b, "qemu=%v\n", r.QEMUArgs)
+	return b.String()
+}
+
+// runBoth executes the same pipeline serially and in parallel and
+// returns both outcomes.
+func runBoth(p *core.Pipeline) (serialFP, parallelFP string, serialErr, parallelErr error) {
+	serial, serialErr := p.RunContext(context.Background(), core.Limits{Parallelism: 1})
+	parallel, parallelErr := p.RunContext(context.Background(), core.Limits{Parallelism: 8})
+	if serialErr == nil {
+		serialFP = fingerprint(serial)
+	}
+	if parallelErr == nil {
+		parallelFP = fingerprint(parallel)
+	}
+	return
+}
+
+// TestParallelReportMatchesSerialRunningExample asserts the tentpole's
+// determinism guarantee: the parallel Report — violations, rendered
+// DTS, generated C — is byte-identical to the serial one.
+func TestParallelReportMatchesSerialRunningExample(t *testing.T) {
+	p := examplePipeline(t, nil)
+	serialFP, parallelFP, serialErr, parallelErr := runBoth(p)
+	if serialErr != nil || parallelErr != nil {
+		t.Fatalf("serial err=%v parallel err=%v", serialErr, parallelErr)
+	}
+	if serialFP != parallelFP {
+		t.Errorf("parallel report differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serialFP, parallelFP)
+	}
+}
+
+// TestParallelReportMatchesSerialFaultCorpus repeats the determinism
+// check over every parsable fault of the E10 corpus: faulty inputs
+// produce violations (or structural errors), and those must also be
+// independent of scheduling.
+func TestParallelReportMatchesSerialFaultCorpus(t *testing.T) {
+	for _, f := range bench.AllFaults() {
+		if f == bench.FaultPathologicalCNF {
+			continue // no DTS form
+		}
+		t.Run(f.String(), func(t *testing.T) {
+			src, inc := bench.FaultSource(f)
+			tree, err := dts.Parse("faulty.dts", src, dts.WithIncluder(inc))
+			if err != nil {
+				t.Skipf("fault does not parse (%v); nothing to check", err)
+			}
+			p := examplePipeline(t, tree)
+			serialFP, parallelFP, serialErr, parallelErr := runBoth(p)
+			if (serialErr == nil) != (parallelErr == nil) {
+				t.Fatalf("error mismatch: serial=%v parallel=%v", serialErr, parallelErr)
+			}
+			if serialErr != nil {
+				if serialErr.Error() != parallelErr.Error() {
+					t.Fatalf("error text mismatch:\nserial:   %v\nparallel: %v",
+						serialErr, parallelErr)
+				}
+				return
+			}
+			if serialFP != parallelFP {
+				t.Errorf("parallel report differs from serial for %v", f)
+			}
+		})
+	}
+}
+
+// TestParallelCancellationStopsWorkers cancels mid-run and requires a
+// prompt *core.LimitError wrapping context.Canceled.
+func TestParallelCancellationStopsWorkers(t *testing.T) {
+	pipeline, err := bench.HeavyProductLine(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(3 * time.Millisecond) // the full run takes ~40ms
+		cancel()
+	}()
+	start := time.Now()
+	_, err = pipeline.RunContext(ctx, core.Limits{Parallelism: 4})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("run completed despite cancellation (cancel may have been too slow)")
+	}
+	var le *core.LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %v (%T), want *core.LimitError", err, err)
+	}
+	if le.Phase == "" {
+		t.Error("LimitError has no phase")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, does not wrap context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v; workers did not stop promptly", elapsed)
+	}
+}
+
+// TestCacheHitWithinSingleRun uses a single-VM line, where the platform
+// union tree equals the VM tree: the second check must be served from
+// the cache (or join the first in flight), not solved again.
+func TestCacheHitWithinSingleRun(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			pipeline, err := bench.SyntheticProductLine(2, 2, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cache := checkcache.New(16)
+			pipeline.Cache = cache
+			report, err := pipeline.RunContext(context.Background(),
+				core.Limits{Parallelism: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !report.OK() {
+				t.Fatalf("unexpected violations: %v", report.AllViolations())
+			}
+			st := cache.Stats()
+			if st.Misses != 1 || st.Hits != 1 {
+				t.Errorf("stats = %+v, want exactly 1 miss (vm tree) and 1 hit (platform tree)", st)
+			}
+			if report.Platform.DTS != report.VMs[0].DTS {
+				t.Error("single-VM line: platform and VM DTS should coincide")
+			}
+		})
+	}
+}
+
+// TestCacheDoesNotChangeReport runs the example with and without a
+// cache (twice, to exercise warm hits) and demands identical reports.
+func TestCacheDoesNotChangeReport(t *testing.T) {
+	base := examplePipeline(t, nil)
+	plain, err := base.RunContext(context.Background(), core.Limits{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := examplePipeline(t, nil)
+	cached.Cache = checkcache.New(16)
+	cold, err := cached.RunContext(context.Background(), core.Limits{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := cached.RunContext(context.Background(), core.Limits{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(plain) != fingerprint(cold) {
+		t.Error("cold cached report differs from uncached")
+	}
+	if fingerprint(plain) != fingerprint(warm) {
+		t.Error("warm cached report differs from uncached")
+	}
+	st := cached.Cache.Stats()
+	if st.Hits == 0 {
+		t.Errorf("warm run recorded no hits: %+v", st)
+	}
+}
+
+// TestSkipDTSLeavesViolationsIntact checks the opt-out: no rendered
+// DTS, same verdicts.
+func TestSkipDTSLeavesViolationsIntact(t *testing.T) {
+	p := examplePipeline(t, nil)
+	p.SkipDTS = true
+	report, err := p.RunContext(context.Background(), core.Limits{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("unexpected violations: %v", report.AllViolations())
+	}
+	for _, vm := range report.VMs {
+		if vm.DTS != "" {
+			t.Errorf("%s: DTS rendered despite SkipDTS", vm.Name)
+		}
+		if vm.Tree == nil {
+			t.Errorf("%s: tree missing", vm.Name)
+		}
+	}
+	if report.Platform.DTS != "" {
+		t.Error("platform DTS rendered despite SkipDTS")
+	}
+	if report.ConfigC == "" {
+		t.Error("artifact generation broken by SkipDTS")
+	}
+}

@@ -5,14 +5,29 @@
 // families of Section IV (allocation, syntactic, semantic) through the
 // SMT solver, and — when everything is provably correct — generates the
 // Bao hypervisor configuration files of Listings 3 and 6.
+//
+// Products are independent, so the pipeline checks them concurrently:
+// each VM (and the platform union) is derived and checked by its own
+// worker on a pool bounded by Limits.Parallelism, and within one tree
+// the four checker families (syntactic, semantic, memreserve,
+// interrupt) fan out as well. Every worker builds its own checkers —
+// smt.Context/smt.Solver are confined to one goroutine — and writes
+// into a pre-sized report slot, so the Report is byte-identical to a
+// serial run regardless of scheduling. An optional content-addressed
+// cache (internal/checkcache) short-circuits re-checking trees whose
+// canonical text was already checked under the same schema set and
+// budget knobs.
 package core
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"llhsc/internal/baogen"
+	"llhsc/internal/checkcache"
 	"llhsc/internal/constraints"
 	"llhsc/internal/delta"
 	"llhsc/internal/dts"
@@ -22,7 +37,8 @@ import (
 )
 
 // Limits bounds the resources one pipeline run may consume. The zero
-// value imposes no limits.
+// value imposes no solver or delta limits and uses the default
+// parallelism.
 type Limits struct {
 	// Solver bounds every SAT/SMT query issued by the constraint
 	// checkers (deadline, conflicts, learnt-clause memory).
@@ -30,6 +46,19 @@ type Limits struct {
 	// MaxDeltaOps caps the number of delta operations applied while
 	// deriving each product (0 = unlimited).
 	MaxDeltaOps int
+	// Parallelism bounds the worker pool that derives and checks
+	// products concurrently, and enables the per-tree checker fan-out.
+	// 0 means runtime.GOMAXPROCS(0); 1 restores fully serial
+	// execution. The Report is byte-identical at every setting.
+	Parallelism int
+}
+
+// parallelism resolves the effective worker count.
+func (l Limits) parallelism() int {
+	if l.Parallelism > 0 {
+		return l.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // LimitError reports a pipeline run cut short by a resource limit or
@@ -67,6 +96,17 @@ type Pipeline struct {
 	VMNames []string
 	// SkipInterrupts disables the interrupt-uniqueness extension check.
 	SkipInterrupts bool
+	// SkipDTS leaves VMResult.DTS / PlatformResult.DTS empty instead
+	// of rendering each product tree, for callers that only need the
+	// verdict. When a Cache is installed the tree is still printed
+	// once per product (the canonical text is the cache key), and that
+	// single string is shared with the report.
+	SkipDTS bool
+	// Cache, when non-nil, memoizes per-tree check results keyed by
+	// the canonical tree text, the schema-set fingerprint and the
+	// deterministic solver-budget knobs. Identical trees — across VMs,
+	// the platform union, or repeated runs — are checked once.
+	Cache *checkcache.Cache
 }
 
 // VMResult is the outcome for one VM.
@@ -156,6 +196,14 @@ func (p *Pipeline) Run() (*Report, error) {
 	return p.RunContext(context.Background(), Limits{})
 }
 
+// runState carries the per-run configuration shared by every product
+// worker.
+type runState struct {
+	limits   Limits
+	parallel bool   // fan the checker families out per tree
+	schemaFP string // schema-set fingerprint, "" when Cache is nil
+}
+
 // RunContext executes the full workflow under a context and resource
 // limits. Cancellation or an exhausted budget aborts the run with a
 // *LimitError naming the interrupted phase (errors.Is also matches the
@@ -178,51 +226,26 @@ func (p *Pipeline) RunContext(ctx context.Context, limits Limits) (*Report, erro
 		return nil, &LimitError{Phase: "allocation", Err: err}
 	}
 
-	// ---- per-VM products ----
-	syntactic := constraints.NewSyntacticChecker(p.Schemas)
-	semantic := constraints.NewSemanticChecker()
-	semantic.Budget = limits.Solver
-	for i, cfg := range p.VMConfigs {
-		name := fmt.Sprintf("vm%d", i+1)
-		if len(p.VMNames) > 0 {
-			name = p.VMNames[i]
-		}
-		vm := VMResult{Name: name, Config: cfg}
-		tree, trace, err := p.Deltas.ApplyContext(ctx, p.Core, cfg, limits.MaxDeltaOps)
-		if err != nil {
-			if isLimitCause(err) {
-				return nil, &LimitError{Phase: "vm:" + name, Err: err}
-			}
-			return nil, fmt.Errorf("core: VM %s: %w", name, err)
-		}
-		vm.Tree = tree
-		vm.Trace = trace
-		vm.DTS = tree.Print()
-		vm.Violations, err = p.checkTree(ctx, syntactic, semantic, tree)
-		if err != nil {
-			return nil, &LimitError{Phase: "vm:" + name, Err: err}
-		}
-		report.VMs = append(report.VMs, vm)
+	// ---- per-VM products + the platform union ----
+	workers := limits.parallelism()
+	st := &runState{limits: limits, parallel: workers > 1}
+	if p.Cache != nil {
+		st.schemaFP = p.Schemas.Fingerprint()
 	}
-
-	// ---- platform product: the union of the VM configurations ----
+	report.VMs = make([]VMResult, len(p.VMConfigs))
 	union := featmodel.PlatformUnion(p.VMConfigs)
-	ptree, ptrace, err := p.Deltas.ApplyContext(ctx, p.Core, union, limits.MaxDeltaOps)
-	if err != nil {
-		if isLimitCause(err) {
-			return nil, &LimitError{Phase: "platform", Err: err}
+
+	if !st.parallel {
+		for i := range p.VMConfigs {
+			if err := p.deriveAndCheckVM(ctx, st, i, &report.VMs[i]); err != nil {
+				return nil, err
+			}
 		}
-		return nil, fmt.Errorf("core: platform: %w", err)
-	}
-	report.Platform = PlatformResult{
-		Config: union,
-		Trace:  ptrace,
-		Tree:   ptree,
-		DTS:    ptree.Print(),
-	}
-	report.Platform.Violations, err = p.checkTree(ctx, syntactic, semantic, ptree)
-	if err != nil {
-		return nil, &LimitError{Phase: "platform", Err: err}
+		if err := p.deriveAndCheckPlatform(ctx, st, union, &report.Platform); err != nil {
+			return nil, err
+		}
+	} else if err := p.runProductsParallel(ctx, st, workers, union, report); err != nil {
+		return nil, err
 	}
 
 	if !report.OK() {
@@ -230,7 +253,7 @@ func (p *Pipeline) RunContext(ctx context.Context, limits Limits) (*Report, erro
 	}
 
 	// ---- artifact generation (Listings 3 and 6) ----
-	platform, err := baogen.PlatformFromTree(ptree)
+	platform, err := baogen.PlatformFromTree(report.Platform.Tree)
 	if err != nil {
 		return nil, err
 	}
@@ -252,29 +275,224 @@ func (p *Pipeline) RunContext(ctx context.Context, limits Limits) (*Report, erro
 	return report, nil
 }
 
-func (p *Pipeline) checkTree(ctx context.Context, syn *constraints.SyntacticChecker, sem *constraints.SemanticChecker, tree *dts.Tree) ([]constraints.Violation, error) {
-	out, err := syn.CheckContext(ctx, tree)
-	if err != nil {
-		return out, err
+// runProductsParallel derives and checks every VM product plus the
+// platform union on a bounded worker pool. Results land in pre-sized
+// report slots, so the outcome is independent of scheduling; the first
+// failure (or a caller cancellation) cancels the sibling workers, and
+// a worker panic is isolated and re-raised on the calling goroutine so
+// the server's panic recovery still contains it.
+func (p *Pipeline) runProductsParallel(ctx context.Context, st *runState, workers int, union featmodel.Configuration, report *Report) error {
+	jobs := len(report.VMs) + 1 // VMs plus the platform union
+	if workers > jobs {
+		workers = jobs
 	}
-	_, semViolations, err := sem.CheckContext(ctx, tree)
-	out = append(out, semViolations...)
-	if err != nil {
-		return out, err
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg        sync.WaitGroup
+		errOnce   sync.Once
+		firstErr  error
+		panicOnce sync.Once
+		panicVal  interface{}
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		cancel()
 	}
-	mrViolations, err := constraints.MemReserveChecker{}.CheckContext(ctx, tree)
-	out = append(out, mrViolations...)
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				func(i int) {
+					defer func() {
+						if r := recover(); r != nil {
+							panicOnce.Do(func() { panicVal = r })
+							cancel()
+						}
+					}()
+					var err error
+					if i < len(report.VMs) {
+						err = p.deriveAndCheckVM(wctx, st, i, &report.VMs[i])
+					} else {
+						err = p.deriveAndCheckPlatform(wctx, st, union, &report.Platform)
+					}
+					if err != nil {
+						fail(err)
+					}
+				}(i)
+			}
+		}()
+	}
+	for i := 0; i < jobs; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+	return firstErr
+}
+
+// deriveAndCheckVM derives the product for VM i, checks it, and fills
+// the result slot. Errors come back in the same shapes as a serial
+// run: limit causes wrapped in *LimitError, structural delta failures
+// as plain errors naming the VM.
+func (p *Pipeline) deriveAndCheckVM(ctx context.Context, st *runState, i int, out *VMResult) error {
+	name := fmt.Sprintf("vm%d", i+1)
+	if len(p.VMNames) > 0 {
+		name = p.VMNames[i]
+	}
+	out.Name = name
+	out.Config = p.VMConfigs[i]
+	tree, trace, err := p.Deltas.ApplyContext(ctx, p.Core, p.VMConfigs[i], st.limits.MaxDeltaOps)
 	if err != nil {
-		return out, err
+		if isLimitCause(err) {
+			return &LimitError{Phase: "vm:" + name, Err: err}
+		}
+		return fmt.Errorf("core: VM %s: %w", name, err)
+	}
+	out.Tree = tree
+	out.Trace = trace
+	out.DTS, out.Violations, err = p.checkProductTree(ctx, st, tree)
+	if err != nil {
+		return &LimitError{Phase: "vm:" + name, Err: err}
+	}
+	return nil
+}
+
+// deriveAndCheckPlatform derives and checks the union product.
+func (p *Pipeline) deriveAndCheckPlatform(ctx context.Context, st *runState, union featmodel.Configuration, out *PlatformResult) error {
+	tree, trace, err := p.Deltas.ApplyContext(ctx, p.Core, union, st.limits.MaxDeltaOps)
+	if err != nil {
+		if isLimitCause(err) {
+			return &LimitError{Phase: "platform", Err: err}
+		}
+		return fmt.Errorf("core: platform: %w", err)
+	}
+	out.Config = union
+	out.Trace = trace
+	out.Tree = tree
+	out.DTS, out.Violations, err = p.checkProductTree(ctx, st, tree)
+	if err != nil {
+		return &LimitError{Phase: "platform", Err: err}
+	}
+	return nil
+}
+
+// checkProductTree renders the tree (unless skipped), consults the
+// cache, and runs the checker families. The canonical text is printed
+// at most once and shared between the report and the cache key.
+func (p *Pipeline) checkProductTree(ctx context.Context, st *runState, tree *dts.Tree) (string, []constraints.Violation, error) {
+	var printed, reportDTS string
+	if !p.SkipDTS || p.Cache != nil {
+		printed = tree.Print()
+	}
+	if !p.SkipDTS {
+		reportDTS = printed
+	}
+	if p.Cache == nil {
+		violations, err := p.checkTree(ctx, st, tree)
+		return reportDTS, violations, err
+	}
+	key := checkcache.Key(
+		printed,
+		st.schemaFP,
+		fmt.Sprintf("conflicts=%d;learntlits=%d;skipirq=%v",
+			st.limits.Solver.MaxConflicts, st.limits.Solver.MaxLearntLits, p.SkipInterrupts),
+	)
+	violations, _, err := p.Cache.Do(ctx, key, func() ([]constraints.Violation, error) {
+		return p.checkTree(ctx, st, tree)
+	})
+	return reportDTS, violations, err
+}
+
+// checkerFamilies returns the independent checker families for one
+// tree, in the deterministic merge order. Each closure builds its own
+// checkers on first use — smt.Context is confined to one goroutine, so
+// families must not share solver state when they run concurrently.
+func (p *Pipeline) checkerFamilies(st *runState, tree *dts.Tree) []func(context.Context) ([]constraints.Violation, error) {
+	families := []func(context.Context) ([]constraints.Violation, error){
+		func(ctx context.Context) ([]constraints.Violation, error) {
+			return constraints.NewSyntacticChecker(p.Schemas).CheckContext(ctx, tree)
+		},
+		func(ctx context.Context) ([]constraints.Violation, error) {
+			sem := constraints.NewSemanticChecker()
+			sem.Budget = st.limits.Solver
+			_, violations, err := sem.CheckContext(ctx, tree)
+			return violations, err
+		},
+		func(ctx context.Context) ([]constraints.Violation, error) {
+			return constraints.MemReserveChecker{}.CheckContext(ctx, tree)
+		},
 	}
 	if !p.SkipInterrupts {
-		irqViolations, err := constraints.InterruptChecker{}.CheckContext(ctx, tree)
-		out = append(out, irqViolations...)
-		if err != nil {
-			return out, err
-		}
+		families = append(families, func(ctx context.Context) ([]constraints.Violation, error) {
+			return constraints.InterruptChecker{}.CheckContext(ctx, tree)
+		})
 	}
-	return out, nil
+	return families
+}
+
+// checkTree runs the checker families over one tree and merges their
+// violations in family order. With parallelism enabled the families
+// run concurrently (they are mutually independent; each owns its
+// solver), and the merge order keeps the output identical to a serial
+// run.
+func (p *Pipeline) checkTree(ctx context.Context, st *runState, tree *dts.Tree) ([]constraints.Violation, error) {
+	families := p.checkerFamilies(st, tree)
+	if !st.parallel {
+		var out []constraints.Violation
+		for _, f := range families {
+			vs, err := f(ctx)
+			out = append(out, vs...)
+			if err != nil {
+				return out, err
+			}
+		}
+		return out, nil
+	}
+
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([][]constraints.Violation, len(families))
+	var (
+		wg        sync.WaitGroup
+		errOnce   sync.Once
+		firstErr  error
+		panicOnce sync.Once
+		panicVal  interface{}
+	)
+	for i, f := range families {
+		wg.Add(1)
+		go func(i int, f func(context.Context) ([]constraints.Violation, error)) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+					cancel()
+				}
+			}()
+			vs, err := f(fctx)
+			results[i] = vs
+			if err != nil {
+				errOnce.Do(func() { firstErr = err })
+				cancel()
+			}
+		}(i, f)
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+	var out []constraints.Violation
+	for _, vs := range results {
+		out = append(out, vs...)
+	}
+	return out, firstErr
 }
 
 // isLimitCause reports whether a delta-application error stems from

@@ -1,0 +1,55 @@
+package schema
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fingerprint returns a stable content hash of the schema set: two sets
+// with the same schemas (IDs, selectors, required lists, property
+// constraints) produce the same fingerprint regardless of construction
+// order. It identifies the schema-set component of a check-cache key
+// (see internal/checkcache), so every field that can change a
+// validation verdict must be folded in here.
+func (s *Set) Fingerprint() string {
+	dumps := make([]string, 0, len(s.Schemas))
+	for _, sc := range s.Schemas {
+		dumps = append(dumps, schemaDump(sc))
+	}
+	sort.Strings(dumps)
+	h := sha256.New()
+	for _, d := range dumps {
+		h.Write([]byte(d))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func schemaDump(sc *Schema) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "id=%s;select=%s/%s;required=%s;addl=%v;",
+		sc.ID, sc.Select.NodeName, strings.Join(sc.Select.Compatible, ","),
+		strings.Join(sc.Required, ","), sc.AdditionalProperties)
+	names := make([]string, 0, len(sc.Properties))
+	for name := range sc.Properties {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ps := sc.Properties[name]
+		fmt.Fprintf(&b, "prop=%s:type=%v,const=%q,enum=%s,min=%d,max=%d,reglike=%v",
+			name, ps.Type, ps.Const, strings.Join(ps.Enum, ","),
+			ps.MinItems, ps.MaxItems, ps.RegLike)
+		if ps.ConstU32 != nil {
+			fmt.Fprintf(&b, ",constu32=%d", *ps.ConstU32)
+		}
+		if ps.Pattern != nil {
+			fmt.Fprintf(&b, ",pattern=%s", ps.Pattern.String())
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}

@@ -1,0 +1,109 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// cacheStats pulls the checkCache object out of /healthz.
+func cacheStats(t *testing.T, srv *httptest.Server) map[string]float64 {
+	t.Helper()
+	var health struct {
+		Status     string             `json:"status"`
+		CheckCache map[string]float64 `json:"checkCache"`
+	}
+	if resp := getJSON(t, srv.URL+"/healthz", &health); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	if health.CheckCache == nil {
+		t.Fatal("healthz has no checkCache object although CacheSize > 0")
+	}
+	return health.CheckCache
+}
+
+// TestRepeatedCheckHitsCache verifies the acceptance criterion: posting
+// the same product line twice turns the second request's per-tree
+// checks into cache hits, observable through the healthz counters.
+func TestRepeatedCheckHitsCache(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(Options{CacheSize: 64}))
+	t.Cleanup(srv.Close)
+
+	var req CheckRequest
+	if resp := getJSON(t, srv.URL+"/example", &req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/example status %d", resp.StatusCode)
+	}
+
+	var first CheckResponse
+	if resp := postJSON(t, srv.URL+"/check", req, &first); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first check status %d", resp.StatusCode)
+	}
+	after1 := cacheStats(t, srv)
+	if after1["misses"] == 0 {
+		t.Fatalf("first request recorded no misses: %v", after1)
+	}
+	if after1["entries"] == 0 {
+		t.Fatalf("first request cached nothing: %v", after1)
+	}
+
+	var second CheckResponse
+	if resp := postJSON(t, srv.URL+"/check", req, &second); resp.StatusCode != http.StatusOK {
+		t.Fatalf("second check status %d", resp.StatusCode)
+	}
+	after2 := cacheStats(t, srv)
+	// Every tree of the second run (2 VMs + platform) must be a hit,
+	// and no new miss may appear.
+	if hits := after2["hits"] - after1["hits"]; hits < 3 {
+		t.Errorf("second run produced %v new hits, want >= 3 (stats %v)", hits, after2)
+	}
+	if after2["misses"] != after1["misses"] {
+		t.Errorf("second run re-solved: misses %v -> %v", after1["misses"], after2["misses"])
+	}
+	if len(second.VMs) != len(first.VMs) {
+		t.Fatalf("responses differ in VM count")
+	}
+	for i := range second.VMs {
+		if len(second.VMs[i].Violations) != len(first.VMs[i].Violations) {
+			t.Errorf("vm %d: cached violations differ from computed ones", i)
+		}
+	}
+}
+
+// TestConcurrentIdenticalChecksSingleFlight posts the same body from
+// many goroutines at once; single-flight must keep the miss count at
+// the first run's level plus at most one batch of per-tree computes.
+func TestConcurrentIdenticalChecksSingleFlight(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(Options{CacheSize: 64}))
+	t.Cleanup(srv.Close)
+
+	var req CheckRequest
+	if resp := getJSON(t, srv.URL+"/example", &req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/example status %d", resp.StatusCode)
+	}
+
+	const clients = 6
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var out CheckResponse
+			if resp := postJSON(t, srv.URL+"/check", req, &out); resp.StatusCode != http.StatusOK {
+				t.Errorf("check status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := cacheStats(t, srv)
+	// The example produces 3 distinct trees (vm1, vm2, platform); even
+	// with all clients racing, single-flight allows at most one solve
+	// per distinct tree.
+	if st["misses"] > 3 {
+		t.Errorf("misses = %v, want <= 3 under single-flight", st["misses"])
+	}
+	if st["hits"] < float64(clients-1)*3 {
+		t.Errorf("hits = %v, want >= %d", st["hits"], (clients-1)*3)
+	}
+}

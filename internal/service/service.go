@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"time"
 
+	"llhsc/internal/checkcache"
 	"llhsc/internal/constraints"
 	"llhsc/internal/core"
 	"llhsc/internal/delta"
@@ -55,8 +56,13 @@ type Options struct {
 	MaxBodyBytes int64
 	// MaxNodeDepth caps DTS node nesting (0 = the dts default).
 	MaxNodeDepth int
-	// Limits bounds each pipeline run (solver budgets, delta op cap).
+	// Limits bounds each pipeline run (solver budgets, delta op cap)
+	// and sets the per-request check parallelism.
 	Limits core.Limits
+	// CacheSize is the capacity (in trees) of the shared
+	// content-addressed check-result cache (0 = disabled). Hit, miss
+	// and eviction counters surface on GET /healthz.
+	CacheSize int
 }
 
 const defaultMaxBodyBytes = 4 << 20
@@ -130,12 +136,12 @@ func NewHandler(opts Options) http.Handler {
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = defaultMaxBodyBytes
 	}
-	s := &server{opts: opts}
+	s := &server{opts: opts, cache: checkcache.New(opts.CacheSize)}
 	if opts.MaxInFlight > 0 {
 		s.inflight = make(chan struct{}, opts.MaxInFlight)
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", handleHealthz)
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/example", handleExample)
 	mux.Handle("/check", s.guard(s.handleCheck))
 	mux.Handle("/lint", s.guard(s.handleLint))
@@ -144,7 +150,8 @@ func NewHandler(opts Options) http.Handler {
 
 type server struct {
 	opts     Options
-	inflight chan struct{} // nil = unlimited
+	inflight chan struct{}     // nil = unlimited
+	cache    *checkcache.Cache // nil = disabled; shared across requests
 }
 
 // recoverPanics isolates handler panics: the request answers a JSON
@@ -239,8 +246,12 @@ func writeError(w http.ResponseWriter, status int, format string, args ...interf
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-func handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := map[string]interface{}{"status": "ok"}
+	if s.cache != nil {
+		resp["checkCache"] = s.cache.Stats()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleExample returns the running example as a request body, so
@@ -366,6 +377,7 @@ func (s *server) runCheck(ctx context.Context, req *CheckRequest) (*CheckRespons
 		Model:     model,
 		Schemas:   schema.StandardSet(),
 		VMConfigs: configs,
+		Cache:     s.cache,
 	}
 	report, err := pipeline.RunContext(ctx, s.opts.Limits)
 	if err != nil {

@@ -52,10 +52,13 @@ func postJSON(t *testing.T, url string, body interface{}, out interface{}) *http
 
 func TestHealthz(t *testing.T) {
 	srv := newServer(t)
-	var out map[string]string
+	var out map[string]interface{}
 	resp := getJSON(t, srv.URL+"/healthz", &out)
 	if resp.StatusCode != http.StatusOK || out["status"] != "ok" {
 		t.Errorf("healthz = %d %v", resp.StatusCode, out)
+	}
+	if _, ok := out["checkCache"]; ok {
+		t.Error("healthz reports cache stats although no cache is configured")
 	}
 }
 

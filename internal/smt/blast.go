@@ -35,17 +35,19 @@ func (s *Solver) blastBool(t *Term) logic.Lit {
 	case OpNot:
 		l = s.blastBool(t.args[0]).Neg()
 	case OpAnd:
-		lits := make([]logic.Lit, len(t.args))
+		lits := s.getArgs(len(t.args))
 		for i, a := range t.args {
 			lits[i] = s.blastBool(a)
 		}
 		l = s.andGate(lits)
+		s.putArgs(lits)
 	case OpOr:
-		lits := make([]logic.Lit, len(t.args))
+		lits := s.getArgs(len(t.args))
 		for i, a := range t.args {
 			lits[i] = s.blastBool(a)
 		}
 		l = s.orGate(lits)
+		s.putArgs(lits)
 	case OpIte:
 		c := s.blastBool(t.args[0])
 		a := s.blastBool(t.args[1])
@@ -71,11 +73,13 @@ func (s *Solver) blastEq(a, b *Term) logic.Lit {
 	case SortBV:
 		ab := s.blastBV(a)
 		bb := s.blastBV(b)
-		iffs := make([]logic.Lit, len(ab))
+		iffs := s.getArgs(len(ab))
 		for i := range ab {
 			iffs[i] = s.iffGate(ab[i], bb[i])
 		}
-		return s.andGate(iffs)
+		out := s.andGate(iffs)
+		s.putArgs(iffs)
+		return out
 	case SortString:
 		return s.blastStrEq(a, b)
 	default:
@@ -94,9 +98,9 @@ func (s *Solver) blastCompare(a, b *Term, strict bool) logic.Lit {
 	}
 	for i := 0; i < len(ab); i++ { // LSB to MSB
 		ai, bi := ab[i], bb[i]
-		lessAt := s.andGate([]logic.Lit{ai.Neg(), bi}) // !a_i & b_i
+		lessAt := s.andGate2(ai.Neg(), bi) // !a_i & b_i
 		eqAt := s.iffGate(ai, bi)
-		acc = s.orGate([]logic.Lit{lessAt, s.andGate([]logic.Lit{eqAt, acc})})
+		acc = s.orGate2(lessAt, s.andGate2(eqAt, acc))
 	}
 	return acc
 }
@@ -124,14 +128,13 @@ func (s *Solver) blastStrEq(a, b *Term) logic.Lit {
 	if a.name == b.name {
 		return s.trueLit
 	}
-	var both []logic.Lit
-	for _, c := range s.ctx.strNames {
-		both = append(both, s.andGate([]logic.Lit{
-			s.strPairLit(a.name, c),
-			s.strPairLit(b.name, c),
-		}))
+	both := s.getArgs(len(s.ctx.strNames))
+	for i, c := range s.ctx.strNames {
+		both[i] = s.andGate2(s.strPairLit(a.name, c), s.strPairLit(b.name, c))
 	}
-	return s.orGate(both)
+	out := s.orGate(both)
+	s.putArgs(both)
+	return out
 }
 
 // strPairLit returns the literal for "string variable v equals constant
@@ -193,9 +196,9 @@ func (s *Solver) blastBV(t *Term) []logic.Lit {
 	case OpBVMul:
 		bs = s.multiplier(s.blastBV(t.args[0]), s.blastBV(t.args[1]))
 	case OpBVAnd:
-		bs = s.bitwise(t, func(a, b logic.Lit) logic.Lit { return s.andGate([]logic.Lit{a, b}) })
+		bs = s.bitwise(t, s.andGate2)
 	case OpBVOr:
-		bs = s.bitwise(t, func(a, b logic.Lit) logic.Lit { return s.orGate([]logic.Lit{a, b}) })
+		bs = s.bitwise(t, s.orGate2)
 	case OpBVXor:
 		bs = s.bitwise(t, s.xorGate)
 	case OpBVNot:
@@ -285,22 +288,59 @@ func (s *Solver) multiplier(a, b []logic.Lit) []logic.Lit {
 	for i := range acc {
 		acc[i] = s.trueLit.Neg()
 	}
+	partial := s.getArgs(n) // reused across iterations; adder copies out
 	for i := 0; i < n; i++ {
 		// partial = (a << i) masked by b[i]
-		partial := make([]logic.Lit, n)
 		for j := range partial {
 			if j < i {
 				partial[j] = s.trueLit.Neg()
 			} else {
-				partial[j] = s.andGate([]logic.Lit{a[j-i], b[i]})
+				partial[j] = s.andGate2(a[j-i], b[i])
 			}
 		}
 		acc, _ = s.adder(acc, partial, s.trueLit.Neg())
 	}
+	s.putArgs(partial)
 	return acc
 }
 
 // ---- gates (definitional clauses, added permanently) ----
+//
+// The gates reuse scratch storage hung off the Solver instead of
+// allocating per call: sat.AddClause copies its arguments, so the long
+// definitional clause can live in s.gateScratch, and the n-ary helpers
+// borrow argument slices from s.argPool (a free list, because blastBool
+// recurses while an argument slice is live). This is safe under the
+// Solver's single-goroutine contract (see enter in solver.go).
+
+// getArgs borrows an n-literal scratch slice from the solver's pool.
+func (s *Solver) getArgs(n int) []logic.Lit {
+	if k := len(s.argPool); k > 0 {
+		buf := s.argPool[k-1]
+		s.argPool = s.argPool[:k-1]
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]logic.Lit, n)
+}
+
+// putArgs returns a slice obtained from getArgs to the pool. The caller
+// must not touch the slice afterwards.
+func (s *Solver) putArgs(buf []logic.Lit) {
+	s.argPool = append(s.argPool, buf[:0])
+}
+
+// andGate2 and orGate2 are allocation-free two-input forms.
+func (s *Solver) andGate2(a, b logic.Lit) logic.Lit {
+	s.pair2[0], s.pair2[1] = a, b
+	return s.andGate(s.pair2[:])
+}
+
+func (s *Solver) orGate2(a, b logic.Lit) logic.Lit {
+	s.pair2[0], s.pair2[1] = a, b
+	return s.orGate(s.pair2[:])
+}
 
 func (s *Solver) andGate(lits []logic.Lit) logic.Lit {
 	switch len(lits) {
@@ -310,13 +350,14 @@ func (s *Solver) andGate(lits []logic.Lit) logic.Lit {
 		return lits[0]
 	}
 	out := s.fresh()
-	long := make([]logic.Lit, 0, len(lits)+1)
+	long := s.gateScratch[:0]
 	for _, l := range lits {
 		s.sat.AddClause(out.Neg(), l)
 		long = append(long, l.Neg())
 	}
 	long = append(long, out)
 	s.sat.AddClause(long...)
+	s.gateScratch = long[:0]
 	return out
 }
 
@@ -328,13 +369,14 @@ func (s *Solver) orGate(lits []logic.Lit) logic.Lit {
 		return lits[0]
 	}
 	out := s.fresh()
-	long := make([]logic.Lit, 0, len(lits)+1)
+	long := s.gateScratch[:0]
 	for _, l := range lits {
 		s.sat.AddClause(l.Neg(), out)
 		long = append(long, l)
 	}
 	long = append(long, out.Neg())
 	s.sat.AddClause(long...)
+	s.gateScratch = long[:0]
 	return out
 }
 

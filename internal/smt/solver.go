@@ -3,6 +3,7 @@ package smt
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"llhsc/internal/logic"
 	"llhsc/internal/sat"
@@ -19,11 +20,33 @@ import (
 // extraction: after an unsatisfiable Check, UnsatNames reports a subset
 // of assertion names sufficient for the contradiction — llhsc uses this
 // to trace a violation back to the delta module that caused it.
+//
+// Concurrency contract: a Solver and its Context are confined to one
+// goroutine at a time — the blasting caches, scratch buffers and the
+// term interner are all unsynchronized. Concurrent callers must build
+// one Context+Solver pair per goroutine (they are cheap; this is what
+// core.Pipeline's worker pool does). Mutating entry points enforce the
+// contract: concurrent use panics with a diagnostic instead of
+// corrupting state silently. The only exception is Interrupt, which is
+// explicitly safe to call from other goroutines.
 type Solver struct {
 	ctx *Context
 	sat *sat.Solver
 
+	// busy enforces the single-goroutine contract (0 = idle).
+	busy atomic.Int32
+
 	trueLit logic.Lit
+
+	// Scratch storage reused by the blasting gates (blast.go) to avoid
+	// a per-gate slice allocation on the hot path. gateScratch holds
+	// the long clause being built by andGate/orGate (sat.AddClause
+	// copies, so reuse is safe); argPool recycles the argument slices
+	// blastBool builds for n-ary And/Or terms; pair2 backs the
+	// ubiquitous two-literal gate calls.
+	gateScratch []logic.Lit
+	argPool     [][]logic.Lit
+	pair2       [2]logic.Lit
 
 	// blasting caches
 	bits     map[int][]logic.Lit // BV term id -> bits (LSB first)
@@ -71,14 +94,26 @@ func (s *Solver) fresh() logic.Lit {
 	return logic.Lit(s.sat.NewVar())
 }
 
+// enter enforces the single-goroutine contract on a mutating entry
+// point; the returned func releases the guard (use: defer s.enter()()).
+func (s *Solver) enter() func() {
+	if !s.busy.CompareAndSwap(0, 1) {
+		panic("smt: Solver used concurrently from multiple goroutines; " +
+			"build one Context+Solver per goroutine (see the Solver doc)")
+	}
+	return func() { s.busy.Store(0) }
+}
+
 // Push opens a new assertion scope.
 func (s *Solver) Push() {
+	defer s.enter()()
 	s.frames = append(s.frames, s.fresh())
 }
 
 // Pop discards the most recent assertion scope and every assertion made
 // in it. Popping the base scope panics.
 func (s *Solver) Pop() {
+	defer s.enter()()
 	if len(s.frames) == 1 {
 		panic("smt: Pop on base scope")
 	}
@@ -100,6 +135,7 @@ func (s *Solver) NumScopes() int { return len(s.frames) - 1 }
 
 // Assert adds a Boolean term to the current scope.
 func (s *Solver) Assert(t *Term) {
+	defer s.enter()()
 	lit := s.blastBool(t)
 	frame := s.frames[len(s.frames)-1]
 	s.sat.AddClause(frame.Neg(), lit)
@@ -108,6 +144,7 @@ func (s *Solver) Assert(t *Term) {
 // AssertNamed adds a Boolean term to the current scope under a name
 // that can appear in UnsatNames after an unsatisfiable Check.
 func (s *Solver) AssertNamed(name string, t *Term) {
+	defer s.enter()()
 	lit := s.blastBool(t)
 	frame := s.frames[len(s.frames)-1]
 	act := s.fresh()
@@ -119,6 +156,7 @@ func (s *Solver) AssertNamed(name string, t *Term) {
 // Unknown result means a budget installed via SetBudget cut the search
 // short; LastLimit explains why.
 func (s *Solver) Check() sat.Status {
+	defer s.enter()()
 	st, _ := s.check(s.sat.Solve)
 	return st
 }
@@ -128,6 +166,7 @@ func (s *Solver) Check() sat.Status {
 // cancellation stop it returns sat.Unknown and a non-nil error (a
 // *sat.LimitError, wrapping ctx.Err() when the context caused it).
 func (s *Solver) CheckContext(ctx context.Context) (sat.Status, error) {
+	defer s.enter()()
 	return s.check(func(assumptions ...logic.Lit) sat.Status {
 		st, _ := s.sat.SolveContext(ctx, assumptions...)
 		return st
