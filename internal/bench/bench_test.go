@@ -306,3 +306,11 @@ func TestSyntheticProductLineTooManyVMs(t *testing.T) {
 		t.Error("3 VMs over 2 CPUs should be rejected at construction")
 	}
 }
+
+func TestMeasureParallelRequiresSerialBaseline(t *testing.T) {
+	for _, counts := range [][]int{nil, {}, {2, 4, 8}, {4, 1}} {
+		if _, err := MeasureParallel(2, counts, 1); err == nil {
+			t.Errorf("MeasureParallel(%v) accepted a worker list without a leading serial baseline", counts)
+		}
+	}
+}

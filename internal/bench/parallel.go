@@ -50,8 +50,15 @@ type ParallelResult struct {
 
 // MeasureParallel runs the heavy product line at each worker count,
 // keeping the best of rounds runs per point (the usual benchmarking
-// guard against scheduler noise).
+// guard against scheduler noise). workerCounts must start at 1: the
+// first point is the serial baseline every speedup is normalized
+// against, so accepting an arbitrary first entry would silently label
+// a relative ratio as speedup.
 func MeasureParallel(vms int, workerCounts []int, rounds int) (*ParallelResult, error) {
+	if len(workerCounts) == 0 || workerCounts[0] != 1 {
+		return nil, fmt.Errorf(
+			"bench: workerCounts must start with 1 (the serial baseline), got %v", workerCounts)
+	}
 	if rounds < 1 {
 		rounds = 1
 	}
@@ -81,7 +88,7 @@ func MeasureParallel(vms int, workerCounts []int, rounds int) (*ParallelResult, 
 			}
 		}
 		if serial == 0 {
-			serial = best // workerCounts starts at 1 by convention
+			serial = best // the validated workers=1 baseline
 		}
 		res.Points = append(res.Points, ParallelPoint{
 			Workers: workers,

@@ -5,9 +5,10 @@
 // the same features derive identical DTS, and a cloud deployment sees
 // the same request body many times over. Keying the violation list by
 // a hash of the canonical tree text (plus everything else that can
-// change the verdict — schema set, solver budget knobs, checker
-// configuration) turns each repeat into a map lookup instead of a
-// round of SMT solving.
+// change the verdict or its reporting — the tree's origin/blame
+// metadata, schema set, solver budget knobs, checker configuration)
+// turns each repeat into a map lookup instead of a round of SMT
+// solving.
 //
 // The cache is a bounded LRU with hit/miss/eviction counters and
 // single-flight de-duplication: when several goroutines ask for the

@@ -15,6 +15,7 @@ import (
 	"llhsc/internal/checkcache"
 	"llhsc/internal/constraints"
 	"llhsc/internal/core"
+	"llhsc/internal/delta"
 	"llhsc/internal/dts"
 	"llhsc/internal/featmodel"
 	"llhsc/internal/runningexample"
@@ -205,6 +206,78 @@ func TestCacheHitWithinSingleRun(t *testing.T) {
 				t.Error("single-VM line: platform and VM DTS should coincide")
 			}
 		})
+	}
+}
+
+// blamePipeline builds a single-VM product line whose derived tree is
+// independent of deltaName: the named delta adds a uart node that is
+// missing its required reg property, so every run yields the same
+// canonical DTS text but a violation blaming deltaName.
+func blamePipeline(t *testing.T, deltaName string) *core.Pipeline {
+	t.Helper()
+	p, err := bench.SyntheticProductLine(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := &delta.Delta{
+		Name: deltaName,
+		Ops: []delta.Operation{{
+			Kind:   delta.OpAdds,
+			Target: "/",
+			Fragment: &dts.Node{Name: "/", Children: []*dts.Node{{
+				Name: "uart@20000000",
+				Properties: []*dts.Property{{
+					Name: "compatible", Value: dts.StringValueOf("ns16550a"),
+				}},
+			}}},
+		}},
+	}
+	set, err := delta.NewSet(append(append([]*delta.Delta{}, p.Deltas.Deltas...), faulty))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Deltas = set
+	return p
+}
+
+// TestCacheDoesNotLeakBlameAcrossDeltaNames shares one cache between
+// two requests whose products print byte-identically but derive from
+// differently-named delta modules. The second request must report
+// violations blaming its own deltas — a cache keyed on canonical text
+// alone would replay the first request's blame metadata.
+func TestCacheDoesNotLeakBlameAcrossDeltaNames(t *testing.T) {
+	cache := checkcache.New(16)
+	var texts []string
+	for _, name := range []string{"add_uart_alpha", "add_uart_beta"} {
+		p := blamePipeline(t, name)
+		p.Cache = cache
+		report, err := p.RunContext(context.Background(), core.Limits{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.OK() {
+			t.Fatal("expected a violation for the reg-less uart")
+		}
+		texts = append(texts, report.VMs[0].DTS)
+		var blamed []string
+		all := append(append([]constraints.Violation{}, report.VMs[0].Violations...),
+			report.Platform.Violations...)
+		for _, v := range all {
+			if v.Origin.Delta != "" {
+				blamed = append(blamed, v.Origin.Delta)
+			}
+		}
+		if len(blamed) == 0 {
+			t.Fatalf("%s: no violation carries delta blame: %v", name, all)
+		}
+		for _, d := range blamed {
+			if d != name {
+				t.Errorf("%s: violation blames delta %q (leaked from a previous request)", name, d)
+			}
+		}
+	}
+	if texts[0] != texts[1] {
+		t.Fatal("test premise broken: the two products should print identically")
 	}
 }
 

@@ -15,8 +15,8 @@
 // into a pre-sized report slot, so the Report is byte-identical to a
 // serial run regardless of scheduling. An optional content-addressed
 // cache (internal/checkcache) short-circuits re-checking trees whose
-// canonical text was already checked under the same schema set and
-// budget knobs.
+// canonical text and blame metadata were already checked under the
+// same schema set and budget knobs.
 package core
 
 import (
@@ -103,9 +103,11 @@ type Pipeline struct {
 	// single string is shared with the report.
 	SkipDTS bool
 	// Cache, when non-nil, memoizes per-tree check results keyed by
-	// the canonical tree text, the schema-set fingerprint and the
-	// deterministic solver-budget knobs. Identical trees — across VMs,
-	// the platform union, or repeated runs — are checked once.
+	// the canonical tree text, the tree's origin dump (blame metadata
+	// is invisible in the printed text but embedded in cached
+	// violations), the schema-set fingerprint and the deterministic
+	// solver-budget knobs. Identical trees — across VMs, the platform
+	// union, or repeated runs — are checked once.
 	Cache *checkcache.Cache
 }
 
@@ -277,10 +279,13 @@ func (p *Pipeline) RunContext(ctx context.Context, limits Limits) (*Report, erro
 
 // runProductsParallel derives and checks every VM product plus the
 // platform union on a bounded worker pool. Results land in pre-sized
-// report slots, so the outcome is independent of scheduling; the first
-// failure (or a caller cancellation) cancels the sibling workers, and
-// a worker panic is isolated and re-raised on the calling goroutine so
-// the server's panic recovery still contains it.
+// report slots, so the outcome is independent of scheduling; a failure
+// (or a caller cancellation) cancels the sibling workers, and a worker
+// panic is isolated and re-raised on the calling goroutine so the
+// server's panic recovery still contains it. Per-job errors are kept
+// in index order and the reported one is chosen after the pool drains,
+// so the error (and its phase) does not depend on which worker lost
+// the race.
 func (p *Pipeline) runProductsParallel(ctx context.Context, st *runState, workers int, union featmodel.Configuration, report *Report) error {
 	jobs := len(report.VMs) + 1 // VMs plus the platform union
 	if workers > jobs {
@@ -291,15 +296,10 @@ func (p *Pipeline) runProductsParallel(ctx context.Context, st *runState, worker
 
 	var (
 		wg        sync.WaitGroup
-		errOnce   sync.Once
-		firstErr  error
+		jobErrs   = make([]error, jobs) // each job writes only its own slot
 		panicOnce sync.Once
 		panicVal  interface{}
 	)
-	fail := func(err error) {
-		errOnce.Do(func() { firstErr = err })
-		cancel()
-	}
 	idx := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -320,7 +320,8 @@ func (p *Pipeline) runProductsParallel(ctx context.Context, st *runState, worker
 						err = p.deriveAndCheckPlatform(wctx, st, union, &report.Platform)
 					}
 					if err != nil {
-						fail(err)
+						jobErrs[i] = err
+						cancel()
 					}
 				}(i)
 			}
@@ -334,7 +335,32 @@ func (p *Pipeline) runProductsParallel(ctx context.Context, st *runState, worker
 	if panicVal != nil {
 		panic(panicVal)
 	}
-	return firstErr
+	return lowestPrimaryError(ctx, jobErrs)
+}
+
+// lowestPrimaryError picks the error a parallel fan-out reports. A
+// serial run always fails on the lowest-index job, but in a pool the
+// first observed failure is scheduling-dependent, and siblings
+// canceled because of it record bare context.Canceled errors that
+// would mask the real cause. Preferring the lowest-index failure that
+// is not an induced cancellation — unless the caller itself canceled,
+// in which case every cancellation is genuine — keeps the reported
+// error (and its phase) independent of worker count and timing.
+func lowestPrimaryError(ctx context.Context, errs []error) error {
+	var fallback error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if fallback == nil {
+			fallback = err
+		}
+		if ctx.Err() == nil && errors.Is(err, context.Canceled) {
+			continue // canceled by a sibling's failure, not a primary cause
+		}
+		return err
+	}
+	return fallback
 }
 
 // deriveAndCheckVM derives the product for VM i, checks it, and fills
@@ -385,7 +411,11 @@ func (p *Pipeline) deriveAndCheckPlatform(ctx context.Context, st *runState, uni
 
 // checkProductTree renders the tree (unless skipped), consults the
 // cache, and runs the checker families. The canonical text is printed
-// at most once and shared between the report and the cache key.
+// at most once and shared between the report and the cache key. The
+// key also folds in the tree's origin dump: violations embed blame
+// metadata (dts.Origin — delta name, source position) that the printed
+// text does not capture, so two products with identical text but
+// different provenance must not share a cache entry.
 func (p *Pipeline) checkProductTree(ctx context.Context, st *runState, tree *dts.Tree) (string, []constraints.Violation, error) {
 	var printed, reportDTS string
 	if !p.SkipDTS || p.Cache != nil {
@@ -400,6 +430,7 @@ func (p *Pipeline) checkProductTree(ctx context.Context, st *runState, tree *dts
 	}
 	key := checkcache.Key(
 		printed,
+		tree.OriginDump(),
 		st.schemaFP,
 		fmt.Sprintf("conflicts=%d;learntlits=%d;skipirq=%v",
 			st.limits.Solver.MaxConflicts, st.limits.Solver.MaxLearntLits, p.SkipInterrupts),
@@ -459,10 +490,9 @@ func (p *Pipeline) checkTree(ctx context.Context, st *runState, tree *dts.Tree) 
 	fctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	results := make([][]constraints.Violation, len(families))
+	famErrs := make([]error, len(families))
 	var (
 		wg        sync.WaitGroup
-		errOnce   sync.Once
-		firstErr  error
 		panicOnce sync.Once
 		panicVal  interface{}
 	)
@@ -479,7 +509,7 @@ func (p *Pipeline) checkTree(ctx context.Context, st *runState, tree *dts.Tree) 
 			vs, err := f(fctx)
 			results[i] = vs
 			if err != nil {
-				errOnce.Do(func() { firstErr = err })
+				famErrs[i] = err
 				cancel()
 			}
 		}(i, f)
@@ -492,7 +522,7 @@ func (p *Pipeline) checkTree(ctx context.Context, st *runState, tree *dts.Tree) 
 	for _, vs := range results {
 		out = append(out, vs...)
 	}
-	return out, firstErr
+	return out, lowestPrimaryError(ctx, famErrs)
 }
 
 // isLimitCause reports whether a delta-application error stems from

@@ -1,0 +1,38 @@
+package dts
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OriginDump renders the tree's blame metadata — the Origin of every
+// node and property that carries one — in deterministic pre-order.
+// Print() deliberately omits origins (they are provenance, not DTS
+// syntax), so two trees can print byte-identically yet trace their
+// fragments to different delta modules or source positions.
+// Content-addressed consumers (internal/checkcache) must therefore
+// fold this dump into their key alongside the canonical text, or a
+// cached violation would blame another product's deltas.
+//
+// Every variable-length field is length-prefixed, so distinct origin
+// sets never produce the same dump.
+func (t *Tree) OriginDump() string {
+	var b strings.Builder
+	record := func(kind, path string, o Origin) {
+		if o == (Origin{}) {
+			return
+		}
+		for _, f := range []string{kind, path, o.File, o.Delta} {
+			fmt.Fprintf(&b, "%d:%s", len(f), f)
+		}
+		fmt.Fprintf(&b, "@%d\n", o.Line)
+	}
+	t.Root.Walk(func(path string, n *Node) bool {
+		record("node", path, n.Origin)
+		for _, p := range n.Properties {
+			record("prop", path+"#"+p.Name, p.Origin)
+		}
+		return true
+	})
+	return b.String()
+}

@@ -1,0 +1,53 @@
+package dts
+
+import (
+	"strings"
+	"testing"
+)
+
+// originDumpTree builds a small tree with one delta-stamped property.
+func originDumpTree(deltaName string) *Tree {
+	t := NewTree()
+	uart := t.Root.EnsureChild("uart@1000")
+	uart.SetProperty(&Property{
+		Name:   "compatible",
+		Value:  StringValueOf("ns16550a"),
+		Origin: Origin{Delta: deltaName},
+	})
+	return t
+}
+
+func TestOriginDumpDistinguishesBlame(t *testing.T) {
+	a := originDumpTree("alpha")
+	b := originDumpTree("beta")
+	if a.Print() != b.Print() {
+		t.Fatal("canonical text should be identical regardless of origins")
+	}
+	if a.OriginDump() == b.OriginDump() {
+		t.Error("trees blaming different deltas must produce different origin dumps")
+	}
+	if a.OriginDump() != originDumpTree("alpha").OriginDump() {
+		t.Error("OriginDump is not deterministic")
+	}
+}
+
+func TestOriginDumpSkipsZeroOrigins(t *testing.T) {
+	tr := NewTree()
+	tr.Root.EnsureChild("memory@0")
+	if d := tr.OriginDump(); d != "" {
+		t.Errorf("tree without origins dumped %q, want empty", d)
+	}
+}
+
+func TestOriginDumpLengthPrefixesFields(t *testing.T) {
+	// A delta name that embeds another record's syntax must not allow
+	// two different origin sets to collide.
+	a := originDumpTree("x@1\n4:node")
+	b := originDumpTree("x")
+	if a.OriginDump() == b.OriginDump() {
+		t.Error("length prefixing failed: crafted delta name collides")
+	}
+	if !strings.Contains(a.OriginDump(), "x@1") {
+		t.Error("delta name missing from dump")
+	}
+}

@@ -28,11 +28,27 @@ func (s *Set) Fingerprint() string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// schemaDump serializes one schema injectively: every variable-length
+// string is length-prefixed and lists carry an element count, so no
+// two distinct schemas dump identically (values containing ',' or ';'
+// cannot shift field boundaries the way a plain join could).
 func schemaDump(sc *Schema) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "id=%s;select=%s/%s;required=%s;addl=%v;",
-		sc.ID, sc.Select.NodeName, strings.Join(sc.Select.Compatible, ","),
-		strings.Join(sc.Required, ","), sc.AdditionalProperties)
+	str := func(s string) { fmt.Fprintf(&b, "%d:%s", len(s), s) }
+	list := func(ss []string) {
+		fmt.Fprintf(&b, "#%d", len(ss))
+		for _, s := range ss {
+			str(s)
+		}
+	}
+	b.WriteString("id=")
+	str(sc.ID)
+	b.WriteString("select=")
+	str(sc.Select.NodeName)
+	list(sc.Select.Compatible)
+	b.WriteString("required=")
+	list(sc.Required)
+	fmt.Fprintf(&b, "addl=%v;", sc.AdditionalProperties)
 	names := make([]string, 0, len(sc.Properties))
 	for name := range sc.Properties {
 		names = append(names, name)
@@ -40,14 +56,19 @@ func schemaDump(sc *Schema) string {
 	sort.Strings(names)
 	for _, name := range names {
 		ps := sc.Properties[name]
-		fmt.Fprintf(&b, "prop=%s:type=%v,const=%q,enum=%s,min=%d,max=%d,reglike=%v",
-			name, ps.Type, ps.Const, strings.Join(ps.Enum, ","),
-			ps.MinItems, ps.MaxItems, ps.RegLike)
+		b.WriteString("prop=")
+		str(name)
+		fmt.Fprintf(&b, "type=%d,min=%d,max=%d,reglike=%v,const=",
+			ps.Type, ps.MinItems, ps.MaxItems, ps.RegLike)
+		str(ps.Const)
+		b.WriteString("enum=")
+		list(ps.Enum)
 		if ps.ConstU32 != nil {
-			fmt.Fprintf(&b, ",constu32=%d", *ps.ConstU32)
+			fmt.Fprintf(&b, "constu32=%d", *ps.ConstU32)
 		}
 		if ps.Pattern != nil {
-			fmt.Fprintf(&b, ",pattern=%s", ps.Pattern.String())
+			b.WriteString("pattern=")
+			str(ps.Pattern.String())
 		}
 		b.WriteByte(';')
 	}
