@@ -1,5 +1,5 @@
 // Command llhsc-bench regenerates every table and figure of the paper
-// (experiments E1–E7) plus the scaling/ablation extensions (E8–E11).
+// (experiments E1–E7) plus the scaling/ablation extensions (E8–E14).
 // See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
 // recorded results.
 //
@@ -8,6 +8,7 @@
 //	llhsc-bench                              # run everything
 //	llhsc-bench -exp e5                      # run one experiment
 //	llhsc-bench -parallel-json BENCH_parallel.json   # emit the E13 artifact
+//	llhsc-bench -semantic-json BENCH_semantic.json   # emit the E14 artifact
 //	llhsc-bench -list
 package main
 
@@ -28,11 +29,13 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("llhsc-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id (e1..e13) or 'all'")
+	exp := fs.String("exp", "all", "experiment id (e1..e14) or 'all'")
 	list := fs.Bool("list", false, "list experiments")
 	parallelJSON := fs.String("parallel-json", "",
 		"write the E13 parallel-speedup measurement to this JSON file and exit")
 	parallelVMs := fs.Int("parallel-vms", 8, "product-line size for -parallel-json")
+	semanticJSON := fs.String("semantic-json", "",
+		"write the E14 semantic-strategy measurement to this JSON file and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -41,6 +44,13 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *parallelJSON)
+		return nil
+	}
+	if *semanticJSON != "" {
+		if err := bench.WriteSemanticJSON(*semanticJSON); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *semanticJSON)
 		return nil
 	}
 	if *list {

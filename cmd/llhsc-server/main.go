@@ -9,7 +9,7 @@
 //	             [-request-timeout 30s] [-max-inflight 16]
 //	             [-max-body 4194304] [-solver-conflicts 0]
 //	             [-shutdown-grace 15s] [-parallel 0] [-cache-size 256]
-//	             [-pprof 0]
+//	             [-semantic-strategy sweep] [-pprof 0]
 //
 // The server drains gracefully on SIGINT/SIGTERM: in-flight requests
 // get -shutdown-grace to complete, then the listener closes and the
@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"llhsc/internal/constraints"
 	"llhsc/internal/core"
 	"llhsc/internal/sat"
 	"llhsc/internal/service"
@@ -74,17 +75,25 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		"worker count for per-VM checking within one request (0 = GOMAXPROCS, 1 = serial)")
 	cacheSize := fs.Int("cache-size", 256,
 		"capacity of the content-addressed check-result cache, in trees (0 = disabled)")
+	semStrategy := fs.String("semantic-strategy", "sweep",
+		"semantic-check strategy: sweep (O(n log n) prefilter + SMT), assume (one incremental solver), pairwise (one solve per pair)")
 	pprofPort := fs.Int("pprof", 0,
 		"expose net/http/pprof on 127.0.0.1:<port> (0 = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	strategy, err := constraints.ParseSemanticStrategy(*semStrategy)
+	if err != nil {
+		return err
+	}
+
 	handler := service.NewHandler(service.Options{
-		RequestTimeout: *requestTimeout,
-		MaxInFlight:    *maxInflight,
-		MaxBodyBytes:   *maxBody,
-		CacheSize:      *cacheSize,
+		RequestTimeout:   *requestTimeout,
+		MaxInFlight:      *maxInflight,
+		MaxBodyBytes:     *maxBody,
+		CacheSize:        *cacheSize,
+		SemanticStrategy: strategy,
 		Limits: core.Limits{
 			Solver:      sat.Budget{MaxConflicts: *solverConflicts},
 			Parallelism: *parallel,

@@ -22,6 +22,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"llhsc/internal/constraints"
 	"llhsc/internal/core"
 	"llhsc/internal/delta"
 	"llhsc/internal/dts"
@@ -64,8 +65,8 @@ func run(args []string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  llhsc check    -core <dts> -deltas <file> -fm <file> -vm <features> [-vm ...] [-schemas <dir>] [-parallel n]
-  llhsc generate -core <dts> -deltas <file> -fm <file> -vm <features> [-vm ...] [-o <dir>] [-parallel n]
+  llhsc check    -core <dts> -deltas <file> -fm <file> -vm <features> [-vm ...] [-schemas <dir>] [-parallel n] [-semantic-strategy sweep|assume|pairwise]
+  llhsc generate -core <dts> -deltas <file> -fm <file> -vm <features> [-vm ...] [-o <dir>] [-parallel n] [-semantic-strategy sweep|assume|pairwise]
   llhsc products -fm <file> [-limit n]
   llhsc infer-fm -core <dts>
   llhsc demo     [-o <dir>]`)
@@ -89,6 +90,8 @@ func cmdCheckOrGenerate(args []string, generate bool) error {
 	outDir := fs.String("o", "out", "output directory (generate only)")
 	parallel := fs.Int("parallel", 0,
 		"worker count for per-VM checking (0 = GOMAXPROCS, 1 = serial)")
+	semStrategy := fs.String("semantic-strategy", "sweep",
+		"semantic-check strategy: sweep (O(n log n) prefilter + SMT), assume (one incremental solver), pairwise (one solve per pair)")
 	var vms vmFlags
 	fs.Var(&vms, "vm", "feature list for one VM (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -131,12 +134,18 @@ func cmdCheckOrGenerate(args []string, generate bool) error {
 		configs[i] = completeConfig(model, strings.Split(list, ","))
 	}
 
+	strategy, err := constraints.ParseSemanticStrategy(*semStrategy)
+	if err != nil {
+		return err
+	}
+
 	pipeline := &core.Pipeline{
-		Core:      tree,
-		Deltas:    deltas,
-		Model:     model,
-		Schemas:   schemas,
-		VMConfigs: configs,
+		Core:             tree,
+		Deltas:           deltas,
+		Model:            model,
+		Schemas:          schemas,
+		VMConfigs:        configs,
+		SemanticStrategy: strategy,
 	}
 	report, err := pipeline.RunContext(context.Background(), core.Limits{Parallelism: *parallel})
 	if err != nil {

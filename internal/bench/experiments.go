@@ -26,7 +26,7 @@ type Experiment struct {
 	Run   func(w io.Writer) error
 }
 
-// Experiments returns all experiments in order E1..E12.
+// Experiments returns all experiments in order E1..E14.
 func Experiments() []Experiment {
 	return []Experiment{
 		{"e1", "Parse the running example (Listings 1+2), round trip", RunE1},
@@ -42,6 +42,7 @@ func Experiments() []Experiment {
 		{"e11", "Scaling: delta chains and incremental re-checking", RunE11},
 		{"e12", "Scaling: full pipeline over k-VM synthetic product lines", RunE12},
 		{"e13", "Parallel pipeline speedup over worker counts", RunE13},
+		{"e14", "Semantic-check strategies: sweep vs assume vs pairwise", RunE14},
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"os"
 	"time"
 
+	"llhsc/internal/constraints"
 	"llhsc/internal/core"
 	"llhsc/internal/featmodel"
 )
@@ -30,6 +31,12 @@ func HeavyProductLine(vms int) (*core.Pipeline, error) {
 		}
 		pipeline.VMConfigs[k] = cfg
 	}
+	// E13 measures how per-tree solver work parallelizes, so keep the
+	// pairwise semantic baseline: the sweep strategy (the production
+	// default) prunes this line's disjoint devices to zero SMT queries,
+	// which would leave nothing worth distributing. E14 is the
+	// experiment that compares the strategies themselves.
+	pipeline.SemanticStrategy = constraints.StrategyPairwise
 	return pipeline, nil
 }
 

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"time"
+
+	"llhsc/internal/constraints"
+	"llhsc/internal/sat"
+)
+
+// SemanticStrategies returns the strategies E14 compares, baseline
+// first.
+func SemanticStrategies() []constraints.SemanticStrategy {
+	return []constraints.SemanticStrategy{
+		constraints.StrategyPairwise,
+		constraints.StrategyAssume,
+		constraints.StrategySweep,
+	}
+}
+
+// SemanticPoint is one (strategy, region count) measurement of
+// experiment E14.
+type SemanticPoint struct {
+	Strategy string `json:"strategy"`
+	Regions  int    `json:"regions"`
+	// Pairs is the number of candidate pairs the strategy submits to
+	// the solver — the strategy's required work, independent of any
+	// wall-clock truncation.
+	Pairs int `json:"pairs"`
+	// SolverCalls counts the SMT checks actually made (verdicts plus
+	// witness extraction); less than Pairs when Truncated.
+	SolverCalls int     `json:"solver_calls"`
+	Collisions  int     `json:"collisions"`
+	Millis      float64 `json:"millis"`
+	// Truncated marks a point the per-point wall budget cut short:
+	// Millis and SolverCalls then describe a lower bound, not a
+	// completed run. Never set for the sweep strategy in practice.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// SemanticResult is the JSON artifact of experiment E14
+// (BENCH_semantic.json).
+type SemanticResult struct {
+	Sizes  []int           `json:"sizes"`
+	Rounds int             `json:"rounds"`
+	Points []SemanticPoint `json:"points"`
+	// ReductionAt256 is pairwise required solver work / sweep solver
+	// calls at 256 regions (the acceptance metric: >= 5x).
+	ReductionAt256 float64 `json:"solver_call_reduction_at_256,omitempty"`
+	// SpeedupAt256 is pairwise wall time / sweep wall time at 256
+	// regions (>= 1 even when the pairwise point was truncated, since
+	// truncation only lowers the pairwise time).
+	SpeedupAt256 float64 `json:"speedup_at_256,omitempty"`
+}
+
+// MeasureSemantic times every strategy of SemanticStrategies over
+// synthetic region sets (one planted collision each), best of rounds.
+// pointBudget bounds each single run's wall clock (0 = unlimited): the
+// quadratic baselines are measured honestly up to the budget and marked
+// Truncated instead of stalling the harness at large n. Strategies that
+// complete must agree on the exact collision list — verdicts and
+// witnesses — or an error is returned (the cross-validation invariant
+// of DESIGN.md §9).
+func MeasureSemantic(sizes []int, rounds int, pointBudget time.Duration) (*SemanticResult, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	res := &SemanticResult{Sizes: append([]int(nil), sizes...), Rounds: rounds}
+	const width = 32
+	for _, n := range sizes {
+		regions := SyntheticRegions(n, true)
+		var wantCollisions []constraints.Collision
+		for _, strat := range SemanticStrategies() {
+			point := SemanticPoint{Strategy: strat.String(), Regions: n}
+			var collisions []constraints.Collision
+			for r := 0; r < rounds; r++ {
+				checker := constraints.NewSemanticChecker()
+				checker.Strategy = strat
+				if pointBudget > 0 {
+					checker.Budget = sat.Budget{Deadline: time.Now().Add(pointBudget)}
+				}
+				start := time.Now()
+				out, err := checker.FindCollisionsContext(context.Background(), regions, width)
+				elapsed := time.Since(start).Seconds() * 1000
+				stats := checker.LastStats()
+				if r == 0 || elapsed < point.Millis {
+					point.Millis = elapsed
+					point.Pairs = stats.Pairs
+					point.SolverCalls = stats.SolverCalls
+					point.Collisions = len(out)
+					point.Truncated = err != nil
+					collisions = out
+				}
+				if err != nil {
+					break // further rounds would just re-spend the full budget
+				}
+			}
+			if !point.Truncated {
+				if wantCollisions == nil {
+					wantCollisions = collisions
+				} else if !reflect.DeepEqual(collisions, wantCollisions) {
+					return nil, fmt.Errorf(
+						"bench: strategy %s disagrees at n=%d: got %v, want %v",
+						strat, n, collisions, wantCollisions)
+				}
+			}
+			res.Points = append(res.Points, point)
+		}
+	}
+	res.fillDerived()
+	return res, nil
+}
+
+// fillDerived computes the 256-region acceptance metrics when both
+// endpoints were measured.
+func (res *SemanticResult) fillDerived() {
+	var pw, sw *SemanticPoint
+	for i := range res.Points {
+		p := &res.Points[i]
+		if p.Regions != 256 {
+			continue
+		}
+		switch p.Strategy {
+		case constraints.StrategyPairwise.String():
+			pw = p
+		case constraints.StrategySweep.String():
+			sw = p
+		}
+	}
+	if pw == nil || sw == nil || sw.Truncated || sw.SolverCalls == 0 || sw.Millis == 0 {
+		return
+	}
+	res.ReductionAt256 = float64(pw.Pairs) / float64(sw.SolverCalls)
+	res.SpeedupAt256 = pw.Millis / sw.Millis
+}
+
+// RunE14 compares the semantic-check strategies (experiment E14) and
+// prints the scaling table. The quadratic baselines get a 10s wall
+// budget per point so the experiment stays bounded on slow machines;
+// truncated points are marked with '>'.
+func RunE14(w io.Writer) error {
+	res, err := MeasureSemantic([]int{64, 256}, 1, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%8s %10s %10s %8s %12s   (1 planted collision per set)\n",
+		"regions", "strategy", "pairs", "solves", "time")
+	for _, p := range res.Points {
+		mark := ""
+		if p.Truncated {
+			mark = ">"
+		}
+		fmt.Fprintf(w, "%8d %10s %10d %8d %1s%10.1fms\n",
+			p.Regions, p.Strategy, p.Pairs, p.SolverCalls, mark, p.Millis)
+	}
+	if res.ReductionAt256 > 0 {
+		fmt.Fprintf(w, "at 256 regions: %.0fx fewer solver calls, %.1fx faster (sweep vs pairwise)\n",
+			res.ReductionAt256, res.SpeedupAt256)
+	}
+	return nil
+}
+
+// WriteSemanticJSON runs E14's measurement — including the 1024-region
+// point of the issue's scaling target — and writes the JSON artifact
+// consumed by CI (BENCH_semantic.json).
+func WriteSemanticJSON(path string) error {
+	res, err := MeasureSemantic([]int{64, 256, 1024}, 3, 15*time.Second)
+	if err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

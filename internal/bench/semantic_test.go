@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"llhsc/internal/constraints"
+	"llhsc/internal/core"
+	"llhsc/internal/delta"
+	"llhsc/internal/dts"
+	"llhsc/internal/featmodel"
+	"llhsc/internal/runningexample"
+	"llhsc/internal/schema"
+)
+
+// checkWithStrategy runs the semantic checker over one tree under the
+// given strategy and returns everything a report would carry.
+func checkWithStrategy(t *testing.T, tree *dts.Tree, strat constraints.SemanticStrategy) ([]constraints.Collision, []constraints.Violation) {
+	t.Helper()
+	sc := constraints.NewSemanticChecker()
+	sc.Strategy = strat
+	collisions, violations, err := sc.CheckContext(context.Background(), tree)
+	if err != nil {
+		t.Fatalf("strategy %s: %v", strat, err)
+	}
+	return collisions, violations
+}
+
+// assertStrategiesAgree checks all three strategies byte-for-byte
+// (verdicts, witnesses, ordering) on one tree.
+func assertStrategiesAgree(t *testing.T, name string, tree *dts.Tree) {
+	t.Helper()
+	refC, refV := checkWithStrategy(t, tree, constraints.StrategyPairwise)
+	for _, strat := range []constraints.SemanticStrategy{constraints.StrategyAssume, constraints.StrategySweep} {
+		gotC, gotV := checkWithStrategy(t, tree, strat)
+		if !reflect.DeepEqual(gotC, refC) {
+			t.Errorf("%s: %s collisions differ from pairwise:\n got %v\nwant %v", name, strat, gotC, refC)
+		}
+		if !reflect.DeepEqual(gotV, refV) {
+			t.Errorf("%s: %s violations differ from pairwise:\n got %v\nwant %v", name, strat, gotV, refV)
+		}
+	}
+}
+
+// TestSemanticStrategiesAgreeOnRunningExample: the full pipeline report
+// — violations, collisions, witnesses and generated artifacts — must be
+// identical under every strategy on the paper's running example.
+func TestSemanticStrategiesAgreeOnRunningExample(t *testing.T) {
+	tree, err := runningexample.Tree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, err := runningexample.Deltas()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := runningexample.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref *core.Report
+	for _, strat := range SemanticStrategies() {
+		p := &core.Pipeline{
+			Core:    tree,
+			Deltas:  deltas,
+			Model:   model,
+			Schemas: schema.StandardSet(),
+			VMConfigs: []featmodel.Configuration{
+				runningexample.VM1Config(), runningexample.VM2Config(),
+			},
+			VMNames:          []string{"vm1", "vm2"},
+			SemanticStrategy: strat,
+		}
+		report, err := p.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		if ref == nil {
+			ref = report
+			continue
+		}
+		if !reflect.DeepEqual(report, ref) {
+			t.Errorf("running-example report under %s differs from pairwise", strat)
+		}
+	}
+}
+
+// TestSemanticStrategiesAgreeOnTruncationScenario replays E6 (product
+// derived without delta d4, collision at 0x0) under every strategy.
+func TestSemanticStrategiesAgreeOnTruncationScenario(t *testing.T) {
+	coreTree, err := runningexample.Tree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := runningexample.Deltas()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept []*delta.Delta
+	for _, d := range set.Deltas {
+		if d.Name != "d4" {
+			kept = append(kept, d)
+		}
+	}
+	smaller, err := delta.NewSet(kept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	product, _, err := smaller.Apply(coreTree, runningexample.VM1Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refC, _ := checkWithStrategy(t, product, constraints.StrategyPairwise)
+	zero := false
+	for _, c := range refC {
+		if c.Witness == 0 {
+			zero = true
+		}
+	}
+	if !zero {
+		t.Fatalf("baseline lost the paper's 0x0 witness: %v", refC)
+	}
+	assertStrategiesAgree(t, "e6-truncation", product)
+}
+
+// TestSemanticStrategiesAgreeOnFaultCorpus sweeps the E10 fault corpus.
+func TestSemanticStrategiesAgreeOnFaultCorpus(t *testing.T) {
+	for _, f := range AllFaults() {
+		if f == FaultPathologicalCNF {
+			continue // no DTS form (FaultSource panics on it)
+		}
+		src, inc := FaultSource(f)
+		tree, err := dts.Parse(fmt.Sprintf("%v.dts", f), src, dts.WithIncluder(inc))
+		if err != nil {
+			continue // syntax-level faults never reach the semantic checker
+		}
+		assertStrategiesAgree(t, f.String(), tree)
+	}
+}
+
+// TestSweepSolverCallReduction pins the issue's acceptance metric
+// deterministically: at 256 regions the sweep must reach the solver at
+// least 5x less often than the pairwise baseline's full candidate set.
+func TestSweepSolverCallReduction(t *testing.T) {
+	const n = 256
+	regions := SyntheticRegions(n, true)
+	sc := constraints.NewSemanticChecker() // default: sweep
+	out, err := sc.FindCollisionsContext(context.Background(), regions, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("collisions = %d, want the 1 planted overlap", len(out))
+	}
+	st := sc.LastStats()
+	required := n * (n - 1) / 2 // every pair is eligible for the pairwise baseline
+	if st.SolverCalls*5 > required {
+		t.Errorf("sweep made %d solver calls at %d regions; want >= 5x fewer than the %d pairwise queries",
+			st.SolverCalls, n, required)
+	}
+	t.Logf("sweep at %d regions: %d solver calls vs %d pairwise (%.0fx reduction)",
+		n, st.SolverCalls, required, float64(required)/float64(st.SolverCalls))
+}
+
+// BenchmarkE14SemanticSweep is the benchmark form of experiment E14.
+// The quadratic baselines run at 64 regions only; the sweep covers the
+// full scaling ladder including the 1024-region point.
+func BenchmarkE14SemanticSweep(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		regions := SyntheticRegions(n, true)
+		for _, strat := range SemanticStrategies() {
+			if strat != constraints.StrategySweep && n > 64 {
+				continue
+			}
+			b.Run(fmt.Sprintf("%s/n=%d", strat, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sc := constraints.NewSemanticChecker()
+					sc.Strategy = strat
+					if _, err := sc.FindCollisionsContext(context.Background(), regions, 32); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

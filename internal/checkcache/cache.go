@@ -44,13 +44,20 @@ func Key(parts ...string) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// Stats is a snapshot of the cache counters.
+// Stats is a snapshot of the cache counters. All fields come from one
+// locked read, so Hits, Misses and the derived HitRate are always
+// mutually consistent — a concurrent reader can never observe a hit
+// count from one lookup generation paired with a miss count from
+// another (no torn reads; the /healthz endpoint serializes exactly this
+// snapshot).
 type Stats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
 	Entries   int    `json:"entries"`
 	Capacity  int    `json:"capacity"`
+	// HitRate is Hits / (Hits + Misses), 0 before the first lookup.
+	HitRate float64 `json:"hit_rate"`
 }
 
 type entry struct {
@@ -97,13 +104,17 @@ func (c *Cache) Stats() Stats {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,
 		Entries:   c.lru.Len(),
 		Capacity:  c.capacity,
 	}
+	if total := st.Hits + st.Misses; total > 0 {
+		st.HitRate = float64(st.Hits) / float64(total)
+	}
+	return st
 }
 
 // Do returns the cached violations for key, or computes them with fn.

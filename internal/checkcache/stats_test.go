@@ -1,0 +1,74 @@
+package checkcache
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"llhsc/internal/constraints"
+)
+
+func noop() ([]constraints.Violation, error) { return nil, nil }
+
+// TestHitRateDerivation: hit_rate is Hits / (Hits + Misses), and 0 —
+// not NaN — before the first lookup.
+func TestHitRateDerivation(t *testing.T) {
+	c := New(8)
+	if st := c.Stats(); st.HitRate != 0 {
+		t.Fatalf("fresh cache HitRate = %v, want 0", st.HitRate)
+	}
+	c.Do(context.Background(), "a", noop) // miss
+	if st := c.Stats(); st.HitRate != 0 {
+		t.Fatalf("after one miss HitRate = %v, want 0", st.HitRate)
+	}
+	c.Do(context.Background(), "a", noop) // hit
+	if st := c.Stats(); st.HitRate != 0.5 {
+		t.Fatalf("after 1 hit / 1 miss HitRate = %v, want 0.5", st.HitRate)
+	}
+	c.Do(context.Background(), "a", noop)
+	c.Do(context.Background(), "a", noop) // 3 hits / 1 miss
+	if st := c.Stats(); st.HitRate != 0.75 {
+		t.Fatalf("after 3 hits / 1 miss HitRate = %v, want 0.75", st.HitRate)
+	}
+}
+
+// TestStatsSnapshotConsistent hammers the cache from many goroutines
+// while sampling Stats: every snapshot's derived HitRate must match its
+// own counters exactly, proving all fields come from one locked read
+// (a torn read would mix counters from different instants). Run under
+// -race this also exercises the locking itself.
+func TestStatsSnapshotConsistent(t *testing.T) {
+	c := New(16)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Do(context.Background(), fmt.Sprintf("k%d", (g*7+i)%24), noop)
+			}
+		}(g)
+	}
+	for i := 0; i < 500; i++ {
+		st := c.Stats()
+		total := st.Hits + st.Misses
+		if total == 0 {
+			if st.HitRate != 0 {
+				t.Fatalf("HitRate = %v with no lookups", st.HitRate)
+			}
+			continue
+		}
+		if want := float64(st.Hits) / float64(total); st.HitRate != want {
+			t.Fatalf("torn snapshot: HitRate = %v, counters say %v (%+v)", st.HitRate, want, st)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

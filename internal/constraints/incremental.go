@@ -17,6 +17,13 @@ import (
 // instance"). Experiment E11 measures it against the fresh-solver
 // alternative.
 //
+// Each region's containment formula is asserted once behind an
+// activation literal; a pair query is a solve under the two literals as
+// assumptions (no Push/Pop churn), so the solver keeps its learnt
+// clauses, blasted comparators and saved phases across every query —
+// the same machinery SemanticChecker's assume/sweep strategies use
+// (DESIGN.md §9).
+//
 // The checker is not safe for concurrent use.
 type IncrementalSemanticChecker struct {
 	ctx     *smt.Context
@@ -24,7 +31,7 @@ type IncrementalSemanticChecker struct {
 	x       *smt.Term
 	width   int
 	regions []addr.Region
-	inTerm  []*smt.Term
+	acts    []*smt.Term // activation literal per registered region
 	// virtual-vs-memory pairs are exempt, as in SemanticChecker
 	checkPair func(a, b addr.Region) bool
 }
@@ -64,26 +71,30 @@ func (c *IncrementalSemanticChecker) Add(r addr.Region) []Collision {
 // registered — the checker's state is as before the call — and the
 // collisions confirmed so far are returned with a *sat.LimitError.
 func (c *IncrementalSemanticChecker) AddContext(ctx context.Context, r addr.Region) ([]Collision, error) {
-	term := overlapTerm(c.ctx, c.x, r, c.width)
+	// The activation literal and its implication are idempotent on
+	// retry after a limit stop: BoolVar and overlapTerm hash-cons to
+	// the same terms, so re-asserting adds an already-known clause.
+	act := c.ctx.BoolVar(fmt.Sprintf("act%d", len(c.regions)))
+	c.solver.Assert(c.ctx.Implies(act, overlapTerm(c.ctx, c.x, r, c.width)))
 	var out []Collision
 	for i, prev := range c.regions {
 		if !c.checkPair(prev, r) {
 			continue
 		}
-		c.solver.Push()
-		c.solver.Assert(c.inTerm[i])
-		c.solver.Assert(term)
-		st, err := c.solver.CheckContext(ctx)
+		// Only the pair under test is assumed; the other activation
+		// literals stay free (a free literal's implication can only
+		// over-constrain x, never flip a verdict) — see the same
+		// choice in SemanticChecker's assume strategy.
+		st, err := c.solver.CheckAssumingContext(ctx, c.acts[i], act)
 		if st == sat.Sat {
 			out = append(out, Collision{A: prev, B: r, Witness: c.solver.BVValue(c.x)})
 		}
-		c.solver.Pop()
 		if err != nil {
 			return out, err
 		}
 	}
 	c.regions = append(c.regions, r)
-	c.inTerm = append(c.inTerm, term)
+	c.acts = append(c.acts, act)
 	return out, nil
 }
 

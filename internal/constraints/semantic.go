@@ -68,7 +68,30 @@ type SemanticChecker struct {
 	// Budget bounds the underlying solver's work (per CheckContext /
 	// FindCollisionsContext call). The zero value imposes no limits.
 	Budget sat.Budget
+	// Strategy selects how pair queries reach the solver (see
+	// SemanticStrategy). The zero value is StrategySweep.
+	Strategy SemanticStrategy
+
+	stats SemanticStats
 }
+
+// SemanticStats describes the solver work of the most recent
+// FindCollisionsContext (or Check) call. Like the solver it wraps, a
+// checker records stats for one goroutine at a time — build one checker
+// per goroutine, as core.Pipeline does.
+type SemanticStats struct {
+	// Pairs is the number of candidate pairs submitted to the solver.
+	Pairs int
+	// SolverCalls counts SMT check invocations, including canonical
+	// witness extraction for confirmed collisions.
+	SolverCalls int
+	// Collisions found.
+	Collisions int
+}
+
+// LastStats returns the work counters of the most recent collision
+// search on this checker.
+func (sc *SemanticChecker) LastStats() SemanticStats { return sc.stats }
 
 // NewSemanticChecker returns a checker with the paper's defaults.
 func NewSemanticChecker() *SemanticChecker {
@@ -116,28 +139,37 @@ func (sc *SemanticChecker) candidatePairs(regions []addr.Region) [][2]int {
 	var pairs [][2]int
 	for i := 0; i < len(regions); i++ {
 		for j := i + 1; j < len(regions); j++ {
-			a, b := regions[i], regions[j]
-			if a.Path == b.Path {
-				if !sc.CheckMemoryBanks {
-					continue
-				}
-				if a.Index == b.Index {
-					continue
-				}
+			if sc.pairEligible(regions[i], regions[j]) {
+				pairs = append(pairs, [2]int{i, j})
 			}
-			if a.Kind == addr.KindVirtual && b.Kind == addr.KindMemory ||
-				a.Kind == addr.KindMemory && b.Kind == addr.KindVirtual {
-				continue
-			}
-			pairs = append(pairs, [2]int{i, j})
 		}
 	}
 	return pairs
 }
 
-// FindCollisions checks every candidate pair with an incremental SMT
-// solver (one Push/Pop scope per pair) and returns all collisions,
-// sorted by region path for determinism.
+// pairEligible applies the exemption rules shared by every strategy:
+// same-node pairs are skipped unless they are distinct memory banks
+// under CheckMemoryBanks, and virtual-device windows never clash with
+// memory regions (see candidatePairs).
+func (sc *SemanticChecker) pairEligible(a, b addr.Region) bool {
+	if a.Path == b.Path {
+		if !sc.CheckMemoryBanks {
+			return false
+		}
+		if a.Index == b.Index {
+			return false
+		}
+	}
+	if a.Kind == addr.KindVirtual && b.Kind == addr.KindMemory ||
+		a.Kind == addr.KindMemory && b.Kind == addr.KindVirtual {
+		return false
+	}
+	return true
+}
+
+// FindCollisions checks the candidate pairs chosen by the configured
+// Strategy and returns all collisions, sorted by region path for
+// determinism.
 func (sc *SemanticChecker) FindCollisions(regions []addr.Region, width int) []Collision {
 	out, _ := sc.FindCollisionsContext(context.Background(), regions, width)
 	return out
@@ -146,9 +178,36 @@ func (sc *SemanticChecker) FindCollisions(regions []addr.Region, width int) []Co
 // FindCollisionsContext is FindCollisions under a context and the
 // checker's Budget. When a limit stops the search it returns the
 // collisions confirmed so far plus a *sat.LimitError; remaining pairs
-// are unchecked.
+// are unchecked. All strategies return identical collision lists
+// (verdicts and witnesses); see DESIGN.md §9.
 func (sc *SemanticChecker) FindCollisionsContext(ctx context.Context, regions []addr.Region, width int) ([]Collision, error) {
+	sc.stats = SemanticStats{}
+	var (
+		out []Collision
+		err error
+	)
+	switch sc.Strategy {
+	case StrategyPairwise:
+		out, err = sc.findPairwise(ctx, regions, width)
+	case StrategyAssume:
+		out, err = sc.findAssume(ctx, regions, width, sc.candidatePairs(regions))
+	default: // StrategySweep
+		out, err = sc.findAssume(ctx, regions, width, sc.sweepCandidates(regions, width))
+	}
+	sc.stats.Collisions = len(out)
+	sortCollisions(out)
+	return out, err
+}
+
+// findPairwise is the original per-pair formulation: one Push/Pop scope
+// and one full solve per candidate. Witnesses come from the same
+// canonical per-pair query every strategy uses (witnessFor) rather than
+// the shared solver's model — the shared solver's saved phases would
+// otherwise leak earlier pairs' search history into later witnesses,
+// making reports depend on pair order.
+func (sc *SemanticChecker) findPairwise(ctx context.Context, regions []addr.Region, width int) ([]Collision, error) {
 	pairs := sc.candidatePairs(regions)
+	sc.stats.Pairs = len(pairs)
 	if len(pairs) == 0 {
 		return nil, nil
 	}
@@ -165,22 +224,112 @@ func (sc *SemanticChecker) FindCollisionsContext(ctx context.Context, regions []
 		solver.Assert(overlapTerm(sctx, x, a, width))
 		solver.Assert(overlapTerm(sctx, x, b, width))
 		st, err := solver.CheckContext(ctx)
-		if st == sat.Sat {
-			out = append(out, Collision{A: a, B: b, Witness: solver.BVValue(x)})
-		}
+		sc.stats.SolverCalls++
 		solver.Pop()
+		if st == sat.Sat {
+			w, werr := sc.witnessFor(ctx, a, b, width)
+			if werr != nil {
+				lim = werr
+				break
+			}
+			out = append(out, Collision{A: a, B: b, Witness: w})
+		}
 		if err != nil {
 			lim = err
 			break
 		}
 	}
+	return out, lim
+}
+
+// findAssume decides the given candidate pairs on one long-lived
+// solver: region i's containment formula is asserted once behind an
+// activation literal act_i (blasted lazily, only for regions that
+// appear in a pair), and a pair is checked by solving under the
+// assumptions {act_i, act_j}. Confirmed collisions get their witness
+// from a canonical per-pair query (witnessFor) so the reported address
+// is independent of the shared solver's search history — this is what
+// keeps reports byte-identical across strategies.
+func (sc *SemanticChecker) findAssume(ctx context.Context, regions []addr.Region, width int, pairs [][2]int) ([]Collision, error) {
+	sc.stats.Pairs = len(pairs)
+	if len(pairs) == 0 {
+		return nil, nil
+	}
+	sctx := smt.NewContext()
+	solver := smt.NewSolver(sctx)
+	solver.SetBudget(sc.Budget)
+	x := sctx.BVVar("x", width)
+
+	acts := make([]*smt.Term, len(regions))
+	act := func(i int) *smt.Term {
+		if acts[i] == nil {
+			acts[i] = sctx.BoolVar(fmt.Sprintf("act%d", i))
+			solver.Assert(sctx.Implies(acts[i], overlapTerm(sctx, x, regions[i], width)))
+		}
+		return acts[i]
+	}
+
+	var out []Collision
+	var lim error
+	assumptions := make([]*smt.Term, 0, 2)
+	for _, pair := range pairs {
+		a, b := regions[pair[0]], regions[pair[1]]
+		// Only the pair's literals are assumed; the others stay free.
+		// Forcing every inactive literal false measures slower here —
+		// each extra assumption is a decision level whose watch lists
+		// must be re-scanned on every solve — and a free literal's
+		// implication can only over-constrain x, never flip a verdict.
+		assumptions = assumptions[:0]
+		assumptions = append(assumptions, act(pair[0]), act(pair[1]))
+		st, err := solver.CheckAssumingContext(ctx, assumptions...)
+		sc.stats.SolverCalls++
+		if st == sat.Sat {
+			w, werr := sc.witnessFor(ctx, a, b, width)
+			if werr != nil {
+				lim = werr
+				break
+			}
+			out = append(out, Collision{A: a, B: b, Witness: w})
+		}
+		if err != nil {
+			lim = err
+			break
+		}
+	}
+	return out, lim
+}
+
+// witnessFor reproduces the paper's per-pair counterexample query on a
+// fresh solver, so the witness model depends only on the pair — not on
+// which strategy established satisfiability or what the shared solver
+// had learnt before. SMT stays the witness oracle (DESIGN.md §9).
+func (sc *SemanticChecker) witnessFor(ctx context.Context, a, b addr.Region, width int) (uint64, error) {
+	sctx := smt.NewContext()
+	solver := smt.NewSolver(sctx)
+	solver.SetBudget(sc.Budget)
+	x := sctx.BVVar("x", width)
+	solver.Assert(overlapTerm(sctx, x, a, width))
+	solver.Assert(overlapTerm(sctx, x, b, width))
+	st, err := solver.CheckContext(ctx)
+	sc.stats.SolverCalls++
+	if err != nil {
+		return 0, err
+	}
+	if st != sat.Sat {
+		// Unreachable: the caller established satisfiability of the
+		// same (exact) encoding. Report 0 rather than panicking.
+		return 0, nil
+	}
+	return solver.BVValue(x), nil
+}
+
+func sortCollisions(out []Collision) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].A.Path != out[j].A.Path {
 			return out[i].A.Path < out[j].A.Path
 		}
 		return out[i].B.Path < out[j].B.Path
 	})
-	return out, lim
 }
 
 // AnyCollision poses a single disjunctive query — does ANY candidate

@@ -1,0 +1,268 @@
+package constraints
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"llhsc/internal/addr"
+	"llhsc/internal/sat"
+)
+
+func TestParseSemanticStrategy(t *testing.T) {
+	for _, tt := range []struct {
+		in   string
+		want SemanticStrategy
+		ok   bool
+	}{
+		{"sweep", StrategySweep, true},
+		{"", StrategySweep, true},
+		{"assume", StrategyAssume, true},
+		{"pairwise", StrategyPairwise, true},
+		{"z3", 0, false},
+		{"Sweep", 0, false},
+	} {
+		got, err := ParseSemanticStrategy(tt.in)
+		if (err == nil) != tt.ok || got != tt.want {
+			t.Errorf("ParseSemanticStrategy(%q) = %v, %v; want %v, ok=%v",
+				tt.in, got, err, tt.want, tt.ok)
+		}
+	}
+	for _, s := range []SemanticStrategy{StrategySweep, StrategyAssume, StrategyPairwise} {
+		got, err := ParseSemanticStrategy(s.String())
+		if err != nil || got != s {
+			t.Errorf("round trip %v: got %v, %v", s, got, err)
+		}
+	}
+}
+
+// TestRegionInterval pins the arithmetic model to overlapTerm's
+// truncation rules: empty regions admit no address, regions reaching or
+// wrapping past 2^width keep only their (truncated) lower bound.
+func TestRegionInterval(t *testing.T) {
+	for _, tt := range []struct {
+		name  string
+		r     addr.Region
+		width int
+		want  interval
+		ok    bool
+	}{
+		{"empty", addr.Region{Base: 0x100, Size: 0}, 32, interval{}, false},
+		{"normal", addr.Region{Base: 0x100, Size: 0x10}, 32, interval{lo: 0x100, hi: 0x110}, true},
+		{"ends exactly at top", addr.Region{Base: 0xFFFF_F000, Size: 0x1000}, 32,
+			interval{lo: 0xFFFF_F000, top: true}, true},
+		{"past the top", addr.Region{Base: 0xFFFF_FFF0, Size: 0x100}, 32,
+			interval{lo: 0xFFFF_FFF0, top: true}, true},
+		{"base beyond width", addr.Region{Base: 0x1_2345_0000, Size: 0x10}, 32,
+			interval{lo: 0x2345_0000, top: true}, true},
+		{"64-bit wrap", addr.Region{Base: ^uint64(0) - 0xF, Size: 0x100}, 64,
+			interval{lo: ^uint64(0) - 0xF, top: true}, true},
+		{"narrow width", addr.Region{Base: 0x3F0, Size: 0x20}, 10,
+			interval{lo: 0x3F0, top: true}, true},
+	} {
+		got, ok := regionInterval(tt.r, tt.width)
+		if ok != tt.ok || got != tt.want {
+			t.Errorf("%s: regionInterval = %+v, %v; want %+v, %v", tt.name, got, ok, tt.want, tt.ok)
+		}
+	}
+}
+
+func TestIntervalsOverlap(t *testing.T) {
+	iv := func(lo, hi uint64) interval { return interval{lo: lo, hi: hi} }
+	top := func(lo uint64) interval { return interval{lo: lo, top: true} }
+	for _, tt := range []struct {
+		name string
+		a, b interval
+		want bool
+	}{
+		{"disjoint", iv(0, 0x10), iv(0x20, 0x30), false},
+		{"adjacent do not overlap", iv(0, 0x10), iv(0x10, 0x20), false},
+		{"one-address overlap", iv(0, 0x11), iv(0x10, 0x20), true},
+		{"contained", iv(0, 0x100), iv(0x40, 0x50), true},
+		{"top reaches later region", top(0x100), iv(0x200, 0x210), true},
+		{"top misses earlier region", top(0x100), iv(0x40, 0x80), false},
+		{"top boundary", top(0x100), iv(0xF0, 0x101), true},
+		{"two tops", top(0x500), top(0x10), true},
+	} {
+		if got := intervalsOverlap(tt.a, tt.b); got != tt.want {
+			t.Errorf("%s: intervalsOverlap(%+v, %+v) = %v, want %v", tt.name, tt.a, tt.b, got, tt.want)
+		}
+		if got := intervalsOverlap(tt.b, tt.a); got != tt.want {
+			t.Errorf("%s (swapped): got %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+// randomRegions builds adversarial region sets for the cross-validation
+// tests: dense enough to overlap, with empty regions, regions
+// straddling the top of the address space, and bases beyond the width.
+func randomRegions(rng *rand.Rand, n, width int) []addr.Region {
+	max := uint64(1) << uint(width)
+	span := max
+	if span > 1<<16 {
+		span = 1 << 16 // keep bases clustered so overlaps actually happen
+	}
+	regions := make([]addr.Region, n)
+	for i := range regions {
+		r := addr.Region{
+			Base: rng.Uint64() % span,
+			Size: uint64(rng.Intn(1 << 10)),
+			Path: fmt.Sprintf("/dev@%d", i),
+			Kind: addr.KindDevice,
+		}
+		switch rng.Intn(8) {
+		case 0:
+			r.Size = 0
+		case 1:
+			r.Base = max - uint64(rng.Intn(512)) // straddles or touches the top
+		case 2:
+			r.Base = max + uint64(rng.Intn(1024)) // beyond the width: truncates
+		}
+		regions[i] = r
+	}
+	return regions
+}
+
+// TestSweepCandidatesMatchOracle: the sweep must emit exactly the
+// eligible pairs whose intervals overlap — no pruned true candidate, no
+// spurious one — in candidatePairs order.
+func TestSweepCandidatesMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sc := NewSemanticChecker()
+	for iter := 0; iter < 80; iter++ {
+		width := []int{32, 12}[iter%2]
+		n := 3 + rng.Intn(30)
+		regions := randomRegions(rng, n, width)
+		got := sc.sweepCandidates(regions, width)
+		var want [][2]int
+		for _, p := range sc.candidatePairs(regions) {
+			ia, aok := regionInterval(regions[p[0]], width)
+			ib, bok := regionInterval(regions[p[1]], width)
+			if aok && bok && intervalsOverlap(ia, ib) {
+				want = append(want, p)
+			}
+		}
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iter %d (width %d, n %d): sweep candidates %v, oracle %v\nregions: %+v",
+				iter, width, n, got, want, regions)
+		}
+	}
+}
+
+// TestStrategiesAgreeOnRandomRegions is the randomized cross-validation
+// of DESIGN.md §9: all three strategies must report the same colliding
+// pairs, every witness must inhabit both regions under the width's
+// truncation semantics, and the two strategies sharing the canonical
+// witness query (assume, sweep) must agree byte-for-byte.
+func TestStrategiesAgreeOnRandomRegions(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 25; iter++ {
+		width := []int{32, 12}[iter%2]
+		regions := randomRegions(rng, 4+rng.Intn(8), width)
+		results := make(map[SemanticStrategy][]Collision)
+		for _, strat := range []SemanticStrategy{StrategyPairwise, StrategyAssume, StrategySweep} {
+			sc := NewSemanticChecker()
+			sc.Strategy = strat
+			out, err := sc.FindCollisionsContext(context.Background(), regions, width)
+			if err != nil {
+				t.Fatalf("iter %d: %s: %v", iter, strat, err)
+			}
+			results[strat] = out
+			for _, col := range out {
+				for _, r := range []addr.Region{col.A, col.B} {
+					iv, ok := regionInterval(r, width)
+					if !ok || col.Witness < iv.lo || (!iv.top && col.Witness >= iv.hi) {
+						t.Errorf("iter %d: %s reports witness %#x outside region %+v (width %d)",
+							iter, strat, col.Witness, r, width)
+					}
+				}
+			}
+		}
+		ref := results[StrategyPairwise]
+		for _, strat := range []SemanticStrategy{StrategyAssume, StrategySweep} {
+			out := results[strat]
+			if len(out) != len(ref) {
+				t.Fatalf("iter %d (width %d): %s found %d collisions, pairwise %d\nregions: %+v",
+					iter, width, strat, len(out), len(ref), regions)
+			}
+			for i := range out {
+				if out[i].A != ref[i].A || out[i].B != ref[i].B {
+					t.Fatalf("iter %d: %s collision %d is (%s, %s), pairwise has (%s, %s)",
+						iter, strat, i, out[i].A.Path, out[i].B.Path, ref[i].A.Path, ref[i].B.Path)
+				}
+			}
+		}
+		if !reflect.DeepEqual(results[StrategyAssume], results[StrategySweep]) {
+			t.Fatalf("iter %d: assume and sweep disagree:\n%v\n%v",
+				iter, results[StrategyAssume], results[StrategySweep])
+		}
+	}
+}
+
+// TestSemanticStatsSweepPrunes: on disjoint regions the sweep reaches
+// the solver zero times while still accounting for the full candidate
+// set in Pairs.
+func TestSemanticStatsSweepPrunes(t *testing.T) {
+	regions := make([]addr.Region, 16)
+	for i := range regions {
+		regions[i] = addr.Region{
+			Base: uint64(i) * 0x1000, Size: 0x100,
+			Path: fmt.Sprintf("/dev@%d", i), Kind: addr.KindDevice,
+		}
+	}
+	sc := NewSemanticChecker() // default sweep
+	if out := sc.FindCollisions(regions, 32); len(out) != 0 {
+		t.Fatalf("collisions = %v, want none", out)
+	}
+	if st := sc.LastStats(); st.SolverCalls != 0 || st.Pairs != 0 || st.Collisions != 0 {
+		t.Errorf("sweep stats on disjoint regions = %+v, want zero solver work", st)
+	}
+
+	sc.Strategy = StrategyPairwise
+	if out := sc.FindCollisions(regions, 32); len(out) != 0 {
+		t.Fatalf("pairwise collisions = %v, want none", out)
+	}
+	if st := sc.LastStats(); st.SolverCalls != 16*15/2 {
+		t.Errorf("pairwise SolverCalls = %d, want %d", st.SolverCalls, 16*15/2)
+	}
+}
+
+// TestIncrementalAddContextCanceled: cancellation mid-AddContext
+// surfaces as a typed *sat.LimitError, leaves the checker's region set
+// unchanged, and a retry succeeds.
+func TestIncrementalAddContextCanceled(t *testing.T) {
+	c := NewIncrementalSemanticChecker(32)
+	r0 := addr.Region{Base: 0x1000, Size: 0x100, Path: "/a"}
+	r1 := addr.Region{Base: 0x1080, Size: 0x100, Path: "/b"}
+	if _, err := c.AddContext(context.Background(), r0); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.AddContext(ctx, r1)
+	var lim *sat.LimitError
+	if !errors.As(err, &lim) {
+		t.Fatalf("err = %v (%T), want *sat.LimitError", err, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want to wrap context.Canceled", err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len after canceled AddContext = %d, want 1 (region must not register)", c.Len())
+	}
+
+	out, err := c.AddContext(context.Background(), r1)
+	if err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	if len(out) != 1 || c.Len() != 2 {
+		t.Errorf("retry: collisions = %v, Len = %d; want 1 collision, Len 2", out, c.Len())
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"llhsc/internal/constraints"
 	"llhsc/internal/delta"
 	"llhsc/internal/dts"
 	"llhsc/internal/featmodel"
@@ -48,6 +49,10 @@ func wideDevicePipeline(t *testing.T, n int) *Pipeline {
 		Model:     model,
 		Schemas:   schema.StandardSet(),
 		VMConfigs: []featmodel.Configuration{featmodel.ConfigOf("root")},
+		// The default sweep strategy prunes these disjoint regions to
+		// zero solver queries; the pairwise baseline keeps the long
+		// semantic phase this test's cancellation-latency bound needs.
+		SemanticStrategy: constraints.StrategyPairwise,
 	}
 }
 

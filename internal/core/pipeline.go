@@ -96,6 +96,11 @@ type Pipeline struct {
 	VMNames []string
 	// SkipInterrupts disables the interrupt-uniqueness extension check.
 	SkipInterrupts bool
+	// SemanticStrategy selects how the semantic checker discharges
+	// region-overlap queries (sweep prefilter by default; see
+	// constraints.SemanticStrategy). Folded into the cache key: a
+	// strategy change never reuses another strategy's cached verdicts.
+	SemanticStrategy constraints.SemanticStrategy
 	// SkipDTS leaves VMResult.DTS / PlatformResult.DTS empty instead
 	// of rendering each product tree, for callers that only need the
 	// verdict. When a Cache is installed the tree is still printed
@@ -432,8 +437,9 @@ func (p *Pipeline) checkProductTree(ctx context.Context, st *runState, tree *dts
 		printed,
 		tree.OriginDump(),
 		st.schemaFP,
-		fmt.Sprintf("conflicts=%d;learntlits=%d;skipirq=%v",
-			st.limits.Solver.MaxConflicts, st.limits.Solver.MaxLearntLits, p.SkipInterrupts),
+		fmt.Sprintf("conflicts=%d;learntlits=%d;skipirq=%v;semstrat=%s",
+			st.limits.Solver.MaxConflicts, st.limits.Solver.MaxLearntLits, p.SkipInterrupts,
+			p.SemanticStrategy),
 	)
 	violations, _, err := p.Cache.Do(ctx, key, func() ([]constraints.Violation, error) {
 		return p.checkTree(ctx, st, tree)
@@ -453,6 +459,7 @@ func (p *Pipeline) checkerFamilies(st *runState, tree *dts.Tree) []func(context.
 		func(ctx context.Context) ([]constraints.Violation, error) {
 			sem := constraints.NewSemanticChecker()
 			sem.Budget = st.limits.Solver
+			sem.Strategy = p.SemanticStrategy
 			_, violations, err := sem.CheckContext(ctx, tree)
 			return violations, err
 		},

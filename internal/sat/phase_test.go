@@ -1,0 +1,140 @@
+package sat
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"llhsc/internal/logic"
+)
+
+// plantedCNF generates a random 3-CNF with a hidden satisfying
+// assignment: one literal per clause is forced to agree with the
+// planted model, so the instance is satisfiable by construction while
+// staying hard for a static false-first search whenever the model is
+// far from all-false.
+func plantedCNF(rng *rand.Rand, nvars, nclauses int) [][]logic.Lit {
+	model := make([]bool, nvars+1)
+	for v := 1; v <= nvars; v++ {
+		model[v] = rng.Intn(2) == 0
+	}
+	cls := make([][]logic.Lit, nclauses)
+	for i := range cls {
+		cl := make([]logic.Lit, 3)
+		for j := range cl {
+			l := logic.Lit(rng.Intn(nvars) + 1)
+			if rng.Intn(2) == 0 {
+				l = -l
+			}
+			cl[j] = l
+		}
+		j := rng.Intn(3)
+		v := int(cl[j].Var())
+		if model[v] {
+			cl[j] = logic.Lit(v)
+		} else {
+			cl[j] = -logic.Lit(v)
+		}
+		cls[i] = cl
+	}
+	return cls
+}
+
+// TestPhaseSavingConvergesRepeatedQueries is the A/B experiment behind
+// DESIGN.md §9: on repeated solves whose assumptions are consistent
+// with the previously found model, phase saving re-decides that model
+// and converges with strictly less work than the static false-first
+// default, which re-derives it through the same conflicts every time.
+func TestPhaseSavingConvergesRepeatedQueries(t *testing.T) {
+	const nvars, nclauses, queries = 80, 330, 25
+	run := func(saving bool) (conflicts, decisions uint64) {
+		rng := rand.New(rand.NewSource(7))
+		s := New()
+		s.SetPhaseSaving(saving)
+		for _, cl := range plantedCNF(rng, nvars, nclauses) {
+			s.AddClause(cl...)
+		}
+		if got := s.Solve(); got != Sat {
+			t.Fatalf("initial Solve (saving=%v) = %v, want Sat", saving, got)
+		}
+		// Assumptions drawn from the model the solver itself found are
+		// consistent with the clause set by construction.
+		model := make([]logic.Lit, nvars)
+		for v := logic.Var(1); int(v) <= nvars; v++ {
+			model[v-1] = logic.Lit(v)
+			if !s.Value(v) {
+				model[v-1] = -model[v-1]
+			}
+		}
+		base := s.Stats()
+		for q := 0; q < queries; q++ {
+			assume := []logic.Lit{model[q%nvars], model[(q*13+5)%nvars]}
+			if got := s.Solve(assume...); got != Sat {
+				t.Fatalf("query %d (saving=%v) = %v, want Sat", q, saving, got)
+			}
+		}
+		st := s.Stats()
+		return st.Conflicts - base.Conflicts, st.Decisions - base.Decisions
+	}
+	confOn, decOn := run(true)
+	confOff, decOff := run(false)
+	// Conflicts are the metric that matters: saving re-decides the
+	// previous model conflict-free. (Decisions can go either way — the
+	// static default trades decisions for conflict-driven pruning.)
+	t.Logf("repeated assumption queries: saving on: %d conflicts / %d decisions; off: %d / %d",
+		confOn, decOn, confOff, decOff)
+	if confOn >= confOff {
+		t.Errorf("conflicts with phase saving = %d, without = %d; want strictly fewer with saving",
+			confOn, confOff)
+	}
+}
+
+// TestFailedAssumptionsClearedOnBudgetExhaustion: a Solve stopped by
+// its budget returns Unknown and must not leave a stale failed-
+// assumption set from an earlier Unsat behind — Unknown carries no
+// unsat core.
+func TestFailedAssumptionsClearedOnBudgetExhaustion(t *testing.T) {
+	s := New()
+	s.AddClause(-1, 2)  // 1 -> 2
+	s.AddClause(-2, -3) // 2 -> !3
+	if got := s.Solve(1, 3); got != Unsat {
+		t.Fatalf("Solve(1,3) = %v, want Unsat", got)
+	}
+	if len(s.FailedAssumptions()) == 0 {
+		t.Fatal("want a non-empty failed set after the Unsat solve")
+	}
+
+	// Graft a hard pigeonhole instance onto fresh variables and
+	// exhaust a one-conflict budget.
+	n := 6
+	v := func(p, h int) logic.Lit { return logic.Lit(10 + p*n + h) }
+	for p := 0; p <= n; p++ {
+		cl := make([]logic.Lit, n)
+		for h := 0; h < n; h++ {
+			cl[h] = v(p, h)
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(-v(p1, h), -v(p2, h))
+			}
+		}
+	}
+	s.SetBudget(Budget{MaxConflicts: 1})
+	if got := s.Solve(1); got != Unknown {
+		t.Fatalf("Solve under a 1-conflict budget = %v, want Unknown", got)
+	}
+	if fa := s.FailedAssumptions(); len(fa) != 0 {
+		t.Errorf("FailedAssumptions after Unknown = %v, want empty", fa)
+	}
+	lim := s.LastLimit()
+	if lim == nil || lim.Reason != StopConflicts {
+		t.Errorf("LastLimit = %v, want reason %q", lim, StopConflicts)
+	}
+	var le *LimitError
+	if !errors.As(error(lim), &le) {
+		t.Errorf("LastLimit is not a *LimitError: %T", lim)
+	}
+}

@@ -123,6 +123,7 @@ type Solver struct {
 	level    []int   // per var
 	reason   []*clause
 	polarity []bool // saved phase: true = last value was false (sign)
+	noSaving bool   // disable phase saving (ablation; see SetPhaseSaving)
 	trail    []ilit
 	trailLim []int
 	qhead    int
@@ -557,10 +558,22 @@ func (s *Solver) pickBranchLit() ilit {
 			return litUndef
 		}
 		if s.assigns[v] == lUndef {
+			if s.noSaving {
+				return mkILit(v, true) // static default phase: false
+			}
 			return mkILit(v, s.polarity[v])
 		}
 	}
 }
+
+// SetPhaseSaving enables or disables phase saving — branching on each
+// variable's last assigned polarity rather than the static
+// negative-first default. On by default. Repeated related queries (the
+// assumption-based pair checks of the semantic sweep, DESIGN.md §9)
+// converge far faster with it: the second solve re-decides the previous
+// model instead of re-deriving it through the same conflicts. The knob
+// exists for A/B measurement; production callers should leave it on.
+func (s *Solver) SetPhaseSaving(on bool) { s.noSaving = !on }
 
 // luby computes the Luby restart sequence value for index i (1-based).
 func luby(i uint64) uint64 {

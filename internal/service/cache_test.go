@@ -107,3 +107,33 @@ func TestConcurrentIdenticalChecksSingleFlight(t *testing.T) {
 		t.Errorf("hits = %v, want >= %d", st["hits"], (clients-1)*3)
 	}
 }
+
+// TestHealthzReportsHitRate: the healthz cache object carries the
+// derived hit_rate field, starting at 0 and moving with the counters.
+func TestHealthzReportsHitRate(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(Options{CacheSize: 64}))
+	t.Cleanup(srv.Close)
+
+	st := cacheStats(t, srv)
+	if rate, ok := st["hit_rate"]; !ok || rate != 0 {
+		t.Fatalf("fresh cache hit_rate = %v (present=%v), want 0", rate, ok)
+	}
+
+	var req CheckRequest
+	if resp := getJSON(t, srv.URL+"/example", &req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/example status %d", resp.StatusCode)
+	}
+	for i := 0; i < 2; i++ {
+		if resp := postJSON(t, srv.URL+"/check", req, nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("check %d status %d", i, resp.StatusCode)
+		}
+	}
+	st = cacheStats(t, srv)
+	total := st["hits"] + st["misses"]
+	if total == 0 || st["hit_rate"] != st["hits"]/total {
+		t.Errorf("hit_rate = %v, want hits/total = %v (stats %v)", st["hit_rate"], st["hits"]/total, st)
+	}
+	if st["hit_rate"] <= 0 {
+		t.Errorf("hit_rate = %v after a repeated check, want > 0", st["hit_rate"])
+	}
+}

@@ -63,6 +63,10 @@ type Options struct {
 	// content-addressed check-result cache (0 = disabled). Hit, miss
 	// and eviction counters surface on GET /healthz.
 	CacheSize int
+	// SemanticStrategy selects how the semantic checker discharges
+	// region-overlap queries (sweep by default; the -semantic-strategy
+	// server flag).
+	SemanticStrategy constraints.SemanticStrategy
 }
 
 const defaultMaxBodyBytes = 4 << 20
@@ -372,12 +376,13 @@ func (s *server) runCheck(ctx context.Context, req *CheckRequest) (*CheckRespons
 	}
 
 	pipeline := &core.Pipeline{
-		Core:      tree,
-		Deltas:    deltas,
-		Model:     model,
-		Schemas:   schema.StandardSet(),
-		VMConfigs: configs,
-		Cache:     s.cache,
+		Core:             tree,
+		Deltas:           deltas,
+		Model:            model,
+		Schemas:          schema.StandardSet(),
+		VMConfigs:        configs,
+		Cache:            s.cache,
+		SemanticStrategy: s.opts.SemanticStrategy,
 	}
 	report, err := pipeline.RunContext(ctx, s.opts.Limits)
 	if err != nil {
@@ -473,6 +478,7 @@ func (s *server) handleLint(w http.ResponseWriter, r *http.Request) {
 		ctx := r.Context()
 		sem := constraints.NewSemanticChecker()
 		sem.Budget = s.opts.Limits.Solver
+		sem.Strategy = s.opts.SemanticStrategy
 		_, semViolations, err := sem.CheckContext(ctx, tree)
 		if err != nil {
 			writeLimitError(w, r, err)

@@ -1,0 +1,163 @@
+package smt
+
+import (
+	"testing"
+
+	"llhsc/internal/sat"
+)
+
+// TestHashConsingPointerEquality: structurally equal terms built twice
+// must come back as the same pointer, with no new ids allocated — the
+// integer-keyed intern table's core contract.
+func TestHashConsingPointerEquality(t *testing.T) {
+	c := NewContext()
+	build := func() *Term {
+		x := c.BVVar("x", 32)
+		return c.And(c.Ule(c.BVConst(32, 0x40), x), c.Ult(x, c.BVConst(32, 0x80)), c.BoolVar("p"))
+	}
+	a := build()
+	n := c.NumTerms()
+	b := build()
+	if a != b {
+		t.Error("structurally equal terms are distinct pointers")
+	}
+	if got := c.NumTerms(); got != n {
+		t.Errorf("re-building an interned term allocated %d new ids", got-n)
+	}
+}
+
+// TestHashConsingDiscriminates: terms differing in any structural
+// component — width, value, name, operator, argument identity — must
+// stay distinct even when their hashes could collide.
+func TestHashConsingDiscriminates(t *testing.T) {
+	c := NewContext()
+	if c.BVConst(32, 7) == c.BVConst(16, 7) {
+		t.Error("width does not discriminate")
+	}
+	if c.BVConst(32, 7) == c.BVConst(32, 8) {
+		t.Error("value does not discriminate")
+	}
+	if c.BoolVar("p") == c.BoolVar("q") {
+		t.Error("name does not discriminate")
+	}
+	x, y := c.BVVar("x", 8), c.BVVar("y", 8)
+	if c.Ule(x, y) == c.Ule(y, x) {
+		t.Error("argument order does not discriminate")
+	}
+	if c.Ule(x, y) == c.Ult(x, y) {
+		t.Error("operator does not discriminate")
+	}
+}
+
+// TestWithoutHashConsing preserves the ablation mode: every build
+// yields a fresh term, and NumTerms grows accordingly.
+func TestWithoutHashConsing(t *testing.T) {
+	c := NewContext(WithoutHashConsing())
+	p1 := c.BoolVar("p")
+	n := c.NumTerms()
+	p2 := c.BoolVar("p")
+	if p1 == p2 {
+		t.Error("WithoutHashConsing returned a shared term")
+	}
+	if got := c.NumTerms(); got <= n {
+		t.Errorf("NumTerms = %d after a fresh build, want > %d", got, n)
+	}
+}
+
+// TestAndOrSimplification is the table for the n-ary constructors:
+// flattening, duplicate dropping, complement short-circuiting, and the
+// constant rules. Simplified terms must be pointer-identical to their
+// canonical forms (the builders hash-cons).
+func TestAndOrSimplification(t *testing.T) {
+	c := NewContext()
+	p, q := c.BoolVar("p"), c.BoolVar("q")
+	for _, tt := range []struct {
+		name      string
+		got, want *Term
+	}{
+		{"and dedupes repeats", c.And(p, q, p, q), c.And(p, q)},
+		{"or dedupes repeats", c.Or(q, q, p), c.Or(q, p)},
+		{"and of complements is false", c.And(p, c.Not(p)), c.False()},
+		{"and with buried complement", c.And(p, q, c.Not(q)), c.False()},
+		{"or of complements is true", c.Or(p, q, c.Not(p)), c.True()},
+		{"and drops true", c.And(p, c.True(), q), c.And(p, q)},
+		{"or drops false", c.Or(c.False(), p), p},
+		{"and absorbs false", c.And(p, c.False(), q), c.False()},
+		{"or absorbs true", c.Or(p, c.True()), c.True()},
+		{"empty and", c.And(), c.True()},
+		{"empty or", c.Or(), c.False()},
+		{"singleton and", c.And(q), q},
+		{"singleton or", c.Or(p), p},
+		{"and flattens nested and", c.And(c.And(p, q), p), c.And(p, q)},
+		{"or flattens nested or", c.Or(c.Or(p, q), q), c.Or(p, q)},
+		{"flattened complement detected", c.And(c.And(p, q), c.Not(p)), c.False()},
+	} {
+		if tt.got != tt.want {
+			t.Errorf("%s: got %v, want %v", tt.name, tt.got, tt.want)
+		}
+	}
+}
+
+// TestAndOrSimplificationSolves: the simplifier must preserve
+// satisfiability, not just shapes.
+func TestAndOrSimplificationSolves(t *testing.T) {
+	c := NewContext()
+	s := NewSolver(c)
+	p, q := c.BoolVar("p"), c.BoolVar("q")
+	s.Assert(c.And(p, q, p))
+	if got := s.Check(); got != sat.Sat {
+		t.Fatalf("Check = %v, want Sat", got)
+	}
+	if !s.BoolValue(p) || !s.BoolValue(q) {
+		t.Errorf("model p=%v q=%v, want both true", s.BoolValue(p), s.BoolValue(q))
+	}
+	s.Assert(c.Or(c.Not(p), c.Not(q), c.Not(p)))
+	if got := s.Check(); got != sat.Unsat {
+		t.Errorf("Check after contradiction = %v, want Unsat", got)
+	}
+}
+
+// TestCheckAssuming: assumptions decide the query without becoming part
+// of the asserted problem, and repeated queries reuse the blast memo
+// instead of re-encoding.
+func TestCheckAssuming(t *testing.T) {
+	c := NewContext()
+	s := NewSolver(c)
+	p, q, r := c.BoolVar("p"), c.BoolVar("q"), c.BoolVar("r")
+	s.Assert(c.Implies(p, q))
+	s.Assert(c.Implies(q, c.Not(r)))
+
+	if got := s.CheckAssuming(p, r); got != sat.Unsat {
+		t.Fatalf("CheckAssuming(p, r) = %v, want Unsat", got)
+	}
+	if got := s.CheckAssuming(p); got != sat.Sat {
+		t.Fatalf("CheckAssuming(p) = %v, want Sat", got)
+	}
+	if !s.BoolValue(q) {
+		t.Error("model under assumption p: q = false, want true")
+	}
+	// The Unsat assumption set did not persist as an assertion.
+	if got := s.CheckAssuming(r); got != sat.Sat {
+		t.Errorf("CheckAssuming(r) = %v, want Sat — assumptions must not stick", got)
+	}
+	if got := s.Check(); got != sat.Sat {
+		t.Errorf("Check() = %v, want Sat", got)
+	}
+
+	// Blast memo survives across assumption queries: no new literals.
+	x := c.BVVar("x", 16)
+	s.Assert(c.Implies(p, c.Ule(c.BVConst(16, 0x10), x)))
+	s.CheckAssuming(p)
+	before := s.Stats()
+	for i := 0; i < 5; i++ {
+		s.CheckAssuming(p)
+	}
+	after := s.Stats()
+	if after.BoolLits != before.BoolLits || after.BVTerms != before.BVTerms {
+		t.Errorf("repeated CheckAssuming re-encoded: lits %d -> %d, bv terms %d -> %d",
+			before.BoolLits, after.BoolLits, before.BVTerms, after.BVTerms)
+	}
+	if got := after.Checks - before.Checks; got != 5 {
+		t.Errorf("Checks delta = %d, want 5", got)
+	}
+}

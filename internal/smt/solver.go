@@ -157,7 +157,7 @@ func (s *Solver) AssertNamed(name string, t *Term) {
 // short; LastLimit explains why.
 func (s *Solver) Check() sat.Status {
 	defer s.enter()()
-	st, _ := s.check(s.sat.Solve)
+	st, _ := s.check(nil, s.sat.Solve)
 	return st
 }
 
@@ -167,18 +167,43 @@ func (s *Solver) Check() sat.Status {
 // *sat.LimitError, wrapping ctx.Err() when the context caused it).
 func (s *Solver) CheckContext(ctx context.Context) (sat.Status, error) {
 	defer s.enter()()
-	return s.check(func(assumptions ...logic.Lit) sat.Status {
+	return s.check(nil, func(assumptions ...logic.Lit) sat.Status {
 		st, _ := s.sat.SolveContext(ctx, assumptions...)
 		return st
 	})
 }
 
-func (s *Solver) check(solve func(...logic.Lit) sat.Status) (sat.Status, error) {
+// CheckAssuming decides satisfiability of the current assertion set
+// under additional Boolean assumption terms, without changing the
+// assertion set. Each assumption is blasted once — its gate clauses are
+// permanent and memoized, so repeated CheckAssuming calls over the same
+// terms (the semantic checker's per-pair activation literals,
+// DESIGN.md §9) cost only the SAT search, not re-encoding.
+func (s *Solver) CheckAssuming(assumptions ...*Term) sat.Status {
+	defer s.enter()()
+	st, _ := s.check(assumptions, s.sat.Solve)
+	return st
+}
+
+// CheckAssumingContext is CheckAssuming under a context, with the same
+// error contract as CheckContext.
+func (s *Solver) CheckAssumingContext(ctx context.Context, assumptions ...*Term) (sat.Status, error) {
+	defer s.enter()()
+	return s.check(assumptions, func(lits ...logic.Lit) sat.Status {
+		st, _ := s.sat.SolveContext(ctx, lits...)
+		return st
+	})
+}
+
+func (s *Solver) check(assume []*Term, solve func(...logic.Lit) sat.Status) (sat.Status, error) {
 	s.checks++
-	assumptions := make([]logic.Lit, 0, len(s.frames)+len(s.named))
+	assumptions := make([]logic.Lit, 0, len(s.frames)+len(s.named)+len(assume))
 	assumptions = append(assumptions, s.frames...)
 	for _, n := range s.named {
 		assumptions = append(assumptions, n.act)
+	}
+	for _, t := range assume {
+		assumptions = append(assumptions, s.blastBool(t))
 	}
 	st := solve(assumptions...)
 	s.lastUnsatNames = nil

@@ -13,7 +13,6 @@ package smt
 
 import (
 	"fmt"
-	"strconv"
 	"strings"
 )
 
@@ -182,7 +181,13 @@ func opName(op Op) string {
 // Context owns a hash-consed term universe. It is not safe for
 // concurrent use.
 type Context struct {
-	terms   map[string]*Term
+	// table buckets interned terms by an integer hash of their shape
+	// (op, width, val, name, argument ids). Earlier versions keyed the
+	// intern map by a built string, which cost one allocation per mk —
+	// the dominant line in blasting profiles; the bucket walk compares
+	// shapes field-by-field instead, so interning allocates nothing on
+	// a hit.
+	table   map[uint64][]*Term
 	nextID  int
 	consing bool
 
@@ -207,7 +212,7 @@ func WithoutHashConsing() ContextOption {
 // NewContext returns an empty term context.
 func NewContext(opts ...ContextOption) *Context {
 	c := &Context{
-		terms:    make(map[string]*Term),
+		table:    make(map[uint64][]*Term),
 		consing:  true,
 		strIndex: make(map[string]int),
 	}
@@ -225,30 +230,62 @@ func (c *Context) mk(t *Term) *Term {
 		t.id = c.nextID
 		return t
 	}
-	key := termKey(t)
-	if existing, ok := c.terms[key]; ok {
-		return existing
+	h := hashTerm(t)
+	for _, e := range c.table[h] {
+		if sameShape(e, t) {
+			return e
+		}
 	}
 	c.nextID++
 	t.id = c.nextID
-	c.terms[key] = t
+	c.table[h] = append(c.table[h], t)
 	return t
 }
 
-func termKey(t *Term) string {
-	var b strings.Builder
-	b.WriteString(strconv.Itoa(int(t.op)))
-	b.WriteByte('|')
-	b.WriteString(strconv.Itoa(t.width))
-	b.WriteByte('|')
-	b.WriteString(strconv.FormatUint(t.val, 16))
-	b.WriteByte('|')
-	b.WriteString(t.name)
-	for _, a := range t.args {
-		b.WriteByte(',')
-		b.WriteString(strconv.Itoa(a.id))
+// hashTerm mixes the fields that determine a term's identity with
+// FNV-1a. Argument identity is their (already assigned) intern ids, so
+// hashing never recurses.
+func hashTerm(t *Term) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
 	}
-	return b.String()
+	mix(uint64(t.op))
+	mix(uint64(t.width))
+	mix(t.val)
+	for i := 0; i < len(t.name); i++ {
+		h ^= uint64(t.name[i])
+		h *= prime64
+	}
+	mix(uint64(len(t.name)))
+	for _, a := range t.args {
+		mix(uint64(a.id))
+	}
+	return h
+}
+
+// sameShape reports structural equality between an interned term and a
+// candidate. Arguments compare by pointer: they were interned first, so
+// structurally equal subterms are already the same pointer.
+func sameShape(a, b *Term) bool {
+	if a.op != b.op || a.width != b.width || a.val != b.val ||
+		a.name != b.name || len(a.args) != len(b.args) {
+		return false
+	}
+	for i, arg := range a.args {
+		if arg != b.args[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // NumTerms returns the number of distinct terms created (hash-consed
@@ -335,52 +372,101 @@ func (c *Context) Not(t *Term) *Term {
 	return c.mk(&Term{op: OpNot, sort: SortBool, args: []*Term{t}})
 }
 
-// And returns the conjunction of the given Boolean terms.
+// And returns the conjunction of the given Boolean terms. Nested
+// conjunctions are flattened, repeated arguments deduplicated, and a
+// complementary pair (t and ¬t) short-circuits to false.
 func (c *Context) And(ts ...*Term) *Term {
-	args := make([]*Term, 0, len(ts))
-	for _, t := range ts {
-		c.wantSort(t, SortBool)
-		switch t.op {
-		case OpTrue:
-		case OpFalse:
-			return c.falseT
-		case OpAnd:
-			args = append(args, t.args...)
-		default:
-			args = append(args, t)
-		}
-	}
-	switch len(args) {
-	case 0:
-		return c.trueT
-	case 1:
-		return args[0]
-	}
-	return c.mk(&Term{op: OpAnd, sort: SortBool, args: args})
+	return c.nary(OpAnd, ts)
 }
 
-// Or returns the disjunction of the given Boolean terms.
+// Or returns the disjunction of the given Boolean terms. Nested
+// disjunctions are flattened, repeated arguments deduplicated, and a
+// complementary pair (t and ¬t) short-circuits to true.
 func (c *Context) Or(ts ...*Term) *Term {
-	args := make([]*Term, 0, len(ts))
-	for _, t := range ts {
-		c.wantSort(t, SortBool)
-		switch t.op {
-		case OpFalse:
-		case OpTrue:
-			return c.trueT
-		case OpOr:
-			args = append(args, t.args...)
-		default:
-			args = append(args, t)
+	return c.nary(OpOr, ts)
+}
+
+// boolArgSet tracks the arguments gathered so far for an n-ary
+// connective. Small argument lists scan linearly; past a threshold it
+// switches to maps so wide connectives (AnyCollision builds
+// disjunctions over every region pair) stay linear.
+type boolArgSet struct {
+	args []*Term
+	seen map[*Term]bool // present args, by interned pointer
+	neg  map[*Term]bool // operands of present OpNot args
+}
+
+const boolArgScanMax = 16
+
+// add records t, reporting whether its complement ¬t (or, for t = ¬u,
+// the operand u) is already present. Duplicates are dropped.
+func (s *boolArgSet) add(t *Term) (complement bool) {
+	if s.seen == nil && len(s.args) >= boolArgScanMax {
+		s.seen = make(map[*Term]bool, 2*len(s.args))
+		s.neg = make(map[*Term]bool)
+		for _, a := range s.args {
+			s.seen[a] = true
+			if a.op == OpNot {
+				s.neg[a.args[0]] = true
+			}
 		}
 	}
-	switch len(args) {
-	case 0:
-		return c.falseT
-	case 1:
-		return args[0]
+	if s.seen != nil {
+		if s.seen[t] {
+			return false
+		}
+		if s.neg[t] || (t.op == OpNot && s.seen[t.args[0]]) {
+			return true
+		}
+		s.seen[t] = true
+		if t.op == OpNot {
+			s.neg[t.args[0]] = true
+		}
+	} else {
+		for _, a := range s.args {
+			if a == t {
+				return false
+			}
+			if (a.op == OpNot && a.args[0] == t) || (t.op == OpNot && t.args[0] == a) {
+				return true
+			}
+		}
 	}
-	return c.mk(&Term{op: OpOr, sort: SortBool, args: args})
+	s.args = append(s.args, t)
+	return false
+}
+
+func (c *Context) nary(op Op, ts []*Term) *Term {
+	neutral, absorbing := c.trueT, c.falseT
+	if op == OpOr {
+		neutral, absorbing = c.falseT, c.trueT
+	}
+	set := boolArgSet{args: make([]*Term, 0, len(ts))}
+	for _, t := range ts {
+		c.wantSort(t, SortBool)
+		switch {
+		case t == neutral:
+		case t == absorbing:
+			return absorbing
+		case t.op == op:
+			for _, a := range t.args {
+				if set.add(a) {
+					return absorbing
+				}
+			}
+		default:
+			if set.add(t) {
+				return absorbing
+			}
+		}
+	}
+	switch len(set.args) {
+	case 0:
+		return neutral
+	case 1:
+		return set.args[0]
+	}
+	return c.mk(&Term{op: op, sort: SortBool, args: set.args})
 }
 
 // Implies returns a → b.
