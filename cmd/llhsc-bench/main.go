@@ -1,5 +1,5 @@
 // Command llhsc-bench regenerates every table and figure of the paper
-// (experiments E1–E7) plus the scaling/ablation extensions (E8–E14).
+// (experiments E1–E7) plus the scaling/ablation extensions (E8–E15).
 // See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
 // recorded results.
 //
@@ -9,6 +9,7 @@
 //	llhsc-bench -exp e5                      # run one experiment
 //	llhsc-bench -parallel-json BENCH_parallel.json   # emit the E13 artifact
 //	llhsc-bench -semantic-json BENCH_semantic.json   # emit the E14 artifact
+//	llhsc-bench -obs-json BENCH_obs.json             # emit the E15 artifact
 //	llhsc-bench -list
 package main
 
@@ -36,6 +37,9 @@ func run(args []string) error {
 	parallelVMs := fs.Int("parallel-vms", 8, "product-line size for -parallel-json")
 	semanticJSON := fs.String("semantic-json", "",
 		"write the E14 semantic-strategy measurement to this JSON file and exit")
+	obsJSON := fs.String("obs-json", "",
+		"write the E15 observability-overhead measurement to this JSON file and exit")
+	obsVMs := fs.Int("obs-vms", 6, "product-line size for -obs-json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,6 +55,13 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *semanticJSON)
+		return nil
+	}
+	if *obsJSON != "" {
+		if err := bench.WriteObsJSON(*obsJSON, *obsVMs); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *obsJSON)
 		return nil
 	}
 	if *list {

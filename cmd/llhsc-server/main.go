@@ -9,7 +9,12 @@
 //	             [-request-timeout 30s] [-max-inflight 16]
 //	             [-max-body 4194304] [-solver-conflicts 0]
 //	             [-shutdown-grace 15s] [-parallel 0] [-cache-size 256]
-//	             [-semantic-strategy sweep] [-pprof 0]
+//	             [-semantic-strategy sweep] [-pprof 0] [-log-requests=true]
+//
+// The server always serves Prometheus-format metrics on GET /metrics
+// (request latency, solver work, cache counters) and, unless
+// -log-requests=false, writes one structured JSON log line per request
+// to stderr, correlated with responses by X-Request-ID.
 //
 // The server drains gracefully on SIGINT/SIGTERM: in-flight requests
 // get -shutdown-grace to complete, then the listener closes and the
@@ -35,6 +40,7 @@ import (
 
 	"llhsc/internal/constraints"
 	"llhsc/internal/core"
+	"llhsc/internal/obs"
 	"llhsc/internal/sat"
 	"llhsc/internal/service"
 )
@@ -79,6 +85,8 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		"semantic-check strategy: sweep (O(n log n) prefilter + SMT), assume (one incremental solver), pairwise (one solve per pair)")
 	pprofPort := fs.Int("pprof", 0,
 		"expose net/http/pprof on 127.0.0.1:<port> (0 = disabled)")
+	logRequests := fs.Bool("log-requests", true,
+		"emit one structured JSON log line per request on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,17 +96,22 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		return err
 	}
 
-	handler := service.NewHandler(service.Options{
+	opts := service.Options{
 		RequestTimeout:   *requestTimeout,
 		MaxInFlight:      *maxInflight,
 		MaxBodyBytes:     *maxBody,
 		CacheSize:        *cacheSize,
 		SemanticStrategy: strategy,
+		Registry:         obs.NewRegistry(), // serves GET /metrics
 		Limits: core.Limits{
 			Solver:      sat.Budget{MaxConflicts: *solverConflicts},
 			Parallelism: *parallel,
 		},
-	})
+	}
+	if *logRequests {
+		opts.LogWriter = os.Stderr
+	}
+	handler := service.NewHandler(opts)
 
 	if *pprofPort != 0 {
 		// The profiler gets its own loopback-only listener so it can

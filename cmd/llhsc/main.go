@@ -18,8 +18,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"llhsc/internal/constraints"
@@ -27,6 +29,7 @@ import (
 	"llhsc/internal/delta"
 	"llhsc/internal/dts"
 	"llhsc/internal/featmodel"
+	"llhsc/internal/obs"
 	"llhsc/internal/runningexample"
 	"llhsc/internal/schema"
 )
@@ -65,7 +68,7 @@ func run(args []string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  llhsc check    -core <dts> -deltas <file> -fm <file> -vm <features> [-vm ...] [-schemas <dir>] [-parallel n] [-semantic-strategy sweep|assume|pairwise]
+  llhsc check    -core <dts> -deltas <file> -fm <file> -vm <features> [-vm ...] [-schemas <dir>] [-parallel n] [-semantic-strategy sweep|assume|pairwise] [-trace]
   llhsc generate -core <dts> -deltas <file> -fm <file> -vm <features> [-vm ...] [-o <dir>] [-parallel n] [-semantic-strategy sweep|assume|pairwise]
   llhsc products -fm <file> [-limit n]
   llhsc infer-fm -core <dts>
@@ -92,6 +95,8 @@ func cmdCheckOrGenerate(args []string, generate bool) error {
 		"worker count for per-VM checking (0 = GOMAXPROCS, 1 = serial)")
 	semStrategy := fs.String("semantic-strategy", "sweep",
 		"semantic-check strategy: sweep (O(n log n) prefilter + SMT), assume (one incremental solver), pairwise (one solve per pair)")
+	trace := fs.Bool("trace", false,
+		"print the phase span tree and solver statistics to stderr")
 	var vms vmFlags
 	fs.Var(&vms, "vm", "feature list for one VM (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -147,7 +152,17 @@ func cmdCheckOrGenerate(args []string, generate bool) error {
 		VMConfigs:        configs,
 		SemanticStrategy: strategy,
 	}
-	report, err := pipeline.RunContext(context.Background(), core.Limits{Parallelism: *parallel})
+	ctx := context.Background()
+	var root *obs.Span
+	if *trace {
+		root = obs.NewSpan("llhsc")
+		ctx = obs.ContextWithSpan(ctx, root)
+	}
+	report, err := pipeline.RunContext(ctx, core.Limits{Parallelism: *parallel})
+	if root != nil {
+		root.End()
+		printTrace(os.Stderr, root, report)
+	}
 	if err != nil {
 		return err
 	}
@@ -209,6 +224,32 @@ func loadSchemas(dir string) (*schema.Set, error) {
 		return nil, fmt.Errorf("no .yaml schemas found in %s", dir)
 	}
 	return set, nil
+}
+
+// printTrace renders the span tree and the per-family solver-work
+// summary to w (stderr for -trace, keeping stdout parseable).
+func printTrace(w io.Writer, root *obs.Span, r *core.Report) {
+	fmt.Fprintln(w, "--- trace ---")
+	root.WriteTree(w)
+	if r == nil {
+		return
+	}
+	fmt.Fprintln(w, "--- solver stats ---")
+	families := make([]string, 0, len(r.Stats.Families))
+	for name := range r.Stats.Families {
+		families = append(families, name)
+	}
+	sort.Strings(families)
+	for _, name := range families {
+		fs := r.Stats.Families[name]
+		fmt.Fprintf(w,
+			"%-12s checks=%d solver_calls=%d pairs=%d pruned=%d conflicts=%d propagations=%d restarts=%d intern_hits=%d intern_misses=%d\n",
+			name, fs.Checks, fs.SolverCalls, fs.Pairs, fs.PairsPruned,
+			fs.Conflicts, fs.Propagations, fs.Restarts, fs.InternHits, fs.InternMisses)
+	}
+	if r.Stats.CacheHits+r.Stats.CacheMisses > 0 {
+		fmt.Fprintf(w, "cache        hits=%d misses=%d\n", r.Stats.CacheHits, r.Stats.CacheMisses)
+	}
 }
 
 func printReport(r *core.Report) {

@@ -26,7 +26,7 @@ type Experiment struct {
 	Run   func(w io.Writer) error
 }
 
-// Experiments returns all experiments in order E1..E14.
+// Experiments returns all experiments in order E1..E15.
 func Experiments() []Experiment {
 	return []Experiment{
 		{"e1", "Parse the running example (Listings 1+2), round trip", RunE1},
@@ -43,6 +43,7 @@ func Experiments() []Experiment {
 		{"e12", "Scaling: full pipeline over k-VM synthetic product lines", RunE12},
 		{"e13", "Parallel pipeline speedup over worker counts", RunE13},
 		{"e14", "Semantic-check strategies: sweep vs assume vs pairwise", RunE14},
+		{"e15", "Observability overhead: tracing and metrics off vs on", RunE15},
 	}
 }
 

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"llhsc/internal/core"
+	"llhsc/internal/obs"
+)
+
+// ObsPoint is one measured instrumentation mode of experiment E15.
+type ObsPoint struct {
+	Mode     string  `json:"mode"`     // off | metrics | trace | trace+metrics
+	Millis   float64 `json:"millis"`   // best pipeline time in this mode
+	Overhead float64 `json:"overhead"` // this time / the "off" baseline
+}
+
+// ObsResult is the JSON artifact of experiment E15 (BENCH_obs.json).
+type ObsResult struct {
+	VMs    int        `json:"vms"`
+	Rounds int        `json:"rounds"`
+	Points []ObsPoint `json:"points"`
+}
+
+// obsModes enumerates the instrumentation configurations E15 compares.
+// "off" is the production fast path: the pipeline code is identical,
+// but SpanFromContext returns nil (every span method short-circuits)
+// and Metrics is nil (the stats snapshot is never exported to a
+// registry). The acceptance bar is that "off" stays within noise of a
+// hypothetical uninstrumented build — which it approximates by being
+// the first, baseline row every other mode is normalized against.
+var obsModes = []struct {
+	name    string
+	trace   bool
+	metrics bool
+}{
+	{"off", false, false},
+	{"metrics", false, true},
+	{"trace", true, false},
+	{"trace+metrics", true, true},
+}
+
+// MeasureObsOverhead runs the same synthetic product line with
+// observability off and on, keeping the best of rounds runs per mode
+// (the usual guard against scheduler noise). The first mode is the
+// uninstrumented baseline; overheads are normalized against it.
+func MeasureObsOverhead(vms, rounds int) (*ObsResult, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	res := &ObsResult{VMs: vms, Rounds: rounds}
+	var baseline float64
+	for _, mode := range obsModes {
+		pipeline, err := HeavyProductLine(vms)
+		if err != nil {
+			return nil, err
+		}
+		var reg *obs.Registry
+		if mode.metrics {
+			reg = obs.NewRegistry()
+			pipeline.Metrics = core.NewPipelineMetrics(reg)
+		}
+		best := 0.0
+		for r := 0; r < rounds; r++ {
+			ctx := context.Background()
+			var root *obs.Span
+			if mode.trace {
+				root = obs.NewSpan("bench")
+				ctx = obs.ContextWithSpan(ctx, root)
+			}
+			start := time.Now()
+			report, err := pipeline.RunContext(ctx, core.Limits{Parallelism: 1})
+			elapsed := time.Since(start).Seconds() * 1000
+			root.End()
+			if err != nil {
+				return nil, fmt.Errorf("mode=%s: %w", mode.name, err)
+			}
+			if !report.OK() {
+				return nil, fmt.Errorf("mode=%s: unexpected violations: %v",
+					mode.name, report.AllViolations())
+			}
+			if mode.trace && len(root.PhaseSet()) < 2 {
+				return nil, fmt.Errorf("mode=%s: trace produced no child spans", mode.name)
+			}
+			if best == 0 || elapsed < best {
+				best = elapsed
+			}
+		}
+		if baseline == 0 {
+			baseline = best // the validated "off" baseline
+		}
+		res.Points = append(res.Points, ObsPoint{
+			Mode:     mode.name,
+			Millis:   best,
+			Overhead: best / baseline,
+		})
+	}
+	return res, nil
+}
+
+// RunE15 measures the observability overhead (experiment E15): the
+// same pipeline with tracing and metrics off versus on.
+func RunE15(w io.Writer) error {
+	res, err := MeasureObsOverhead(6, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-16s %12s %10s   (%d VMs + platform, serial, best of %d)\n",
+		"mode", "pipeline", "overhead", res.VMs, res.Rounds)
+	for _, p := range res.Points {
+		fmt.Fprintf(w, "%-16s %10.1fms %9.3fx\n", p.Mode, p.Millis, p.Overhead)
+	}
+	return nil
+}
+
+// WriteObsJSON runs E15's measurement and writes the JSON artifact
+// consumed by CI (BENCH_obs.json).
+func WriteObsJSON(path string, vms int) error {
+	res, err := MeasureObsOverhead(vms, 5)
+	if err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

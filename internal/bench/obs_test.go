@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"llhsc/internal/core"
+	"llhsc/internal/obs"
+)
+
+func TestMeasureObsOverhead(t *testing.T) {
+	res, err := MeasureObsOverhead(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(obsModes) {
+		t.Fatalf("points = %d, want %d", len(res.Points), len(obsModes))
+	}
+	if res.Points[0].Mode != "off" || res.Points[0].Overhead != 1.0 {
+		t.Errorf("first point must be the off baseline with overhead 1.0, got %+v", res.Points[0])
+	}
+	for _, p := range res.Points {
+		if p.Millis <= 0 {
+			t.Errorf("mode %s measured %vms", p.Mode, p.Millis)
+		}
+	}
+}
+
+func TestRunE15PrintsAllModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E15 runs the heavy product line several times")
+	}
+	var buf bytes.Buffer
+	if err := RunE15(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, mode := range obsModes {
+		if !strings.Contains(out, mode.name) {
+			t.Errorf("E15 output missing mode %q:\n%s", mode.name, out)
+		}
+	}
+}
+
+// benchmarkPipeline runs the heavy product line once per iteration,
+// optionally instrumented. The "off" case is the acceptance bar: the
+// nil-span fast path and nil Metrics must keep the instrumented binary
+// within noise of an uninstrumented one.
+func benchmarkPipeline(b *testing.B, trace, metrics bool) {
+	pipeline, err := HeavyProductLine(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if metrics {
+		pipeline.Metrics = core.NewPipelineMetrics(obs.NewRegistry())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := context.Background()
+		var root *obs.Span
+		if trace {
+			root = obs.NewSpan("bench")
+			ctx = obs.ContextWithSpan(ctx, root)
+		}
+		report, err := pipeline.RunContext(ctx, core.Limits{Parallelism: 1})
+		root.End()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !report.OK() {
+			b.Fatalf("violations: %v", report.AllViolations())
+		}
+	}
+}
+
+func BenchmarkObsOverhead(b *testing.B) {
+	b.Run("off", func(b *testing.B) { benchmarkPipeline(b, false, false) })
+	b.Run("metrics", func(b *testing.B) { benchmarkPipeline(b, false, true) })
+	b.Run("trace", func(b *testing.B) { benchmarkPipeline(b, true, false) })
+	b.Run("trace+metrics", func(b *testing.B) { benchmarkPipeline(b, true, true) })
+}

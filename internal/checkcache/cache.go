@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"llhsc/internal/constraints"
+	"llhsc/internal/obs"
 )
 
 // Key derives a cache key from the parts that determine a check
@@ -80,7 +81,11 @@ type Cache struct {
 	entries  map[string]*list.Element // key -> lru element
 	inflight map[string]*flight
 
-	hits, misses, evictions uint64
+	// The counters are obs metrics so the same instances can back both
+	// the consistent Stats() snapshot (incremented and read under mu)
+	// and, via RegisterMetrics, the /metrics exposition — one source of
+	// truth for /healthz and the Prometheus scrape.
+	hits, misses, evictions obs.Counter
 }
 
 // New returns a cache holding at most capacity results. capacity <= 0
@@ -97,6 +102,38 @@ func New(capacity int) *Cache {
 	}
 }
 
+// RegisterMetrics exposes the cache's counters on reg under the
+// llhsc_checkcache_* families. The registered metrics are the same
+// instances Stats() reads — /healthz and /metrics can never disagree.
+// Entry count, capacity and hit rate are computed at scrape time under
+// the cache lock. Safe (a no-op) on a nil cache.
+func (c *Cache) RegisterMetrics(reg *obs.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	reg.Register("llhsc_checkcache_hits_total",
+		"Check-result cache hits (including single-flight joins).", &c.hits)
+	reg.Register("llhsc_checkcache_misses_total",
+		"Check-result cache misses.", &c.misses)
+	reg.Register("llhsc_checkcache_evictions_total",
+		"Check-result cache LRU evictions.", &c.evictions)
+	reg.Register("llhsc_checkcache_entries",
+		"Resident check-result cache entries.", obs.FuncGauge(func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(c.lru.Len())
+		}))
+	reg.Register("llhsc_checkcache_capacity",
+		"Configured check-result cache capacity.", obs.FuncGauge(func() float64 {
+			return float64(c.capacity)
+		}))
+	reg.Register("llhsc_checkcache_hit_rate",
+		"Hits / lookups since start; 0 before the first lookup.", obs.FuncGauge(func() float64 {
+			st := c.Stats()
+			return st.HitRate
+		}))
+}
+
 // Stats returns a snapshot of the counters. Safe on a nil cache.
 func (c *Cache) Stats() Stats {
 	if c == nil {
@@ -105,9 +142,9 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Evictions: c.evictions.Value(),
 		Entries:   c.lru.Len(),
 		Capacity:  c.capacity,
 	}
@@ -136,7 +173,7 @@ func (c *Cache) Do(ctx context.Context, key string, fn func() ([]constraints.Vio
 		c.mu.Lock()
 		if el, ok := c.entries[key]; ok {
 			c.lru.MoveToFront(el)
-			c.hits++
+			c.hits.Inc()
 			v := el.Value.(*entry).violations
 			c.mu.Unlock()
 			return copyViolations(v), true, nil
@@ -150,7 +187,7 @@ func (c *Cache) Do(ctx context.Context, key string, fn func() ([]constraints.Vio
 			}
 			if f.err == nil {
 				c.mu.Lock()
-				c.hits++
+				c.hits.Inc()
 				c.mu.Unlock()
 				return copyViolations(f.val), true, nil
 			}
@@ -164,7 +201,7 @@ func (c *Cache) Do(ctx context.Context, key string, fn func() ([]constraints.Vio
 		}
 		f := &flight{done: make(chan struct{})}
 		c.inflight[key] = f
-		c.misses++
+		c.misses.Inc()
 		c.mu.Unlock()
 
 		f.val, f.err = fn()
@@ -188,11 +225,11 @@ func (c *Cache) Get(key string) ([]constraints.Violation, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
 	if !ok {
-		c.misses++
+		c.misses.Inc()
 		return nil, false
 	}
 	c.lru.MoveToFront(el)
-	c.hits++
+	c.hits.Inc()
 	return copyViolations(el.Value.(*entry).violations), true
 }
 
@@ -217,7 +254,7 @@ func (c *Cache) insertLocked(key string, violations []constraints.Violation) {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
 		delete(c.entries, oldest.Value.(*entry).key)
-		c.evictions++
+		c.evictions.Inc()
 	}
 	c.entries[key] = c.lru.PushFront(&entry{key: key, violations: copyViolations(violations)})
 }

@@ -74,6 +74,11 @@ func (c *AllocationChecker) CheckContext(ctx context.Context, configs []featmode
 // bounding every subsequent check.
 func (c *AllocationChecker) SetBudget(b sat.Budget) { c.analyzer.SetBudget(b) }
 
+// Stats returns a snapshot of the multi-product solver's cumulative
+// SAT statistics; use sat.Stats.Sub over two snapshots for the work of
+// one CheckContext call.
+func (c *AllocationChecker) Stats() sat.Stats { return c.analyzer.Stats() }
+
 // Feasible reports whether any assignment of products to the VMs exists
 // (false exactly when the paper's VM bound is exceeded, e.g. three VMs
 // over two exclusive CPUs).

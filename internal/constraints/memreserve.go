@@ -22,6 +22,10 @@ type MemReserveChecker struct {
 	// Width is the bit width for address variables; 0 derives it from
 	// the tree's root #address-cells.
 	Width int
+	// Stats, when non-nil, receives the call's solver-work counters
+	// (queries issued, SAT stats, intern hit rate). A pointer so the
+	// checker stays usable as a value: MemReserveChecker{Stats: &st}.
+	Stats *SemanticStats
 }
 
 // Check validates the tree's memreserve entries.
@@ -51,6 +55,9 @@ func (mc MemReserveChecker) CheckContext(ctx context.Context, tree *dts.Tree) ([
 
 	sctx := smt.NewContext()
 	solver := smt.NewSolver(sctx)
+	if mc.Stats != nil {
+		defer func() { mc.Stats.absorb(solver) }()
+	}
 	x := sctx.BVVar("x", width)
 
 	var out []Violation
@@ -64,6 +71,9 @@ func (mc MemReserveChecker) CheckContext(ctx context.Context, tree *dts.Tree) ([
 			solver.Assert(sctx.Not(overlapTerm(sctx, x, b, width)))
 		}
 		st, err := solver.CheckContext(ctx)
+		if mc.Stats != nil {
+			mc.Stats.SolverCalls++
+		}
 		if st == sat.Sat {
 			out = append(out, Violation{
 				Rule: "semantic:memreserve-outside-ram",
@@ -87,6 +97,10 @@ func (mc MemReserveChecker) CheckContext(ctx context.Context, tree *dts.Tree) ([
 			solver.Assert(overlapTerm(sctx, x, a, width))
 			solver.Assert(overlapTerm(sctx, x, b, width))
 			st, err := solver.CheckContext(ctx)
+			if mc.Stats != nil {
+				mc.Stats.SolverCalls++
+				mc.Stats.Pairs++
+			}
 			if st == sat.Sat {
 				out = append(out, Violation{
 					Rule: "semantic:memreserve-overlap",

@@ -78,15 +78,38 @@ type SemanticChecker struct {
 // SemanticStats describes the solver work of the most recent
 // FindCollisionsContext (or Check) call. Like the solver it wraps, a
 // checker records stats for one goroutine at a time — build one checker
-// per goroutine, as core.Pipeline does.
+// per goroutine, as core.Pipeline does. The same shape doubles as the
+// optional stats sink of InterruptChecker and MemReserveChecker, so
+// the pipeline aggregates every SMT-backed family uniformly.
 type SemanticStats struct {
 	// Pairs is the number of candidate pairs submitted to the solver.
 	Pairs int
+	// PairsPruned is how many of the naive n·(n-1)/2 region pairs never
+	// reached the solver — the sweep prefilter's (and the eligibility
+	// rules') measurable payoff. 0 for strategies that submit the full
+	// eligible schedule only when nothing was cut.
+	PairsPruned int
 	// SolverCalls counts SMT check invocations, including canonical
 	// witness extraction for confirmed collisions.
 	SolverCalls int
 	// Collisions found.
 	Collisions int
+	// Solver aggregates the underlying SAT-solver work (conflicts,
+	// propagations, restarts, ...) across every solver instance the
+	// call created, including witness extraction.
+	Solver sat.Stats
+	// InternHits / InternMisses aggregate the smt.Context hash-consing
+	// counters across those same instances.
+	InternHits   uint64
+	InternMisses uint64
+}
+
+// absorb folds one solver's SAT and intern counters into the stats.
+func (st *SemanticStats) absorb(solver *smt.Solver) {
+	st.Solver = st.Solver.Add(solver.Stats().SAT)
+	h, m := solver.Context().InternStats()
+	st.InternHits += h
+	st.InternMisses += m
 }
 
 // LastStats returns the work counters of the most recent collision
@@ -195,6 +218,12 @@ func (sc *SemanticChecker) FindCollisionsContext(ctx context.Context, regions []
 		out, err = sc.findAssume(ctx, regions, width, sc.sweepCandidates(regions, width))
 	}
 	sc.stats.Collisions = len(out)
+	// Pruning payoff relative to the naive all-pairs schedule the
+	// paper's formulation implies. Counting the eligible-only baseline
+	// would cost the O(n²) pass the sweep exists to avoid.
+	if naive := len(regions) * (len(regions) - 1) / 2; naive > sc.stats.Pairs {
+		sc.stats.PairsPruned = naive - sc.stats.Pairs
+	}
 	sortCollisions(out)
 	return out, err
 }
@@ -214,6 +243,7 @@ func (sc *SemanticChecker) findPairwise(ctx context.Context, regions []addr.Regi
 	sctx := smt.NewContext()
 	solver := smt.NewSolver(sctx)
 	solver.SetBudget(sc.Budget)
+	defer func() { sc.stats.absorb(solver) }()
 	x := sctx.BVVar("x", width)
 
 	var out []Collision
@@ -258,6 +288,7 @@ func (sc *SemanticChecker) findAssume(ctx context.Context, regions []addr.Region
 	sctx := smt.NewContext()
 	solver := smt.NewSolver(sctx)
 	solver.SetBudget(sc.Budget)
+	defer func() { sc.stats.absorb(solver) }()
 	x := sctx.BVVar("x", width)
 
 	acts := make([]*smt.Term, len(regions))
@@ -307,6 +338,7 @@ func (sc *SemanticChecker) witnessFor(ctx context.Context, a, b addr.Region, wid
 	sctx := smt.NewContext()
 	solver := smt.NewSolver(sctx)
 	solver.SetBudget(sc.Budget)
+	defer func() { sc.stats.absorb(solver) }()
 	x := sctx.BVVar("x", width)
 	solver.Assert(overlapTerm(sctx, x, a, width))
 	solver.Assert(overlapTerm(sctx, x, b, width))
@@ -413,7 +445,12 @@ func overlapTerm(ctx *smt.Context, x *smt.Term, r addr.Region, width int) *smt.T
 // the paper's conclusion ("semantic validation of memory addresses and
 // interrupts is performed using bit-vector constraints"): no two device
 // nodes may claim the same interrupt line.
-type InterruptChecker struct{}
+type InterruptChecker struct {
+	// Stats, when non-nil, receives the call's solver-work counters
+	// (pair queries, SAT stats, intern hit rate). A pointer so the
+	// checker stays usable as a value: InterruptChecker{Stats: &st}.
+	Stats *SemanticStats
+}
 
 // Check reports devices sharing an interrupt number. The decision is
 // made by the SMT solver: for each pair of interrupt constants it asks
@@ -425,7 +462,7 @@ func (ic InterruptChecker) Check(tree *dts.Tree) []Violation {
 
 // CheckContext is Check under a context; a non-nil error (a
 // *sat.LimitError) means cancellation cut the pair enumeration short.
-func (InterruptChecker) CheckContext(ctx context.Context, tree *dts.Tree) ([]Violation, error) {
+func (ic InterruptChecker) CheckContext(ctx context.Context, tree *dts.Tree) ([]Violation, error) {
 	type irqUse struct {
 		path   string
 		irq    uint32
@@ -448,6 +485,9 @@ func (InterruptChecker) CheckContext(ctx context.Context, tree *dts.Tree) ([]Vio
 
 	sctx := smt.NewContext()
 	solver := smt.NewSolver(sctx)
+	if ic.Stats != nil {
+		defer func() { ic.Stats.absorb(solver) }()
+	}
 	line := sctx.BVVar("line", 32)
 
 	var out []Violation
@@ -460,6 +500,10 @@ func (InterruptChecker) CheckContext(ctx context.Context, tree *dts.Tree) ([]Vio
 			solver.Assert(sctx.Eq(line, sctx.BVConst(32, uint64(uses[i].irq))))
 			solver.Assert(sctx.Eq(line, sctx.BVConst(32, uint64(uses[j].irq))))
 			st, err := solver.CheckContext(ctx)
+			if ic.Stats != nil {
+				ic.Stats.SolverCalls++
+				ic.Stats.Pairs++
+			}
 			if st == sat.Sat {
 				out = append(out, Violation{
 					Path: uses[i].path, Property: "interrupts",

@@ -1,0 +1,176 @@
+// Per-run observability for the pipeline: RunStats is the solver/cache
+// work summary embedded in every Report (and serialized as the "stats"
+// block of a /check response), and PipelineMetrics is the registry-
+// backed counterpart that accumulates the same numbers across runs for
+// /metrics exposition.
+package core
+
+import (
+	"llhsc/internal/constraints"
+	"llhsc/internal/obs"
+	"llhsc/internal/sat"
+)
+
+// FamilyStats summarizes the solver work one checker family performed
+// during a run, aggregated across every product tree it checked.
+type FamilyStats struct {
+	// Checks is the number of trees (or, for allocation, configuration
+	// sets) this family examined.
+	Checks int `json:"checks"`
+	// Pairs / PairsPruned are the semantic sweep counters: candidate
+	// pairs submitted to the solver, and naive n·(n-1)/2 pairs the
+	// prefilter discarded before they cost a query.
+	Pairs       int `json:"pairs,omitempty"`
+	PairsPruned int `json:"pairsPruned,omitempty"`
+	// SolverCalls counts SMT check invocations.
+	SolverCalls int `json:"solverCalls,omitempty"`
+	// SAT-solver work underneath the family's queries.
+	Conflicts    uint64 `json:"conflicts,omitempty"`
+	Propagations uint64 `json:"propagations,omitempty"`
+	Restarts     uint64 `json:"restarts,omitempty"`
+	// Hash-consing effectiveness of the family's smt.Contexts.
+	InternHits   uint64 `json:"internHits,omitempty"`
+	InternMisses uint64 `json:"internMisses,omitempty"`
+}
+
+// add returns the field-wise sum; families accumulate across products.
+func (fs FamilyStats) add(other FamilyStats) FamilyStats {
+	fs.Checks += other.Checks
+	fs.Pairs += other.Pairs
+	fs.PairsPruned += other.PairsPruned
+	fs.SolverCalls += other.SolverCalls
+	fs.Conflicts += other.Conflicts
+	fs.Propagations += other.Propagations
+	fs.Restarts += other.Restarts
+	fs.InternHits += other.InternHits
+	fs.InternMisses += other.InternMisses
+	return fs
+}
+
+// familyStatsFrom converts a checker's SemanticStats sink into the
+// report shape, counting one checked tree.
+func familyStatsFrom(st constraints.SemanticStats) FamilyStats {
+	return FamilyStats{
+		Checks:       1,
+		Pairs:        st.Pairs,
+		PairsPruned:  st.PairsPruned,
+		SolverCalls:  st.SolverCalls,
+		Conflicts:    st.Solver.Conflicts,
+		Propagations: st.Solver.Propagations,
+		Restarts:     st.Solver.Restarts,
+		InternHits:   st.InternHits,
+		InternMisses: st.InternMisses,
+	}
+}
+
+// familyStatsFromSAT converts a raw SAT-stats delta (the allocation
+// family, which has no SMT layer).
+func familyStatsFromSAT(d sat.Stats) FamilyStats {
+	return FamilyStats{
+		Checks:       1,
+		Conflicts:    d.Conflicts,
+		Propagations: d.Propagations,
+		Restarts:     d.Restarts,
+	}
+}
+
+// RunStats is the per-run work summary carried by Report.Stats. All
+// counters are totals for one RunContext call; per-family numbers are
+// aggregated across every product tree. Trees answered from the check
+// cache contribute CacheHits but no family work (nothing was solved).
+type RunStats struct {
+	Families    map[string]FamilyStats `json:"families,omitempty"`
+	CacheHits   int                    `json:"cacheHits"`
+	CacheMisses int                    `json:"cacheMisses"`
+}
+
+// addFamily folds one family's contribution into the run totals.
+func (st *runState) addFamily(name string, fs FamilyStats) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.stats.Families == nil {
+		st.stats.Families = make(map[string]FamilyStats)
+	}
+	st.stats.Families[name] = st.stats.Families[name].add(fs)
+}
+
+// addCache records one cache lookup outcome.
+func (st *runState) addCache(hit bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if hit {
+		st.stats.CacheHits++
+	} else {
+		st.stats.CacheMisses++
+	}
+}
+
+// snapshot copies the accumulated stats (workers have drained by the
+// time the report is assembled, but the lock keeps -race honest).
+func (st *runState) snapshot() RunStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := st.stats
+	out.Families = make(map[string]FamilyStats, len(st.stats.Families))
+	for k, v := range st.stats.Families {
+		out.Families[k] = v
+	}
+	return out
+}
+
+// PipelineMetrics accumulates RunStats across runs on an obs.Registry,
+// under the llhsc_sat_*, llhsc_constraints_* and llhsc_smt_* families.
+// One instance may be shared by any number of Pipelines (the server
+// shares one across requests); observation is a handful of atomic adds
+// per run.
+type PipelineMetrics struct {
+	satConflicts    *obs.CounterVec
+	satPropagations *obs.CounterVec
+	satRestarts     *obs.CounterVec
+	solverCalls     *obs.CounterVec
+	pairs           *obs.CounterVec
+	pairsPruned     *obs.Counter
+	internHits      *obs.Counter
+	internMisses    *obs.Counter
+	runs            *obs.Counter
+}
+
+// NewPipelineMetrics registers the pipeline's metric families on reg.
+// Register once per registry: duplicate registration panics.
+func NewPipelineMetrics(reg *obs.Registry) *PipelineMetrics {
+	return &PipelineMetrics{
+		satConflicts: reg.NewCounterVec("llhsc_sat_conflicts_total",
+			"CDCL conflicts, by checker family.", "family"),
+		satPropagations: reg.NewCounterVec("llhsc_sat_propagations_total",
+			"Unit propagations, by checker family.", "family"),
+		satRestarts: reg.NewCounterVec("llhsc_sat_restarts_total",
+			"Solver restarts, by checker family.", "family"),
+		solverCalls: reg.NewCounterVec("llhsc_constraints_solver_calls_total",
+			"SMT check invocations, by checker family.", "family"),
+		pairs: reg.NewCounterVec("llhsc_constraints_pairs_total",
+			"Candidate pairs submitted to the solver, by checker family.", "family"),
+		pairsPruned: reg.NewCounter("llhsc_constraints_pairs_pruned_total",
+			"Naive region pairs the sweep prefilter discarded before reaching the solver."),
+		internHits: reg.NewCounter("llhsc_smt_intern_hits_total",
+			"Hash-consing intern table hits."),
+		internMisses: reg.NewCounter("llhsc_smt_intern_misses_total",
+			"Hash-consing intern table misses (terms allocated)."),
+		runs: reg.NewCounter("llhsc_core_runs_total",
+			"Completed pipeline runs (including runs that found violations)."),
+	}
+}
+
+// observe folds one run's stats into the cross-run counters.
+func (m *PipelineMetrics) observe(rs RunStats) {
+	for name, fs := range rs.Families {
+		m.satConflicts.With(name).Add(fs.Conflicts)
+		m.satPropagations.With(name).Add(fs.Propagations)
+		m.satRestarts.With(name).Add(fs.Restarts)
+		m.solverCalls.With(name).Add(uint64(fs.SolverCalls))
+		m.pairs.With(name).Add(uint64(fs.Pairs))
+		m.pairsPruned.Add(uint64(fs.PairsPruned))
+		m.internHits.Add(fs.InternHits)
+		m.internMisses.Add(fs.InternMisses)
+	}
+	m.runs.Inc()
+}

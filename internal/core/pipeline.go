@@ -32,6 +32,7 @@ import (
 	"llhsc/internal/delta"
 	"llhsc/internal/dts"
 	"llhsc/internal/featmodel"
+	"llhsc/internal/obs"
 	"llhsc/internal/sat"
 	"llhsc/internal/schema"
 )
@@ -107,6 +108,10 @@ type Pipeline struct {
 	// once per product (the canonical text is the cache key), and that
 	// single string is shared with the report.
 	SkipDTS bool
+	// Metrics, when non-nil, receives each run's aggregate solver and
+	// cache counters (see PipelineMetrics). Safe to share across
+	// pipelines; the server shares one instance across requests.
+	Metrics *PipelineMetrics
 	// Cache, when non-nil, memoizes per-tree check results keyed by
 	// the canonical tree text, the tree's origin dump (blame metadata
 	// is invisible in the printed text but embedded in cached
@@ -151,6 +156,12 @@ type Report struct {
 	// per VM, indexed like VMs.
 	JailhouseRootC  string
 	JailhouseCellsC []string
+
+	// Stats summarizes the solver and cache work of this run. It is
+	// informational — not part of the determinism contract (the
+	// fingerprinted report parts are identical across schedules; which
+	// product pays for a shared cache entry is not).
+	Stats RunStats
 }
 
 // OK reports whether every check passed.
@@ -204,11 +215,14 @@ func (p *Pipeline) Run() (*Report, error) {
 }
 
 // runState carries the per-run configuration shared by every product
-// worker.
+// worker, and accumulates the run's work statistics.
 type runState struct {
 	limits   Limits
 	parallel bool   // fan the checker families out per tree
 	schemaFP string // schema-set fingerprint, "" when Cache is nil
+
+	mu    sync.Mutex
+	stats RunStats
 }
 
 // RunContext executes the full workflow under a context and resource
@@ -216,11 +230,27 @@ type runState struct {
 // *LimitError naming the interrupted phase (errors.Is also matches the
 // underlying ctx.Err() / *sat.LimitError). Constraint violations are
 // reported in the Report, not as errors.
+//
+// When the context carries an obs.Span (obs.ContextWithSpan), the run
+// records a child span per phase — allocation, one per product, baogen
+// — with solver and cache attributes; with no span in the context the
+// tracing path is a single nil check per phase. Run statistics are
+// always accumulated into Report.Stats and, when Pipeline.Metrics is
+// set, folded into the shared registry even if the run errors out.
 func (p *Pipeline) RunContext(ctx context.Context, limits Limits) (*Report, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	report := &Report{}
+	workers := limits.parallelism()
+	st := &runState{limits: limits, parallel: workers > 1}
+	if p.Cache != nil {
+		st.schemaFP = p.Schemas.Fingerprint()
+	}
+	root := obs.SpanFromContext(ctx) // read once; nil disables tracing
+	if p.Metrics != nil {
+		defer func() { p.Metrics.observe(st.snapshot()) }()
+	}
 
 	// ---- resource allocation (Section IV-A) ----
 	alloc, err := constraints.NewAllocationChecker(p.Model, len(p.VMConfigs))
@@ -228,38 +258,45 @@ func (p *Pipeline) RunContext(ctx context.Context, limits Limits) (*Report, erro
 		return nil, err
 	}
 	alloc.SetBudget(limits.Solver)
+	allocSpan := root.StartChild("allocation")
+	before := alloc.Stats()
 	report.Allocation, err = alloc.CheckContext(ctx, p.VMConfigs)
+	d := alloc.Stats().Sub(before)
+	st.addFamily("allocation", familyStatsFromSAT(d))
+	allocSpan.SetInt("conflicts", d.Conflicts)
+	allocSpan.SetInt("propagations", d.Propagations)
+	allocSpan.End()
 	if err != nil {
 		return nil, &LimitError{Phase: "allocation", Err: err}
 	}
 
 	// ---- per-VM products + the platform union ----
-	workers := limits.parallelism()
-	st := &runState{limits: limits, parallel: workers > 1}
-	if p.Cache != nil {
-		st.schemaFP = p.Schemas.Fingerprint()
-	}
 	report.VMs = make([]VMResult, len(p.VMConfigs))
 	union := featmodel.PlatformUnion(p.VMConfigs)
 
 	if !st.parallel {
 		for i := range p.VMConfigs {
-			if err := p.deriveAndCheckVM(ctx, st, i, &report.VMs[i]); err != nil {
+			span := root.StartChild("vm:" + p.vmName(i))
+			if err := p.deriveAndCheckVM(ctx, st, i, &report.VMs[i], span); err != nil {
 				return nil, err
 			}
 		}
-		if err := p.deriveAndCheckPlatform(ctx, st, union, &report.Platform); err != nil {
+		span := root.StartChild("platform")
+		if err := p.deriveAndCheckPlatform(ctx, st, union, &report.Platform, span); err != nil {
 			return nil, err
 		}
-	} else if err := p.runProductsParallel(ctx, st, workers, union, report); err != nil {
+	} else if err := p.runProductsParallel(ctx, st, workers, union, report, root); err != nil {
 		return nil, err
 	}
 
 	if !report.OK() {
+		report.Stats = st.snapshot()
 		return report, nil
 	}
 
 	// ---- artifact generation (Listings 3 and 6) ----
+	genSpan := root.StartChild("baogen")
+	defer genSpan.End()
 	platform, err := baogen.PlatformFromTree(report.Platform.Tree)
 	if err != nil {
 		return nil, err
@@ -279,7 +316,16 @@ func (p *Pipeline) RunContext(ctx context.Context, limits Limits) (*Report, erro
 			baogen.RenderJailhouseCellC(bvm))
 	}
 	report.ConfigC = baogen.NewConfig(vms).RenderConfigC()
+	report.Stats = st.snapshot()
 	return report, nil
+}
+
+// vmName resolves VM i's display name.
+func (p *Pipeline) vmName(i int) string {
+	if len(p.VMNames) > 0 {
+		return p.VMNames[i]
+	}
+	return fmt.Sprintf("vm%d", i+1)
 }
 
 // runProductsParallel derives and checks every VM product plus the
@@ -291,10 +337,21 @@ func (p *Pipeline) RunContext(ctx context.Context, limits Limits) (*Report, erro
 // in index order and the reported one is chosen after the pool drains,
 // so the error (and its phase) does not depend on which worker lost
 // the race.
-func (p *Pipeline) runProductsParallel(ctx context.Context, st *runState, workers int, union featmodel.Configuration, report *Report) error {
+func (p *Pipeline) runProductsParallel(ctx context.Context, st *runState, workers int, union featmodel.Configuration, report *Report, root *obs.Span) error {
 	jobs := len(report.VMs) + 1 // VMs plus the platform union
 	if workers > jobs {
 		workers = jobs
+	}
+	// Pre-create the per-product spans in index order, before any
+	// worker runs: StartChild appends under the parent's lock, so
+	// creating them here keeps the span tree identical to a serial
+	// run's regardless of which worker finishes first.
+	spans := make([]*obs.Span, jobs)
+	if root != nil {
+		for i := range report.VMs {
+			spans[i] = root.StartChild("vm:" + p.vmName(i))
+		}
+		spans[jobs-1] = root.StartChild("platform")
 	}
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -320,9 +377,9 @@ func (p *Pipeline) runProductsParallel(ctx context.Context, st *runState, worker
 					}()
 					var err error
 					if i < len(report.VMs) {
-						err = p.deriveAndCheckVM(wctx, st, i, &report.VMs[i])
+						err = p.deriveAndCheckVM(wctx, st, i, &report.VMs[i], spans[i])
 					} else {
-						err = p.deriveAndCheckPlatform(wctx, st, union, &report.Platform)
+						err = p.deriveAndCheckPlatform(wctx, st, union, &report.Platform, spans[i])
 					}
 					if err != nil {
 						jobErrs[i] = err
@@ -372,14 +429,16 @@ func lowestPrimaryError(ctx context.Context, errs []error) error {
 // the result slot. Errors come back in the same shapes as a serial
 // run: limit causes wrapped in *LimitError, structural delta failures
 // as plain errors naming the VM.
-func (p *Pipeline) deriveAndCheckVM(ctx context.Context, st *runState, i int, out *VMResult) error {
-	name := fmt.Sprintf("vm%d", i+1)
-	if len(p.VMNames) > 0 {
-		name = p.VMNames[i]
-	}
+func (p *Pipeline) deriveAndCheckVM(ctx context.Context, st *runState, i int, out *VMResult, span *obs.Span) error {
+	span.Begin() // pre-created for deterministic order; work starts here
+	defer span.End()
+	name := p.vmName(i)
 	out.Name = name
 	out.Config = p.VMConfigs[i]
+	derive := span.StartChild("derive")
 	tree, trace, err := p.Deltas.ApplyContext(ctx, p.Core, p.VMConfigs[i], st.limits.MaxDeltaOps)
+	derive.SetInt("deltas", uint64(len(trace)))
+	derive.End()
 	if err != nil {
 		if isLimitCause(err) {
 			return &LimitError{Phase: "vm:" + name, Err: err}
@@ -388,7 +447,7 @@ func (p *Pipeline) deriveAndCheckVM(ctx context.Context, st *runState, i int, ou
 	}
 	out.Tree = tree
 	out.Trace = trace
-	out.DTS, out.Violations, err = p.checkProductTree(ctx, st, tree)
+	out.DTS, out.Violations, err = p.checkProductTree(ctx, st, tree, span)
 	if err != nil {
 		return &LimitError{Phase: "vm:" + name, Err: err}
 	}
@@ -396,8 +455,13 @@ func (p *Pipeline) deriveAndCheckVM(ctx context.Context, st *runState, i int, ou
 }
 
 // deriveAndCheckPlatform derives and checks the union product.
-func (p *Pipeline) deriveAndCheckPlatform(ctx context.Context, st *runState, union featmodel.Configuration, out *PlatformResult) error {
+func (p *Pipeline) deriveAndCheckPlatform(ctx context.Context, st *runState, union featmodel.Configuration, out *PlatformResult, span *obs.Span) error {
+	span.Begin()
+	defer span.End()
+	derive := span.StartChild("derive")
 	tree, trace, err := p.Deltas.ApplyContext(ctx, p.Core, union, st.limits.MaxDeltaOps)
+	derive.SetInt("deltas", uint64(len(trace)))
+	derive.End()
 	if err != nil {
 		if isLimitCause(err) {
 			return &LimitError{Phase: "platform", Err: err}
@@ -407,7 +471,7 @@ func (p *Pipeline) deriveAndCheckPlatform(ctx context.Context, st *runState, uni
 	out.Config = union
 	out.Trace = trace
 	out.Tree = tree
-	out.DTS, out.Violations, err = p.checkProductTree(ctx, st, tree)
+	out.DTS, out.Violations, err = p.checkProductTree(ctx, st, tree, span)
 	if err != nil {
 		return &LimitError{Phase: "platform", Err: err}
 	}
@@ -421,7 +485,7 @@ func (p *Pipeline) deriveAndCheckPlatform(ctx context.Context, st *runState, uni
 // metadata (dts.Origin — delta name, source position) that the printed
 // text does not capture, so two products with identical text but
 // different provenance must not share a cache entry.
-func (p *Pipeline) checkProductTree(ctx context.Context, st *runState, tree *dts.Tree) (string, []constraints.Violation, error) {
+func (p *Pipeline) checkProductTree(ctx context.Context, st *runState, tree *dts.Tree, span *obs.Span) (string, []constraints.Violation, error) {
 	var printed, reportDTS string
 	if !p.SkipDTS || p.Cache != nil {
 		printed = tree.Print()
@@ -429,8 +493,10 @@ func (p *Pipeline) checkProductTree(ctx context.Context, st *runState, tree *dts
 	if !p.SkipDTS {
 		reportDTS = printed
 	}
+	check := span.StartChild("check")
+	defer check.End()
 	if p.Cache == nil {
-		violations, err := p.checkTree(ctx, st, tree)
+		violations, err := p.checkTree(ctx, st, tree, check)
 		return reportDTS, violations, err
 	}
 	key := checkcache.Key(
@@ -441,51 +507,101 @@ func (p *Pipeline) checkProductTree(ctx context.Context, st *runState, tree *dts
 			st.limits.Solver.MaxConflicts, st.limits.Solver.MaxLearntLits, p.SkipInterrupts,
 			p.SemanticStrategy),
 	)
-	violations, _, err := p.Cache.Do(ctx, key, func() ([]constraints.Violation, error) {
-		return p.checkTree(ctx, st, tree)
+	violations, hit, err := p.Cache.Do(ctx, key, func() ([]constraints.Violation, error) {
+		return p.checkTree(ctx, st, tree, check)
 	})
+	if hit {
+		check.SetAttr("cache", "hit")
+	} else {
+		check.SetAttr("cache", "miss")
+	}
+	st.addCache(hit)
 	return reportDTS, violations, err
+}
+
+// checkerFamily is one independent checker family for one tree: a name
+// (the span label, stats key and /metrics family label) and a closure
+// that returns the family's violations plus its solver-work summary.
+type checkerFamily struct {
+	name string
+	run  func(context.Context) ([]constraints.Violation, FamilyStats, error)
 }
 
 // checkerFamilies returns the independent checker families for one
 // tree, in the deterministic merge order. Each closure builds its own
 // checkers on first use — smt.Context is confined to one goroutine, so
 // families must not share solver state when they run concurrently.
-func (p *Pipeline) checkerFamilies(st *runState, tree *dts.Tree) []func(context.Context) ([]constraints.Violation, error) {
-	families := []func(context.Context) ([]constraints.Violation, error){
-		func(ctx context.Context) ([]constraints.Violation, error) {
-			return constraints.NewSyntacticChecker(p.Schemas).CheckContext(ctx, tree)
-		},
-		func(ctx context.Context) ([]constraints.Violation, error) {
+func (p *Pipeline) checkerFamilies(st *runState, tree *dts.Tree) []checkerFamily {
+	families := []checkerFamily{
+		{name: "syntactic", run: func(ctx context.Context) ([]constraints.Violation, FamilyStats, error) {
+			vs, err := constraints.NewSyntacticChecker(p.Schemas).CheckContext(ctx, tree)
+			return vs, FamilyStats{Checks: 1}, err
+		}},
+		{name: "semantic", run: func(ctx context.Context) ([]constraints.Violation, FamilyStats, error) {
 			sem := constraints.NewSemanticChecker()
 			sem.Budget = st.limits.Solver
 			sem.Strategy = p.SemanticStrategy
 			_, violations, err := sem.CheckContext(ctx, tree)
-			return violations, err
-		},
-		func(ctx context.Context) ([]constraints.Violation, error) {
-			return constraints.MemReserveChecker{}.CheckContext(ctx, tree)
-		},
+			return violations, familyStatsFrom(sem.LastStats()), err
+		}},
+		{name: "memreserve", run: func(ctx context.Context) ([]constraints.Violation, FamilyStats, error) {
+			var fst constraints.SemanticStats
+			vs, err := constraints.MemReserveChecker{Stats: &fst}.CheckContext(ctx, tree)
+			return vs, familyStatsFrom(fst), err
+		}},
 	}
 	if !p.SkipInterrupts {
-		families = append(families, func(ctx context.Context) ([]constraints.Violation, error) {
-			return constraints.InterruptChecker{}.CheckContext(ctx, tree)
+		families = append(families, checkerFamily{
+			name: "interrupt",
+			run: func(ctx context.Context) ([]constraints.Violation, FamilyStats, error) {
+				var fst constraints.SemanticStats
+				vs, err := constraints.InterruptChecker{Stats: &fst}.CheckContext(ctx, tree)
+				return vs, familyStatsFrom(fst), err
+			},
 		})
 	}
 	return families
+}
+
+// runFamily executes one family under its span, records its stats and
+// annotates the span with the family's solver work.
+func (p *Pipeline) runFamily(ctx context.Context, st *runState, f checkerFamily, span *obs.Span) ([]constraints.Violation, error) {
+	span.Begin() // pre-created for deterministic order; work starts here
+	defer span.End()
+	vs, fs, err := f.run(ctx)
+	st.addFamily(f.name, fs)
+	if span != nil {
+		span.SetInt("violations", uint64(len(vs)))
+		if fs.SolverCalls > 0 {
+			span.SetInt("solver_calls", uint64(fs.SolverCalls))
+			span.SetInt("conflicts", fs.Conflicts)
+		}
+		if fs.Pairs > 0 || fs.PairsPruned > 0 {
+			span.SetInt("pairs", uint64(fs.Pairs))
+			span.SetInt("pairs_pruned", uint64(fs.PairsPruned))
+		}
+	}
+	return vs, err
 }
 
 // checkTree runs the checker families over one tree and merges their
 // violations in family order. With parallelism enabled the families
 // run concurrently (they are mutually independent; each owns its
 // solver), and the merge order keeps the output identical to a serial
-// run.
-func (p *Pipeline) checkTree(ctx context.Context, st *runState, tree *dts.Tree) ([]constraints.Violation, error) {
+// run. Family spans are pre-created in family order before any
+// goroutine starts, so the span tree is schedule-independent too.
+func (p *Pipeline) checkTree(ctx context.Context, st *runState, tree *dts.Tree, span *obs.Span) ([]constraints.Violation, error) {
 	families := p.checkerFamilies(st, tree)
+	spans := make([]*obs.Span, len(families))
+	if span != nil {
+		for i, f := range families {
+			spans[i] = span.StartChild("family:" + f.name)
+		}
+	}
 	if !st.parallel {
 		var out []constraints.Violation
-		for _, f := range families {
-			vs, err := f(ctx)
+		for i, f := range families {
+			vs, err := p.runFamily(ctx, st, f, spans[i])
 			out = append(out, vs...)
 			if err != nil {
 				return out, err
@@ -505,7 +621,7 @@ func (p *Pipeline) checkTree(ctx context.Context, st *runState, tree *dts.Tree) 
 	)
 	for i, f := range families {
 		wg.Add(1)
-		go func(i int, f func(context.Context) ([]constraints.Violation, error)) {
+		go func(i int, f checkerFamily) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
@@ -513,7 +629,7 @@ func (p *Pipeline) checkTree(ctx context.Context, st *runState, tree *dts.Tree) 
 					cancel()
 				}
 			}()
-			vs, err := f(fctx)
+			vs, err := p.runFamily(fctx, st, f, spans[i])
 			results[i] = vs
 			if err != nil {
 				famErrs[i] = err

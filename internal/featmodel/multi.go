@@ -95,6 +95,10 @@ func (ma *MultiAnalyzer) IsVoid() bool {
 // bounding every subsequent query.
 func (ma *MultiAnalyzer) SetBudget(b sat.Budget) { ma.solver.SetBudget(b) }
 
+// Stats returns a snapshot of the underlying SAT solver's cumulative
+// statistics (see sat.Stats for the delta-snapshot contract).
+func (ma *MultiAnalyzer) Stats() sat.Stats { return ma.solver.Stats() }
+
 // CheckConfigs validates one configuration per VM simultaneously,
 // including the cross-VM exclusivity constraints. It returns nil when
 // valid and an explanation (conflicting feature literals, prefixed by

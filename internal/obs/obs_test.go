@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 56.05; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	var b strings.Builder
+	h.writeTo(&b, "m", "")
+	out := b.String()
+	for _, line := range []string{
+		`m_bucket{le="0.1"} 1`,
+		`m_bucket{le="1"} 3`,
+		`m_bucket{le="10"} 4`,
+		`m_bucket{le="+Inf"} 5`,
+		`m_count 5`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestRegistryExposition(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("llhsc_test_ops_total", "operations")
+	c.Add(3)
+	cv := reg.NewCounterVec("llhsc_test_family_total", "per family", "family")
+	cv.With("semantic").Add(7)
+	cv.With("syntactic").Inc()
+	reg.NewGauge("llhsc_test_inflight", "in flight").Set(2)
+	reg.Register("llhsc_test_entries", "entries", FuncGauge(func() float64 { return 5 }))
+	h := reg.NewHistogramVec("llhsc_test_seconds", "latency", []float64{1}, "endpoint", "code")
+	h.With("/check", "2xx").Observe(0.5)
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP llhsc_test_ops_total operations",
+		"# TYPE llhsc_test_ops_total counter",
+		"llhsc_test_ops_total 3",
+		`llhsc_test_family_total{family="semantic"} 7`,
+		`llhsc_test_family_total{family="syntactic"} 1`,
+		"# TYPE llhsc_test_inflight gauge",
+		"llhsc_test_inflight 2",
+		"llhsc_test_entries 5",
+		`llhsc_test_seconds_bucket{endpoint="/check",code="2xx",le="1"} 1`,
+		`llhsc_test_seconds_count{endpoint="/check",code="2xx"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families come out sorted by name for stable scrapes.
+	if strings.Index(out, "llhsc_test_entries") > strings.Index(out, "llhsc_test_ops_total") {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("llhsc_dup_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	reg.NewCounter("llhsc_dup_total", "x")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.NewCounterVec("llhsc_esc_total", "escaping", "path")
+	cv.With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `{path="a\"b\\c\nd"}`) {
+		t.Errorf("label not escaped:\n%s", b.String())
+	}
+}
+
+func TestNilSpanIsNoop(t *testing.T) {
+	var s *Span
+	c := s.StartChild("x")
+	if c != nil {
+		t.Fatal("StartChild on nil span must return nil")
+	}
+	c.End()
+	c.SetAttr("k", "v")
+	c.SetInt("n", 1)
+	if c.Duration() != 0 {
+		t.Fatal("nil span has duration")
+	}
+	if got := c.PhaseSet(); len(got) != 0 {
+		t.Fatalf("nil span phase set = %v", got)
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	root := NewSpan("check")
+	a := root.StartChild("allocation")
+	a.SetInt("conflicts", 3)
+	a.End()
+	vm := root.StartChild("vm:vm1")
+	vm.StartChild("semantic").End()
+	vm.End()
+	root.End()
+
+	snap := root.Snapshot()
+	if snap.Name != "check" || len(snap.Children) != 2 {
+		t.Fatalf("unexpected snapshot: %+v", snap)
+	}
+	if snap.Children[0].Name != "allocation" || snap.Children[1].Name != "vm:vm1" {
+		t.Fatalf("children out of order: %+v", snap.Children)
+	}
+	if len(snap.Children[0].Attrs) != 1 || snap.Children[0].Attrs[0].Value != "3" {
+		t.Fatalf("attr lost: %+v", snap.Children[0].Attrs)
+	}
+	phases := root.PhaseSet()
+	want := []string{"allocation", "check", "semantic", "vm:vm1"}
+	if len(phases) != len(want) {
+		t.Fatalf("phases = %v, want %v", phases, want)
+	}
+	for i := range want {
+		if phases[i] != want[i] {
+			t.Fatalf("phases = %v, want %v", phases, want)
+		}
+	}
+	var b strings.Builder
+	root.WriteTree(&b)
+	if !strings.Contains(b.String(), "conflicts=3") {
+		t.Errorf("tree rendering missing attr:\n%s", b.String())
+	}
+}
+
+func TestSpanContext(t *testing.T) {
+	ctx := context.Background()
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("empty context carries a span")
+	}
+	root := NewSpan("r")
+	ctx = ContextWithSpan(ctx, root)
+	if SpanFromContext(ctx) != root {
+		t.Fatal("span not recovered from context")
+	}
+	if got := ContextWithSpan(context.Background(), nil); SpanFromContext(got) != nil {
+		t.Fatal("nil span stored in context")
+	}
+}
+
+func TestSnapshotOfRunningSpan(t *testing.T) {
+	s := NewSpan("live")
+	time.Sleep(time.Millisecond)
+	snap := s.Snapshot()
+	if snap.Millis <= 0 {
+		t.Fatalf("running span reports %vms", snap.Millis)
+	}
+	s.End()
+	d := s.Duration()
+	time.Sleep(time.Millisecond)
+	if s.Duration() != d {
+		t.Fatal("duration changed after End")
+	}
+}
+
+// TestConcurrentMetricsAndSpans hammers counters, histogram and a span
+// tree from many goroutines while a scraper renders the registry —
+// run with -race.
+func TestConcurrentMetricsAndSpans(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("llhsc_conc_total", "c")
+	hv := reg.NewHistogramVec("llhsc_conc_seconds", "h", nil, "family")
+	root := NewSpan("root")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				c.Inc()
+				hv.With("semantic").Observe(0.001)
+				sp := root.StartChild("work")
+				sp.SetInt("j", uint64(j))
+				sp.End()
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				var b strings.Builder
+				reg.WritePrometheus(&b)
+				_ = root.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 4000 {
+		t.Fatalf("counter = %d, want 4000", c.Value())
+	}
+	if hv.With("semantic").Count() != 4000 {
+		t.Fatalf("histogram count = %d, want 4000", hv.With("semantic").Count())
+	}
+}

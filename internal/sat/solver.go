@@ -50,7 +50,13 @@ func (s Status) String() string {
 	}
 }
 
-// Stats reports cumulative solver statistics.
+// Stats reports cumulative solver statistics. The counter fields
+// (Decisions, Propagations, Conflicts, Restarts) accumulate across
+// Solve calls and are never reset: Solve's conflict budget is computed
+// as an absolute stopping point (stats.Conflicts + Budget.MaxConflicts,
+// the confLimit field), so taking snapshots between calls never
+// perturbs the limit arithmetic — see TestStatsDeltaDoesNotPerturbBudget.
+// Per-call numbers come from Sub over two snapshots.
 type Stats struct {
 	Decisions    uint64
 	Propagations uint64
@@ -59,6 +65,37 @@ type Stats struct {
 	Learnts      int // currently retained learnt clauses
 	Clauses      int // problem clauses
 	Vars         int
+}
+
+// Sub returns the per-call delta between this snapshot and an earlier
+// one: the cumulative counters are subtracted, while the point-in-time
+// gauges (Learnts, Clauses, Vars) keep their current values.
+func (st Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Decisions:    st.Decisions - prev.Decisions,
+		Propagations: st.Propagations - prev.Propagations,
+		Conflicts:    st.Conflicts - prev.Conflicts,
+		Restarts:     st.Restarts - prev.Restarts,
+		Learnts:      st.Learnts,
+		Clauses:      st.Clauses,
+		Vars:         st.Vars,
+	}
+}
+
+// Add returns the aggregate of two stats — used to sum the work of the
+// many short-lived solvers one pipeline run creates. Counters and
+// gauges are both summed; for gauges the result reads as "total across
+// solvers", not the state of any one instance.
+func (st Stats) Add(other Stats) Stats {
+	return Stats{
+		Decisions:    st.Decisions + other.Decisions,
+		Propagations: st.Propagations + other.Propagations,
+		Conflicts:    st.Conflicts + other.Conflicts,
+		Restarts:     st.Restarts + other.Restarts,
+		Learnts:      st.Learnts + other.Learnts,
+		Clauses:      st.Clauses + other.Clauses,
+		Vars:         st.Vars + other.Vars,
+	}
 }
 
 // internal literal: v<<1 | sign, sign==1 means negated. Variables 0-based.
@@ -795,7 +832,10 @@ func (s *Solver) FailedAssumptions() []logic.Lit {
 // (i.e. no contradiction among the added clauses alone).
 func (s *Solver) Okay() bool { return s.okay }
 
-// Stats returns cumulative statistics.
+// Stats returns a copy of the cumulative statistics — a snapshot that
+// later solver activity cannot mutate. Snapshot before and after a
+// Solve and use Stats.Sub for the per-call delta; snapshotting never
+// affects the conflict-budget arithmetic (see the Stats doc).
 func (s *Solver) Stats() Stats {
 	st := s.stats
 	st.Learnts = len(s.learnts)

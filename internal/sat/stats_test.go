@@ -1,0 +1,69 @@
+package sat
+
+import "testing"
+
+// TestStatsDeltaDoesNotPerturbBudget is the regression guard for the
+// confLimit arithmetic: the per-Solve conflict budget is computed as
+// an absolute target relative to the cumulative stats.Conflicts
+// (solver.go), so each budgeted Solve on the same solver must receive
+// its full MaxConflicts allowance even though the counter never
+// resets — and snapshotting stats between calls must not change that.
+func TestStatsDeltaDoesNotPerturbBudget(t *testing.T) {
+	s := New()
+	s.SetBudget(Budget{MaxConflicts: 5})
+	pigeonhole(s, 9)
+
+	before := s.Stats()
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("first Solve = %v, want Unknown", got)
+	}
+	mid := s.Stats()
+	first := mid.Sub(before)
+	if first.Conflicts == 0 || first.Conflicts > 5 {
+		t.Fatalf("first call used %d conflicts, want 1..5", first.Conflicts)
+	}
+
+	// Second call on the same solver: if confLimit were computed from
+	// zero instead of the cumulative counter, the budget would already
+	// be exhausted and this call would stop after 0 conflicts.
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("second Solve = %v, want Unknown", got)
+	}
+	second := s.Stats().Sub(mid)
+	if second.Conflicts == 0 || second.Conflicts > 5 {
+		t.Fatalf("second call used %d conflicts, want the full 1..5 budget again", second.Conflicts)
+	}
+	if lim := s.LastLimit(); lim == nil || lim.Reason != StopConflicts {
+		t.Fatalf("LastLimit = %+v, want reason %q", lim, StopConflicts)
+	}
+}
+
+func TestStatsSubAndAdd(t *testing.T) {
+	prev := Stats{Decisions: 10, Propagations: 100, Conflicts: 5, Restarts: 1, Learnts: 4, Clauses: 9, Vars: 3}
+	cur := Stats{Decisions: 25, Propagations: 180, Conflicts: 11, Restarts: 2, Learnts: 6, Clauses: 9, Vars: 3}
+	d := cur.Sub(prev)
+	if d.Decisions != 15 || d.Propagations != 80 || d.Conflicts != 6 || d.Restarts != 1 {
+		t.Fatalf("Sub counters wrong: %+v", d)
+	}
+	if d.Learnts != 6 || d.Clauses != 9 || d.Vars != 3 {
+		t.Fatalf("Sub must keep current gauge values: %+v", d)
+	}
+	sum := prev.Add(cur)
+	if sum.Conflicts != 16 || sum.Decisions != 35 || sum.Vars != 6 {
+		t.Fatalf("Add wrong: %+v", sum)
+	}
+}
+
+// TestStatsReturnsCopy pins the snapshot semantics satellite: mutating
+// the returned value must not reach the solver.
+func TestStatsReturnsCopy(t *testing.T) {
+	s := New()
+	s.AddClause(1, 2)
+	s.Solve()
+	st := s.Stats()
+	st.Conflicts = 999999
+	st.Vars = -1
+	if got := s.Stats(); got.Conflicts == 999999 || got.Vars == -1 {
+		t.Fatalf("Stats returned a live reference: %+v", got)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -37,6 +38,7 @@ import (
 	"llhsc/internal/delta"
 	"llhsc/internal/dts"
 	"llhsc/internal/featmodel"
+	"llhsc/internal/obs"
 	"llhsc/internal/runningexample"
 	"llhsc/internal/sat"
 	"llhsc/internal/schema"
@@ -67,6 +69,16 @@ type Options struct {
 	// region-overlap queries (sweep by default; the -semantic-strategy
 	// server flag).
 	SemanticStrategy constraints.SemanticStrategy
+	// Registry, when non-nil, enables metrics: per-endpoint latency
+	// histograms, the in-flight gauge, pipeline solver counters and the
+	// check-cache counters all register on it, and the handler serves
+	// the registry as GET /metrics.
+	Registry *obs.Registry
+	// LogWriter, when non-nil, receives one structured JSON line per
+	// request (request ID, status, duration, per-phase millis; non-2xx
+	// lines additionally carry the phase reached and the taxonomy
+	// class). Typically os.Stderr.
+	LogWriter io.Writer
 }
 
 const defaultMaxBodyBytes = 4 << 20
@@ -118,6 +130,13 @@ type CheckResponse struct {
 	JailhouseRootC  string   `json:"jailhouseRootC,omitempty"`
 	JailhouseCellsC []string `json:"jailhouseCellsC,omitempty"`
 	QEMUArgs        []string `json:"qemuArgs,omitempty"`
+
+	// RequestID echoes the X-Request-ID response header so the report
+	// can be correlated with the server's structured log lines.
+	RequestID string `json:"requestId,omitempty"`
+	// Stats is the run's solver and cache work summary (per checker
+	// family), straight from the pipeline.
+	Stats *core.RunStats `json:"stats,omitempty"`
 }
 
 // errorResponse is the JSON error envelope. Reason is a stable
@@ -144,18 +163,33 @@ func NewHandler(opts Options) http.Handler {
 	if opts.MaxInFlight > 0 {
 		s.inflight = make(chan struct{}, opts.MaxInFlight)
 	}
+	if opts.Registry != nil {
+		s.metrics = newServiceMetrics(opts.Registry)
+		s.pipeMetrics = core.NewPipelineMetrics(opts.Registry)
+		s.cache.RegisterMetrics(opts.Registry)
+	}
+	if opts.LogWriter != nil {
+		s.logger = &jsonLogger{w: opts.LogWriter}
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/example", handleExample)
 	mux.Handle("/check", s.guard(s.handleCheck))
 	mux.Handle("/lint", s.guard(s.handleLint))
-	return recoverPanics(mux)
+	if opts.Registry != nil {
+		mux.Handle("/metrics", opts.Registry.Handler())
+	}
+	return s.observe(recoverPanics(mux))
 }
 
 type server struct {
 	opts     Options
 	inflight chan struct{}     // nil = unlimited
 	cache    *checkcache.Cache // nil = disabled; shared across requests
+
+	metrics     *serviceMetrics       // nil = no Registry configured
+	pipeMetrics *core.PipelineMetrics // nil = no Registry configured
+	logger      *jsonLogger           // nil = no LogWriter configured
 }
 
 // recoverPanics isolates handler panics: the request answers a JSON
@@ -181,6 +215,8 @@ func (s *server) guard(h http.HandlerFunc) http.Handler {
 			case s.inflight <- struct{}{}:
 				defer func() { <-s.inflight }()
 			default:
+				markPhase(r.Context(), "admission")
+				markReason(r.Context(), "overloaded")
 				w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
 				writeJSON(w, http.StatusTooManyRequests, errorResponse{
 					Error:      fmt.Sprintf("too many requests in flight (limit %d)", s.opts.MaxInFlight),
@@ -213,6 +249,7 @@ func writeLimitError(w http.ResponseWriter, r *http.Request, err error) {
 		requestExpired = true
 	}
 	if requestExpired {
+		markReason(r.Context(), "request-timeout")
 		writeJSON(w, http.StatusRequestTimeout, errorResponse{
 			Error:  fmt.Sprintf("request aborted: %v", err),
 			Reason: "request-timeout",
@@ -228,6 +265,7 @@ func writeLimitError(w http.ResponseWriter, r *http.Request, err error) {
 	case errors.As(err, &step):
 		reason = "budget:delta-ops"
 	}
+	markReason(r.Context(), reason)
 	w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
 	writeJSON(w, http.StatusServiceUnavailable, errorResponse{
 		Error:      fmt.Sprintf("check incomplete, result unknown: %v", err),
@@ -287,6 +325,7 @@ func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v interface{
 	}
 	var tooBig *http.MaxBytesError
 	if errors.As(err, &tooBig) {
+		markReason(r.Context(), "body-too-large")
 		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
 			Error:  fmt.Sprintf("request body over %d bytes", tooBig.Limit),
 			Reason: "body-too-large",
@@ -324,6 +363,7 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	markPhase(r.Context(), "decode")
 	var req CheckRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -332,6 +372,7 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var le *core.LimitError
 		if errors.As(err, &le) {
+			markPhase(r.Context(), "pipeline:"+le.Phase)
 			writeLimitError(w, r, err)
 			return
 		}
@@ -346,6 +387,7 @@ func (s *server) runCheck(ctx context.Context, req *CheckRequest) (*CheckRespons
 		return nil, http.StatusBadRequest,
 			fmt.Errorf("coreDts, deltas, featureModel and vms are all required")
 	}
+	markPhase(ctx, "parse")
 	includer := dts.MapIncluder(req.Includes)
 	tree, err := dts.Parse("core.dts", req.CoreDTS, s.parseOpts(includer)...)
 	if err != nil {
@@ -375,6 +417,7 @@ func (s *server) runCheck(ctx context.Context, req *CheckRequest) (*CheckRespons
 		configs[i] = cfg
 	}
 
+	markPhase(ctx, "pipeline")
 	pipeline := &core.Pipeline{
 		Core:             tree,
 		Deltas:           deltas,
@@ -382,15 +425,19 @@ func (s *server) runCheck(ctx context.Context, req *CheckRequest) (*CheckRespons
 		Schemas:          schema.StandardSet(),
 		VMConfigs:        configs,
 		Cache:            s.cache,
+		Metrics:          s.pipeMetrics,
 		SemanticStrategy: s.opts.SemanticStrategy,
 	}
 	report, err := pipeline.RunContext(ctx, s.opts.Limits)
 	if err != nil {
 		return nil, http.StatusUnprocessableEntity, err
 	}
+	markPhase(ctx, "respond")
 
+	stats := report.Stats
 	resp := &CheckResponse{
 		OK:         report.OK(),
+		Stats:      &stats,
 		Allocation: toViolations(report.Allocation),
 		Platform: VMResult{
 			Name:       "platform",
@@ -411,6 +458,9 @@ func (s *server) runCheck(ctx context.Context, req *CheckRequest) (*CheckRespons
 			DTS:        vm.DTS,
 			Violations: toViolations(vm.Violations),
 		})
+	}
+	if sc := scopeFrom(ctx); sc != nil {
+		resp.RequestID = sc.id
 	}
 	return resp, http.StatusOK, nil
 }
@@ -452,6 +502,7 @@ func (s *server) handleLint(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	markPhase(r.Context(), "decode")
 	var req LintRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -460,11 +511,13 @@ func (s *server) handleLint(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "dts is required")
 		return
 	}
+	markPhase(r.Context(), "parse")
 	tree, err := dts.Parse("input.dts", req.DTS, s.parseOpts(dts.MapIncluder(req.Includes))...)
 	if err != nil {
 		writeError(w, inputStatus(err), "%v", err)
 		return
 	}
+	markPhase(r.Context(), "lint")
 	resp := &LintResponse{}
 	for _, lw := range tree.Lint() {
 		resp.Warnings = append(resp.Warnings, lw.String())

@@ -49,6 +49,37 @@ func TestHashConsingDiscriminates(t *testing.T) {
 	}
 }
 
+// TestInternStats: the hit/miss counters expose the consing table's
+// effectiveness — a re-build of an interned term is all hits, and the
+// no-consing ablation records only misses.
+func TestInternStats(t *testing.T) {
+	c := NewContext()
+	x := c.BVVar("x", 8)
+	a := c.Ule(c.BVConst(8, 1), x)
+	h0, m0 := c.InternStats()
+	if m0 == 0 {
+		t.Fatal("interning recorded no misses")
+	}
+	b := c.Ule(c.BVConst(8, 1), x) // structurally identical: all hits
+	if a != b {
+		t.Fatal("hash consing failed")
+	}
+	h1, m1 := c.InternStats()
+	if m1 != m0 {
+		t.Errorf("re-building interned terms allocated %d new terms", m1-m0)
+	}
+	if h1-h0 < 2 { // the rebuilt const and ule both hit
+		t.Errorf("hits delta = %d, want >= 2", h1-h0)
+	}
+
+	ablated := NewContext(WithoutHashConsing())
+	y := ablated.BVVar("y", 8)
+	ablated.Ule(y, y)
+	if hits, misses := ablated.InternStats(); hits != 0 || misses == 0 {
+		t.Errorf("no-consing context: hits=%d misses=%d, want 0 hits", hits, misses)
+	}
+}
+
 // TestWithoutHashConsing preserves the ablation mode: every build
 // yields a fresh term, and NumTerms grows accordingly.
 func TestWithoutHashConsing(t *testing.T) {

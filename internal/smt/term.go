@@ -191,6 +191,12 @@ type Context struct {
 	nextID  int
 	consing bool
 
+	// intern-table effectiveness counters (InternStats): a hit is an mk
+	// that found an existing structurally equal term, a miss allocates.
+	// Plain ints — the Context is single-goroutine by contract.
+	internHits   uint64
+	internMisses uint64
+
 	trueT  *Term
 	falseT *Term
 
@@ -228,18 +234,29 @@ func (c *Context) mk(t *Term) *Term {
 	if !c.consing {
 		c.nextID++
 		t.id = c.nextID
+		c.internMisses++
 		return t
 	}
 	h := hashTerm(t)
 	for _, e := range c.table[h] {
 		if sameShape(e, t) {
+			c.internHits++
 			return e
 		}
 	}
 	c.nextID++
 	t.id = c.nextID
 	c.table[h] = append(c.table[h], t)
+	c.internMisses++
 	return t
+}
+
+// InternStats reports the hash-consing table's hit/miss counts since
+// the context was created. The hit rate is the observable payoff of
+// structural sharing (DESIGN.md §5's hash-consing ablation); the
+// /metrics endpoint aggregates it across all contexts a request built.
+func (c *Context) InternStats() (hits, misses uint64) {
+	return c.internHits, c.internMisses
 }
 
 // hashTerm mixes the fields that determine a term's identity with
