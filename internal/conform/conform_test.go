@@ -1,0 +1,125 @@
+package conform
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"llhsc/internal/delta"
+	"llhsc/internal/dts"
+	"llhsc/internal/featmodel"
+)
+
+// oracleCases is the deterministic per-run budget: every `go test`
+// executes the full oracle suite over this many generated trees, so CI
+// exercises the differential oracles even without a fuzzing budget.
+const oracleCases = 250
+
+// TestGeneratedOracles is the deterministic conformance sweep: for
+// each seed, generate a source + delta case and run every oracle.
+func TestGeneratedOracles(t *testing.T) {
+	for seed := int64(1); seed <= oracleCases; seed++ {
+		if err := GenerateCase(seed).Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestGeneratorDeterministic: same seed, same bytes — a failing seed
+// printed by TestGeneratedOracles must reproduce exactly.
+func TestGeneratorDeterministic(t *testing.T) {
+	a, b := GenerateCase(42), GenerateCase(42)
+	if a.Source != b.Source || a.Deltas != b.Deltas {
+		t.Fatal("GenerateCase(42) is not deterministic")
+	}
+	c := GenerateCase(43)
+	if a.Source == c.Source {
+		t.Fatal("different seeds produced identical sources")
+	}
+}
+
+// TestGeneratorCoversGrammar: over a modest seed range the generator
+// must exercise every surface construct the oracles are meant to
+// protect — otherwise fuzzing regressions could go unnoticed.
+func TestGeneratorCoversGrammar(t *testing.T) {
+	var all strings.Builder
+	for seed := int64(1); seed <= 100; seed++ {
+		all.WriteString(GenerateCase(seed).Source)
+	}
+	src := all.String()
+	for _, construct := range []string{
+		"/memreserve/", "/delete-node/", "@", ": ", "&", "&{/",
+		"<<", "?", "==", "&&", `\x`, `\\`, "[", `"`, " % ", "'",
+	} {
+		if !strings.Contains(src, construct) {
+			t.Errorf("100 generated sources never use %q", construct)
+		}
+	}
+	if !strings.Contains(src, "0x") {
+		t.Error("no hex literals generated")
+	}
+}
+
+// TestSeedCorpusFiles: every checked-in fuzz seed must parse and pass
+// the oracles, so corpus rot is caught by plain `go test`.
+func TestSeedCorpusFiles(t *testing.T) {
+	dtsFiles, err := filepath.Glob("testdata/seed_*.dts")
+	if err != nil || len(dtsFiles) == 0 {
+		t.Fatalf("no seed corpus files: %v", err)
+	}
+	for _, f := range dtsFiles {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := dts.Parse(filepath.Base(f), string(data))
+		if err != nil {
+			t.Errorf("%s does not parse: %v", f, err)
+			continue
+		}
+		if err := CheckRoundTrip(tree); err != nil {
+			t.Errorf("%s: %v", f, err)
+		}
+		if err := CheckDTB(tree); err != nil {
+			t.Errorf("%s: %v", f, err)
+		}
+	}
+	deltaFiles, err := filepath.Glob("testdata/seed_*.deltas")
+	if err != nil || len(deltaFiles) == 0 {
+		t.Fatalf("no delta seed corpus files: %v", err)
+	}
+	core, err := dts.Parse("core.dts", coreForDeltaFuzz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range deltaFiles {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err := delta.Parse(filepath.Base(f), string(data))
+		if err != nil {
+			t.Errorf("%s does not parse: %v", f, err)
+			continue
+		}
+		cfg := featmodel.Configuration{"fa": true, "fb": false, "fc": true}
+		if err := CheckDeltaCommute(core, set, cfg); err != nil {
+			t.Errorf("%s: %v", f, err)
+		}
+	}
+}
+
+// TestParseOracleContract: ParseOracle must accept valid input, pass
+// through legitimate rejections silently, and flag nothing on the
+// seed corpus.
+func TestParseOracleContract(t *testing.T) {
+	tree, err := ParseOracle("ok.dts", "/dts-v1/;\n/ { x = <1>; };\n")
+	if err != nil || tree == nil {
+		t.Fatalf("valid input: tree=%v err=%v", tree, err)
+	}
+	tree, err = ParseOracle("bad.dts", "$$$")
+	if err != nil || tree != nil {
+		t.Fatalf("invalid input must reject cleanly: tree=%v err=%v", tree, err)
+	}
+}

@@ -1,0 +1,117 @@
+package conform
+
+import (
+	"fmt"
+	"testing"
+
+	"llhsc/internal/dts"
+)
+
+// dtcConformanceCorpus is a table of cell expressions with the values
+// dtc (the reference DeviceTree compiler) produces for them, covering
+// C base-0 literal semantics, the full operator set at C precedence,
+// eager ternary evaluation, char literals and unsigned 64-bit
+// wrap-around. Each entry is compiled via the real parser.
+var dtcConformanceCorpus = []struct {
+	expr string
+	want []uint32
+}{
+	// Integer literals, strtoull base-0 semantics.
+	{"0", []uint32{0}},
+	{"010", []uint32{8}},
+	{"0777", []uint32{511}},
+	{"00", []uint32{0}},
+	{"0x10", []uint32{16}},
+	{"0XFF", []uint32{255}},
+	{"4294967295", []uint32{0xffffffff}},
+
+	// Char literals are plain integers.
+	{"'A'", []uint32{65}},
+	{"'\\n'", []uint32{10}},
+	{"'\\x41'", []uint32{65}},
+	{"'\\0'", []uint32{0}},
+
+	// Arithmetic and bitwise, C precedence.
+	{"(017 + 1)", []uint32{16}},
+	{"(2 + 3 * 4)", []uint32{14}},
+	{"(100 % 7)", []uint32{2}},
+	{"(1 << 4 | 1)", []uint32{17}},
+	{"(0xf0 & 0x1f)", []uint32{0x10}},
+	{"(0xf0 ^ 0xff)", []uint32{0x0f}},
+	{"(~0)", []uint32{0xffffffff}},
+	{"(1 << 2 >> 1)", []uint32{2}},
+
+	// Comparisons yield 0/1; parens required around bare < and >.
+	{"(2 > 1)", []uint32{1}},
+	{"(1 > 2)", []uint32{0}},
+	{"(2 >= 2)", []uint32{1}},
+	{"(1 <= 0)", []uint32{0}},
+	{"(3 == 3)", []uint32{1}},
+	{"(3 != 3)", []uint32{0}},
+
+	// Precedence: shift binds tighter than comparison, comparison
+	// tighter than equality, equality tighter than bitwise.
+	{"(1 << 2 > 3)", []uint32{1}},
+	{"(1 | 2 == 3)", []uint32{1}},
+	{"(1 & 2 == 2)", []uint32{1}},
+
+	// Logical operators and negation.
+	{"(1 && 2)", []uint32{1}},
+	{"(1 && 0)", []uint32{0}},
+	{"(0 || 3)", []uint32{1}},
+	{"(0 || 0)", []uint32{0}},
+	{"(!0)", []uint32{1}},
+	{"(!5)", []uint32{0}},
+	{"(!!5)", []uint32{1}},
+
+	// Ternary, eager both-arms evaluation, right associative.
+	{"(2 > 1 ? 10 : 20)", []uint32{10}},
+	{"(0 ? 10 : 20)", []uint32{20}},
+	{"(1 ? 2 : 0 ? 3 : 4)", []uint32{2}},
+	{"(0 ? 2 : 0 ? 3 : 4)", []uint32{4}},
+	{"('A' > 'Z' ? 'a' : 'z')", []uint32{'z'}},
+
+	// Unsigned 64-bit arithmetic truncated to a cell.
+	{"(-1)", []uint32{0xffffffff}},
+	{"(-1 > 0)", []uint32{1}}, // -1 is 0xffff... unsigned
+	{"(0 - 1)", []uint32{0xffffffff}},
+	{"(0xffffffffffffffff + 1)", []uint32{0}},
+	{"(010 * 010)", []uint32{64}},
+
+	// Multiple cells per property, mixed bases.
+	{"1 010 0x10", []uint32{1, 8, 16}},
+	{"(2 > 1 ? 10 : 20) 0777 'B'", []uint32{10, 511, 66}},
+}
+
+// TestDTCConformanceCorpus compiles every corpus expression and checks
+// the emitted cells against dtc's values.
+func TestDTCConformanceCorpus(t *testing.T) {
+	for _, tc := range dtcConformanceCorpus {
+		src := fmt.Sprintf("/dts-v1/;\n/ { p = <%s>; };\n", tc.expr)
+		tree, err := dts.Parse("corpus.dts", src)
+		if err != nil {
+			t.Errorf("<%s>: parse failed: %v", tc.expr, err)
+			continue
+		}
+		var got []uint32
+		for _, p := range tree.Root.Properties {
+			if p.Name != "p" {
+				continue
+			}
+			for _, c := range p.Value.Chunks {
+				for _, cell := range c.CellList {
+					got = append(got, cell.Val)
+				}
+			}
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("<%s>: got %d cells %v, want %v", tc.expr, len(got), got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("<%s>: cell %d = %#x, want %#x", tc.expr, i, got[i], tc.want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package conform
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"llhsc/internal/delta"
+	"llhsc/internal/dtb"
+	"llhsc/internal/dts"
+	"llhsc/internal/featmodel"
+)
+
+// maxFuzzInput bounds inputs so a single mutated case cannot stall the
+// fuzzing loop; the parser's own guards are exercised well below this.
+const maxFuzzInput = 256 << 10
+
+// coreForDeltaFuzz is the fixed core tree fuzzer-generated deltas are
+// applied against.
+const coreForDeltaFuzz = `/dts-v1/;
+/ {
+	#address-cells = <2>;
+	#size-cells = <2>;
+	compatible = "conform,core";
+
+	memory@40000000 {
+		device_type = "memory";
+		reg = <0x0 0x40000000 0x0 0x20000000>;
+	};
+
+	uart0: uart@20000000 {
+		compatible = "ns16550a";
+		reg = <0x0 0x20000000 0x0 0x1000>;
+	};
+};
+`
+
+func addFileSeeds(f *testing.F, pattern string) {
+	f.Helper()
+	files, err := filepath.Glob(filepath.Join("testdata", pattern))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(files) == 0 {
+		f.Fatalf("no seed corpus matches %s", pattern)
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+}
+
+// FuzzParse asserts the error contract on arbitrary input: dts.Parse
+// never panics and every rejection is a *dts.ParseError.
+func FuzzParse(f *testing.F) {
+	addFileSeeds(f, "seed_*.dts")
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(GenerateCase(seed).Source)
+	}
+	f.Add("$$$")
+	f.Add(`/ { a = <(1/0)>; };`)
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > maxFuzzInput {
+			t.Skip()
+		}
+		if _, err := ParseOracle("fuzz.dts", src); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzRoundTrip runs the differential oracles on every input the
+// parser accepts: print/parse structural identity and, when phandle
+// references resolve, the dtb fixed point.
+func FuzzRoundTrip(f *testing.F) {
+	addFileSeeds(f, "seed_*.dts")
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(GenerateCase(seed).Source)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > maxFuzzInput {
+			t.Skip()
+		}
+		tree, err := ParseOracle("fuzz.dts", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tree == nil {
+			return // legitimately rejected
+		}
+		if err := CheckRoundTrip(tree); err != nil {
+			t.Fatal(err)
+		}
+		// Accepted sources may reference undefined labels (resolution
+		// is late); only a successful encode owes us the fixed point.
+		if blob, err := dtb.Encode(tree); err == nil {
+			if err := CheckDTBFixpoint(blob); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}
+
+// FuzzDTB feeds arbitrary blobs to the binary decoder: Decode must
+// never panic, and any tree it accepts must reach an encode/decode
+// fixed point after one normalizing encode.
+func FuzzDTB(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		c := GenerateCase(seed)
+		tree, err := dts.Parse("seed.dts", c.Source)
+		if err != nil {
+			f.Fatal(err)
+		}
+		blob, err := dtb.Encode(tree)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xd0, 0x0d, 0xfe, 0xed})
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		if len(blob) > maxFuzzInput {
+			t.Skip()
+		}
+		tree, err := dtb.Decode(blob)
+		if err != nil {
+			return // rejection is fine; panics are caught by the fuzzer
+		}
+		// The first encode normalizes (deduplicated properties, dropped
+		// zero memreserves); from there the codec must be a fixed point.
+		norm, err := dtb.Encode(tree)
+		if err != nil {
+			t.Fatalf("decoded tree does not re-encode: %v", err)
+		}
+		if err := CheckDTBFixpoint(norm); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzDelta parses arbitrary delta-module files and applies whatever
+// parses against a fixed core: no panics anywhere, and successful
+// applications must satisfy the delta-commute oracle.
+func FuzzDelta(f *testing.F) {
+	addFileSeeds(f, "seed_*.deltas")
+	core, err := dts.Parse("core.dts", coreForDeltaFuzz)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		g := NewGenerator(seed)
+		tree, err := dts.Parse("seed.dts", g.Source())
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(g.DeltaSource(tree))
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > maxFuzzInput {
+			t.Skip()
+		}
+		set, err := delta.Parse("fuzz.deltas", src)
+		if err != nil {
+			return
+		}
+		for _, cfg := range []featmodel.Configuration{
+			{"fa": true, "fb": true, "fc": true},
+			{"fa": true, "fb": false, "fc": true},
+			{},
+		} {
+			product, _, err := set.Apply(core, cfg)
+			if err != nil {
+				continue // typed apply/order errors are legitimate
+			}
+			printed := product.Print()
+			re, err := dts.Parse("product.dts", printed)
+			if err != nil {
+				t.Fatalf("delta product does not reparse: %v\nprinted:\n%s", err, printed)
+			}
+			if err := TreesStructurallyEqual(product, re); err != nil {
+				t.Fatalf("delta product round trip: %v\nprinted:\n%s", err, printed)
+			}
+		}
+	})
+}

@@ -1,0 +1,402 @@
+package conform
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"llhsc/internal/dts"
+	"llhsc/internal/featmodel"
+)
+
+// Features is the fixed feature alphabet used by generated delta
+// modules and configurations.
+var Features = []string{"fa", "fb", "fc"}
+
+// Generator emits structurally valid DTS compilation units and delta
+// module files from a seeded PRNG, in the spirit of grammar-based,
+// semantically constrained input generation (Input Invariants,
+// Steinhöfel & Zeller): every output parses, references only defined
+// labels, avoids division by zero, and keeps delta write sets
+// conflict-free, so fuzzing and the oracle suite exercise the deep
+// paths of the parser, printer, dtb codec and delta engine instead of
+// dying at the first syntax error.
+type Generator struct {
+	rng      *rand.Rand
+	labels   []string // labels usable as reference targets
+	paths    []string // absolute node paths emitted so far
+	labelSeq int
+	nodeSeq  int
+}
+
+// NewGenerator returns a deterministic generator: the same seed always
+// yields the same sequence of outputs.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Source emits one random DTS compilation unit covering the grammar's
+// interesting corners: /memreserve/, labels and phandle references,
+// unit addresses, cell expressions (all operators, all literal bases,
+// character literals), string escapes, byte arrays, string lists,
+// label-extension blocks and in-body /delete-node/.
+func (g *Generator) Source() string {
+	g.labels, g.paths = nil, nil
+	var b strings.Builder
+	b.WriteString("/dts-v1/;\n\n")
+	for i := g.rng.Intn(3); i > 0; i-- {
+		// size is forced nonzero: an all-zero entry is the FDT
+		// memreserve terminator and cannot survive a dtb round trip
+		fmt.Fprintf(&b, "/memreserve/ %s %s;\n",
+			g.literal(uint64(g.rng.Uint32())), g.literal(uint64(g.rng.Uint32())|1))
+	}
+	b.WriteString("/ {\n")
+	g.paths = append(g.paths, "/")
+	g.genBody(&b, "", 1)
+	b.WriteString("};\n")
+	if len(g.labels) > 0 && g.rng.Intn(2) == 0 {
+		// label-extension block, exercising dtc merge semantics
+		lbl := g.labels[g.rng.Intn(len(g.labels))]
+		fmt.Fprintf(&b, "\n&%s {\n\text-prop = <%s>;\n};\n", lbl, g.literal(uint64(g.rng.Uint32())))
+	}
+	return b.String()
+}
+
+// genBody writes properties and children of one node. prefix is the
+// node's path ("" for root, so children get "/name").
+func (g *Generator) genBody(b *strings.Builder, prefix string, depth int) {
+	indent := strings.Repeat("\t", depth)
+	nprops := g.rng.Intn(4)
+	for i := 0; i < nprops; i++ {
+		fmt.Fprintf(b, "%s%s", indent, g.genProperty(fmt.Sprintf("p%d-%d", depth, i)))
+	}
+	if depth > 4 {
+		return
+	}
+	nchildren := g.rng.Intn(4 - depth/2)
+	for i := 0; i < nchildren; i++ {
+		name := g.genNodeName()
+		label := ""
+		if g.rng.Intn(3) == 0 {
+			label = fmt.Sprintf("l%d", g.labelSeq)
+			g.labelSeq++
+		}
+		doomed := g.rng.Intn(8) == 0 // deleted again right after
+		b.WriteString(indent)
+		if label != "" {
+			b.WriteString(label + ": ")
+		}
+		b.WriteString(name + " {\n")
+		if doomed {
+			// keep the doomed subtree trivial so no labels or paths
+			// leak out of it
+			fmt.Fprintf(b, "%s\tstatus = \"disabled\";\n", indent)
+		} else {
+			g.genBody(b, prefix+"/"+name, depth+1)
+		}
+		fmt.Fprintf(b, "%s};\n", indent)
+		if doomed {
+			fmt.Fprintf(b, "%s/delete-node/ %s;\n", indent, name)
+			continue
+		}
+		g.paths = append(g.paths, prefix+"/"+name)
+		if label != "" {
+			g.labels = append(g.labels, label)
+		}
+	}
+}
+
+func (g *Generator) genNodeName() string {
+	bases := []string{"cpu", "uart", "mem", "bus", "dev", "timer", "gpio"}
+	name := fmt.Sprintf("%s%d", bases[g.rng.Intn(len(bases))], g.nodeSeq)
+	g.nodeSeq++
+	if g.rng.Intn(2) == 0 {
+		name += fmt.Sprintf("@%x", g.rng.Intn(1<<30))
+	}
+	return name
+}
+
+// genProperty emits one property definition line (terminated ";\n").
+func (g *Generator) genProperty(name string) string {
+	switch g.rng.Intn(8) {
+	case 0: // boolean marker
+		return name + ";\n"
+	case 1: // single string
+		return fmt.Sprintf("%s = %s;\n", name, g.genString())
+	case 2: // string list
+		return fmt.Sprintf("%s = %s, %s;\n", name, g.genString(), g.genString())
+	case 3: // byte array
+		return fmt.Sprintf("%s = [%s];\n", name, g.genBytes())
+	case 4: // path or label reference
+		if len(g.labels) > 0 && g.rng.Intn(2) == 0 {
+			return fmt.Sprintf("%s = &%s;\n", name, g.labels[g.rng.Intn(len(g.labels))])
+		}
+		return fmt.Sprintf("%s = &{%s};\n", name, g.paths[g.rng.Intn(len(g.paths))])
+	case 5: // mixed chunks
+		return fmt.Sprintf("%s = %s, <%s>, [%s];\n", name, g.genString(), g.genCells(), g.genBytes())
+	default: // cells
+		return fmt.Sprintf("%s = <%s>;\n", name, g.genCells())
+	}
+}
+
+func (g *Generator) genCells() string {
+	n := 1 + g.rng.Intn(4)
+	items := make([]string, n)
+	for i := range items {
+		if len(g.labels) > 0 && g.rng.Intn(6) == 0 {
+			items[i] = "&" + g.labels[g.rng.Intn(len(g.labels))]
+			continue
+		}
+		items[i], _ = g.genExpr(2)
+	}
+	return strings.Join(items, " ")
+}
+
+func (g *Generator) genBytes() string {
+	n := 1 + g.rng.Intn(6)
+	runs := make([]string, n)
+	for i := range runs {
+		runs[i] = fmt.Sprintf("%02x", byte(g.rng.Intn(256)))
+	}
+	return strings.Join(runs, " ")
+}
+
+// genString returns a string literal (with quotes) mixing plain
+// printable characters with every escape class the lexer supports.
+func (g *Generator) genString() string {
+	var b strings.Builder
+	b.WriteByte('"')
+	n := g.rng.Intn(9)
+	for i := 0; i < n; i++ {
+		switch g.rng.Intn(10) {
+		case 0:
+			b.WriteString(`\n`)
+		case 1:
+			b.WriteString(`\t`)
+		case 2:
+			fmt.Fprintf(&b, `\x%02x`, byte(g.rng.Intn(256)))
+		case 3:
+			fmt.Fprintf(&b, `\%03o`, byte(g.rng.Intn(256)))
+		case 4:
+			b.WriteString(`\\`)
+		case 5:
+			b.WriteString(`\"`)
+		default:
+			c := byte(' ' + g.rng.Intn('~'-' '))
+			if c == '"' || c == '\\' {
+				c = '.' // must be escaped in DTS strings; covered above
+			}
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// literal renders v in a random base accepted by the C-conformant
+// lexer: decimal, hexadecimal or octal.
+func (g *Generator) literal(v uint64) string {
+	switch g.rng.Intn(3) {
+	case 0:
+		return fmt.Sprintf("%d", v)
+	case 1:
+		return fmt.Sprintf("0x%x", v)
+	default:
+		if v == 0 {
+			return "0"
+		}
+		return fmt.Sprintf("0%o", v)
+	}
+}
+
+func boolToU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// genExpr returns the source text of a random cell expression together
+// with its value under dtc semantics (unsigned 64-bit, eager ternary).
+// Division and modulo by zero are steered away from, shift counts stay
+// below 32, and every compound expression is parenthesized so it is
+// valid in cell-item position.
+func (g *Generator) genExpr(depth int) (string, uint64) {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		if g.rng.Intn(6) == 0 {
+			c := byte('A' + g.rng.Intn(26))
+			return fmt.Sprintf("'%c'", c), uint64(c)
+		}
+		v := uint64(g.rng.Uint32())
+		return g.literal(v), v
+	}
+	switch g.rng.Intn(10) {
+	case 0: // unary
+		sub, v := g.genExpr(depth - 1)
+		switch g.rng.Intn(3) {
+		case 0:
+			return "(-" + sub + ")", -v
+		case 1:
+			return "(~" + sub + ")", ^v
+		default:
+			return "(!" + sub + ")", boolToU64(v == 0)
+		}
+	case 1: // ternary
+		c, cv := g.genExpr(depth - 1)
+		a, av := g.genExpr(depth - 1)
+		b, bv := g.genExpr(depth - 1)
+		v := bv
+		if cv != 0 {
+			v = av
+		}
+		return "(" + c + " ? " + a + " : " + b + ")", v
+	case 2: // shift by a small constant
+		sub, v := g.genExpr(depth - 1)
+		sh := g.rng.Intn(32)
+		if g.rng.Intn(2) == 0 {
+			return fmt.Sprintf("(%s << %d)", sub, sh), v << sh
+		}
+		return fmt.Sprintf("(%s >> %d)", sub, sh), v >> sh
+	default: // binary
+		a, av := g.genExpr(depth - 1)
+		bs, bv := g.genExpr(depth - 1)
+		ops := []string{"+", "-", "*", "/", "%", "&", "|", "^",
+			"<", ">", "<=", ">=", "==", "!=", "&&", "||"}
+		op := ops[g.rng.Intn(len(ops))]
+		if (op == "/" || op == "%") && bv == 0 {
+			op = "|"
+		}
+		var v uint64
+		switch op {
+		case "+":
+			v = av + bv
+		case "-":
+			v = av - bv
+		case "*":
+			v = av * bv
+		case "/":
+			v = av / bv
+		case "%":
+			v = av % bv
+		case "&":
+			v = av & bv
+		case "|":
+			v = av | bv
+		case "^":
+			v = av ^ bv
+		case "<":
+			v = boolToU64(av < bv)
+		case ">":
+			v = boolToU64(av > bv)
+		case "<=":
+			v = boolToU64(av <= bv)
+		case ">=":
+			v = boolToU64(av >= bv)
+		case "==":
+			v = boolToU64(av == bv)
+		case "!=":
+			v = boolToU64(av != bv)
+		case "&&":
+			v = boolToU64(av != 0 && bv != 0)
+		case "||":
+			v = boolToU64(av != 0 || bv != 0)
+		}
+		return "(" + a + " " + op + " " + bs + ")", v
+	}
+}
+
+// DeltaSource emits a random delta-module file whose operations target
+// nodes of t. Every delta is "after" all previous ones, so any pair of
+// active deltas is totally ordered and application can never fail with
+// an ambiguity error; removed properties are tracked so no property is
+// removed twice.
+func (g *Generator) DeltaSource(t *dts.Tree) string {
+	type nodeInfo struct {
+		path  string
+		props []string
+	}
+	var nodes []nodeInfo
+	t.Root.Walk(func(path string, n *dts.Node) bool {
+		var props []string
+		for _, p := range n.Properties {
+			props = append(props, p.Name)
+		}
+		nodes = append(nodes, nodeInfo{path: path, props: props})
+		return true
+	})
+	removed := make(map[string]bool)
+	var b strings.Builder
+	nDeltas := 1 + g.rng.Intn(3)
+	for i := 0; i < nDeltas; i++ {
+		fmt.Fprintf(&b, "delta gd%d", i)
+		if i > 0 {
+			deps := make([]string, i)
+			for j := range deps {
+				deps[j] = fmt.Sprintf("gd%d", j)
+			}
+			fmt.Fprintf(&b, " after %s", strings.Join(deps, ", "))
+		}
+		if g.rng.Intn(2) == 0 {
+			fmt.Fprintf(&b, " when %s", g.genWhen())
+		}
+		b.WriteString(" {\n")
+		for k := 1 + g.rng.Intn(2); k > 0; k-- {
+			ni := nodes[g.rng.Intn(len(nodes))]
+			op := g.rng.Intn(3)
+			if op == 2 {
+				// pick a not-yet-removed property, else fall back
+				prop := ""
+				for _, p := range ni.props {
+					if !removed[ni.path+"#"+p] {
+						prop = p
+						break
+					}
+				}
+				if prop == "" {
+					op = 0
+				} else {
+					removed[ni.path+"#"+prop] = true
+					fmt.Fprintf(&b, "    removes property %s %s;\n", ni.path, prop)
+					continue
+				}
+			}
+			switch op {
+			case 0:
+				fmt.Fprintf(&b, "    modifies %s {\n        gen-prop-%d-%d = <%s>;\n    }\n",
+					ni.path, i, k, g.literal(uint64(g.rng.Uint32())))
+			case 1:
+				fmt.Fprintf(&b, "    adds binding %s {\n        gnode%d@%x {\n            compatible = \"gen,dev\";\n        };\n    }\n",
+					ni.path, g.nodeSeq, g.rng.Intn(1<<16))
+				g.nodeSeq++
+			}
+		}
+		b.WriteString("}\n\n")
+	}
+	return b.String()
+}
+
+// genWhen returns a random activation condition over Features.
+func (g *Generator) genWhen() string {
+	f := func() string { return Features[g.rng.Intn(len(Features))] }
+	switch g.rng.Intn(5) {
+	case 0:
+		return f()
+	case 1:
+		return "!" + f()
+	case 2:
+		return fmt.Sprintf("%s && %s", f(), f())
+	case 3:
+		return fmt.Sprintf("%s || !%s", f(), f())
+	default:
+		return fmt.Sprintf("(%s || %s) && %s", f(), f(), f())
+	}
+}
+
+// Config returns a random configuration over Features.
+func (g *Generator) Config() featmodel.Configuration {
+	cfg := make(featmodel.Configuration, len(Features))
+	for _, f := range Features {
+		cfg[f] = g.rng.Intn(2) == 0
+	}
+	return cfg
+}

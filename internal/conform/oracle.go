@@ -1,0 +1,177 @@
+package conform
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"llhsc/internal/delta"
+	"llhsc/internal/dtb"
+	"llhsc/internal/dts"
+	"llhsc/internal/featmodel"
+)
+
+// ParseOracle parses src and enforces the front end's error contract:
+// a failed parse must surface as a *dts.ParseError (optionally
+// wrapping a guard sentinel) — never as a panic or an untyped error.
+// It returns (tree, nil) on success, (nil, nil) on a legitimate
+// rejection, and (nil, violation) when the contract is broken.
+func ParseOracle(file, src string, opts ...dts.ParseOption) (*dts.Tree, error) {
+	tree, err := dts.Parse(file, src, opts...)
+	if err == nil {
+		return tree, nil
+	}
+	var pe *dts.ParseError
+	if !errors.As(err, &pe) {
+		return nil, fmt.Errorf("parse failure is %T, not *dts.ParseError: %w", err, err)
+	}
+	return nil, nil
+}
+
+// CheckRoundTrip verifies that Print is a faithful inverse of Parse:
+// the printed text reparses, the reparse is structurally identical to
+// the original tree, and a second print is byte-identical (canonical
+// form is a fixed point).
+func CheckRoundTrip(tree *dts.Tree) error {
+	printed := tree.Print()
+	re, err := dts.Parse("printed.dts", printed)
+	if err != nil {
+		return fmt.Errorf("printed output does not reparse: %v\nprinted:\n%s", err, printed)
+	}
+	if err := TreesStructurallyEqual(tree, re); err != nil {
+		return fmt.Errorf("print/parse round trip not structurally identical: %v\nprinted:\n%s", err, printed)
+	}
+	if p2 := re.Print(); p2 != printed {
+		return fmt.Errorf("print not idempotent:\nfirst:\n%s\nsecond:\n%s", printed, p2)
+	}
+	return nil
+}
+
+// CheckDTB verifies the binary codec by fixed point: Encode must
+// succeed on a well-formed tree, its own output must Decode, and
+// re-encoding the decoded tree must reproduce the blob bit-for-bit
+// (semantic equality modulo label and expression erasure, which the
+// binary format cannot represent).
+func CheckDTB(tree *dts.Tree) error {
+	blob, err := dtb.Encode(tree)
+	if err != nil {
+		return fmt.Errorf("dtb encode: %w", err)
+	}
+	return CheckDTBFixpoint(blob)
+}
+
+// CheckDTBFixpoint checks Encode(Decode(blob)) == blob for a blob
+// produced by Encode.
+func CheckDTBFixpoint(blob []byte) error {
+	dec, err := dtb.Decode(blob)
+	if err != nil {
+		return fmt.Errorf("dtb decode of own encoding: %w", err)
+	}
+	blob2, err := dtb.Encode(dec)
+	if err != nil {
+		return fmt.Errorf("dtb re-encode of decoded tree: %w", err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		return fmt.Errorf("dtb encode/decode is not a fixed point (%d vs %d bytes)", len(blob), len(blob2))
+	}
+	return nil
+}
+
+// CheckDeltaCommute verifies that delta application commutes with the
+// printer: applying the active deltas and re-parsing the printed
+// product yields a tree structurally identical to the product itself.
+func CheckDeltaCommute(core *dts.Tree, set *delta.Set, cfg featmodel.Configuration) error {
+	product, _, err := set.Apply(core, cfg)
+	if err != nil {
+		return fmt.Errorf("delta apply: %w", err)
+	}
+	printed := product.Print()
+	re, err := dts.Parse("product.dts", printed)
+	if err != nil {
+		return fmt.Errorf("delta product does not reparse: %v\nprinted:\n%s", err, printed)
+	}
+	if err := TreesStructurallyEqual(product, re); err != nil {
+		return fmt.Errorf("delta product round trip: %v\nprinted:\n%s", err, printed)
+	}
+	return nil
+}
+
+// TreesStructurallyEqual compares two trees on everything the DTS
+// syntax can express — node names, labels, property order and values
+// (chunk-exact), children order, memreserves — ignoring only Origin
+// metadata, which Print deliberately omits.
+func TreesStructurallyEqual(a, b *dts.Tree) error {
+	if len(a.MemReserves) != len(b.MemReserves) {
+		return fmt.Errorf("%d vs %d memreserve entries", len(a.MemReserves), len(b.MemReserves))
+	}
+	for i, mr := range a.MemReserves {
+		if mr != b.MemReserves[i] {
+			return fmt.Errorf("memreserve %d: %+v vs %+v", i, mr, b.MemReserves[i])
+		}
+	}
+	return nodesEqual("/", a.Root, b.Root)
+}
+
+func nodesEqual(path string, a, b *dts.Node) error {
+	if a.Name != b.Name {
+		return fmt.Errorf("%s: name %q vs %q", path, a.Name, b.Name)
+	}
+	if a.Label != b.Label {
+		return fmt.Errorf("%s: label %q vs %q", path, a.Label, b.Label)
+	}
+	if len(a.Properties) != len(b.Properties) {
+		return fmt.Errorf("%s: %d vs %d properties", path, len(a.Properties), len(b.Properties))
+	}
+	for i, p := range a.Properties {
+		q := b.Properties[i]
+		if p.Name != q.Name {
+			return fmt.Errorf("%s: property %d named %q vs %q", path, i, p.Name, q.Name)
+		}
+		if err := valuesEqual(p.Value, q.Value); err != nil {
+			return fmt.Errorf("%s#%s: %v", path, p.Name, err)
+		}
+	}
+	if len(a.Children) != len(b.Children) {
+		return fmt.Errorf("%s: %d vs %d children", path, len(a.Children), len(b.Children))
+	}
+	for i := range a.Children {
+		childPath := path + "/" + a.Children[i].Name
+		if path == "/" {
+			childPath = "/" + a.Children[i].Name
+		}
+		if err := nodesEqual(childPath, a.Children[i], b.Children[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func valuesEqual(a, b dts.Value) error {
+	if len(a.Chunks) != len(b.Chunks) {
+		return fmt.Errorf("%d vs %d chunks", len(a.Chunks), len(b.Chunks))
+	}
+	for i, c := range a.Chunks {
+		d := b.Chunks[i]
+		if c.Kind != d.Kind {
+			return fmt.Errorf("chunk %d: kind %d vs %d", i, c.Kind, d.Kind)
+		}
+		if c.Str != d.Str {
+			return fmt.Errorf("chunk %d: string %q vs %q", i, c.Str, d.Str)
+		}
+		if c.Ref != d.Ref {
+			return fmt.Errorf("chunk %d: ref %q vs %q", i, c.Ref, d.Ref)
+		}
+		if !bytes.Equal(c.Bytes, d.Bytes) {
+			return fmt.Errorf("chunk %d: bytes % x vs % x", i, c.Bytes, d.Bytes)
+		}
+		if len(c.CellList) != len(d.CellList) {
+			return fmt.Errorf("chunk %d: %d vs %d cells", i, len(c.CellList), len(d.CellList))
+		}
+		for j, cell := range c.CellList {
+			if cell != d.CellList[j] {
+				return fmt.Errorf("chunk %d cell %d: %+v vs %+v", i, j, cell, d.CellList[j])
+			}
+		}
+	}
+	return nil
+}

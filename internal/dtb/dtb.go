@@ -84,9 +84,14 @@ func Encode(t *dts.Tree) ([]byte, error) {
 	}
 	structBlock = appendU32(structBlock, tokenEnd)
 
-	// memreserve block (terminated by a zero entry)
+	// memreserve block (terminated by a zero entry). An all-zero entry
+	// is indistinguishable from the terminator, so it is dropped rather
+	// than silently truncating the list for any decoder.
 	var rsv []byte
 	for _, mr := range work.MemReserves {
+		if mr.Address == 0 && mr.Size == 0 {
+			continue
+		}
 		rsv = appendU64(rsv, mr.Address)
 		rsv = appendU64(rsv, mr.Size)
 	}

@@ -1,0 +1,280 @@
+package dts
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// parseCellProp parses "/ { p = <SRC>; };" and returns p's cells.
+func parseCellProp(t *testing.T, cells string) []uint32 {
+	t.Helper()
+	tree, err := Parse("fid.dts", "/dts-v1/;\n/ { p = <"+cells+">; };\n")
+	if err != nil {
+		t.Fatalf("Parse(<%s>): %v", cells, err)
+	}
+	return tree.Root.Property("p").Value.U32s()
+}
+
+// TestOctalLiterals: dtc reads integer literals with C strtoull base-0
+// semantics, so a leading zero selects octal. The seed parser read
+// <010> as decimal 10.
+func TestOctalLiterals(t *testing.T) {
+	tests := []struct {
+		src  string
+		want uint32
+	}{
+		{"010", 8},
+		{"0777", 0777},
+		{"0", 0},
+		{"00", 0},
+		{"(017 + 1)", 16},
+		{"10", 10},
+		{"0x10", 16},
+	}
+	for _, tt := range tests {
+		if got := parseCellProp(t, tt.src); len(got) != 1 || got[0] != tt.want {
+			t.Errorf("<%s> = %v, want [%d]", tt.src, got, tt.want)
+		}
+	}
+}
+
+// TestOctalLiteralStrayDigits: 8/9 inside an octal literal must be a
+// ParseError, not silently parsed as decimal.
+func TestOctalLiteralStrayDigits(t *testing.T) {
+	for _, src := range []string{"08", "019", "0778"} {
+		_, err := Parse("fid.dts", "/dts-v1/;\n/ { p = <"+src+">; };\n")
+		if err == nil {
+			t.Errorf("<%s>: expected octal digit error, got nil", src)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("<%s>: error %T is not *ParseError: %v", src, err, err)
+		}
+		if !strings.Contains(err.Error(), "octal") {
+			t.Errorf("<%s>: error %q does not mention octal", src, err)
+		}
+	}
+}
+
+// TestStringEscapes: dtc accepts the full C escape set including hex
+// (\x41) and octal (\101) escapes. The seed lexer turned "\x41" into
+// the literal characters "x41".
+func TestStringEscapes(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{`"\x41"`, "A"},
+		{`"\101"`, "A"},
+		{`"\x41BC"`, "ABC"}, // hex escapes stop after two digits
+		{`"\1013"`, "A3"},   // octal escapes stop after three digits
+		{`"\0"`, "\x00"},
+		{`"\377"`, "\xff"},
+		{`"\xff"`, "\xff"},
+		{`"\x7"`, "\x07"}, // one hex digit is enough
+		{`"\a\b\f\v"`, "\a\b\f\v"},
+		{`"\n\t\r"`, "\n\t\r"},
+		{`"\\\""`, `\"`},
+	}
+	for _, tt := range tests {
+		tree, err := Parse("esc.dts", "/dts-v1/;\n/ { s = "+tt.src+"; };\n")
+		if err != nil {
+			t.Errorf("Parse(%s): %v", tt.src, err)
+			continue
+		}
+		if got, _ := tree.Root.StringValue("s"); got != tt.want {
+			t.Errorf("%s = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+// TestStringEscapeErrors: out-of-range octal escapes and digit-less \x
+// are diagnosed instead of corrupting the string.
+func TestStringEscapeErrors(t *testing.T) {
+	for _, src := range []string{`"\400"`, `"\777"`, `"\x"`, `"\xzz"`} {
+		_, err := Parse("esc.dts", "/dts-v1/;\n/ { s = "+src+"; };\n")
+		if err == nil {
+			t.Errorf("%s: expected escape error, got nil", src)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s: error %T is not *ParseError", src, err)
+		}
+	}
+}
+
+// TestComparisonLogicalTernaryOperators: the seed parser supported only
+// arithmetic/bitwise operators; dtc's expression grammar is the full C
+// set.
+func TestComparisonLogicalTernaryOperators(t *testing.T) {
+	tests := []struct {
+		src  string
+		want uint32
+	}{
+		{"(2 > 1 ? 10 : 20)", 10},
+		{"(2 < 1 ? 10 : 20)", 20},
+		{"(1 < 2)", 1},
+		{"(2 <= 1)", 0},
+		{"(2 >= 2)", 1},
+		{"(3 == 3)", 1},
+		{"(3 != 3)", 0},
+		{"(1 && 2)", 1},
+		{"(1 && 0)", 0},
+		{"(0 || 3)", 1},
+		{"(0 || 0)", 0},
+		{"(!0)", 1},
+		{"(!5)", 0},
+		{"(!!7)", 1},
+		// precedence: shift binds tighter than comparison, comparison
+		// tighter than equality, equality tighter than bitwise.
+		{"(1 << 2 > 3)", 1},
+		{"(1 | 2 == 3)", 1},
+		{"(1 + 1 == 2 ? 0xaa : 0xbb)", 0xaa},
+		// right-associative nested ternary
+		{"(0 ? 1 : 0 ? 2 : 3)", 3},
+		{"(1 ? 1 : 0 ? 2 : 3)", 1},
+		// unsigned comparison, as in dtc: (-1) is 0xffff... > 0
+		{"(0 - 1 > 0)", 1},
+		{"(-1 > 0)", 1},
+	}
+	for _, tt := range tests {
+		if got := parseCellProp(t, tt.src); len(got) != 1 || got[0] != tt.want {
+			t.Errorf("<%s> = %v, want [%d]", tt.src, got, tt.want)
+		}
+	}
+}
+
+// TestCharLiterals: dtc accepts C character literals in expressions;
+// the seed lexer rejected them outright.
+func TestCharLiterals(t *testing.T) {
+	tests := []struct {
+		src  string
+		want uint32
+	}{
+		{"'A'", 65},
+		{"'\\n'", 10},
+		{"'\\x41'", 65},
+		{"'\\0'", 0},
+		{"('a' + 1)", 98},
+		{"('z' > 'a' ? 1 : 0)", 1},
+	}
+	for _, tt := range tests {
+		if got := parseCellProp(t, tt.src); len(got) != 1 || got[0] != tt.want {
+			t.Errorf("<%s> = %v, want [%d]", tt.src, got, tt.want)
+		}
+	}
+	for _, src := range []string{"''", "'ab'", "'"} {
+		_, err := Parse("chr.dts", "/dts-v1/;\n/ { p = <"+src+">; };\n")
+		if err == nil {
+			t.Errorf("<%s>: expected character literal error", src)
+		}
+	}
+}
+
+// TestLiteralOverflow: literals beyond 64 bits were silently wrapped by
+// the seed lexer; they must now be a ParseError.
+func TestLiteralOverflow(t *testing.T) {
+	ok := []string{"0xffffffffffffffff", "18446744073709551615", "01777777777777777777777"}
+	for _, src := range ok {
+		if _, err := Parse("ovf.dts", "/dts-v1/;\n/ { p = <("+src+")>; };\n"); err != nil {
+			t.Errorf("<%s> should parse (fits in 64 bits): %v", src, err)
+		}
+	}
+	bad := []string{"0x10000000000000000", "18446744073709551616", "02000000000000000000000"}
+	for _, src := range bad {
+		_, err := Parse("ovf.dts", "/dts-v1/;\n/ { p = <("+src+")>; };\n")
+		if err == nil {
+			t.Errorf("<%s>: expected overflow error, got nil", src)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("<%s>: error %T is not *ParseError", src, err)
+		}
+		if !strings.Contains(err.Error(), "overflow") {
+			t.Errorf("<%s>: error %q does not mention overflow", src, err)
+		}
+	}
+}
+
+// TestByteArraysImmuneToBaseRules: hex runs inside [ ] are raw bytes;
+// octal/overflow diagnostics must not apply ("[00 99]" is two bytes).
+func TestByteArraysImmuneToBaseRules(t *testing.T) {
+	tree, err := Parse("bytes.dts", "/dts-v1/;\n/ { b = [00 99 08 deadbeefdeadbeefdead]; };\n")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	got := tree.Root.Property("b").Value.Bytes()
+	want := []byte{0x00, 0x99, 0x08, 0xde, 0xad, 0xbe, 0xef, 0xde, 0xad, 0xbe, 0xef, 0xde, 0xad}
+	if len(got) != len(want) {
+		t.Fatalf("bytes = % x, want % x", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("bytes = % x, want % x", got, want)
+		}
+	}
+}
+
+// TestGuardErrorsAreParseErrors: resource-limit failures must carry
+// position info and classify as *ParseError while still matching their
+// sentinel with errors.Is.
+func TestGuardErrorsAreParseErrors(t *testing.T) {
+	_, err := Parse("deep.dts", nestedSource(200))
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Errorf("depth guard: %T is not *ParseError: %v", err, err)
+	}
+	if !errors.Is(err, ErrTooDeep) {
+		t.Errorf("depth guard lost ErrTooDeep sentinel: %v", err)
+	}
+	_, err = Parse("big.dts", "/dts-v1/;\n/ { };\n", WithMaxSourceBytes(4))
+	if !errors.As(err, &pe) {
+		t.Errorf("size guard: %T is not *ParseError: %v", err, err)
+	}
+	if !errors.Is(err, ErrSourceTooLarge) {
+		t.Errorf("size guard lost ErrSourceTooLarge sentinel: %v", err)
+	}
+}
+
+// TestPathReferenceRoundTrip: &{/path} references must survive
+// Print→Parse (the seed printer emitted a bare &/path, which does not
+// lex).
+func TestPathReferenceRoundTrip(t *testing.T) {
+	src := "/dts-v1/;\n/ { u: uart@1000 { }; chosen { con = &{/uart@1000}; cells = <&{/uart@1000} 0x1>; }; };\n"
+	tree, err := Parse("ref.dts", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	printed := tree.Print()
+	tree2, err := Parse("ref2.dts", printed)
+	if err != nil {
+		t.Fatalf("reparse printed output: %v\n%s", err, printed)
+	}
+	chosen := tree2.Lookup("/chosen")
+	if got := chosen.Property("con").Value.Chunks[0].Ref; got != "/uart@1000" {
+		t.Errorf("path ref = %q, want /uart@1000", got)
+	}
+	if got := chosen.Property("cells").Value.Cells()[0].Ref; got != "/uart@1000" {
+		t.Errorf("cell path ref = %q, want /uart@1000", got)
+	}
+}
+
+// TestEscapedStringPrintRoundTrip: strings with every escape class must
+// print to parseable DTS that reads back byte-identically.
+func TestEscapedStringPrintRoundTrip(t *testing.T) {
+	want := "A\x00B\xff\n\t\r\a\b\f\v\"\\\x01f" // \x01 followed by a hex char
+	tree := NewTree()
+	tree.Root.SetProperty(&Property{Name: "s", Value: StringValueOf(want)})
+	printed := tree.Print()
+	tree2, err := Parse("rt.dts", printed)
+	if err != nil {
+		t.Fatalf("reparse printed output: %v\n%s", err, printed)
+	}
+	if got, _ := tree2.Root.StringValue("s"); got != want {
+		t.Errorf("round trip %q -> %q", want, got)
+	}
+}

@@ -85,16 +85,25 @@ type token struct {
 	line int
 }
 
-// ParseError reports a syntax error with its source position.
+// ParseError reports a syntax error with its source position. Every
+// failure mode of the DTS front end — including the resource guards —
+// surfaces as a *ParseError, so callers (and the conformance fuzzer)
+// can rely on errors.As for classification. Err optionally carries an
+// underlying sentinel (ErrTooDeep, ErrSourceTooLarge) reachable with
+// errors.Is.
 type ParseError struct {
 	File string
 	Line int
 	Msg  string
+	Err  error
 }
 
 func (e *ParseError) Error() string {
 	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
 }
+
+// Unwrap exposes the underlying sentinel, if any.
+func (e *ParseError) Unwrap() error { return e.Err }
 
 type lexer struct {
 	src  string
@@ -106,6 +115,14 @@ type lexer struct {
 	// brackets, '-' is an arithmetic operator; outside, it is a name
 	// character.
 	cellMode bool
+	// parenDepth tracks '(' nesting inside a cell list: at depth > 0 a
+	// '>' is the greater-than operator, at depth 0 it closes the list.
+	// dtc resolves the same ambiguity by requiring comparisons inside
+	// parentheses.
+	parenDepth int
+	// byteMode is set between '[' and ']': hex digit runs are returned
+	// verbatim (never as octal/decimal literals).
+	byteMode bool
 }
 
 func newLexer(file, src string) *lexer {
@@ -188,6 +205,17 @@ func isHexDigit(c byte) bool {
 	return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
 }
 
+func hexVal(c byte) byte {
+	switch {
+	case c <= '9':
+		return c - '0'
+	case c >= 'a':
+		return c - 'a' + 10
+	default:
+		return c - 'A' + 10
+	}
+}
+
 // next returns the next token.
 func (l *lexer) next() (token, error) {
 	if err := l.skipSpaceAndComments(); err != nil {
@@ -208,36 +236,61 @@ func (l *lexer) next() (token, error) {
 	case '<':
 		l.pos++
 		if l.cellMode {
-			if l.peekByte() == '<' {
+			switch l.peekByte() {
+			case '<':
 				l.pos++
 				return token{kind: tokOp, text: "<<", line: line}, nil
+			case '=':
+				l.pos++
+				return token{kind: tokOp, text: "<=", line: line}, nil
 			}
 			return token{kind: tokOp, text: "<", line: line}, nil
 		}
 		l.cellMode = true
+		l.parenDepth = 0
 		return token{kind: tokLAngle, line: line}, nil
 	case '>':
 		l.pos++
-		if l.cellMode && l.peekByte() == '>' {
-			l.pos++
-			return token{kind: tokOp, text: ">>", line: line}, nil
+		if l.cellMode {
+			switch {
+			case l.peekByte() == '>':
+				l.pos++
+				return token{kind: tokOp, text: ">>", line: line}, nil
+			case l.peekByte() == '=':
+				l.pos++
+				return token{kind: tokOp, text: ">=", line: line}, nil
+			case l.parenDepth > 0:
+				return token{kind: tokOp, text: ">", line: line}, nil
+			}
 		}
 		l.cellMode = false
 		return token{kind: tokRAngle, line: line}, nil
 	case '[':
 		l.pos++
+		l.byteMode = true
 		return token{kind: tokLBracket, line: line}, nil
 	case ']':
 		l.pos++
+		l.byteMode = false
 		return token{kind: tokRBracket, line: line}, nil
 	case '(':
 		l.pos++
+		if l.cellMode {
+			l.parenDepth++
+		}
 		return token{kind: tokLParen, line: line}, nil
 	case ')':
 		l.pos++
+		if l.cellMode && l.parenDepth > 0 {
+			l.parenDepth--
+		}
 		return token{kind: tokRParen, line: line}, nil
 	case '=':
 		l.pos++
+		if l.cellMode && l.peekByte() == '=' {
+			l.pos++
+			return token{kind: tokOp, text: "==", line: line}, nil
+		}
 		return token{kind: tokEquals, line: line}, nil
 	case ';':
 		l.pos++
@@ -248,11 +301,18 @@ func (l *lexer) next() (token, error) {
 	case '"':
 		return l.lexString()
 	case '&':
-		// In cell mode '&' is bitwise-and unless immediately followed
-		// by a name or '{' (a phandle reference like <&uart0>).
-		if l.cellMode && l.at(1) != '{' && !isNameByte(l.at(1), false) {
-			l.pos++
-			return token{kind: tokOp, text: "&", line: line}, nil
+		// In cell mode '&&' is logical-and and a lone '&' is
+		// bitwise-and unless immediately followed by a name or '{' (a
+		// phandle reference like <&uart0>).
+		if l.cellMode {
+			if l.at(1) == '&' {
+				l.pos += 2
+				return token{kind: tokOp, text: "&&", line: line}, nil
+			}
+			if l.at(1) != '{' && !isNameByte(l.at(1), false) {
+				l.pos++
+				return token{kind: tokOp, text: "&", line: line}, nil
+			}
 		}
 		return l.lexRef()
 	case '/':
@@ -261,10 +321,36 @@ func (l *lexer) next() (token, error) {
 
 	if l.cellMode {
 		switch c {
-		case '+', '-', '*', '%', '|', '^', '~':
+		case '+', '-', '*', '%', '^', '~', '?', ':':
 			l.pos++
 			return token{kind: tokOp, text: string(c), line: line}, nil
+		case '|':
+			l.pos++
+			if l.peekByte() == '|' {
+				l.pos++
+				return token{kind: tokOp, text: "||", line: line}, nil
+			}
+			return token{kind: tokOp, text: "|", line: line}, nil
+		case '!':
+			l.pos++
+			if l.peekByte() == '=' {
+				l.pos++
+				return token{kind: tokOp, text: "!=", line: line}, nil
+			}
+			return token{kind: tokOp, text: "!", line: line}, nil
+		case '\'':
+			return l.lexCharLiteral()
 		}
+	}
+
+	if l.byteMode && isHexDigit(c) {
+		// Inside a byte array hex runs are raw text; base rules must
+		// not apply ("[00 99]" is two bytes, not an octal literal).
+		start := l.pos
+		for l.pos < len(l.src) && isHexDigit(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: line}, nil
 	}
 
 	if isDigit(c) {
@@ -291,23 +377,11 @@ func (l *lexer) lexString() (token, error) {
 			return token{kind: tokString, text: b.String(), line: line}, nil
 		case '\\':
 			l.pos++
-			if l.pos >= len(l.src) {
-				return token{}, l.errf("unterminated escape")
+			e, err := l.lexEscape()
+			if err != nil {
+				return token{}, err
 			}
-			e := l.src[l.pos]
-			switch e {
-			case 'n':
-				b.WriteByte('\n')
-			case 't':
-				b.WriteByte('\t')
-			case 'r':
-				b.WriteByte('\r')
-			case '0':
-				b.WriteByte(0)
-			default:
-				b.WriteByte(e)
-			}
-			l.pos++
+			b.WriteByte(e)
 		case '\n':
 			return token{}, l.errf("newline in string")
 		default:
@@ -315,6 +389,102 @@ func (l *lexer) lexString() (token, error) {
 			l.pos++
 		}
 	}
+}
+
+// lexEscape decodes one escape sequence with the backslash already
+// consumed, following dtc's get_escape_char: the single-character C
+// escapes, octal \[0-7]{1,3} (range-checked to a byte) and hex
+// \x with one or two hex digits. Unknown escapes yield the escaped
+// character itself, as in dtc.
+func (l *lexer) lexEscape() (byte, error) {
+	if l.pos >= len(l.src) {
+		return 0, l.errf("unterminated escape")
+	}
+	e := l.src[l.pos]
+	switch e {
+	case 'a':
+		l.pos++
+		return '\a', nil
+	case 'b':
+		l.pos++
+		return '\b', nil
+	case 't':
+		l.pos++
+		return '\t', nil
+	case 'n':
+		l.pos++
+		return '\n', nil
+	case 'v':
+		l.pos++
+		return '\v', nil
+	case 'f':
+		l.pos++
+		return '\f', nil
+	case 'r':
+		l.pos++
+		return '\r', nil
+	case 'x':
+		l.pos++
+		var val uint32
+		n := 0
+		for n < 2 && l.pos < len(l.src) && isHexDigit(l.src[l.pos]) {
+			val = val<<4 | uint32(hexVal(l.src[l.pos]))
+			l.pos++
+			n++
+		}
+		if n == 0 {
+			return 0, l.errf(`\x escape with no hex digits`)
+		}
+		return byte(val), nil
+	}
+	if e >= '0' && e <= '7' {
+		var val uint32
+		n := 0
+		for n < 3 && l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '7' {
+			val = val<<3 | uint32(l.src[l.pos]-'0')
+			l.pos++
+			n++
+		}
+		if val > 0xff {
+			return 0, l.errf(`octal escape \%o exceeds a byte`, val)
+		}
+		return byte(val), nil
+	}
+	l.pos++
+	return e, nil
+}
+
+// lexCharLiteral lexes a C character literal ('A', '\n', '\x41') inside
+// a cell expression; its value is the byte value, as in dtc.
+func (l *lexer) lexCharLiteral() (token, error) {
+	line := l.line
+	start := l.pos
+	l.pos++ // opening quote
+	if l.pos >= len(l.src) {
+		return token{}, l.errf("unterminated character literal")
+	}
+	var val byte
+	switch c := l.src[l.pos]; c {
+	case '\'':
+		return token{}, l.errf("empty character literal")
+	case '\n':
+		return token{}, l.errf("newline in character literal")
+	case '\\':
+		l.pos++
+		e, err := l.lexEscape()
+		if err != nil {
+			return token{}, err
+		}
+		val = e
+	default:
+		val = c
+		l.pos++
+	}
+	if l.peekByte() != '\'' {
+		return token{}, l.errf("character literal must hold exactly one byte")
+	}
+	l.pos++
+	return token{kind: tokNumber, num: uint64(val), text: l.src[start:l.pos], line: line}, nil
 }
 
 func (l *lexer) lexRef() (token, error) {
@@ -365,38 +535,36 @@ func (l *lexer) lexSlashForm() (token, error) {
 	return token{kind: tokSlash, line: line}, nil
 }
 
+// lexNumber lexes an integer literal with C strtoull base-0 semantics,
+// matching dtc: 0x/0X selects hexadecimal, a leading zero selects octal
+// (stray 8/9 digits are an error), anything else is decimal. Literals
+// that overflow 64 bits are a ParseError instead of wrapping silently.
 func (l *lexer) lexNumber() (token, error) {
 	line := l.line
 	start := l.pos
-	var val uint64
+	const maxU64 = ^uint64(0)
 	if l.peekByte() == '0' && (l.at(1) == 'x' || l.at(1) == 'X') {
 		l.pos += 2
 		digitStart := l.pos
+		var val uint64
 		for l.pos < len(l.src) && isHexDigit(l.src[l.pos]) {
-			c := l.src[l.pos]
-			var d uint64
-			switch {
-			case c >= '0' && c <= '9':
-				d = uint64(c - '0')
-			case c >= 'a' && c <= 'f':
-				d = uint64(c-'a') + 10
-			default:
-				d = uint64(c-'A') + 10
+			if val > maxU64>>4 {
+				return token{}, l.errf("hex literal overflows 64 bits")
 			}
-			val = val<<4 | d
+			val = val<<4 | uint64(hexVal(l.src[l.pos]))
 			l.pos++
 		}
 		if l.pos == digitStart {
 			return token{}, l.errf("malformed hex literal")
 		}
-	} else {
-		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
-			val = val*10 + uint64(l.src[l.pos]-'0')
-			l.pos++
-		}
+		return token{kind: tokNumber, num: val, text: l.src[start:l.pos], line: line}, nil
 	}
-	// In name position (outside cells), digits may start an identifier
-	// like "1st-level"; continue as identifier if name bytes follow.
+	// Scan the whole digit run first: outside cells it may turn out to
+	// be an identifier like "1st-level", which must not be misdiagnosed
+	// as a malformed octal literal.
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
 	if !l.cellMode && l.pos < len(l.src) && isNameByte(l.src[l.pos], false) &&
 		!isDigit(l.src[l.pos]) {
 		for l.pos < len(l.src) && isNameByte(l.src[l.pos], false) {
@@ -409,7 +577,29 @@ func (l *lexer) lexNumber() (token, error) {
 		}
 		return token{kind: tokIdent, text: text, line: line}, nil
 	}
-	return token{kind: tokNumber, num: val, text: l.src[start:l.pos], line: line}, nil
+	text := l.src[start:l.pos]
+	var val uint64
+	if len(text) > 1 && text[0] == '0' {
+		for i := 1; i < len(text); i++ {
+			d := text[i]
+			if d > '7' {
+				return token{}, l.errf("invalid digit %q in octal literal %s", string(d), text)
+			}
+			if val > maxU64>>3 {
+				return token{}, l.errf("octal literal %s overflows 64 bits", text)
+			}
+			val = val<<3 | uint64(d-'0')
+		}
+	} else {
+		for i := 0; i < len(text); i++ {
+			d := uint64(text[i] - '0')
+			if val > (maxU64-d)/10 {
+				return token{}, l.errf("decimal literal %s overflows 64 bits", text)
+			}
+			val = val*10 + d
+		}
+	}
+	return token{kind: tokNumber, num: val, text: text, line: line}, nil
 }
 
 func (l *lexer) lexIdentOrLabel() (token, error) {

@@ -116,8 +116,9 @@ func ParseFile(path string, opts ...ParseOption) (*Tree, error) {
 func ParseFragment(file, name, src string, opts ...ParseOption) (*Node, error) {
 	p := newParser(opts)
 	if p.maxSourceBytes > 0 && len(src) > p.maxSourceBytes {
-		return nil, fmt.Errorf("%w: fragment %s is %d bytes (limit %d)",
-			ErrSourceTooLarge, file, len(src), p.maxSourceBytes)
+		return nil, &ParseError{File: file, Line: 1, Err: ErrSourceTooLarge,
+			Msg: fmt.Sprintf("fragment is %d bytes (limit %d): %v",
+				len(src), p.maxSourceBytes, ErrSourceTooLarge)}
 	}
 	p.lex = newLexer(file, src)
 	if err := p.advance(); err != nil {
@@ -171,12 +172,14 @@ func (p *parser) expect(k tokenKind) (token, error) {
 // shared tree, recursing into includes.
 func (p *parser) parseSource(file, src string, depth int) error {
 	if depth > p.maxDepth {
-		return fmt.Errorf("include nesting deeper than %d (cycle?)", p.maxDepth)
+		return &ParseError{File: file, Line: 1,
+			Msg: fmt.Sprintf("include nesting deeper than %d (cycle?)", p.maxDepth)}
 	}
 	p.sourceBytes += len(src)
 	if p.maxSourceBytes > 0 && p.sourceBytes > p.maxSourceBytes {
-		return fmt.Errorf("%w: %d bytes of source (limit %d) at %s",
-			ErrSourceTooLarge, p.sourceBytes, p.maxSourceBytes, file)
+		return &ParseError{File: file, Line: 1, Err: ErrSourceTooLarge,
+			Msg: fmt.Sprintf("%d bytes of source (limit %d): %v",
+				p.sourceBytes, p.maxSourceBytes, ErrSourceTooLarge)}
 	}
 	savedLex, savedTok := p.lex, p.tok
 	p.lex = newLexer(file, src)
@@ -352,8 +355,9 @@ func (p *parser) parseNodeBody(name string) (*Node, error) {
 	p.nodeDepth++
 	defer func() { p.nodeDepth-- }()
 	if p.nodeDepth > p.maxNodeDepth {
-		return nil, fmt.Errorf("%w: node %s at %s:%d nests deeper than %d",
-			ErrTooDeep, name, p.lex.file, p.tok.line, p.maxNodeDepth)
+		return nil, &ParseError{File: p.lex.file, Line: p.tok.line, Err: ErrTooDeep,
+			Msg: fmt.Sprintf("node %s nests deeper than %d: %v",
+				name, p.maxNodeDepth, ErrTooDeep)}
 	}
 	n := &Node{Name: name, Origin: Origin{File: p.lex.file, Line: p.tok.line}}
 	if _, err := p.expect(tokLBrace); err != nil {
@@ -536,17 +540,65 @@ func (p *parser) parseCells() (Chunk, error) {
 	return chunk, p.advance() // consume '>'
 }
 
-// parseCellExpr parses an integer expression: numbers, parentheses and
-// the operators + - * / % << >> & | ^ ~ with C precedence.
+// parseCellExpr parses an integer expression with dtc's full C
+// operator set: numbers (including character literals), parentheses,
+// the arithmetic/bitwise operators + - * / % << >> & | ^ ~, the
+// comparisons < > <= >= == !=, logical ! && ||, and the ternary ?:,
+// all at C precedence. Like dtc, arithmetic is unsigned 64-bit and
+// both ternary branches are evaluated eagerly.
 func (p *parser) parseCellExpr() (uint64, error) {
-	return p.parseBinary(0)
+	return p.parseTernary()
+}
+
+// parseTernary parses "cond ? a : b" (right-associative, lowest
+// precedence); "?" and ":" are deliberately absent from the binary
+// precedence table so parseBinary stops at them.
+func (p *parser) parseTernary() (uint64, error) {
+	cond, err := p.parseBinary(0)
+	if err != nil {
+		return 0, err
+	}
+	if p.tok.kind != tokOp || p.tok.text != "?" {
+		return cond, nil
+	}
+	if err := p.advance(); err != nil {
+		return 0, err
+	}
+	a, err := p.parseTernary()
+	if err != nil {
+		return 0, err
+	}
+	if p.tok.kind != tokOp || p.tok.text != ":" {
+		return 0, p.errf("expected ':' in ternary expression, found %v", p.tok.kind)
+	}
+	if err := p.advance(); err != nil {
+		return 0, err
+	}
+	b, err := p.parseTernary()
+	if err != nil {
+		return 0, err
+	}
+	if cond != 0 {
+		return a, nil
+	}
+	return b, nil
 }
 
 var precedence = map[string]int{
-	"|": 1, "^": 2, "&": 3,
-	"<<": 4, ">>": 4,
-	"+": 5, "-": 5,
-	"*": 6, "/": 6, "%": 6,
+	"||": 1, "&&": 2,
+	"|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6,
+	"<": 7, ">": 7, "<=": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func boolToU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func (p *parser) parseBinary(minPrec int) (uint64, error) {
@@ -594,6 +646,22 @@ func (p *parser) parseBinary(minPrec int) (uint64, error) {
 			left |= right
 		case "^":
 			left ^= right
+		case "<":
+			left = boolToU64(left < right)
+		case ">":
+			left = boolToU64(left > right)
+		case "<=":
+			left = boolToU64(left <= right)
+		case ">=":
+			left = boolToU64(left >= right)
+		case "==":
+			left = boolToU64(left == right)
+		case "!=":
+			left = boolToU64(left != right)
+		case "&&":
+			left = boolToU64(left != 0 && right != 0)
+		case "||":
+			left = boolToU64(left != 0 || right != 0)
 		}
 	}
 	return left, nil
@@ -615,6 +683,12 @@ func (p *parser) parseUnary() (uint64, error) {
 			}
 			v, err := p.parseUnary()
 			return ^v, err
+		case "!":
+			if err := p.advance(); err != nil {
+				return 0, err
+			}
+			v, err := p.parseUnary()
+			return boolToU64(v == 0), err
 		}
 		return 0, p.errf("unexpected operator %q", p.tok.text)
 	case tokNumber:
@@ -624,7 +698,7 @@ func (p *parser) parseUnary() (uint64, error) {
 		if err := p.advance(); err != nil {
 			return 0, err
 		}
-		v, err := p.parseBinary(0)
+		v, err := p.parseTernary()
 		if err != nil {
 			return 0, err
 		}

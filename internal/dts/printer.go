@@ -73,15 +73,14 @@ func printValue(b *strings.Builder, v Value) {
 					b.WriteString(" ")
 				}
 				if cell.Ref != "" {
-					b.WriteString("&")
-					b.WriteString(cell.Ref)
+					printRef(b, cell.Ref)
 				} else {
 					fmt.Fprintf(b, "0x%x", cell.Val)
 				}
 			}
 			b.WriteString(">")
 		case ChunkString:
-			fmt.Fprintf(b, "%q", c.Str)
+			b.WriteString(quoteDTS(c.Str))
 		case ChunkBytes:
 			b.WriteString("[")
 			for j, by := range c.Bytes {
@@ -92,8 +91,52 @@ func printValue(b *strings.Builder, v Value) {
 			}
 			b.WriteString("]")
 		case ChunkRef:
-			b.WriteString("&")
-			b.WriteString(c.Ref)
+			printRef(b, c.Ref)
 		}
 	}
+}
+
+// printRef renders a phandle reference. Path references (&{/soc/uart})
+// must keep the brace form: a bare "&/soc/uart" does not lex.
+func printRef(b *strings.Builder, ref string) {
+	b.WriteString("&")
+	if strings.HasPrefix(ref, "/") {
+		b.WriteString("{")
+		b.WriteString(ref)
+		b.WriteString("}")
+		return
+	}
+	b.WriteString(ref)
+}
+
+// quoteDTS renders a string as a DTS string literal that the lexer
+// reads back byte-for-byte. Go's %q is not safe here: it emits \u
+// escapes and bare \0, which DTS does not understand. Hex escapes are
+// always two digits, so a following literal hex character cannot be
+// absorbed into the escape (the lexer reads at most two digits).
+func quoteDTS(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			if c >= 0x20 && c <= 0x7e {
+				b.WriteByte(c)
+			} else {
+				fmt.Fprintf(&b, `\x%02x`, c)
+			}
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
 }
