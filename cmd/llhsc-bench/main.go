@@ -10,6 +10,7 @@
 //	llhsc-bench -parallel-json BENCH_parallel.json   # emit the E13 artifact
 //	llhsc-bench -semantic-json BENCH_semantic.json   # emit the E14 artifact
 //	llhsc-bench -obs-json BENCH_obs.json             # emit the E15 artifact
+//	llhsc-bench -persist-json BENCH_persist.json     # emit the E17 artifact
 //	llhsc-bench -list
 package main
 
@@ -40,6 +41,9 @@ func run(args []string) error {
 	obsJSON := fs.String("obs-json", "",
 		"write the E15 observability-overhead measurement to this JSON file and exit")
 	obsVMs := fs.Int("obs-vms", 6, "product-line size for -obs-json")
+	persistJSON := fs.String("persist-json", "",
+		"write the E17 warm-restart recovery measurement to this JSON file and exit")
+	persistVMs := fs.Int("persist-vms", 6, "product-line size for -persist-json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,6 +66,13 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *obsJSON)
+		return nil
+	}
+	if *persistJSON != "" {
+		if err := bench.WritePersistJSON(*persistJSON, *persistVMs); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *persistJSON)
 		return nil
 	}
 	if *list {

@@ -9,6 +9,7 @@
 //	             [-request-timeout 30s] [-max-inflight 16]
 //	             [-max-body 4194304] [-solver-conflicts 0]
 //	             [-shutdown-grace 15s] [-parallel 0] [-cache-size 256]
+//	             [-cache-dir ""] [-cache-max-bytes 0] [-degrade off]
 //	             [-semantic-strategy sweep] [-pprof 0] [-log-requests=true]
 //
 // The server always serves Prometheus-format metrics on GET /metrics
@@ -16,9 +17,19 @@
 // -log-requests=false, writes one structured JSON log line per request
 // to stderr, correlated with responses by X-Request-ID.
 //
-// The server drains gracefully on SIGINT/SIGTERM: in-flight requests
-// get -shutdown-grace to complete, then the listener closes and the
-// process exits 0.
+// The server drains gracefully on SIGINT/SIGTERM: new /check and
+// /lint requests answer 503 + Retry-After (reason "draining") so load
+// balancers fail over immediately, in-flight requests get
+// -shutdown-grace to complete, then the listener closes, the
+// persistent cache (if any) is flushed and closed, and the process
+// exits 0.
+//
+// -cache-dir layers the crash-safe persistent cache tier under the
+// in-memory cache: check results survive restarts, torn or corrupt
+// records are truncated/quarantined on open, and a circuit breaker
+// falls back to memory-only mode while the disk misbehaves. -degrade
+// auto sheds /check to lint-only checking while the in-flight
+// semaphore stays saturated (see README.md "Durability & degradation").
 //
 // -pprof <port> exposes net/http/pprof on 127.0.0.1:<port> (loopback
 // only, never the service listener); 0 keeps profiling off.
@@ -81,6 +92,12 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		"worker count for per-VM checking within one request (0 = GOMAXPROCS, 1 = serial)")
 	cacheSize := fs.Int("cache-size", 256,
 		"capacity of the content-addressed check-result cache, in trees (0 = disabled)")
+	cacheDir := fs.String("cache-dir", "",
+		"directory for the crash-safe persistent cache tier; results survive restarts (empty = memory-only)")
+	cacheMaxBytes := fs.Int64("cache-max-bytes", 0,
+		"total on-disk byte cap for -cache-dir; oldest segments are dropped first (0 = the built-in default)")
+	degrade := fs.String("degrade", "off",
+		"overload shedding for /check: off, auto (lint-only while the in-flight semaphore stays saturated), force")
 	semStrategy := fs.String("semantic-strategy", "sweep",
 		"semantic-check strategy: sweep (O(n log n) prefilter + SMT), assume (one incremental solver), pairwise (one solve per pair)")
 	pprofPort := fs.Int("pprof", 0,
@@ -96,11 +113,20 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		return err
 	}
 
+	switch *degrade {
+	case "", service.DegradeOff, service.DegradeAuto, service.DegradeForce:
+	default:
+		return fmt.Errorf("unknown -degrade mode %q (want off, auto or force)", *degrade)
+	}
+
 	opts := service.Options{
 		RequestTimeout:   *requestTimeout,
 		MaxInFlight:      *maxInflight,
 		MaxBodyBytes:     *maxBody,
 		CacheSize:        *cacheSize,
+		CacheDir:         *cacheDir,
+		CacheMaxBytes:    *cacheMaxBytes,
+		Degrade:          *degrade,
 		SemanticStrategy: strategy,
 		Registry:         obs.NewRegistry(), // serves GET /metrics
 		Limits: core.Limits{
@@ -108,10 +134,21 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 			Parallelism: *parallel,
 		},
 	}
+	if *cacheDir != "" && *cacheSize <= 0 {
+		return fmt.Errorf("-cache-dir requires -cache-size > 0")
+	}
 	if *logRequests {
 		opts.LogWriter = os.Stderr
 	}
-	handler := service.NewHandler(opts)
+	svc, err := service.NewService(opts)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	handler := http.Handler(svc)
+	if *cacheDir != "" {
+		log.Printf("llhsc-server persistent cache tier at %s", *cacheDir)
+	}
 
 	if *pprofPort != 0 {
 		// The profiler gets its own loopback-only listener so it can
@@ -156,6 +193,10 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	}
 
 	log.Printf("llhsc-server shutting down, draining for up to %v", *shutdownGrace)
+	// Flip the draining gate first: requests arriving during the grace
+	// period get an immediate 503 + Retry-After instead of racing the
+	// listener teardown, while requests already in flight finish.
+	svc.SetDraining(true)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
@@ -163,6 +204,9 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	if err := svc.Close(); err != nil {
+		return fmt.Errorf("closing persistent cache: %w", err)
 	}
 	log.Printf("llhsc-server stopped")
 	return nil

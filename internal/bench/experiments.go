@@ -26,7 +26,8 @@ type Experiment struct {
 	Run   func(w io.Writer) error
 }
 
-// Experiments returns all experiments in order E1..E15.
+// Experiments returns all experiments in order (e16 is reserved for
+// the lifted-checking comparison on the roadmap).
 func Experiments() []Experiment {
 	return []Experiment{
 		{"e1", "Parse the running example (Listings 1+2), round trip", RunE1},
@@ -44,6 +45,7 @@ func Experiments() []Experiment {
 		{"e13", "Parallel pipeline speedup over worker counts", RunE13},
 		{"e14", "Semantic-check strategies: sweep vs assume vs pairwise", RunE14},
 		{"e15", "Observability overhead: tracing and metrics off vs on", RunE15},
+		{"e17", "Persistent cache tier: warm-restart hit-rate recovery", RunE17},
 	}
 }
 

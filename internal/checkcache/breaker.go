@@ -1,0 +1,210 @@
+// Circuit breaker guarding the persistent tier. The disk is an
+// optimization, never a dependency: when it starts failing (I/O
+// errors, a full volume, a dying device) the cache must shed it and
+// keep answering from memory + compute, then probe its way back once
+// the faults clear — without letting every request pay the failure
+// latency in the meantime.
+package checkcache
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: healthy, operations flow to the disk tier.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: tripped, every operation is skipped (memory-only
+	// mode) until the backoff deadline passes.
+	BreakerOpen
+	// BreakerHalfOpen: the deadline passed and exactly one probe
+	// operation is in flight; its outcome closes or re-opens.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerStats is a snapshot for /healthz.
+type BreakerStats struct {
+	State            string `json:"state"`
+	ConsecutiveFails int    `json:"consecutive_fails"`
+	Trips            uint64 `json:"trips"`
+	Probes           uint64 `json:"probes"`
+	// NextProbeMs is how far away the next probe is when open
+	// (0 when closed/half-open or already due).
+	NextProbeMs int64 `json:"next_probe_ms,omitempty"`
+}
+
+// Breaker is a consecutive-failure circuit breaker with jittered
+// exponential-backoff probing. The zero value is not usable; call
+// NewBreaker. A nil *Breaker always allows (no breaking).
+type Breaker struct {
+	threshold int
+	base, max time.Duration
+
+	// Now and Jitter are swapped in tests for determinism. Jitter
+	// returns a value in [0, 1); the probe delay is backoff/2 +
+	// jitter*backoff/2, i.e. 50–100% of nominal, so a fleet of
+	// restarting nodes does not probe a struggling disk in lockstep.
+	Now    func() time.Time
+	Jitter func() float64
+
+	mu      sync.Mutex
+	state   BreakerState
+	fails   int // consecutive failures while closed
+	backoff time.Duration
+	probeAt time.Time
+	trips   uint64
+	probes  uint64
+}
+
+// Default breaker tuning: trip after 5 consecutive failures, probe
+// after ~1s doubling to at most 60s.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerBase      = time.Second
+	DefaultBreakerMax       = time.Minute
+)
+
+// NewBreaker returns a closed breaker. threshold <= 0, base <= 0 and
+// max <= 0 take the defaults.
+func NewBreaker(threshold int, base, max time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if base <= 0 {
+		base = DefaultBreakerBase
+	}
+	if max <= 0 {
+		max = DefaultBreakerMax
+	}
+	if max < base {
+		max = base
+	}
+	return &Breaker{
+		threshold: threshold,
+		base:      base,
+		max:       max,
+		Now:       time.Now,
+		Jitter:    rand.Float64,
+	}
+}
+
+// Allow reports whether the next disk operation may proceed. While
+// open it returns false until the jittered backoff deadline passes,
+// then admits exactly one probe (half-open); further calls are denied
+// until that probe's Success or Failure resolves the state.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		return false // one probe at a time
+	default: // open
+		if b.Now().Before(b.probeAt) {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probes++
+		return true
+	}
+}
+
+// Success records a healthy disk operation: it closes the circuit and
+// resets the failure count and backoff.
+func (b *Breaker) Success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.backoff = 0
+}
+
+// Failure records a failed disk operation. The threshold-th
+// consecutive failure while closed trips the circuit; a failed probe
+// re-opens with doubled (capped, jittered) backoff.
+func (b *Breaker) Failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.backoff *= 2
+		if b.backoff > b.max {
+			b.backoff = b.max
+		}
+		b.openLocked()
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.backoff = b.base
+			b.openLocked()
+		}
+	}
+	// Failures reported while already open (operations admitted before
+	// the trip) do not extend the backoff.
+}
+
+// openLocked trips to open and schedules the next probe at 50–100% of
+// the nominal backoff.
+func (b *Breaker) openLocked() {
+	b.state = BreakerOpen
+	b.trips++
+	d := b.backoff/2 + time.Duration(b.Jitter()*float64(b.backoff/2))
+	b.probeAt = b.Now().Add(d)
+}
+
+// State returns the circuit's position.
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Stats returns a consistent snapshot.
+func (b *Breaker) Stats() BreakerStats {
+	if b == nil {
+		return BreakerStats{State: BreakerClosed.String()}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := BreakerStats{
+		State:            b.state.String(),
+		ConsecutiveFails: b.fails,
+		Trips:            b.trips,
+		Probes:           b.probes,
+	}
+	if b.state == BreakerOpen {
+		if wait := b.probeAt.Sub(b.Now()); wait > 0 {
+			st.NextProbeMs = wait.Milliseconds()
+		}
+	}
+	return st
+}

@@ -1,0 +1,145 @@
+package checkcache
+
+import (
+	"testing"
+	"time"
+)
+
+// testBreaker returns a breaker with a frozen, hand-advanced clock and
+// zero jitter, so probe deadlines are exact.
+func testBreaker(threshold int, base, max time.Duration) (*Breaker, *time.Time) {
+	b := NewBreaker(threshold, base, max)
+	now := time.Unix(1000, 0)
+	b.Now = func() time.Time { return now }
+	b.Jitter = func() float64 { return 0 } // probeAt = now + backoff/2
+	return b, &now
+}
+
+func TestNilBreakerAlwaysAllows(t *testing.T) {
+	var b *Breaker
+	if !b.Allow() {
+		t.Fatal("nil breaker denied")
+	}
+	b.Success() // must not panic
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("nil breaker not closed")
+	}
+	if st := b.Stats(); st.State != "closed" {
+		t.Fatalf("nil stats = %+v", st)
+	}
+}
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	b, _ := testBreaker(3, time.Second, time.Minute)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("denied before trip at failure %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("tripped one failure early")
+	}
+	b.Failure() // third consecutive failure
+	if b.State() != BreakerOpen {
+		t.Fatal("did not trip at threshold")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed immediately")
+	}
+	if st := b.Stats(); st.Trips != 1 || st.NextProbeMs != 500 {
+		t.Fatalf("stats after trip = %+v", st)
+	}
+}
+
+func TestSuccessResetsFailureStreak(t *testing.T) {
+	b, _ := testBreaker(3, time.Second, time.Minute)
+	b.Failure()
+	b.Failure()
+	b.Success() // streak broken
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerOpen {
+		// still closed: the two fresh failures are under threshold
+	} else {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+}
+
+func TestProbeAfterBackoffAndReclose(t *testing.T) {
+	b, now := testBreaker(1, time.Second, time.Minute)
+	b.Failure() // trip; probeAt = now + 500ms (zero jitter)
+	if b.Allow() {
+		t.Fatal("allowed before probe deadline")
+	}
+	*now = now.Add(499 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("allowed 1ms early")
+	}
+	*now = now.Add(time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe denied after deadline")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after probe admit = %v", b.State())
+	}
+	// Exactly one probe: concurrent callers are denied meanwhile.
+	if b.Allow() {
+		t.Fatal("second probe admitted while first outstanding")
+	}
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("probe success did not re-close")
+	}
+	if st := b.Stats(); st.Probes != 1 {
+		t.Fatalf("probes = %d, want 1", st.Probes)
+	}
+}
+
+func TestFailedProbeDoublesBackoffUpToMax(t *testing.T) {
+	b, now := testBreaker(1, time.Second, 3*time.Second)
+	b.Failure() // open, backoff 1s → probe in 500ms
+	waits := []time.Duration{
+		time.Second,             // probe fails → backoff 2s → wait 1s
+		1500 * time.Millisecond, // probe fails → backoff 3s (capped) → wait 1.5s
+		1500 * time.Millisecond, // stays capped
+	}
+	for i, want := range waits {
+		// advance to the current probe deadline
+		for !b.Allow() {
+			*now = now.Add(100 * time.Millisecond)
+		}
+		b.Failure() // probe fails
+		if b.State() != BreakerOpen {
+			t.Fatalf("round %d: failed probe left state %v", i, b.State())
+		}
+		st := b.Stats()
+		if got := time.Duration(st.NextProbeMs) * time.Millisecond; got != want {
+			t.Fatalf("round %d: next probe in %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestJitterSpreadsProbeDeadline(t *testing.T) {
+	b, _ := testBreaker(1, 2*time.Second, time.Minute)
+	b.Jitter = func() float64 { return 0.5 }
+	b.Failure()
+	// backoff 2s: deadline = 1s + 0.5*1s = 1.5s
+	if st := b.Stats(); st.NextProbeMs != 1500 {
+		t.Fatalf("NextProbeMs = %d, want 1500", st.NextProbeMs)
+	}
+}
+
+func TestFailureWhileOpenDoesNotExtendBackoff(t *testing.T) {
+	b, _ := testBreaker(1, time.Second, time.Minute)
+	b.Failure()
+	before := b.Stats()
+	// Stragglers admitted before the trip report their failures late.
+	b.Failure()
+	b.Failure()
+	after := b.Stats()
+	if after.NextProbeMs != before.NextProbeMs || after.Trips != before.Trips {
+		t.Fatalf("late failures moved the breaker: %+v -> %+v", before, after)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"encoding/hex"
 	"sync"
 
+	"llhsc/internal/checkcache/persist"
 	"llhsc/internal/constraints"
 	"llhsc/internal/obs"
 )
@@ -68,9 +69,10 @@ type entry struct {
 
 // flight is one in-progress computation other callers can wait on.
 type flight struct {
-	done chan struct{} // closed when the leader finishes
-	val  []constraints.Violation
-	err  error
+	done     chan struct{} // closed when the leader finishes
+	val      []constraints.Violation
+	err      error
+	fromDisk bool // leader satisfied the miss from the persistent tier
 }
 
 // Cache is a bounded LRU of check results, safe for concurrent use.
@@ -86,6 +88,15 @@ type Cache struct {
 	// and, via RegisterMetrics, the /metrics exposition — one source of
 	// truth for /healthz and the Prometheus scrape.
 	hits, misses, evictions obs.Counter
+
+	// Optional persistent tier (AttachPersist). store survives process
+	// restarts; breaker sheds it when the disk misbehaves. Both nil-safe
+	// throughout: a memory-only cache never consults them.
+	store   *persist.Store
+	breaker *Breaker
+	// Disk-tier counters, separate from the in-memory hit/miss pair so
+	// the pinned Stats shape is untouched.
+	diskHits, diskMisses, diskErrors, diskWrites obs.Counter
 }
 
 // New returns a cache holding at most capacity results. capacity <= 0
@@ -170,6 +181,12 @@ func (c *Cache) Do(ctx context.Context, key string, fn func() ([]constraints.Vio
 		return v, false, err
 	}
 	for {
+		// A caller whose deadline already passed must not become a
+		// leader (it would compute a result nobody can use) or re-join
+		// the waiter queue.
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
 		c.mu.Lock()
 		if el, ok := c.entries[key]; ok {
 			c.lru.MoveToFront(el)
@@ -204,7 +221,17 @@ func (c *Cache) Do(ctx context.Context, key string, fn func() ([]constraints.Vio
 		c.misses.Inc()
 		c.mu.Unlock()
 
-		f.val, f.err = fn()
+		// Persistent tier, inside the single flight: N concurrent misses
+		// on one key cost at most one disk read. The tier is strictly
+		// best-effort — any failure falls through to computing.
+		if v, ok := c.diskGet(key); ok {
+			f.val, f.fromDisk = v, true
+		} else {
+			f.val, f.err = fn()
+			if f.err == nil {
+				c.diskPut(key, f.val)
+			}
+		}
 		c.mu.Lock()
 		delete(c.inflight, key)
 		if f.err == nil {
@@ -212,7 +239,7 @@ func (c *Cache) Do(ctx context.Context, key string, fn func() ([]constraints.Vio
 		}
 		c.mu.Unlock()
 		close(f.done)
-		return copyViolations(f.val), false, f.err
+		return copyViolations(f.val), f.fromDisk, f.err
 	}
 }
 
@@ -259,10 +286,14 @@ func (c *Cache) insertLocked(key string, violations []constraints.Violation) {
 	c.entries[key] = c.lru.PushFront(&entry{key: key, violations: copyViolations(violations)})
 }
 
-// copyViolations guards the cached slice against caller appends.
+// copyViolations guards the cached slice against caller appends. It
+// preserves the nil/empty distinction: "checked, zero violations"
+// (empty) and "nothing to report" (nil) round-trip as themselves.
 func copyViolations(v []constraints.Violation) []constraints.Violation {
 	if v == nil {
 		return nil
 	}
-	return append([]constraints.Violation(nil), v...)
+	out := make([]constraints.Violation, len(v))
+	copy(out, v)
+	return out
 }

@@ -1,0 +1,726 @@
+// Package persist is the disk tier under the in-memory check-result
+// LRU (internal/checkcache): an append-only, CRC32C-checksummed
+// segment-file store keyed by the cache's sha256 content address. Its
+// job is to keep the fleet warm across restarts — a rolling deploy
+// reopens the directory, replays the index, and serves yesterday's
+// verdicts — while never, under any failure, serving a record that
+// does not checksum. The threat model is explicit: the process dies
+// mid-write (torn tail), the disk lies (bit rot, short writes,
+// I/O errors), and both must degrade to cache misses, not wrong
+// violation sets.
+//
+// # On-disk format
+//
+// A store directory holds sealed segments `seg-<n>.llc`, one active
+// staging segment `active.llc`, and a `quarantine/` subdirectory of
+// byte ranges that failed validation. Records are framed as
+//
+//	magic    byte   0xD7
+//	keyLen   uint16 little-endian
+//	valLen   uint32 little-endian
+//	key      keyLen bytes
+//	val      valLen bytes
+//	crc      uint32 little-endian, CRC32C over magic..val
+//
+// Appends go through a staging buffer (one record = one Write call)
+// into active.llc. When the active segment exceeds the rotation
+// threshold it is synced, closed and atomically renamed to the next
+// seg-<n>.llc — a reader never observes a half-sealed segment under a
+// sealed name. Within one segment later records win; across segments
+// higher-numbered ones do.
+//
+// # Recovery
+//
+// Open scans every segment oldest-first and rebuilds the key index.
+// A structurally incomplete record at the tail of the active segment
+// is the expected crash shape: the tail is truncated (counted, not
+// quarantined) and appending resumes at the cut. Everything else that
+// fails validation — bad magic, an impossible length, a CRC mismatch,
+// a torn tail in a *sealed* segment — is copied into quarantine/ and
+// the remainder of that segment is skipped: a corrupt length field
+// makes every later frame boundary untrustworthy. Lookups re-verify
+// the CRC on every read, so a record that rots after recovery is a
+// miss, never a wrong answer.
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"llhsc/internal/faultinject"
+)
+
+// Named fault-injection points consulted by the store. The chaos and
+// fault-matrix suites iterate Points to prove every failure path
+// degrades cleanly.
+const (
+	PointOpen        = "persist.open"          // opening/creating files at Open
+	PointAppendWrite = "persist.append.write"  // the record write into active.llc
+	PointAppendSync  = "persist.append.sync"   // fsync of the active segment
+	PointRotate      = "persist.rotate.rename" // the seal rename active.llc -> seg-N.llc
+	PointRead        = "persist.read"          // the record read serving a Get
+	PointScan        = "persist.recover.scan"  // reading segments during Open's scan
+	PointQuarantine  = "persist.quarantine"    // writing a quarantine file
+)
+
+// Points lists every named failure point the store consults.
+var Points = []string{
+	PointOpen, PointAppendWrite, PointAppendSync,
+	PointRotate, PointRead, PointScan, PointQuarantine,
+}
+
+const (
+	recMagic      = 0xD7
+	recHeaderLen  = 1 + 2 + 4 // magic + keyLen + valLen
+	recTrailerLen = 4         // crc32c
+	maxKeyLen     = 1 << 10
+	maxValLen     = 64 << 20
+
+	activeName    = "active.llc"
+	segPrefix     = "seg-"
+	segSuffix     = ".llc"
+	quarantineDir = "quarantine"
+
+	// DefaultMaxSegmentBytes rotates the active segment at 4 MiB.
+	DefaultMaxSegmentBytes = 4 << 20
+	// DefaultMaxTotalBytes caps the store at 256 MiB of segments; the
+	// oldest sealed segment is dropped when the cap is exceeded.
+	DefaultMaxTotalBytes = 256 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the store directory, created if missing.
+	Dir string
+	// MaxSegmentBytes is the rotation threshold for the active segment
+	// (0 = DefaultMaxSegmentBytes).
+	MaxSegmentBytes int64
+	// MaxTotalBytes caps the total bytes across sealed + active
+	// segments; exceeding it drops whole oldest segments (0 =
+	// DefaultMaxTotalBytes, < 0 = unlimited).
+	MaxTotalBytes int64
+	// SyncEvery fsyncs the active segment after every nth append
+	// (1 = every append). 0 syncs only on rotation and Close: a crash
+	// may lose recent appends, never previously synced ones.
+	SyncEvery int
+	// Faults, when non-nil, is consulted at every named point above.
+	Faults *faultinject.Set
+}
+
+// Stats is a snapshot of the store's counters and footprint.
+type Stats struct {
+	Entries     int    `json:"entries"`
+	Segments    int    `json:"segments"` // sealed + active
+	Bytes       int64  `json:"bytes"`
+	Appends     uint64 `json:"appends"`
+	AppendFails uint64 `json:"append_fails"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	ReadFails   uint64 `json:"read_fails"`
+	// TornTruncated counts structurally incomplete active-segment tails
+	// cut during recovery — the expected crash residue.
+	TornTruncated uint64 `json:"torn_truncated"`
+	// Quarantined counts byte ranges that failed validation and were
+	// copied to quarantine/ (recovery corruption + read-time CRC rot).
+	Quarantined uint64 `json:"quarantined"`
+	// Dropped counts whole segments deleted by the total-bytes cap.
+	Dropped uint64 `json:"dropped_segments"`
+	// MaintFails counts failed background maintenance (segment seal
+	// renames, cap-enforcement deletes). Maintenance retries on later
+	// appends and never fails a Put — an error from Put always means
+	// the record is not visible.
+	MaintFails uint64 `json:"maint_fails"`
+}
+
+// recLoc locates one live record.
+type recLoc struct {
+	seg    uint64 // 0 = active segment
+	off    int64
+	length int64 // full framed length
+}
+
+// Store is an append-only segment store, safe for concurrent use.
+type Store struct {
+	dir    string
+	maxSeg int64
+	maxTot int64
+	sync   int
+	faults *faultinject.Set
+
+	mu         sync.Mutex
+	index      map[string]recLoc
+	active     *os.File
+	activeSize int64
+	nextSeg    uint64           // number the active segment seals as; >= 1 (0 = active in recLoc)
+	sealed     map[uint64]int64 // segment number -> size in bytes
+	appendsOut int              // appends since the last fsync
+	encBuf     []byte           // staging buffer, reused across appends
+	repairTo   int64            // < 0 when clean; else truncate target after a failed append
+	closed     bool
+
+	stats Stats
+}
+
+// Open opens (creating if necessary) the store in opts.Dir and
+// recovers its index: sealed segments oldest-first, then the active
+// segment with torn-tail truncation. A corrupt record is quarantined
+// and never indexed. The returned store owns the directory until
+// Close.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("persist: Options.Dir is required")
+	}
+	s := &Store{
+		dir:      opts.Dir,
+		maxSeg:   opts.MaxSegmentBytes,
+		maxTot:   opts.MaxTotalBytes,
+		sync:     opts.SyncEvery,
+		faults:   opts.Faults,
+		index:    make(map[string]recLoc),
+		sealed:   make(map[uint64]int64),
+		nextSeg:  1, // recLoc.seg 0 means "active", so seals start at 1
+		repairTo: -1,
+	}
+	if s.maxSeg <= 0 {
+		s.maxSeg = DefaultMaxSegmentBytes
+	}
+	if s.maxTot == 0 {
+		s.maxTot = DefaultMaxTotalBytes
+	}
+	if err := s.faults.Fire(PointOpen); err != nil {
+		return nil, fmt.Errorf("persist: open %s: %w", opts.Dir, err)
+	}
+	if err := os.MkdirAll(filepath.Join(s.dir, quarantineDir), 0o755); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	segs, err := s.listSegments()
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range segs {
+		if err := s.recoverSegment(n); err != nil {
+			return nil, err
+		}
+		if n >= s.nextSeg {
+			s.nextSeg = n + 1
+		}
+	}
+	if err := s.recoverActive(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// listSegments returns the sealed segment numbers in ascending order.
+func (s *Store) listSegments() ([]uint64, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	var segs []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 10, 64)
+		if err != nil {
+			continue // not ours; leave it alone
+		}
+		segs = append(segs, n)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+func (s *Store) segPath(n uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%08d%s", segPrefix, n, segSuffix))
+}
+
+func (s *Store) activePath() string { return filepath.Join(s.dir, activeName) }
+
+// scanOutcome classifies how a segment scan ended.
+type scanOutcome int
+
+const (
+	scanClean   scanOutcome = iota // EOF exactly at a record boundary
+	scanTorn                       // incomplete record at the tail
+	scanCorrupt                    // failed validation before the tail
+)
+
+// scanSegment reads one segment file, indexing every valid record
+// under segment number seg. It returns the outcome, the byte offset of
+// the first invalid byte (== file size when clean), and any I/O error.
+func (s *Store) scanSegment(path string, seg uint64) (scanOutcome, int64, error) {
+	if err := s.faults.Fire(PointScan); err != nil {
+		return scanClean, 0, fmt.Errorf("persist: scan %s: %w", path, err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return scanClean, 0, nil
+		}
+		return scanClean, 0, fmt.Errorf("persist: scan %s: %w", path, err)
+	}
+	off := int64(0)
+	for int64(len(raw)) > off {
+		rest := raw[off:]
+		if len(rest) < recHeaderLen {
+			return scanTorn, off, nil
+		}
+		if rest[0] != recMagic {
+			return scanCorrupt, off, nil
+		}
+		keyLen := int(binary.LittleEndian.Uint16(rest[1:3]))
+		valLen := int(binary.LittleEndian.Uint32(rest[3:7]))
+		if keyLen == 0 || keyLen > maxKeyLen || valLen > maxValLen {
+			return scanCorrupt, off, nil
+		}
+		total := int64(recHeaderLen + keyLen + valLen + recTrailerLen)
+		if int64(len(rest)) < total {
+			return scanTorn, off, nil
+		}
+		body := rest[:total-recTrailerLen]
+		want := binary.LittleEndian.Uint32(rest[total-recTrailerLen : total])
+		if crc32.Checksum(body, castagnoli) != want {
+			return scanCorrupt, off, nil
+		}
+		key := string(rest[recHeaderLen : recHeaderLen+keyLen])
+		s.index[key] = recLoc{seg: seg, off: off, length: total}
+		off += total
+	}
+	return scanClean, off, nil
+}
+
+// recoverSegment scans one sealed segment. Sealed segments were synced
+// before their rename, so anything invalid in one — including a torn
+// tail — is corruption: the invalid remainder is quarantined and
+// skipped (a corrupt length field poisons every later frame boundary).
+func (s *Store) recoverSegment(n uint64) error {
+	path := s.segPath(n)
+	outcome, off, err := s.scanSegment(path, n)
+	if err != nil {
+		return err
+	}
+	size := off
+	if outcome != scanClean {
+		if qerr := s.quarantine(path, off); qerr != nil {
+			return qerr
+		}
+		if err := os.Truncate(path, off); err != nil {
+			return fmt.Errorf("persist: %w", err)
+		}
+	}
+	s.sealed[n] = size
+	s.stats.Bytes += size
+	return nil
+}
+
+// recoverActive scans the staging segment, truncating a torn tail
+// (expected crash residue) and quarantining corruption, then reopens
+// it for appending at the recovered size.
+func (s *Store) recoverActive() error {
+	path := s.activePath()
+	outcome, off, err := s.scanSegment(path, 0)
+	if err != nil {
+		return err
+	}
+	switch outcome {
+	case scanTorn:
+		s.stats.TornTruncated++
+	case scanCorrupt:
+		if err := s.quarantine(path, off); err != nil {
+			return err
+		}
+	}
+	if outcome != scanClean {
+		if err := os.Truncate(path, off); err != nil {
+			return fmt.Errorf("persist: %w", err)
+		}
+	}
+	if err := s.faults.Fire(PointOpen); err != nil {
+		return fmt.Errorf("persist: open %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: %w", err)
+	}
+	s.active = f
+	s.activeSize = off
+	s.stats.Bytes += off
+	return nil
+}
+
+// quarantine copies the invalid remainder of a segment (from off) into
+// quarantine/<base>@<off>.bin for post-mortem, instead of deleting the
+// evidence. Called under mu (or before the store is shared).
+func (s *Store) quarantine(path string, off int64) error {
+	s.stats.Quarantined++
+	if err := s.faults.Fire(PointQuarantine); err != nil {
+		// Failing to preserve evidence must not take down recovery;
+		// the counter already recorded the corruption.
+		return nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil || off >= int64(len(raw)) {
+		return nil
+	}
+	qpath := filepath.Join(s.dir, quarantineDir,
+		fmt.Sprintf("%s@%d.bin", filepath.Base(path), off))
+	if err := os.WriteFile(qpath, raw[off:], 0o644); err != nil {
+		return nil // best effort, same rationale as above
+	}
+	return nil
+}
+
+// Get returns the stored value for key. The record's CRC is
+// re-verified on every read; a mismatch (bit rot after recovery)
+// quarantines the record, drops it from the index and reports a miss.
+// A read I/O error is returned so the caller's circuit breaker can
+// count it.
+func (s *Store) Get(key string) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, errors.New("persist: store is closed")
+	}
+	loc, ok := s.index[key]
+	if !ok {
+		s.stats.Misses++
+		return nil, false, nil
+	}
+	if err := s.faults.Fire(PointRead); err != nil {
+		s.stats.ReadFails++
+		return nil, false, fmt.Errorf("persist: read: %w", err)
+	}
+	path := s.activePath()
+	if loc.seg != 0 {
+		path = s.segPath(loc.seg)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		s.stats.ReadFails++
+		return nil, false, fmt.Errorf("persist: read: %w", err)
+	}
+	defer f.Close()
+	raw := make([]byte, loc.length)
+	if _, err := f.ReadAt(raw, loc.off); err != nil {
+		s.stats.ReadFails++
+		return nil, false, fmt.Errorf("persist: read: %w", err)
+	}
+	val, ok := decodeRecord(raw, key)
+	if !ok {
+		// The bytes under this index entry no longer checksum: never
+		// serve them. Quarantine the evidence and forget the entry.
+		delete(s.index, key)
+		s.quarantineRecordLocked(path, loc)
+		s.stats.Misses++
+		return nil, false, nil
+	}
+	s.stats.Hits++
+	return val, true, nil
+}
+
+// quarantineRecordLocked copies one rotten record's bytes into
+// quarantine/. Best effort; called under mu.
+func (s *Store) quarantineRecordLocked(path string, loc recLoc) {
+	s.stats.Quarantined++
+	if err := s.faults.Fire(PointQuarantine); err != nil {
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	raw := make([]byte, loc.length)
+	if _, err := f.ReadAt(raw, loc.off); err != nil {
+		return
+	}
+	qpath := filepath.Join(s.dir, quarantineDir,
+		fmt.Sprintf("%s@%d.bin", filepath.Base(path), loc.off))
+	_ = os.WriteFile(qpath, raw, 0o644)
+}
+
+// decodeRecord validates one framed record against its CRC and the
+// expected key, returning the value on success.
+func decodeRecord(raw []byte, wantKey string) ([]byte, bool) {
+	if len(raw) < recHeaderLen+recTrailerLen || raw[0] != recMagic {
+		return nil, false
+	}
+	keyLen := int(binary.LittleEndian.Uint16(raw[1:3]))
+	valLen := int(binary.LittleEndian.Uint32(raw[3:7]))
+	if len(raw) != recHeaderLen+keyLen+valLen+recTrailerLen {
+		return nil, false
+	}
+	body := raw[:len(raw)-recTrailerLen]
+	want := binary.LittleEndian.Uint32(raw[len(raw)-recTrailerLen:])
+	if crc32.Checksum(body, castagnoli) != want {
+		return nil, false
+	}
+	if string(raw[recHeaderLen:recHeaderLen+keyLen]) != wantKey {
+		return nil, false
+	}
+	val := make([]byte, valLen)
+	copy(val, raw[recHeaderLen+keyLen:recHeaderLen+keyLen+valLen])
+	return val, true
+}
+
+// encodeRecord frames key/val into buf (reused across appends).
+func encodeRecord(buf []byte, key string, val []byte) []byte {
+	total := recHeaderLen + len(key) + len(val) + recTrailerLen
+	if cap(buf) < total {
+		buf = make([]byte, 0, total)
+	}
+	buf = buf[:0]
+	buf = append(buf, recMagic)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(key)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(val)))
+	buf = append(buf, key...)
+	buf = append(buf, val...)
+	crc := crc32.Checksum(buf, castagnoli)
+	return binary.LittleEndian.AppendUint32(buf, crc)
+}
+
+// Put appends a record for key. The write is staged into one buffer
+// and issued as a single Write; a short or failed write leaves a torn
+// tail that the next Open truncates — it can corrupt this record, only
+// this record, and only until recovery. Put never serves state: a
+// failed append leaves the previous value (if any) live in the index.
+func (s *Store) Put(key string, val []byte) error {
+	if len(key) == 0 || len(key) > maxKeyLen {
+		return fmt.Errorf("persist: key length %d out of range", len(key))
+	}
+	if len(val) > maxValLen {
+		return fmt.Errorf("persist: value length %d over cap", len(val))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("persist: store is closed")
+	}
+	if err := s.repairTailLocked(); err != nil {
+		s.stats.AppendFails++
+		return err
+	}
+	s.encBuf = encodeRecord(s.encBuf, key, val)
+	rec := s.encBuf
+	off := s.activeSize
+	if err := s.writeRecordLocked(rec); err != nil {
+		s.stats.AppendFails++
+		// Cut the partial record back off so the next append does not
+		// land after garbage mid-segment; if the cut itself fails it is
+		// retried before the next append.
+		s.repairTo = off
+		_ = s.repairTailLocked()
+		return err
+	}
+	s.index[key] = recLoc{seg: 0, off: off, length: int64(len(rec))}
+	s.stats.Appends++
+	s.stats.Bytes += int64(len(rec))
+	// Maintenance is best-effort: the record above is already durable
+	// and indexed, so a failed seal or cap enforcement must not turn
+	// this Put into an error (an error always means "not visible").
+	// Both retry on the next append.
+	if s.activeSize >= s.maxSeg {
+		if err := s.rotateLocked(); err != nil {
+			s.stats.MaintFails++
+			return nil
+		}
+	}
+	if err := s.enforceTotalLocked(); err != nil {
+		s.stats.MaintFails++
+	}
+	return nil
+}
+
+// repairTailLocked truncates a torn tail left by a failed append, so
+// appends never resume after garbage. No-op when the tail is clean.
+func (s *Store) repairTailLocked() error {
+	if s.repairTo < 0 {
+		return nil
+	}
+	if err := s.active.Truncate(s.repairTo); err != nil {
+		return fmt.Errorf("persist: tail repair: %w", err)
+	}
+	if _, err := s.active.Seek(s.repairTo, io.SeekStart); err != nil {
+		return fmt.Errorf("persist: tail repair: %w", err)
+	}
+	s.activeSize = s.repairTo
+	s.repairTo = -1
+	return nil
+}
+
+// writeRecordLocked issues the staged record as one write, tracking
+// the bytes that actually landed so a short write is recorded (and
+// recovered) exactly like a crash would leave it.
+func (s *Store) writeRecordLocked(rec []byte) error {
+	keep, ferr := s.faults.FireWrite(PointAppendWrite, len(rec))
+	if keep > 0 || ferr == nil {
+		n, werr := s.active.Write(rec[:keep])
+		s.activeSize += int64(n)
+		if werr != nil && ferr == nil {
+			ferr = werr
+		}
+	}
+	if ferr != nil {
+		return fmt.Errorf("persist: append: %w", ferr)
+	}
+	s.appendsOut++
+	if s.sync > 0 && s.appendsOut >= s.sync {
+		if err := s.syncActiveLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) syncActiveLocked() error {
+	if err := s.faults.Fire(PointAppendSync); err != nil {
+		return fmt.Errorf("persist: sync: %w", err)
+	}
+	if err := s.active.Sync(); err != nil {
+		return fmt.Errorf("persist: sync: %w", err)
+	}
+	s.appendsOut = 0
+	return nil
+}
+
+// rotateLocked seals the active segment: sync, close, atomic rename to
+// seg-<n>.llc, then a fresh active.llc. Index entries for the sealed
+// bytes move from segment 0 to segment n.
+func (s *Store) rotateLocked() error {
+	if err := s.syncActiveLocked(); err != nil {
+		return err
+	}
+	if err := s.active.Close(); err != nil {
+		return fmt.Errorf("persist: rotate: %w", err)
+	}
+	n := s.nextSeg
+	if err := s.faults.Fire(PointRotate); err != nil {
+		// Reopen active.llc for appending; the seal retries later.
+		return s.reopenActiveLocked(fmt.Errorf("persist: rotate: %w", err))
+	}
+	if err := os.Rename(s.activePath(), s.segPath(n)); err != nil {
+		return s.reopenActiveLocked(fmt.Errorf("persist: rotate: %w", err))
+	}
+	s.nextSeg++
+	s.sealed[n] = s.activeSize
+	for key, loc := range s.index {
+		if loc.seg == 0 {
+			loc.seg = n
+			s.index[key] = loc
+		}
+	}
+	f, err := os.OpenFile(s.activePath(), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: rotate: %w", err)
+	}
+	s.active = f
+	s.activeSize = 0
+	return nil
+}
+
+// reopenActiveLocked restores the append handle after a failed seal,
+// preserving cause as the reported error.
+func (s *Store) reopenActiveLocked(cause error) error {
+	f, err := os.OpenFile(s.activePath(), os.O_WRONLY, 0o644)
+	if err != nil {
+		return errors.Join(cause, err)
+	}
+	if _, err := f.Seek(s.activeSize, io.SeekStart); err != nil {
+		f.Close()
+		return errors.Join(cause, err)
+	}
+	s.active = f
+	return cause
+}
+
+// enforceTotalLocked drops whole oldest sealed segments while the
+// store exceeds its byte cap. Dropped entries become misses.
+func (s *Store) enforceTotalLocked() error {
+	if s.maxTot < 0 {
+		return nil
+	}
+	for s.stats.Bytes > s.maxTot && len(s.sealed) > 0 {
+		oldest := uint64(0)
+		for n := range s.sealed {
+			if oldest == 0 || n < oldest {
+				oldest = n
+			}
+		}
+		if err := os.Remove(s.segPath(oldest)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("persist: drop segment: %w", err)
+		}
+		s.stats.Bytes -= s.sealed[oldest]
+		delete(s.sealed, oldest)
+		for key, loc := range s.index {
+			if loc.seg == oldest {
+				delete(s.index, key)
+			}
+		}
+		s.stats.Dropped++
+	}
+	return nil
+}
+
+// Len returns the number of live (indexed) entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Stats returns a consistent snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.index)
+	st.Segments = len(s.sealed) + 1
+	return st
+}
+
+// Sync forces the active segment to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("persist: store is closed")
+	}
+	return s.syncActiveLocked()
+}
+
+// Close syncs and closes the active segment. The store rejects all
+// operations afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.syncActiveLocked()
+	if cerr := s.active.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Dir returns the store directory (for /healthz reporting).
+func (s *Store) Dir() string { return s.dir }

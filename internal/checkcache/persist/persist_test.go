@@ -1,0 +1,316 @@
+package persist
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustOpen(t *testing.T, opts Options) *Store {
+	t.Helper()
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := mustOpen(t, Options{Dir: t.TempDir()})
+	if err := s.Put("k1", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k2", nil); err != nil { // empty value is legal
+		t.Fatal(err)
+	}
+	v, ok, err := s.Get("k1")
+	if err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("Get(k1) = %q, %v, %v", v, ok, err)
+	}
+	v, ok, err = s.Get("k2")
+	if err != nil || !ok || len(v) != 0 {
+		t.Fatalf("Get(k2) = %q, %v, %v", v, ok, err)
+	}
+	if _, ok, _ := s.Get("missing"); ok {
+		t.Fatal("Get(missing) hit")
+	}
+	st := s.Stats()
+	if st.Entries != 2 || st.Appends != 2 || st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLaterPutWins(t *testing.T) {
+	s := mustOpen(t, Options{Dir: t.TempDir()})
+	for i := 0; i < 5; i++ {
+		if err := s.Put("k", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, ok, err := s.Get("k")
+	if err != nil || !ok || string(v) != "v4" {
+		t.Fatalf("Get = %q, %v, %v; want v4", v, ok, err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (appends, one live key)", s.Len())
+	}
+}
+
+func TestWarmRestartRecoversIndex(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir})
+	want := map[string]string{}
+	for i := 0; i < 50; i++ {
+		k, v := fmt.Sprintf("key-%02d", i), fmt.Sprintf("val-%d", i*i)
+		want[k] = v
+		if err := s.Put(k, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrite a few so recovery must honor last-record-wins.
+	for i := 0; i < 10; i++ {
+		k, v := fmt.Sprintf("key-%02d", i), fmt.Sprintf("new-%d", i)
+		want[k] = v
+		if err := s.Put(k, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, Options{Dir: dir})
+	if s2.Len() != len(want) {
+		t.Fatalf("recovered %d entries, want %d", s2.Len(), len(want))
+	}
+	for k, v := range want {
+		got, ok, err := s2.Get(k)
+		if err != nil || !ok || string(got) != v {
+			t.Fatalf("Get(%s) = %q, %v, %v; want %q", k, got, ok, err, v)
+		}
+	}
+}
+
+func TestRotationSealsSegmentsAndKeepsServing(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, MaxSegmentBytes: 256})
+	val := bytes.Repeat([]byte("x"), 64)
+	for i := 0; i < 40; i++ {
+		if err := s.Put(fmt.Sprintf("k%02d", i), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("expected several sealed segments, got %d", st.Segments)
+	}
+	// Entries sealed into segments must still serve.
+	for i := 0; i < 40; i++ {
+		if _, ok, err := s.Get(fmt.Sprintf("k%02d", i)); !ok || err != nil {
+			t.Fatalf("Get(k%02d) after rotation = %v, %v", i, ok, err)
+		}
+	}
+	// No half-sealed names: every seg-*.llc must parse cleanly.
+	s.Close()
+	s2 := mustOpen(t, Options{Dir: dir, MaxSegmentBytes: 256})
+	if s2.Len() != 40 {
+		t.Fatalf("recovered %d entries across segments, want 40", s2.Len())
+	}
+	if qs := quarantineFiles(t, dir); len(qs) != 0 {
+		t.Fatalf("clean rotation quarantined %v", qs)
+	}
+}
+
+func TestTotalByteCapDropsOldestSegment(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, MaxSegmentBytes: 256, MaxTotalBytes: 1024})
+	val := bytes.Repeat([]byte("y"), 64)
+	for i := 0; i < 100; i++ {
+		if err := s.Put(fmt.Sprintf("k%03d", i), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Dropped == 0 {
+		t.Fatalf("no segments dropped under a 1 KiB cap: %+v", st)
+	}
+	if st.Bytes > 1024+256 { // cap plus at most one over-full active segment
+		t.Fatalf("store holds %d bytes, cap 1024", st.Bytes)
+	}
+	// Oldest keys are gone (miss), newest still serve.
+	if _, ok, _ := s.Get("k000"); ok {
+		t.Fatal("k000 survived the byte cap")
+	}
+	if _, ok, err := s.Get("k099"); !ok || err != nil {
+		t.Fatalf("k099 lost: %v %v", ok, err)
+	}
+}
+
+// quarantineFiles lists the quarantine directory.
+func quarantineFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(filepath.Join(dir, quarantineDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+func TestTornTailIsTruncatedNotServed(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir})
+	if err := s.Put("good", []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Append half a record by hand: the crash shape.
+	torn := encodeRecord(nil, "torn-key", []byte("torn-value"))
+	f, err := os.OpenFile(filepath.Join(dir, activeName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn[:len(torn)/2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := mustOpen(t, Options{Dir: dir})
+	if _, ok, _ := s2.Get("torn-key"); ok {
+		t.Fatal("half-written record served")
+	}
+	if v, ok, err := s2.Get("good"); !ok || err != nil || string(v) != "value" {
+		t.Fatalf("fully-flushed record lost: %q %v %v", v, ok, err)
+	}
+	st := s2.Stats()
+	if st.TornTruncated != 1 {
+		t.Fatalf("torn tail not counted: %+v", st)
+	}
+	if qs := quarantineFiles(t, dir); len(qs) != 0 {
+		t.Fatalf("expected crash residue quarantined as corruption: %v", qs)
+	}
+	// The truncated store must append cleanly again.
+	if err := s2.Put("after", []byte("recovery")); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3 := mustOpen(t, Options{Dir: dir})
+	if v, ok, _ := s3.Get("after"); !ok || string(v) != "recovery" {
+		t.Fatal("append after torn-tail recovery lost")
+	}
+}
+
+func TestCorruptRecordIsQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir})
+	if err := s.Put("a", []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", []byte("bbbb")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Flip one payload byte of the first record.
+	path := filepath.Join(dir, activeName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[recHeaderLen+1] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, Options{Dir: dir})
+	if _, ok, _ := s2.Get("a"); ok {
+		t.Fatal("corrupt record served")
+	}
+	// b sits after the corruption; with untrustworthy frame boundaries
+	// it is skipped too — lost, never wrong.
+	if v, ok, _ := s2.Get("b"); ok && string(v) != "bbbb" {
+		t.Fatalf("record after corruption served wrong bytes: %q", v)
+	}
+	st := s2.Stats()
+	if st.Quarantined == 0 {
+		t.Fatalf("corruption not quarantined: %+v", st)
+	}
+	if qs := quarantineFiles(t, dir); len(qs) == 0 {
+		t.Fatal("no quarantine file written")
+	}
+}
+
+func TestReadTimeRotIsAMissNotAnAnswer(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir})
+	if err := s.Put("k", []byte("pristine")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Rot the bytes *after* recovery indexed them, through a second
+	// handle — the read path re-verifies the CRC on every Get.
+	path := filepath.Join(dir, activeName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-recTrailerLen-1] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.Get("k")
+	if err != nil {
+		t.Fatalf("rot surfaced as error, want miss: %v", err)
+	}
+	if ok {
+		t.Fatalf("rotted record served: %q", v)
+	}
+	st := s.Stats()
+	if st.Quarantined != 1 {
+		t.Fatalf("rot not quarantined: %+v", st)
+	}
+	// The index entry is gone: the next Get is a plain miss.
+	if _, ok, _ := s.Get("k"); ok {
+		t.Fatal("dropped entry resurrected")
+	}
+}
+
+func TestOpenRejectsMissingDirOption(t *testing.T) {
+	if _, err := Open(Options{}); err == nil {
+		t.Fatal("Open with no Dir succeeded")
+	}
+}
+
+func TestClosedStoreRejectsOperations(t *testing.T) {
+	s := mustOpen(t, Options{Dir: t.TempDir()})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", nil); err == nil {
+		t.Fatal("Put after Close succeeded")
+	}
+	if _, _, err := s.Get("k"); err == nil {
+		t.Fatal("Get after Close succeeded")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestKeyAndValueBounds(t *testing.T) {
+	s := mustOpen(t, Options{Dir: t.TempDir()})
+	if err := s.Put("", nil); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if err := s.Put(string(bytes.Repeat([]byte("k"), maxKeyLen+1)), nil); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+}

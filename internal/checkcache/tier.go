@@ -1,0 +1,169 @@
+// Persistent-tier glue: layering the crash-safe disk store under the
+// in-memory LRU, behind a circuit breaker. The disk tier is strictly
+// an accelerator — every path through here degrades to "compute it"
+// on any failure, and a tripped breaker turns the cache memory-only
+// until probes re-close it.
+package checkcache
+
+import (
+	"encoding/json"
+
+	"llhsc/internal/checkcache/persist"
+	"llhsc/internal/constraints"
+	"llhsc/internal/obs"
+)
+
+// AttachPersist layers store under the in-memory LRU, guarded by br.
+// A nil br disables breaking (every operation reaches the disk); a nil
+// store is a no-op. Attach before the cache is shared across
+// goroutines — the fields are read without the lock on the hot path.
+// Safe on a nil cache.
+func (c *Cache) AttachPersist(store *persist.Store, br *Breaker) {
+	if c == nil || store == nil {
+		return
+	}
+	c.store = store
+	c.breaker = br
+}
+
+// Persistent reports whether a disk tier is attached. Safe on nil.
+func (c *Cache) Persistent() bool {
+	return c != nil && c.store != nil
+}
+
+// TierStats is the persistent tier's /healthz snapshot: absent (nil)
+// from serialized health output when no tier is attached, so the
+// memory-only health shape is byte-identical to before this tier
+// existed.
+type TierStats struct {
+	Store      persist.Stats `json:"store"`
+	Breaker    BreakerStats  `json:"breaker"`
+	DiskHits   uint64        `json:"disk_hits"`
+	DiskMisses uint64        `json:"disk_misses"`
+	DiskErrors uint64        `json:"disk_errors"`
+	DiskWrites uint64        `json:"disk_writes"`
+}
+
+// Tier returns the persistent tier snapshot, or nil when no tier is
+// attached. Safe on a nil cache.
+func (c *Cache) Tier() *TierStats {
+	if c == nil || c.store == nil {
+		return nil
+	}
+	return &TierStats{
+		Store:      c.store.Stats(),
+		Breaker:    c.breaker.Stats(),
+		DiskHits:   c.diskHits.Value(),
+		DiskMisses: c.diskMisses.Value(),
+		DiskErrors: c.diskErrors.Value(),
+		DiskWrites: c.diskWrites.Value(),
+	}
+}
+
+// diskGet consults the persistent tier for key. Any failure — tripped
+// breaker, I/O error, undecodable value — is a miss; the caller
+// computes instead. Checksum verification happens inside the store, so
+// a value that arrives here is byte-exact what a healthy Put wrote.
+func (c *Cache) diskGet(key string) ([]constraints.Violation, bool) {
+	if c.store == nil || !c.breaker.Allow() {
+		return nil, false
+	}
+	raw, ok, err := c.store.Get(key)
+	if err != nil {
+		c.breaker.Failure()
+		c.diskErrors.Inc()
+		return nil, false
+	}
+	c.breaker.Success()
+	if !ok {
+		c.diskMisses.Inc()
+		return nil, false
+	}
+	v, err := decodeViolations(raw)
+	if err != nil {
+		// Valid frame, wrong shape (e.g. written by an incompatible
+		// version). Not a disk fault — don't punish the breaker.
+		c.diskErrors.Inc()
+		return nil, false
+	}
+	c.diskHits.Inc()
+	return v, true
+}
+
+// diskPut writes a freshly computed result through to disk,
+// best-effort: a failure is counted and fed to the breaker but never
+// surfaces to the request that computed the result.
+func (c *Cache) diskPut(key string, v []constraints.Violation) {
+	if c.store == nil || !c.breaker.Allow() {
+		return
+	}
+	raw, err := encodeViolations(v)
+	if err != nil {
+		c.diskErrors.Inc()
+		return
+	}
+	if err := c.store.Put(key, raw); err != nil {
+		c.breaker.Failure()
+		c.diskErrors.Inc()
+		return
+	}
+	c.breaker.Success()
+	c.diskWrites.Inc()
+}
+
+// Violation values are stored as JSON: every field of
+// constraints.Violation (and the embedded dts.Origin) is exported, so
+// the round trip is lossless, and the format stays debuggable with
+// nothing but the segment framing doc and a hex dump.
+func encodeViolations(v []constraints.Violation) ([]byte, error) {
+	if v == nil {
+		// Preserve the nil/empty distinction: "no violations" encodes
+		// as null, an empty-but-present list as [].
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+func decodeViolations(raw []byte) ([]constraints.Violation, error) {
+	var v []constraints.Violation
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// RegisterTierMetrics exposes the persistent tier on reg under the
+// llhsc_checkcache_persist_* families plus the breaker state gauge
+// (0=closed, 1=open, 2=half-open). No-op unless a tier is attached, so
+// memory-only deployments expose exactly the metric set they did
+// before. Call alongside RegisterMetrics.
+func (c *Cache) RegisterTierMetrics(reg *obs.Registry) {
+	if c == nil || reg == nil || c.store == nil {
+		return
+	}
+	reg.Register("llhsc_checkcache_persist_hits_total",
+		"Persistent-tier cache hits (misses in memory served from disk).", &c.diskHits)
+	reg.Register("llhsc_checkcache_persist_misses_total",
+		"Persistent-tier cache misses (fell through to computing).", &c.diskMisses)
+	reg.Register("llhsc_checkcache_persist_errors_total",
+		"Persistent-tier failures (I/O errors, undecodable values).", &c.diskErrors)
+	reg.Register("llhsc_checkcache_persist_writes_total",
+		"Results written through to the persistent tier.", &c.diskWrites)
+	reg.Register("llhsc_checkcache_persist_entries",
+		"Live entries in the persistent tier's index.", obs.FuncGauge(func() float64 {
+			return float64(c.store.Len())
+		}))
+	reg.Register("llhsc_checkcache_persist_bytes",
+		"Bytes held by the persistent tier across all segments.", obs.FuncGauge(func() float64 {
+			return float64(c.store.Stats().Bytes)
+		}))
+	reg.Register("llhsc_checkcache_breaker_state",
+		"Persistent-tier circuit breaker state (0=closed, 1=open, 2=half-open).",
+		obs.FuncGauge(func() float64 {
+			return float64(c.breaker.State())
+		}))
+	reg.Register("llhsc_checkcache_breaker_trips_total",
+		"Times the persistent-tier breaker tripped open.", obs.FuncGauge(func() float64 {
+			return float64(c.breaker.Stats().Trips)
+		}))
+}

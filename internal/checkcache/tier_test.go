@@ -1,0 +1,395 @@
+package checkcache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"llhsc/internal/checkcache/persist"
+	"llhsc/internal/constraints"
+	"llhsc/internal/dts"
+	"llhsc/internal/faultinject"
+)
+
+func sampleViolations() []constraints.Violation {
+	return []constraints.Violation{
+		{
+			Path:     "/soc/uart@fe001000",
+			Property: "reg",
+			Rule:     "unit-address-matches-reg",
+			Message:  "unit address fe001000 does not match first reg entry",
+			Origin:   dts.Origin{File: "board.dts", Line: 42, Delta: "vm1"},
+		},
+		{
+			Path:    "/memory@0",
+			Rule:    "memreserve-overlap",
+			Message: "reservation overlaps /memory@0",
+		},
+	}
+}
+
+func violationsEqual(a, b []constraints.Violation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTierWarmRestartServesFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	want := sampleViolations()
+	key := Key("tree", "schema", "knobs")
+
+	store, err := persist.Open(persist.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(8)
+	c.AttachPersist(store, nil)
+	v, hit, err := c.Do(context.Background(), key, func() ([]constraints.Violation, error) {
+		return sampleViolations(), nil
+	})
+	if err != nil || hit || !violationsEqual(v, want) {
+		t.Fatalf("cold Do = %v, hit=%v, err=%v", v, hit, err)
+	}
+	if ts := c.Tier(); ts == nil || ts.DiskWrites != 1 || ts.DiskMisses != 1 {
+		t.Fatalf("tier stats after write-through = %+v", ts)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": fresh process state, same directory. The memory LRU is
+	// empty but the disk remembers — and fn must not run.
+	store2, err := persist.Open(persist.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	c2 := New(8)
+	c2.AttachPersist(store2, nil)
+	computed := false
+	v, hit, err = c2.Do(context.Background(), key, func() ([]constraints.Violation, error) {
+		computed = true
+		return nil, errors.New("should not compute")
+	})
+	if err != nil || computed {
+		t.Fatalf("warm Do recomputed: err=%v computed=%v", err, computed)
+	}
+	if !hit || !violationsEqual(v, want) {
+		t.Fatalf("warm Do = %+v, hit=%v; want disk hit with original violations", v, hit)
+	}
+	if ts := c2.Tier(); ts.DiskHits != 1 {
+		t.Fatalf("disk hit not counted: %+v", ts)
+	}
+	// Second lookup is now a memory hit: the disk value was promoted.
+	v, hit, _ = c2.Do(context.Background(), key, func() ([]constraints.Violation, error) {
+		t.Fatal("memory-promoted key recomputed")
+		return nil, nil
+	})
+	if !hit || !violationsEqual(v, want) {
+		t.Fatal("promoted entry not served from memory")
+	}
+	if ts := c2.Tier(); ts.DiskHits != 1 {
+		t.Fatalf("memory hit touched the disk: %+v", ts)
+	}
+}
+
+func TestTierPreservesNilVsEmptyViolations(t *testing.T) {
+	dir := t.TempDir()
+	store, _ := persist.Open(persist.Options{Dir: dir})
+	c := New(8)
+	c.AttachPersist(store, nil)
+	kNil, kEmpty := Key("clean"), Key("empty")
+	c.Do(context.Background(), kNil, func() ([]constraints.Violation, error) { return nil, nil })
+	c.Do(context.Background(), kEmpty, func() ([]constraints.Violation, error) {
+		return []constraints.Violation{}, nil
+	})
+	store.Close()
+
+	store2, _ := persist.Open(persist.Options{Dir: dir})
+	defer store2.Close()
+	c2 := New(8)
+	c2.AttachPersist(store2, nil)
+	v, hit, _ := c2.Do(context.Background(), kNil, func() ([]constraints.Violation, error) {
+		t.Fatal("recomputed")
+		return nil, nil
+	})
+	if !hit || v != nil {
+		t.Fatalf("nil violations came back as %#v (hit=%v)", v, hit)
+	}
+	v, hit, _ = c2.Do(context.Background(), kEmpty, func() ([]constraints.Violation, error) {
+		t.Fatal("recomputed")
+		return nil, nil
+	})
+	if !hit || v == nil || len(v) != 0 {
+		t.Fatalf("empty violations came back as %#v (hit=%v)", v, hit)
+	}
+}
+
+func TestTierErrorNeverFailsRequest(t *testing.T) {
+	// Every disk operation fails; the cache must still answer, from
+	// compute, with no error surfaced.
+	faults := faultinject.NewSet(1)
+	faults.ArmError(persist.PointRead, faultinject.Always(), nil)
+	faults.ArmError(persist.PointAppendWrite, faultinject.Always(), nil)
+	store, err := persist.Open(persist.Options{Dir: t.TempDir(), Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	c := New(8)
+	c.AttachPersist(store, nil) // nil breaker: every op reaches the sick disk
+	want := sampleViolations()
+	v, hit, err := c.Do(context.Background(), Key("k"), func() ([]constraints.Violation, error) {
+		return sampleViolations(), nil
+	})
+	if err != nil || hit || !violationsEqual(v, want) {
+		t.Fatalf("Do over a failing disk = %v, hit=%v, err=%v", v, hit, err)
+	}
+	if ts := c.Tier(); ts.DiskErrors == 0 {
+		t.Fatalf("disk failures not counted: %+v", ts)
+	}
+}
+
+func TestTierBreakerTripsToMemoryOnlyAndRecloses(t *testing.T) {
+	faults := faultinject.NewSet(1)
+	store, err := persist.Open(persist.Options{Dir: t.TempDir(), Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	// Pre-seed every key so reads reach the disk (an index miss never
+	// touches the fault point), then make the whole disk sick.
+	raw, _ := encodeViolations(sampleViolations())
+	for _, k := range []string{"a", "b", "c", "d", "e", "f"} {
+		if err := store.Put(Key(k), raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	faults.ArmError(persist.PointRead, faultinject.Always(), nil)
+	faults.ArmError(persist.PointAppendWrite, faultinject.Always(), nil)
+
+	br := NewBreaker(2, time.Second, time.Minute)
+	now := time.Unix(5000, 0)
+	br.Now = func() time.Time { return now }
+	br.Jitter = func() float64 { return 0 }
+
+	c := New(8)
+	c.AttachPersist(store, br)
+	do := func(key string) {
+		t.Helper()
+		v, _, err := c.Do(context.Background(), Key(key), func() ([]constraints.Violation, error) {
+			return sampleViolations(), nil
+		})
+		if err != nil || !violationsEqual(v, sampleViolations()) {
+			t.Fatalf("Do(%s) = %v, %v", key, v, err)
+		}
+	}
+
+	do("a") // read fails (1), write-through fails (2) -> trips
+	if br.State() != BreakerOpen {
+		t.Fatalf("breaker %v after 2 consecutive disk failures", br.State())
+	}
+	callsAtTrip := faults.Calls(persist.PointRead)
+	// Memory-only mode: requests keep succeeding and the disk is never
+	// touched while the breaker is open.
+	do("b")
+	do("c")
+	if got := faults.Calls(persist.PointRead); got != callsAtTrip {
+		t.Fatalf("open breaker let %d reads through", got-callsAtTrip)
+	}
+	if c.Tier().DiskErrors != 2 {
+		t.Fatalf("tier stats after trip = %+v", c.Tier())
+	}
+
+	// Faults clear; after the backoff the next operation probes and the
+	// circuit re-closes. (Disarm drops the points and their counters, so
+	// from here disk traffic is observed through store hit stats.)
+	faults.Disarm(persist.PointRead)
+	faults.Disarm(persist.PointAppendWrite)
+	now = now.Add(time.Second)
+	do("e") // probe: disk read succeeds (pre-seeded hit), breaker closes
+	if br.State() != BreakerClosed {
+		t.Fatalf("breaker %v after successful probe", br.State())
+	}
+	if c.Tier().DiskHits != 1 {
+		t.Fatalf("probe did not reach the disk: %+v", c.Tier())
+	}
+	do("f")
+	if c.Tier().DiskHits != 2 {
+		t.Fatalf("re-closed breaker still shedding reads: %+v", c.Tier())
+	}
+}
+
+func TestTierUndecodableValueFallsBackToCompute(t *testing.T) {
+	dir := t.TempDir()
+	store, _ := persist.Open(persist.Options{Dir: dir})
+	defer store.Close()
+	key := Key("poisoned")
+	// A valid, checksummed frame whose payload is not a violation list
+	// (e.g. written by a future format version).
+	if err := store.Put(key, []byte("{not json")); err != nil {
+		t.Fatal(err)
+	}
+	c := New(8)
+	c.AttachPersist(store, NewBreaker(1, time.Second, time.Minute))
+	want := sampleViolations()
+	v, hit, err := c.Do(context.Background(), key, func() ([]constraints.Violation, error) {
+		return sampleViolations(), nil
+	})
+	if err != nil || hit || !violationsEqual(v, want) {
+		t.Fatalf("Do over undecodable value = %v, hit=%v, err=%v", v, hit, err)
+	}
+	c2 := c.Tier()
+	if c2.DiskErrors != 1 {
+		t.Fatalf("decode failure not counted: %+v", c2)
+	}
+	// Decode failures are a format problem, not disk sickness: even a
+	// hair-trigger breaker stays closed.
+	if c.breaker.State() != BreakerClosed {
+		t.Fatal("decode failure tripped the breaker")
+	}
+}
+
+func TestTierSingleFlightSharesOneDiskRead(t *testing.T) {
+	dir := t.TempDir()
+	store, _ := persist.Open(persist.Options{Dir: dir})
+	key := Key("shared")
+	seed := New(8)
+	seed.AttachPersist(store, nil)
+	seed.Do(context.Background(), key, func() ([]constraints.Violation, error) {
+		return sampleViolations(), nil
+	})
+	store.Close()
+
+	store2, _ := persist.Open(persist.Options{Dir: dir})
+	defer store2.Close()
+	c := New(8)
+	c.AttachPersist(store2, nil)
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := c.Do(context.Background(), key, func() ([]constraints.Violation, error) {
+				return sampleViolations(), nil
+			})
+			if err != nil || !violationsEqual(v, sampleViolations()) {
+				t.Errorf("concurrent Do = %v, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if ts := c.Tier(); ts.DiskHits < 1 || ts.Store.Hits > uint64(n/2) {
+		// The flock of misses should coalesce into very few disk reads
+		// (typically exactly one; scheduling may let a couple through
+		// after the first flight resolves and before promotion is seen).
+		t.Fatalf("single flight leaked disk reads: %+v", ts)
+	}
+}
+
+// Satellite regression: a waiter whose context dies while a slow
+// leader computes must return promptly — not block until the leader
+// finishes.
+func TestDoWaiterReturnsPromptlyOnCancel(t *testing.T) {
+	c := New(8)
+	key := Key("slow")
+	leaderStarted := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		c.Do(context.Background(), key, func() ([]constraints.Violation, error) {
+			close(leaderStarted)
+			<-release // leader stays busy until the test is done asserting
+			return nil, nil
+		})
+	}()
+	<-leaderStarted
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(ctx, key, func() ([]constraints.Violation, error) {
+			t.Error("waiter became a second leader")
+			return nil, nil
+		})
+		waiterDone <- err
+	}()
+	// Give the waiter time to join the flight, then cancel it.
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-waiterDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled waiter returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter still blocked on the leader")
+	}
+	close(release)
+
+	// A pre-cancelled caller never joins (or leads) at all.
+	dead, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, _, err := c.Do(dead, Key("other"), func() ([]constraints.Violation, error) {
+		t.Error("pre-cancelled caller computed")
+		return nil, nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Do returned %v", err)
+	}
+}
+
+// Satellite regression: a capacity-1 cache hammered on competing keys
+// races insertions against evictions against in-flight Do calls; under
+// -race this flushes out lock-ordering and shared-slice bugs.
+func TestEvictionVsDoRace(t *testing.T) {
+	c := New(1)
+	keys := []string{Key("a"), Key("b"), Key("c")}
+	vals := map[string][]constraints.Violation{
+		keys[0]: sampleViolations()[:1],
+		keys[1]: sampleViolations(),
+		keys[2]: nil,
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := keys[(w+i)%len(keys)]
+				v, _, err := c.Do(context.Background(), k, func() ([]constraints.Violation, error) {
+					return copyViolations(vals[k]), nil
+				})
+				if err != nil {
+					t.Errorf("Do(%s) err: %v", k, err)
+					return
+				}
+				if !violationsEqual(v, vals[k]) {
+					t.Errorf("Do(%s) returned another key's violations: %v", k, v)
+					return
+				}
+				// Mutating the returned slice must never corrupt the
+				// cached copy other goroutines receive.
+				if len(v) > 0 {
+					v[0].Message = "scribbled"
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("capacity-1 cache holds %d entries", st.Entries)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("competing keys never evicted each other")
+	}
+}

@@ -97,6 +97,14 @@ type Pipeline struct {
 	VMNames []string
 	// SkipInterrupts disables the interrupt-uniqueness extension check.
 	SkipInterrupts bool
+	// LintOnly keeps only the syntactic checker family, skipping the
+	// SMT-backed semantic, memreserve and interrupt checks. This is the
+	// service's overload-shedding mode: structural verdicts stay exact
+	// while the solver-heavy work — the part that saturates a box — is
+	// dropped. Folded into the cache key: a lint-only verdict is a
+	// different (smaller) violation set and must never be served as a
+	// full one, or vice versa.
+	LintOnly bool
 	// SemanticStrategy selects how the semantic checker discharges
 	// region-overlap queries (sweep prefilter by default; see
 	// constraints.SemanticStrategy). Folded into the cache key: a
@@ -503,9 +511,9 @@ func (p *Pipeline) checkProductTree(ctx context.Context, st *runState, tree *dts
 		printed,
 		tree.OriginDump(),
 		st.schemaFP,
-		fmt.Sprintf("conflicts=%d;learntlits=%d;skipirq=%v;semstrat=%s",
+		fmt.Sprintf("conflicts=%d;learntlits=%d;skipirq=%v;semstrat=%s;lintonly=%v",
 			st.limits.Solver.MaxConflicts, st.limits.Solver.MaxLearntLits, p.SkipInterrupts,
-			p.SemanticStrategy),
+			p.SemanticStrategy, p.LintOnly),
 	)
 	violations, hit, err := p.Cache.Do(ctx, key, func() ([]constraints.Violation, error) {
 		return p.checkTree(ctx, st, tree, check)
@@ -537,19 +545,24 @@ func (p *Pipeline) checkerFamilies(st *runState, tree *dts.Tree) []checkerFamily
 			vs, err := constraints.NewSyntacticChecker(p.Schemas).CheckContext(ctx, tree)
 			return vs, FamilyStats{Checks: 1}, err
 		}},
-		{name: "semantic", run: func(ctx context.Context) ([]constraints.Violation, FamilyStats, error) {
+	}
+	if p.LintOnly {
+		return families
+	}
+	families = append(families,
+		checkerFamily{name: "semantic", run: func(ctx context.Context) ([]constraints.Violation, FamilyStats, error) {
 			sem := constraints.NewSemanticChecker()
 			sem.Budget = st.limits.Solver
 			sem.Strategy = p.SemanticStrategy
 			_, violations, err := sem.CheckContext(ctx, tree)
 			return violations, familyStatsFrom(sem.LastStats()), err
 		}},
-		{name: "memreserve", run: func(ctx context.Context) ([]constraints.Violation, FamilyStats, error) {
+		checkerFamily{name: "memreserve", run: func(ctx context.Context) ([]constraints.Violation, FamilyStats, error) {
 			var fst constraints.SemanticStats
 			vs, err := constraints.MemReserveChecker{Stats: &fst}.CheckContext(ctx, tree)
 			return vs, familyStatsFrom(fst), err
 		}},
-	}
+	)
 	if !p.SkipInterrupts {
 		families = append(families, checkerFamily{
 			name: "interrupt",

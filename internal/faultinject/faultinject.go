@@ -1,0 +1,289 @@
+// Package faultinject provides deterministic, named failure points for
+// chaos testing the persistence and service layers. Production code
+// threads a *Set through and consults it at each point where the
+// outside world can betray it — a write that the kernel fails, a
+// torn (short) write from a crash mid-syscall, a disk that answers
+// slowly, a routine that dies outright. Tests arm individual points
+// with a trigger (always, the nth call, every nth call, or a seeded
+// probability) and an action (error, short write, latency, panic) and
+// then assert the recovery invariants.
+//
+// Everything is deterministic: probability triggers draw from a PRNG
+// seeded per point from the Set seed and the point name, so a failing
+// chaos run replays bit-identically from its seed. A nil *Set is a
+// disarmed set — every method is a no-op returning the zero value — so
+// production call sites pay one nil check and no locking when fault
+// injection is off (the same nil-object pattern as obs.Span).
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the default error returned by error-action points
+// armed without an explicit error. Callers can match injected failures
+// with errors.Is even when a point wraps its own message.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Action is what an armed point does when its trigger fires, checked
+// in order: latency (always applied first), panic, error, short
+// write. A zero Action with a fired trigger only counts the fire.
+type Action struct {
+	// Err, when non-nil, is returned from Fire / FireWrite.
+	Err error
+	// Short marks a torn write: FireWrite keeps at most KeepBytes bytes
+	// and then fails, the shape a crash mid-syscall produces.
+	Short bool
+	// KeepBytes is the byte cap of a Short action (0 = fail before any
+	// byte lands).
+	KeepBytes int
+	// Latency, when > 0, is slept before the point returns (both Fire
+	// and FireWrite), simulating a slow disk. Combines with Err.
+	Latency time.Duration
+	// PanicMsg, when non-empty, panics — the crash half of
+	// kill-and-reopen tests that do not want to fork a process.
+	PanicMsg string
+}
+
+// Trigger decides, per call, whether an armed point fires. call is
+// 1-based. Implementations must be deterministic given (call, rng).
+type Trigger func(call uint64, rng *rand.Rand) bool
+
+// Always fires on every call.
+func Always() Trigger {
+	return func(uint64, *rand.Rand) bool { return true }
+}
+
+// OnCall fires on exactly the nth call (1-based) and never again.
+func OnCall(n uint64) Trigger {
+	return func(call uint64, _ *rand.Rand) bool { return call == n }
+}
+
+// FromCall fires on the nth call (1-based) and every call after it.
+func FromCall(n uint64) Trigger {
+	return func(call uint64, _ *rand.Rand) bool { return call >= n }
+}
+
+// EveryNth fires on calls n, 2n, 3n, ...
+func EveryNth(n uint64) Trigger {
+	return func(call uint64, _ *rand.Rand) bool { return n > 0 && call%n == 0 }
+}
+
+// Prob fires each call independently with probability p, drawn from
+// the point's seeded PRNG — deterministic for a given Set seed.
+func Prob(p float64) Trigger {
+	return func(_ uint64, rng *rand.Rand) bool { return rng.Float64() < p }
+}
+
+// point is one named failure point's armed state and counters.
+type point struct {
+	trigger Trigger
+	act     Action
+	rng     *rand.Rand
+	calls   uint64 // consultations while armed
+	fires   uint64 // times the trigger fired
+}
+
+// Set is a collection of armed failure points, safe for concurrent
+// use. The zero value of *Set (nil) is fully disarmed.
+type Set struct {
+	seed int64
+
+	mu     sync.Mutex
+	points map[string]*point
+	sleep  func(time.Duration) // swapped in tests to avoid real sleeps
+}
+
+// NewSet returns an empty (fully disarmed) set whose probability
+// triggers derive from seed.
+func NewSet(seed int64) *Set {
+	return &Set{seed: seed, points: make(map[string]*point), sleep: time.Sleep}
+}
+
+// pointSeed derives a per-point PRNG seed so that arming one point
+// never perturbs another point's random sequence.
+func (s *Set) pointSeed(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return s.seed ^ int64(h.Sum64())
+}
+
+// Arm installs (or replaces) a point's trigger and action. Counters
+// reset on re-arm.
+func (s *Set) Arm(name string, trigger Trigger, act Action) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.points[name] = &point{
+		trigger: trigger,
+		act:     act,
+		rng:     rand.New(rand.NewSource(s.pointSeed(name))),
+	}
+}
+
+// ArmError arms name to return err (ErrInjected if nil) when trigger
+// fires.
+func (s *Set) ArmError(name string, trigger Trigger, err error) {
+	if err == nil {
+		err = fmt.Errorf("%w at %s", ErrInjected, name)
+	}
+	s.Arm(name, trigger, Action{Err: err})
+}
+
+// ArmShortWrite arms name to cut writes down to keep bytes and fail.
+func (s *Set) ArmShortWrite(name string, trigger Trigger, keep int) {
+	s.Arm(name, trigger, Action{Short: true, KeepBytes: keep})
+}
+
+// ArmLatency arms name to stall for d when trigger fires.
+func (s *Set) ArmLatency(name string, trigger Trigger, d time.Duration) {
+	s.Arm(name, trigger, Action{Latency: d})
+}
+
+// ArmPanic arms name to panic with msg when trigger fires.
+func (s *Set) ArmPanic(name string, trigger Trigger, msg string) {
+	s.Arm(name, trigger, Action{PanicMsg: msg})
+}
+
+// Disarm removes a point; its counters are forgotten.
+func (s *Set) Disarm(name string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.points, name)
+}
+
+// evaluate advances the point's call counter and resolves the action,
+// or returns ok=false when the point is disarmed or did not fire.
+func (s *Set) evaluate(name string) (Action, bool) {
+	if s == nil {
+		return Action{}, false
+	}
+	s.mu.Lock()
+	p, ok := s.points[name]
+	if !ok {
+		s.mu.Unlock()
+		return Action{}, false
+	}
+	p.calls++
+	fired := p.trigger(p.calls, p.rng)
+	if fired {
+		p.fires++
+	}
+	act, sleep := p.act, s.sleep
+	s.mu.Unlock()
+	if !fired {
+		return Action{}, false
+	}
+	if act.Latency > 0 {
+		sleep(act.Latency)
+	}
+	if act.PanicMsg != "" {
+		panic("faultinject: " + act.PanicMsg)
+	}
+	return act, true
+}
+
+// Fire consults the point: nil when disarmed or the trigger did not
+// fire, the armed error otherwise (after any armed latency; an armed
+// panic propagates).
+func (s *Set) Fire(name string) error {
+	act, fired := s.evaluate(name)
+	if !fired {
+		return nil
+	}
+	if act.Err != nil {
+		return act.Err
+	}
+	if act.Short {
+		// A short-write point consulted through Fire (no byte count to
+		// truncate) still fails the operation.
+		return fmt.Errorf("%w at %s (short write)", ErrInjected, name)
+	}
+	return nil
+}
+
+// FireWrite consults the point for a write of n bytes. keep is how
+// many bytes the caller should actually write (n when healthy); a
+// non-nil err means the write must fail after those bytes — the torn
+// write a crash mid-syscall produces.
+func (s *Set) FireWrite(name string, n int) (keep int, err error) {
+	act, fired := s.evaluate(name)
+	if !fired {
+		return n, nil
+	}
+	switch {
+	case act.Err != nil:
+		return 0, act.Err
+	case act.Short:
+		if act.KeepBytes < n {
+			n = act.KeepBytes
+		}
+		return n, fmt.Errorf("%w at %s (short write, kept %d)", ErrInjected, name, n)
+	default:
+		return n, nil
+	}
+}
+
+// Calls returns how many times the point was consulted while armed.
+func (s *Set) Calls(name string) uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.points[name]; ok {
+		return p.calls
+	}
+	return 0
+}
+
+// Fires returns how many times the point's trigger fired.
+func (s *Set) Fires(name string) uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.points[name]; ok {
+		return p.fires
+	}
+	return 0
+}
+
+// Armed returns the names of the currently armed points, sorted.
+func (s *Set) Armed() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.points))
+	for n := range s.points {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SetSleep replaces the latency sleeper (tests that only want to
+// observe that a delay would have happened). The default is
+// time.Sleep. No-op on nil.
+func (s *Set) SetSleep(fn func(time.Duration)) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sleep = fn
+}

@@ -1,0 +1,244 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSetIsDisarmed(t *testing.T) {
+	var s *Set
+	if err := s.Fire("x"); err != nil {
+		t.Fatalf("nil set fired: %v", err)
+	}
+	keep, err := s.FireWrite("x", 10)
+	if keep != 10 || err != nil {
+		t.Fatalf("nil set FireWrite = %d, %v", keep, err)
+	}
+	if s.Calls("x") != 0 || s.Fires("x") != 0 || s.Armed() != nil {
+		t.Fatal("nil set has state")
+	}
+	s.Arm("x", Always(), Action{})     // must not panic
+	s.Disarm("x")                      // must not panic
+	s.SetSleep(func(time.Duration) {}) // must not panic
+}
+
+func TestDisarmedPointPassesThrough(t *testing.T) {
+	s := NewSet(1)
+	if err := s.Fire("never.armed"); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+	if keep, err := s.FireWrite("never.armed", 7); keep != 7 || err != nil {
+		t.Fatalf("disarmed FireWrite = %d, %v", keep, err)
+	}
+}
+
+func TestOnCallFiresExactlyOnce(t *testing.T) {
+	s := NewSet(1)
+	boom := errors.New("boom")
+	s.ArmError("p", OnCall(3), boom)
+	for i := 1; i <= 5; i++ {
+		err := s.Fire("p")
+		if i == 3 && !errors.Is(err, boom) {
+			t.Fatalf("call %d: err = %v, want boom", i, err)
+		}
+		if i != 3 && err != nil {
+			t.Fatalf("call %d fired: %v", i, err)
+		}
+	}
+	if s.Calls("p") != 5 || s.Fires("p") != 1 {
+		t.Fatalf("calls=%d fires=%d, want 5/1", s.Calls("p"), s.Fires("p"))
+	}
+}
+
+func TestFromCallAndEveryNth(t *testing.T) {
+	s := NewSet(1)
+	s.ArmError("from", FromCall(3), nil)
+	s.ArmError("every", EveryNth(2), nil)
+	var fromHits, everyHits int
+	for i := 1; i <= 6; i++ {
+		if s.Fire("from") != nil {
+			fromHits++
+		}
+		if s.Fire("every") != nil {
+			everyHits++
+		}
+	}
+	if fromHits != 4 { // calls 3,4,5,6
+		t.Errorf("FromCall(3) fired %d times over 6 calls, want 4", fromHits)
+	}
+	if everyHits != 3 { // calls 2,4,6
+		t.Errorf("EveryNth(2) fired %d times over 6 calls, want 3", everyHits)
+	}
+}
+
+func TestDefaultErrorIsErrInjected(t *testing.T) {
+	s := NewSet(1)
+	s.ArmError("p", Always(), nil)
+	if err := s.Fire("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+}
+
+func TestShortWriteTruncatesAndFails(t *testing.T) {
+	s := NewSet(1)
+	s.ArmShortWrite("w", OnCall(2), 4)
+	if keep, err := s.FireWrite("w", 10); keep != 10 || err != nil {
+		t.Fatalf("healthy write = %d, %v", keep, err)
+	}
+	keep, err := s.FireWrite("w", 10)
+	if keep != 4 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write = %d, %v; want 4 bytes + ErrInjected", keep, err)
+	}
+	// A write smaller than the cap is kept whole but still fails.
+	s.ArmShortWrite("w2", Always(), 100)
+	if keep, err := s.FireWrite("w2", 10); keep != 10 || err == nil {
+		t.Fatalf("capped-above write = %d, %v", keep, err)
+	}
+	// Fire (no byte count) on a short-write point still fails.
+	s.ArmShortWrite("w3", Always(), 0)
+	if err := s.Fire("w3"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Fire on short-write point = %v", err)
+	}
+}
+
+func TestLatencyUsesInjectedSleeper(t *testing.T) {
+	s := NewSet(1)
+	var slept time.Duration
+	s.SetSleep(func(d time.Duration) { slept += d })
+	s.ArmLatency("slow", Always(), 250*time.Millisecond)
+	if err := s.Fire("slow"); err != nil {
+		t.Fatalf("latency point errored: %v", err)
+	}
+	if slept != 250*time.Millisecond {
+		t.Fatalf("slept %v, want 250ms", slept)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	s := NewSet(1)
+	s.ArmPanic("die", OnCall(1), "simulated crash")
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Fire("die")
+}
+
+func TestProbIsDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []bool {
+		s := NewSet(seed)
+		s.ArmError("p", Prob(0.5), nil)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = s.Fire("p") != nil
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i+1)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical 64-call sequence")
+	}
+	fires := 0
+	for _, f := range a {
+		if f {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Fatalf("Prob(0.5) fired %d/64 times — trigger looks constant", fires)
+	}
+}
+
+func TestPointsHaveIndependentRandomStreams(t *testing.T) {
+	// Arming a second probability point must not change what the first
+	// one does: each point draws from its own name-derived PRNG.
+	seq := func(armOther bool) []bool {
+		s := NewSet(7)
+		s.ArmError("a", Prob(0.5), nil)
+		if armOther {
+			s.ArmError("b", Prob(0.5), nil)
+		}
+		out := make([]bool, 32)
+		for i := range out {
+			if armOther {
+				s.Fire("b")
+			}
+			out[i] = s.Fire("a") != nil
+		}
+		return out
+	}
+	solo, interleaved := seq(false), seq(true)
+	for i := range solo {
+		if solo[i] != interleaved[i] {
+			t.Fatalf("point a's sequence perturbed by point b at call %d", i+1)
+		}
+	}
+}
+
+func TestReArmResetsCounters(t *testing.T) {
+	s := NewSet(1)
+	s.ArmError("p", Always(), nil)
+	s.Fire("p")
+	s.Fire("p")
+	s.ArmError("p", Always(), nil)
+	if s.Calls("p") != 0 || s.Fires("p") != 0 {
+		t.Fatalf("re-arm kept counters: calls=%d fires=%d", s.Calls("p"), s.Fires("p"))
+	}
+	s.Disarm("p")
+	if err := s.Fire("p"); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+}
+
+func TestArmedListsSorted(t *testing.T) {
+	s := NewSet(1)
+	s.ArmError("z", Always(), nil)
+	s.ArmError("a", Always(), nil)
+	s.ArmError("m", Always(), nil)
+	got := s.Armed()
+	want := []string{"a", "m", "z"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("Armed() = %v, want %v", got, want)
+	}
+}
+
+func TestConcurrentFireIsSafe(t *testing.T) {
+	s := NewSet(1)
+	s.ArmError("p", EveryNth(3), nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				s.Fire("p")
+				s.FireWrite("p", 16)
+			}
+		}()
+	}
+	wg.Wait()
+	wantCalls := uint64(8 * 300 * 2)
+	if s.Calls("p") != wantCalls {
+		t.Fatalf("calls = %d, want %d", s.Calls("p"), wantCalls)
+	}
+	if s.Fires("p") != wantCalls/3 {
+		t.Fatalf("fires = %d, want %d", s.Fires("p"), wantCalls/3)
+	}
+}

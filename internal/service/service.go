@@ -20,7 +20,14 @@
 //	422  input parsed but is not a valid product line
 //	429  too many requests in flight (Options.MaxInFlight); retry later
 //	500  a handler panicked; the panic is isolated and serving continues
-//	503  a solver/delta budget was exhausted: the answer is Unknown
+//	503  a solver/delta budget was exhausted (the answer is Unknown), or
+//	     the service is draining ahead of shutdown
+//
+// Every 429 and 503 carries a Retry-After header (and the same value
+// as retryAfterSeconds in the JSON error envelope): these conditions
+// are transient by construction — overload clears, budgets are
+// per-request, draining ends with the restart — so clients and load
+// balancers are told to come back rather than fail the workload.
 package service
 
 import (
@@ -30,9 +37,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"llhsc/internal/checkcache"
+	"llhsc/internal/checkcache/persist"
 	"llhsc/internal/constraints"
 	"llhsc/internal/core"
 	"llhsc/internal/delta"
@@ -65,6 +74,25 @@ type Options struct {
 	// content-addressed check-result cache (0 = disabled). Hit, miss
 	// and eviction counters surface on GET /healthz.
 	CacheSize int
+	// CacheDir, when non-empty, layers a crash-safe persistent tier
+	// (internal/checkcache/persist) under the in-memory cache: results
+	// survive restarts, guarded by a circuit breaker that falls back to
+	// memory-only mode while the disk misbehaves. Requires CacheSize >
+	// 0. Use NewService to observe open errors; NewHandler degrades to
+	// memory-only if the directory cannot be opened.
+	CacheDir string
+	// CacheMaxBytes caps the persistent tier's total on-disk size
+	// (0 = the persist package default).
+	CacheMaxBytes int64
+	// Degrade selects overload shedding for /check: "" or "off"
+	// (never), "auto" (shed to lint-only checking while the in-flight
+	// semaphore stays saturated past a dwell threshold), "force" (shed
+	// every request; an operator switch). See internal/service/degrade.go.
+	Degrade string
+	// DegradeEnterAfter / DegradeExitAfter tune auto mode's dwell
+	// thresholds (defaults 2s / 5s).
+	DegradeEnterAfter time.Duration
+	DegradeExitAfter  time.Duration
 	// SemanticStrategy selects how the semantic checker discharges
 	// region-overlap queries (sweep by default; the -semantic-strategy
 	// server flag).
@@ -131,6 +159,12 @@ type CheckResponse struct {
 	JailhouseCellsC []string `json:"jailhouseCellsC,omitempty"`
 	QEMUArgs        []string `json:"qemuArgs,omitempty"`
 
+	// Degraded is "lint-only" when overload shedding skipped the
+	// SMT-backed checks for this request: the structural verdict is
+	// exact, but absent semantic/memreserve/interrupt violations prove
+	// nothing. Also sent as the X-Llhsc-Degraded response header.
+	Degraded string `json:"degraded,omitempty"`
+
 	// RequestID echoes the X-Request-ID response header so the report
 	// can be correlated with the server's structured log lines.
 	RequestID string `json:"requestId,omitempty"`
@@ -154,12 +188,51 @@ func Handler() http.Handler { return NewHandler(Options{}) }
 
 // NewHandler returns the service's HTTP handler hardened per opts:
 // every endpoint gets panic isolation, and /check + /lint additionally
-// get the per-request timeout and the in-flight bound.
+// get the per-request timeout and the in-flight bound. If CacheDir is
+// set but the persistent tier cannot be opened, the handler degrades
+// to a memory-only cache (the disk is an optimization, never a
+// dependency); use NewService to observe the open error and to manage
+// draining and shutdown.
 func NewHandler(opts Options) http.Handler {
+	svc, err := NewService(opts)
+	if err != nil {
+		opts.CacheDir = ""
+		svc, _ = NewService(opts)
+	}
+	return svc
+}
+
+// Service is the HTTP handler plus its operational controls: the
+// draining switch the shutdown path flips before srv.Shutdown, and
+// Close for the persistent cache tier.
+type Service struct {
+	http.Handler
+	srv *server
+}
+
+// NewService builds the hardened handler and returns it with its
+// operational controls. The only error source is opening the
+// persistent cache tier (Options.CacheDir).
+func NewService(opts Options) (*Service, error) {
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = defaultMaxBodyBytes
 	}
-	s := &server{opts: opts, cache: checkcache.New(opts.CacheSize)}
+	s := &server{
+		opts:    opts,
+		cache:   checkcache.New(opts.CacheSize),
+		degrade: newDegradeController(opts.Degrade, opts.DegradeEnterAfter, opts.DegradeExitAfter),
+	}
+	if opts.CacheDir != "" && s.cache != nil {
+		store, err := persist.Open(persist.Options{
+			Dir:           opts.CacheDir,
+			MaxTotalBytes: opts.CacheMaxBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("service: persistent cache tier: %w", err)
+		}
+		s.store = store
+		s.cache.AttachPersist(store, checkcache.NewBreaker(0, 0, 0))
+	}
 	if opts.MaxInFlight > 0 {
 		s.inflight = make(chan struct{}, opts.MaxInFlight)
 	}
@@ -167,6 +240,29 @@ func NewHandler(opts Options) http.Handler {
 		s.metrics = newServiceMetrics(opts.Registry)
 		s.pipeMetrics = core.NewPipelineMetrics(opts.Registry)
 		s.cache.RegisterMetrics(opts.Registry)
+		s.cache.RegisterTierMetrics(opts.Registry)
+		opts.Registry.Register("llhsc_service_draining",
+			"1 while the service answers 503 ahead of shutdown.", obs.FuncGauge(func() float64 {
+				if s.draining.Load() {
+					return 1
+				}
+				return 0
+			}))
+		if s.degrade != nil {
+			opts.Registry.Register("llhsc_service_degraded",
+				"1 while /check sheds to lint-only checking under overload.",
+				obs.FuncGauge(func() float64 {
+					if s.degrade.peek() {
+						return 1
+					}
+					return 0
+				}))
+			opts.Registry.Register("llhsc_service_shed_requests_total",
+				"/check requests answered lint-only by overload shedding.",
+				obs.FuncGauge(func() float64 {
+					return float64(s.degrade.stats().Shed)
+				}))
+		}
 	}
 	if opts.LogWriter != nil {
 		s.logger = &jsonLogger{w: opts.LogWriter}
@@ -179,13 +275,36 @@ func NewHandler(opts Options) http.Handler {
 	if opts.Registry != nil {
 		mux.Handle("/metrics", opts.Registry.Handler())
 	}
-	return s.observe(recoverPanics(mux))
+	return &Service{Handler: s.observe(recoverPanics(mux)), srv: s}, nil
+}
+
+// SetDraining flips the draining switch: while set, /check and /lint
+// answer 503 + Retry-After (reason "draining") so load balancers fail
+// over, while requests already in flight run to completion. The
+// shutdown path sets it just before http.Server.Shutdown.
+func (svc *Service) SetDraining(v bool) { svc.srv.draining.Store(v) }
+
+// Draining reports the switch's current position.
+func (svc *Service) Draining() bool { return svc.srv.draining.Load() }
+
+// Close releases the persistent cache tier (a no-op without one). Call
+// after the HTTP server has shut down — in-flight requests may still
+// touch the store.
+func (svc *Service) Close() error {
+	if svc.srv.store == nil {
+		return nil
+	}
+	return svc.srv.store.Close()
 }
 
 type server struct {
 	opts     Options
 	inflight chan struct{}     // nil = unlimited
 	cache    *checkcache.Cache // nil = disabled; shared across requests
+
+	store    *persist.Store     // nil = memory-only cache
+	degrade  *degradeController // nil = shedding off
+	draining atomic.Bool        // set via Service.SetDraining
 
 	metrics     *serviceMetrics       // nil = no Registry configured
 	pipeMetrics *core.PipelineMetrics // nil = no Registry configured
@@ -206,15 +325,28 @@ func recoverPanics(next http.Handler) http.Handler {
 	})
 }
 
-// guard applies the in-flight semaphore and per-request timeout to a
-// heavy endpoint.
+// guard applies the draining gate, the in-flight semaphore and the
+// per-request timeout to a heavy endpoint.
 func (s *server) guard(h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			markPhase(r.Context(), "admission")
+			markReason(r.Context(), "draining")
+			w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+				Error:      "service is draining ahead of shutdown",
+				Reason:     "draining",
+				RetryAfter: retryAfterSeconds,
+			})
+			return
+		}
 		if s.inflight != nil {
 			select {
 			case s.inflight <- struct{}{}:
+				s.degrade.observe(len(s.inflight), cap(s.inflight))
 				defer func() { <-s.inflight }()
 			default:
+				s.degrade.observe(cap(s.inflight), cap(s.inflight))
 				markPhase(r.Context(), "admission")
 				markReason(r.Context(), "overloaded")
 				w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
@@ -288,10 +420,25 @@ func writeError(w http.ResponseWriter, status int, format string, args ...interf
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// handleHealthz serializes the health document. Fields beyond the
+// baseline {status, checkCache} appear only when their feature is
+// configured — a memory-only, no-degradation deployment keeps the
+// exact health shape it always had (pinned by
+// TestHealthzJSONShapeUnchanged).
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := map[string]interface{}{"status": "ok"}
+	if s.draining.Load() {
+		resp["status"] = "draining"
+		resp["draining"] = true
+	}
 	if s.cache != nil {
 		resp["checkCache"] = s.cache.Stats()
+	}
+	if tier := s.cache.Tier(); tier != nil {
+		resp["persistCache"] = tier
+	}
+	if s.degrade != nil {
+		resp["degrade"] = s.degrade.stats()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -379,6 +526,9 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
+	if resp.Degraded != "" {
+		w.Header().Set("X-Llhsc-Degraded", resp.Degraded)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -418,6 +568,7 @@ func (s *server) runCheck(ctx context.Context, req *CheckRequest) (*CheckRespons
 	}
 
 	markPhase(ctx, "pipeline")
+	lintOnly := s.degrade.active()
 	pipeline := &core.Pipeline{
 		Core:             tree,
 		Deltas:           deltas,
@@ -427,6 +578,7 @@ func (s *server) runCheck(ctx context.Context, req *CheckRequest) (*CheckRespons
 		Cache:            s.cache,
 		Metrics:          s.pipeMetrics,
 		SemanticStrategy: s.opts.SemanticStrategy,
+		LintOnly:         lintOnly,
 	}
 	report, err := pipeline.RunContext(ctx, s.opts.Limits)
 	if err != nil {
@@ -458,6 +610,9 @@ func (s *server) runCheck(ctx context.Context, req *CheckRequest) (*CheckRespons
 			DTS:        vm.DTS,
 			Violations: toViolations(vm.Violations),
 		})
+	}
+	if lintOnly {
+		resp.Degraded = "lint-only"
 	}
 	if sc := scopeFrom(ctx); sc != nil {
 		resp.RequestID = sc.id
