@@ -1,5 +1,5 @@
 // Command llhsc-bench regenerates every table and figure of the paper
-// (experiments E1–E7) plus the scaling/ablation extensions (E8–E15).
+// (experiments E1–E7) plus the scaling/ablation extensions (E8–E18).
 // See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
 // recorded results.
 //
@@ -11,6 +11,7 @@
 //	llhsc-bench -semantic-json BENCH_semantic.json   # emit the E14 artifact
 //	llhsc-bench -obs-json BENCH_obs.json             # emit the E15 artifact
 //	llhsc-bench -persist-json BENCH_persist.json     # emit the E17 artifact
+//	llhsc-bench -word-json BENCH_word.json           # emit the E18 artifact
 //	llhsc-bench -list
 package main
 
@@ -31,7 +32,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("llhsc-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id (e1..e14) or 'all'")
+	exp := fs.String("exp", "all", "experiment id (e1..e18) or 'all'")
 	list := fs.Bool("list", false, "list experiments")
 	parallelJSON := fs.String("parallel-json", "",
 		"write the E13 parallel-speedup measurement to this JSON file and exit")
@@ -44,6 +45,8 @@ func run(args []string) error {
 	persistJSON := fs.String("persist-json", "",
 		"write the E17 warm-restart recovery measurement to this JSON file and exit")
 	persistVMs := fs.Int("persist-vms", 6, "product-line size for -persist-json")
+	wordJSON := fs.String("word-json", "",
+		"write the E18 word-tier measurement to this JSON file and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,6 +76,13 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *persistJSON)
+		return nil
+	}
+	if *wordJSON != "" {
+		if err := bench.WriteWordJSON(*wordJSON); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *wordJSON)
 		return nil
 	}
 	if *list {

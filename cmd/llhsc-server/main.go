@@ -99,7 +99,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	degrade := fs.String("degrade", "off",
 		"overload shedding for /check: off, auto (lint-only while the in-flight semaphore stays saturated), force")
 	semStrategy := fs.String("semantic-strategy", "sweep",
-		"semantic-check strategy: sweep (O(n log n) prefilter + SMT), assume (one incremental solver), pairwise (one solve per pair)")
+		"semantic-check strategy: word (interval tier, sweep spelling), sweep (O(n log n) prefilter + word tier + SMT), assume (one incremental solver + word tier), pairwise (one solve per pair, no word tier), word-off (sweep without the word tier)")
 	pprofPort := fs.Int("pprof", 0,
 		"expose net/http/pprof on 127.0.0.1:<port> (0 = disabled)")
 	logRequests := fs.Bool("log-requests", true,

@@ -68,8 +68,8 @@ func run(args []string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  llhsc check    -core <dts> -deltas <file> -fm <file> -vm <features> [-vm ...] [-schemas <dir>] [-parallel n] [-semantic-strategy sweep|assume|pairwise] [-trace]
-  llhsc generate -core <dts> -deltas <file> -fm <file> -vm <features> [-vm ...] [-o <dir>] [-parallel n] [-semantic-strategy sweep|assume|pairwise]
+  llhsc check    -core <dts> -deltas <file> -fm <file> -vm <features> [-vm ...] [-schemas <dir>] [-parallel n] [-semantic-strategy word|sweep|assume|pairwise|word-off] [-trace]
+  llhsc generate -core <dts> -deltas <file> -fm <file> -vm <features> [-vm ...] [-o <dir>] [-parallel n] [-semantic-strategy word|sweep|assume|pairwise|word-off]
   llhsc products -fm <file> [-limit n]
   llhsc infer-fm -core <dts>
   llhsc demo     [-o <dir>]`)
@@ -94,7 +94,7 @@ func cmdCheckOrGenerate(args []string, generate bool) error {
 	parallel := fs.Int("parallel", 0,
 		"worker count for per-VM checking (0 = GOMAXPROCS, 1 = serial)")
 	semStrategy := fs.String("semantic-strategy", "sweep",
-		"semantic-check strategy: sweep (O(n log n) prefilter + SMT), assume (one incremental solver), pairwise (one solve per pair)")
+		"semantic-check strategy: word (interval tier, sweep spelling), sweep (O(n log n) prefilter + word tier + SMT), assume (one incremental solver + word tier), pairwise (one solve per pair, no word tier), word-off (sweep without the word tier)")
 	trace := fs.Bool("trace", false,
 		"print the phase span tree and solver statistics to stderr")
 	var vms vmFlags

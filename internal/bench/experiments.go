@@ -46,6 +46,7 @@ func Experiments() []Experiment {
 		{"e14", "Semantic-check strategies: sweep vs assume vs pairwise", RunE14},
 		{"e15", "Observability overhead: tracing and metrics off vs on", RunE15},
 		{"e17", "Persistent cache tier: warm-restart hit-rate recovery", RunE17},
+		{"e18", "Word-level tier vs bit-blast: concrete corpus and cell ladder", RunE18},
 	}
 }
 
@@ -447,6 +448,10 @@ func freshRecheckStep(prior []addr.Region, next addr.Region, width int) int {
 // collisions found.
 func incrementalRecheck(regions []addr.Region, width int) int {
 	c := constraints.NewIncrementalSemanticChecker(width)
+	// E11 measures solver reuse across deltas; with the word tier on, a
+	// concrete region set never touches the solver and there would be
+	// nothing to measure.
+	c.DisableWord = true
 	return len(c.AddAll(regions))
 }
 

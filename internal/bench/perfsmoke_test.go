@@ -1,0 +1,27 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+// Perf-path smoke benchmarks: CI runs these with -benchtime=1x so a
+// build or wiring break anywhere on the E5/E12 measurement paths (the
+// ground truth for the word-tier and zero-alloc work) fails fast,
+// without paying for a full measurement run.
+
+func BenchmarkE5AddressClash(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := RunE5(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE12Pipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := RunE12(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -20,6 +20,8 @@ func SemanticStrategies() []constraints.SemanticStrategy {
 		constraints.StrategyPairwise,
 		constraints.StrategyAssume,
 		constraints.StrategySweep,
+		constraints.StrategyWord,
+		constraints.StrategyWordOff,
 	}
 }
 

@@ -28,12 +28,16 @@ func checkWithStrategy(t *testing.T, tree *dts.Tree, strat constraints.SemanticS
 	return collisions, violations
 }
 
-// assertStrategiesAgree checks all three strategies byte-for-byte
-// (verdicts, witnesses, ordering) on one tree.
+// assertStrategiesAgree checks every strategy byte-for-byte (verdicts,
+// witnesses, ordering) on one tree — including the word tier against
+// its bit-blasted control arm (word vs word-off).
 func assertStrategiesAgree(t *testing.T, name string, tree *dts.Tree) {
 	t.Helper()
 	refC, refV := checkWithStrategy(t, tree, constraints.StrategyPairwise)
-	for _, strat := range []constraints.SemanticStrategy{constraints.StrategyAssume, constraints.StrategySweep} {
+	for _, strat := range []constraints.SemanticStrategy{
+		constraints.StrategyAssume, constraints.StrategySweep,
+		constraints.StrategyWord, constraints.StrategyWordOff,
+	} {
 		gotC, gotV := checkWithStrategy(t, tree, strat)
 		if !reflect.DeepEqual(gotC, refC) {
 			t.Errorf("%s: %s collisions differ from pairwise:\n got %v\nwant %v", name, strat, gotC, refC)

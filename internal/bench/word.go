@@ -1,0 +1,314 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"time"
+
+	"llhsc/internal/addr"
+	"llhsc/internal/conform"
+	"llhsc/internal/constraints"
+	"llhsc/internal/featmodel"
+	"llhsc/internal/smt"
+)
+
+// Experiment E18 measures the word-level decision tier (DESIGN.md §13)
+// against the bit-blaster it replaces, on three axes:
+//
+//   - a concrete-address region corpus (the near-overlapping geometry
+//     of the conform generator), word tier vs the word-off control arm
+//     — the acceptance corpus: the word arm must make 0 solver calls;
+//   - the E12 full-pipeline workload under the default (word) strategy
+//     vs the pre-word-tier baselines;
+//   - a term-pair ladder sweep over symbolic-cell count, word decider
+//     vs BlastTermPair, showing where interval propagation stops being
+//     conclusive and the blast fallback takes over.
+
+// WordRegionPoint is one strategy's measurement on the concrete region
+// corpus.
+type WordRegionPoint struct {
+	Strategy    string  `json:"strategy"`
+	Regions     int     `json:"regions"`
+	Collisions  int     `json:"collisions"`
+	SolverCalls int     `json:"solver_calls"`
+	WordDecided int     `json:"word_decided"`
+	Millis      float64 `json:"millis"`
+}
+
+// WordPipelinePoint is one strategy's full-pipeline (E12 workload)
+// measurement.
+type WordPipelinePoint struct {
+	Strategy string `json:"strategy"`
+	VMs      int    `json:"vms"`
+	// SemanticSolverCalls is the semantic family's SMT check count for
+	// the whole run — 0 under the word tier on a concrete corpus.
+	SemanticSolverCalls int     `json:"semantic_solver_calls"`
+	WordDecided         int     `json:"word_decided"`
+	Millis              float64 `json:"millis"`
+	OK                  bool    `json:"ok"`
+}
+
+// WordTermPoint compares the word decider against the bit-blaster on
+// term pairs with a given number of symbolic cells per pair.
+type WordTermPoint struct {
+	Cells int `json:"cells"`
+	Pairs int `json:"pairs"`
+	// Conclusive counts pairs the word tier decided; the remainder fell
+	// through to the blaster.
+	Conclusive  int     `json:"conclusive"`
+	WordMillis  float64 `json:"word_millis"`
+	BlastMillis float64 `json:"blast_millis"`
+}
+
+// WordResult is the JSON artifact of experiment E18 (BENCH_word.json).
+type WordResult struct {
+	RegionCorpus []WordRegionPoint   `json:"region_corpus"`
+	Pipeline     []WordPipelinePoint `json:"pipeline"`
+	TermLadder   []WordTermPoint     `json:"term_ladder"`
+	// RegionSpeedup is word-off wall time / word wall time on the
+	// region corpus (same sweep, same verdicts; the difference is pure
+	// solver work).
+	RegionSpeedup float64 `json:"region_speedup,omitempty"`
+	// PipelineSpeedup is the pairwise-baseline wall time / word wall
+	// time on the E12 workload (the acceptance metric: >= 5x).
+	PipelineSpeedup float64 `json:"pipeline_speedup,omitempty"`
+	// WordSolverCalls is the word arm's total semantic solver calls
+	// across both corpora — the acceptance bar is exactly 0.
+	WordSolverCalls int `json:"word_solver_calls"`
+}
+
+// wordRegionCorpus flattens the conform generator's near-overlapping
+// pairs into one collision-rich, fully concrete region set.
+func wordRegionCorpus(pairs int) []addr.Region {
+	out := make([]addr.Region, 0, 2*pairs)
+	for _, p := range conform.NearRegionPairs(18, pairs, 32) {
+		out = append(out, p[0], p[1])
+	}
+	return out
+}
+
+// MeasureWord runs experiment E18: regionPairs near-overlapping pairs
+// for the region corpus, vms VMs (each keeping a 24-UART bank, so
+// region pairs dominate the quadratic baseline) for the pipeline
+// workload, termPairs term pairs per ladder point, best of rounds.
+func MeasureWord(regionPairs, vms, termPairs, rounds int) (*WordResult, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	res := &WordResult{}
+	const width = 32
+
+	// ---- concrete region corpus: word vs word-off ----
+	regions := wordRegionCorpus(regionPairs)
+	var wantCollisions []constraints.Collision
+	for _, strat := range []constraints.SemanticStrategy{constraints.StrategyWord, constraints.StrategyWordOff} {
+		point := WordRegionPoint{Strategy: strat.String(), Regions: len(regions)}
+		var collisions []constraints.Collision
+		for r := 0; r < rounds; r++ {
+			checker := constraints.NewSemanticChecker()
+			checker.Strategy = strat
+			start := time.Now()
+			out, err := checker.FindCollisionsContext(context.Background(), regions, width)
+			elapsed := time.Since(start).Seconds() * 1000
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s on region corpus: %w", strat, err)
+			}
+			st := checker.LastStats()
+			if r == 0 || elapsed < point.Millis {
+				point.Millis = elapsed
+				point.SolverCalls = st.SolverCalls
+				point.WordDecided = st.WordDecided
+				point.Collisions = len(out)
+				collisions = out
+			}
+		}
+		if wantCollisions == nil {
+			wantCollisions = collisions
+		} else if !reflect.DeepEqual(collisions, wantCollisions) {
+			return nil, fmt.Errorf("bench: %s disagrees with word tier on the region corpus", strat)
+		}
+		if strat == constraints.StrategyWord {
+			res.WordSolverCalls += point.SolverCalls
+		}
+		res.RegionCorpus = append(res.RegionCorpus, point)
+	}
+	if res.RegionCorpus[0].Millis > 0 {
+		res.RegionSpeedup = res.RegionCorpus[1].Millis / res.RegionCorpus[0].Millis
+	}
+
+	// ---- E12 full-pipeline workload: word vs the baselines ----
+	for _, strat := range []constraints.SemanticStrategy{
+		constraints.StrategyWord, constraints.StrategyWordOff, constraints.StrategyPairwise,
+	} {
+		point := WordPipelinePoint{Strategy: strat.String(), VMs: vms}
+		for r := 0; r < rounds; r++ {
+			const uarts = 24
+			pipeline, err := SyntheticProductLine(vms, uarts, vms)
+			if err != nil {
+				return nil, err
+			}
+			// E12's stock configs keep one UART per VM; E18 wants
+			// region-heavy concrete trees, so every VM keeps the whole
+			// UART bank (valid under the or-group) and the pairwise
+			// baseline pays one solve per region pair.
+			sel := []string{"BigBoard", "memory", "cpus", "", "uarts"}
+			for i := 0; i < uarts; i++ {
+				sel = append(sel, fmt.Sprintf("uart%d", i))
+			}
+			for k := range pipeline.VMConfigs {
+				sel[3] = fmt.Sprintf("cpu@%d", k)
+				pipeline.VMConfigs[k] = featmodel.ConfigOf(sel...)
+			}
+			pipeline.SemanticStrategy = strat
+			start := time.Now()
+			report, err := pipeline.Run()
+			elapsed := time.Since(start).Seconds() * 1000
+			if err != nil {
+				return nil, fmt.Errorf("bench: pipeline under %s: %w", strat, err)
+			}
+			sem := report.Stats.Families["semantic"]
+			if r == 0 || elapsed < point.Millis {
+				point.Millis = elapsed
+				point.SemanticSolverCalls = sem.SolverCalls
+				point.WordDecided = sem.WordDecided
+				point.OK = report.OK()
+			}
+		}
+		if strat == constraints.StrategyWord {
+			res.WordSolverCalls += point.SemanticSolverCalls
+		}
+		res.Pipeline = append(res.Pipeline, point)
+	}
+	if res.Pipeline[0].Millis > 0 {
+		res.PipelineSpeedup = res.Pipeline[2].Millis / res.Pipeline[0].Millis
+	}
+
+	// ---- term ladder: conclusiveness and cost vs symbolic cells ----
+	for _, cells := range []int{0, 1, 2, 4} {
+		point, err := measureTermLadder(cells, termPairs, width)
+		if err != nil {
+			return nil, err
+		}
+		res.TermLadder = append(res.TermLadder, point)
+	}
+	return res, nil
+}
+
+// measureTermLadder times the word decider and the blast oracle on
+// termPairs region pairs whose bases carry the given number of
+// symbolic cells (cell i adds a [0, 7] slack variable to the base).
+func measureTermLadder(cells, termPairs, width int) (WordTermPoint, error) {
+	point := WordTermPoint{Cells: cells, Pairs: termPairs}
+	pairs := conform.NearRegionPairs(int64(100+cells), termPairs, width)
+	for i, p := range pairs {
+		sctx := smt.NewContext()
+		env := smt.RangeEnv{}
+		baseA := liftCells(sctx, env, fmt.Sprintf("p%da", i), p[0].Base, width, cells)
+		sizeA := sctx.BVConst(width, p[0].Size)
+		baseB := liftCells(sctx, env, fmt.Sprintf("p%db", i), p[1].Base, width, cells)
+		sizeB := sctx.BVConst(width, p[1].Size)
+
+		start := time.Now()
+		verdict, wordWitness := constraints.DecideTermPair(env, width, baseA, sizeA, baseB, sizeB)
+		point.WordMillis += time.Since(start).Seconds() * 1000
+		if verdict != constraints.WordInconclusive {
+			point.Conclusive++
+		}
+
+		start = time.Now()
+		overlap, blastWitness, err := constraints.BlastTermPair(
+			context.Background(), sctx, env, width, baseA, sizeA, baseB, sizeB)
+		point.BlastMillis += time.Since(start).Seconds() * 1000
+		if err != nil {
+			return point, fmt.Errorf("bench: blast oracle (cells=%d pair %d): %w", cells, i, err)
+		}
+		switch verdict {
+		case constraints.WordOverlap:
+			if !overlap || wordWitness != blastWitness {
+				return point, fmt.Errorf(
+					"bench: word tier disagrees with blaster (cells=%d pair %d): word (%v, %#x), blast (%v, %#x)",
+					cells, i, verdict, wordWitness, overlap, blastWitness)
+			}
+		case constraints.WordDisjoint:
+			if overlap {
+				return point, fmt.Errorf(
+					"bench: word tier says disjoint, blaster finds %#x (cells=%d pair %d)",
+					blastWitness, cells, i)
+			}
+		}
+	}
+	return point, nil
+}
+
+// liftCells builds base + c0 + … + c(k−1) with each cell bounded to
+// [0, 7], keeping the pair affine and near-overlapping.
+func liftCells(sctx *smt.Context, env smt.RangeEnv, prefix string, base uint64, width, cells int) *smt.Term {
+	mask := uint64(1)<<uint(width) - 1
+	if width >= 64 {
+		mask = ^uint64(0)
+	}
+	t := sctx.BVConst(width, base&(mask>>1)) // headroom so the sum cannot wrap
+	for c := 0; c < cells; c++ {
+		name := fmt.Sprintf("%s%d", prefix, c)
+		cell := sctx.BVVar(name, width)
+		env[name] = smt.Interval{Lo: 0, Hi: 7}
+		t = sctx.Add(t, cell)
+	}
+	return t
+}
+
+// RunE18 runs the word-tier experiment and prints the three tables.
+func RunE18(w io.Writer) error {
+	res, err := MeasureWord(128, 8, 24, 2)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "concrete region corpus (%d regions, near-overlapping):\n", res.RegionCorpus[0].Regions)
+	fmt.Fprintf(w, "%10s %12s %8s %12s %12s\n", "strategy", "collisions", "solves", "word-decided", "time")
+	for _, p := range res.RegionCorpus {
+		fmt.Fprintf(w, "%10s %12d %8d %12d %10.1fms\n",
+			p.Strategy, p.Collisions, p.SolverCalls, p.WordDecided, p.Millis)
+	}
+	fmt.Fprintf(w, "word tier: %.1fx faster than word-off, %d solver calls\n\n",
+		res.RegionSpeedup, res.RegionCorpus[0].SolverCalls)
+
+	fmt.Fprintf(w, "full pipeline (E12 workload, %d VMs):\n", res.Pipeline[0].VMs)
+	fmt.Fprintf(w, "%10s %10s %12s %12s %6s\n", "strategy", "solves", "word-decided", "time", "ok")
+	for _, p := range res.Pipeline {
+		fmt.Fprintf(w, "%10s %10d %12d %10.1fms %6v\n",
+			p.Strategy, p.SemanticSolverCalls, p.WordDecided, p.Millis, p.OK)
+	}
+	fmt.Fprintf(w, "word tier: %.1fx faster than the pairwise baseline\n\n", res.PipelineSpeedup)
+
+	fmt.Fprintf(w, "term ladder (%d pairs per point):\n", res.TermLadder[0].Pairs)
+	fmt.Fprintf(w, "%6s %12s %12s %12s\n", "cells", "conclusive", "word", "blast")
+	for _, p := range res.TermLadder {
+		fmt.Fprintf(w, "%6d %9d/%2d %10.2fms %10.2fms\n",
+			p.Cells, p.Conclusive, p.Pairs, p.WordMillis, p.BlastMillis)
+	}
+	if res.WordSolverCalls != 0 {
+		return fmt.Errorf("bench: word tier made %d solver calls on the concrete corpora, want 0", res.WordSolverCalls)
+	}
+	return nil
+}
+
+// WriteWordJSON runs E18's measurement at artifact scale and writes
+// BENCH_word.json for CI.
+func WriteWordJSON(path string) error {
+	res, err := MeasureWord(256, 8, 32, 3)
+	if err != nil {
+		return err
+	}
+	if res.WordSolverCalls != 0 {
+		return fmt.Errorf("bench: word tier made %d solver calls on the concrete corpora, want 0", res.WordSolverCalls)
+	}
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

@@ -1,0 +1,30 @@
+package constraints
+
+import (
+	"testing"
+
+	"llhsc/internal/addr"
+)
+
+// TestDecideConcretePairZeroAllocs pins the word tier's concrete
+// decision path to 0 allocs/op — the acceptance bar of the
+// zero-allocation hot path (DESIGN.md §13). If this fails, something
+// on the DecideConcretePair → regionInterval → intervalsOverlap chain
+// started escaping to the heap; future PRs must not regress it.
+func TestDecideConcretePairZeroAllocs(t *testing.T) {
+	a := addr.Region{Base: 0x4000_0000, Size: 0x10_0000, Path: "/mem@40000000"}
+	b := addr.Region{Base: 0x4008_0000, Size: 0x10_0000, Path: "/dev@40080000"}
+	c := addr.Region{Base: 0x9000_0000, Size: 0x1000, Path: "/dev@90000000"}
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		if overlap, w := DecideConcretePair(a, b, 64); !overlap || w != b.Base {
+			t.Fatal("overlap pair decided wrongly")
+		}
+		if overlap, _ := DecideConcretePair(a, c, 64); overlap {
+			t.Fatal("disjoint pair decided wrongly")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("DecideConcretePair allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -26,6 +26,13 @@ import (
 //
 // The checker is not safe for concurrent use.
 type IncrementalSemanticChecker struct {
+	// DisableWord turns off the word-level decision tier (DESIGN.md
+	// §13), forcing every pair onto the long-lived solver — the
+	// configuration E11 measures, since with the tier on a concrete
+	// region set never exercises the solver at all. Set it before the
+	// first Add; verdicts and witnesses are identical either way.
+	DisableWord bool
+
 	ctx     *smt.Context
 	solver  *smt.Solver
 	x       *smt.Term
@@ -71,11 +78,30 @@ func (c *IncrementalSemanticChecker) Add(r addr.Region) []Collision {
 // registered — the checker's state is as before the call — and the
 // collisions confirmed so far are returned with a *sat.LimitError.
 func (c *IncrementalSemanticChecker) AddContext(ctx context.Context, r addr.Region) ([]Collision, error) {
+	// With the word tier on, the solver may never run, so the context
+	// must be polled here to preserve cancellation semantics (a
+	// canceled call must not register the region).
+	if err := ctx.Err(); err != nil {
+		return nil, &sat.LimitError{Reason: sat.StopCanceled, Err: err}
+	}
+	if !c.DisableWord {
+		var out []Collision
+		for _, prev := range c.regions {
+			if !c.checkPair(prev, r) {
+				continue
+			}
+			if overlap, w := DecideConcretePair(prev, r, c.width); overlap {
+				out = append(out, Collision{A: prev, B: r, Witness: w})
+			}
+		}
+		c.regions = append(c.regions, r)
+		c.acts = append(c.acts, nil) // blasted on demand if the tier is later disabled
+		return out, nil
+	}
 	// The activation literal and its implication are idempotent on
 	// retry after a limit stop: BoolVar and overlapTerm hash-cons to
 	// the same terms, so re-asserting adds an already-known clause.
-	act := c.ctx.BoolVar(fmt.Sprintf("act%d", len(c.regions)))
-	c.solver.Assert(c.ctx.Implies(act, overlapTerm(c.ctx, c.x, r, c.width)))
+	act := c.act(len(c.regions), r)
 	var out []Collision
 	for i, prev := range c.regions {
 		if !c.checkPair(prev, r) {
@@ -85,9 +111,16 @@ func (c *IncrementalSemanticChecker) AddContext(ctx context.Context, r addr.Regi
 		// literals stay free (a free literal's implication can only
 		// over-constrain x, never flip a verdict) — see the same
 		// choice in SemanticChecker's assume strategy.
-		st, err := c.solver.CheckAssumingContext(ctx, c.acts[i], act)
+		st, err := c.solver.CheckAssumingContext(ctx, c.act(i, prev), act)
 		if st == sat.Sat {
-			out = append(out, Collision{A: prev, B: r, Witness: c.solver.BVValue(c.x)})
+			// Minimize the witness so the solver path reports the same
+			// least shared address the word tier computes.
+			w, werr := minimizeBV(ctx, c.solver, c.x, c.width, nil,
+				[]*smt.Term{c.act(i, prev), act})
+			if werr != nil {
+				return out, werr
+			}
+			out = append(out, Collision{A: prev, B: r, Witness: w})
 		}
 		if err != nil {
 			return out, err
@@ -96,6 +129,22 @@ func (c *IncrementalSemanticChecker) AddContext(ctx context.Context, r addr.Regi
 	c.regions = append(c.regions, r)
 	c.acts = append(c.acts, act)
 	return out, nil
+}
+
+// act returns region i's activation literal, asserting its containment
+// implication on first use. Regions registered while the word tier was
+// active have no literal yet; creating it here keeps the two modes
+// interchangeable mid-stream.
+func (c *IncrementalSemanticChecker) act(i int, r addr.Region) *smt.Term {
+	if i < len(c.acts) && c.acts[i] != nil {
+		return c.acts[i]
+	}
+	a := c.ctx.BoolVar(fmt.Sprintf("act%d", i))
+	c.solver.Assert(c.ctx.Implies(a, overlapTerm(c.ctx, c.x, r, c.width)))
+	if i < len(c.acts) {
+		c.acts[i] = a
+	}
+	return a
 }
 
 // AddAll adds regions in order and returns every collision found.

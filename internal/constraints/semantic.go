@@ -4,12 +4,23 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"llhsc/internal/addr"
 	"llhsc/internal/dts"
 	"llhsc/internal/sat"
 	"llhsc/internal/smt"
 )
+
+// witnessBufPool recycles the assumption scratch minimizeBV fills per
+// witness probe sequence (base literals plus one pinned bit per probe).
+// The solver copies assumptions into its own literal buffer, so the
+// scratch never escapes a call; pooling it makes witness minimization
+// allocation-free after warm-up even across checker goroutines.
+var witnessBufPool = sync.Pool{New: func() interface{} {
+	buf := make([]*smt.Term, 0, 2+64+1) // two activations + 64 bit pins + probe
+	return &buf
+}}
 
 // Collision is a detected overlap between two address regions, with the
 // witness address produced by the solver's model (the counterexample of
@@ -89,8 +100,14 @@ type SemanticStats struct {
 	// rules') measurable payoff. 0 for strategies that submit the full
 	// eligible schedule only when nothing was cut.
 	PairsPruned int
+	// WordDecided is how many candidate pairs the word-level tier
+	// (DESIGN.md §13) decided with plain interval arithmetic, keeping
+	// them off the solver entirely. On concrete-address trees under the
+	// default strategy this equals Pairs and SolverCalls stays 0.
+	WordDecided int
 	// SolverCalls counts SMT check invocations, including canonical
-	// witness extraction for confirmed collisions.
+	// witness extraction (and its bitwise minimization probes) for
+	// confirmed collisions.
 	SolverCalls int
 	// Collisions found.
 	Collisions int
@@ -214,7 +231,7 @@ func (sc *SemanticChecker) FindCollisionsContext(ctx context.Context, regions []
 		out, err = sc.findPairwise(ctx, regions, width)
 	case StrategyAssume:
 		out, err = sc.findAssume(ctx, regions, width, sc.candidatePairs(regions))
-	default: // StrategySweep
+	default: // StrategySweep, StrategyWord, StrategyWordOff
 		out, err = sc.findAssume(ctx, regions, width, sc.sweepCandidates(regions, width))
 	}
 	sc.stats.Collisions = len(out)
@@ -272,26 +289,36 @@ func (sc *SemanticChecker) findPairwise(ctx context.Context, regions []addr.Regi
 	return out, lim
 }
 
-// findAssume decides the given candidate pairs on one long-lived
-// solver: region i's containment formula is asserted once behind an
-// activation literal act_i (blasted lazily, only for regions that
-// appear in a pair), and a pair is checked by solving under the
-// assumptions {act_i, act_j}. Confirmed collisions get their witness
-// from a canonical per-pair query (witnessFor) so the reported address
-// is independent of the shared solver's search history — this is what
-// keeps reports byte-identical across strategies.
+// findAssume decides the given candidate pairs, word tier first: when
+// the strategy enables it (the default), each pair is decided by exact
+// interval arithmetic (DecideConcretePair) and never reaches a solver —
+// on concrete-address trees no smt.Context or CNF is ever constructed.
+// Pairs the word tier cannot decide fall through to one long-lived
+// solver, created lazily on first use: region i's containment formula
+// is asserted once behind an activation literal act_i (blasted lazily,
+// only for regions that appear in a pair), and a pair is checked by
+// solving under the assumptions {act_i, act_j}. Confirmed collisions
+// get their witness from a canonical per-pair query (witnessFor) so the
+// reported address is independent of the shared solver's search history
+// — together with the word tier's least-shared-address witness this is
+// what keeps reports byte-identical across strategies and tiers.
 func (sc *SemanticChecker) findAssume(ctx context.Context, regions []addr.Region, width int, pairs [][2]int) ([]Collision, error) {
 	sc.stats.Pairs = len(pairs)
 	if len(pairs) == 0 {
 		return nil, nil
 	}
-	sctx := smt.NewContext()
-	solver := smt.NewSolver(sctx)
-	solver.SetBudget(sc.Budget)
-	defer func() { sc.stats.absorb(solver) }()
-	x := sctx.BVVar("x", width)
-
-	acts := make([]*smt.Term, len(regions))
+	useWord := sc.Strategy.wordTierEnabled()
+	var (
+		sctx   *smt.Context
+		solver *smt.Solver
+		x      *smt.Term
+		acts   []*smt.Term
+	)
+	defer func() {
+		if solver != nil {
+			sc.stats.absorb(solver)
+		}
+	}()
 	act := func(i int) *smt.Term {
 		if acts[i] == nil {
 			acts[i] = sctx.BoolVar(fmt.Sprintf("act%d", i))
@@ -305,6 +332,28 @@ func (sc *SemanticChecker) findAssume(ctx context.Context, regions []addr.Region
 	assumptions := make([]*smt.Term, 0, 2)
 	for _, pair := range pairs {
 		a, b := regions[pair[0]], regions[pair[1]]
+		if useWord {
+			// The solver path polls the context inside every solve; the
+			// word path must poll it itself to keep cancellation
+			// semantics identical.
+			if err := ctx.Err(); err != nil {
+				lim = &sat.LimitError{Reason: sat.StopCanceled, Err: err}
+				break
+			}
+			overlap, w := DecideConcretePair(a, b, width)
+			sc.stats.WordDecided++
+			if overlap {
+				out = append(out, Collision{A: a, B: b, Witness: w})
+			}
+			continue
+		}
+		if solver == nil {
+			sctx = smt.NewContext()
+			solver = smt.NewSolver(sctx)
+			solver.SetBudget(sc.Budget)
+			x = sctx.BVVar("x", width)
+			acts = make([]*smt.Term, len(regions))
+		}
 		// Only the pair's literals are assumed; the others stay free.
 		// Forcing every inactive literal false measures slower here —
 		// each extra assumption is a decision level whose watch lists
@@ -333,7 +382,11 @@ func (sc *SemanticChecker) findAssume(ctx context.Context, regions []addr.Region
 // witnessFor reproduces the paper's per-pair counterexample query on a
 // fresh solver, so the witness model depends only on the pair — not on
 // which strategy established satisfiability or what the shared solver
-// had learnt before. SMT stays the witness oracle (DESIGN.md §9).
+// had learnt before. SMT stays the witness oracle (DESIGN.md §9). The
+// model is then minimized bitwise so the reported witness is the least
+// shared address — the same value the word-level tier computes as
+// max(lo_a, lo_b), which is what keeps witnesses byte-identical across
+// tiers (DESIGN.md §13).
 func (sc *SemanticChecker) witnessFor(ctx context.Context, a, b addr.Region, width int) (uint64, error) {
 	sctx := smt.NewContext()
 	solver := smt.NewSolver(sctx)
@@ -352,7 +405,51 @@ func (sc *SemanticChecker) witnessFor(ctx context.Context, a, b addr.Region, wid
 		// same (exact) encoding. Report 0 rather than panicking.
 		return 0, nil
 	}
-	return solver.BVValue(x), nil
+	return minimizeBV(ctx, solver, x, width, &sc.stats, nil)
+}
+
+// minimizeBV narrows a satisfiable solver's model of x down to the
+// numerically smallest value, by fixing bits most-significant-first:
+// each probe asks whether the bit can be 0 given the bits already
+// fixed; if not it is pinned to 1. Lexicographic minimization of the
+// bit string is numeric minimization for an unsigned vector, so after
+// width probes the fixed bits ARE the minimal model — no final model
+// extraction is needed. base carries assumptions that scope the query
+// (e.g. a pair's activation literals on a shared solver); the caller
+// must have just established Sat under exactly those assumptions.
+// Each probe is counted as a solver call in stats when non-nil.
+func minimizeBV(ctx context.Context, solver *smt.Solver, x *smt.Term, width int, stats *SemanticStats, base []*smt.Term) (uint64, error) {
+	sctx := solver.Context()
+	buf := witnessBufPool.Get().(*[]*smt.Term)
+	assume := append((*buf)[:0], base...)
+	defer func() {
+		// Terms are owned by their (per-checker) Context; drop the
+		// references so a pooled buffer cannot pin a dead Context.
+		for i := range assume {
+			assume[i] = nil
+		}
+		*buf = assume[:0]
+		witnessBufPool.Put(buf)
+	}()
+	var val uint64
+	for i := width - 1; i >= 0; i-- {
+		bit := sctx.Extract(x, i, i)
+		zero := sctx.Eq(bit, sctx.BVConst(1, 0))
+		st, err := solver.CheckAssumingContext(ctx, append(assume, zero)...)
+		if stats != nil {
+			stats.SolverCalls++
+		}
+		if err != nil {
+			return 0, err
+		}
+		if st == sat.Sat {
+			assume = append(assume, zero)
+		} else {
+			assume = append(assume, sctx.Eq(bit, sctx.BVConst(1, 1)))
+			val |= 1 << uint(i)
+		}
+	}
+	return val, nil
 }
 
 func sortCollisions(out []Collision) {

@@ -30,9 +30,34 @@ const (
 	StrategyAssume
 	// StrategyPairwise is the original formulation: one Push/Pop scope
 	// and one full solve per candidate pair. Kept as the baseline for
-	// E14 and for cross-validation.
+	// E14 and for cross-validation. The word-level tier is off: every
+	// candidate reaches the solver.
 	StrategyPairwise
+	// StrategyWord is the explicit spelling of the default behaviour:
+	// the sweep-line schedule with the word-level decision tier
+	// (DESIGN.md §13) deciding concrete pairs arithmetically before any
+	// solver exists. Identical to StrategySweep; present so flags and
+	// cache keys can name the tier directly.
+	StrategyWord
+	// StrategyWordOff is the escape hatch: the sweep-line schedule with
+	// the word-level tier disabled, so every surviving candidate is
+	// bit-blasted as before this tier existed. Verdicts and witnesses
+	// are byte-identical to the word tier's (the cross-validation tests
+	// assert this); only the work profile differs.
+	StrategyWordOff
 )
+
+// wordTierEnabled reports whether the word-level decision tier fires
+// beneath this strategy. It is the default fast tier under sweep and
+// assume; pairwise and word-off keep every pair on the solver.
+func (s SemanticStrategy) wordTierEnabled() bool {
+	switch s {
+	case StrategySweep, StrategyAssume, StrategyWord:
+		return true
+	default:
+		return false
+	}
+}
 
 // String returns the flag spelling of the strategy.
 func (s SemanticStrategy) String() string {
@@ -43,6 +68,10 @@ func (s SemanticStrategy) String() string {
 		return "assume"
 	case StrategyPairwise:
 		return "pairwise"
+	case StrategyWord:
+		return "word"
+	case StrategyWordOff:
+		return "word-off"
 	default:
 		return fmt.Sprintf("SemanticStrategy(%d)", int(s))
 	}
@@ -57,8 +86,12 @@ func ParseSemanticStrategy(s string) (SemanticStrategy, error) {
 		return StrategyAssume, nil
 	case "pairwise":
 		return StrategyPairwise, nil
+	case "word":
+		return StrategyWord, nil
+	case "word-off":
+		return StrategyWordOff, nil
 	default:
-		return 0, fmt.Errorf("unknown semantic strategy %q (want sweep, assume or pairwise)", s)
+		return 0, fmt.Errorf("unknown semantic strategy %q (want sweep, assume, pairwise, word or word-off)", s)
 	}
 }
 

@@ -156,17 +156,22 @@ func TestSweepCandidatesMatchOracle(t *testing.T) {
 }
 
 // TestStrategiesAgreeOnRandomRegions is the randomized cross-validation
-// of DESIGN.md §9: all three strategies must report the same colliding
-// pairs, every witness must inhabit both regions under the width's
-// truncation semantics, and the two strategies sharing the canonical
-// witness query (assume, sweep) must agree byte-for-byte.
+// of DESIGN.md §9 and §13: every strategy must report the same
+// colliding pairs, every witness must inhabit both regions under the
+// width's truncation semantics, and — because all strategies now share
+// one canonical witness (the least shared address, computed by the
+// word tier arithmetically and by the solver path through bitwise
+// minimization) — the collision lists must be byte-identical across
+// the board, word tier against bit-blaster included.
 func TestStrategiesAgreeOnRandomRegions(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	for iter := 0; iter < 25; iter++ {
 		width := []int{32, 12}[iter%2]
 		regions := randomRegions(rng, 4+rng.Intn(8), width)
 		results := make(map[SemanticStrategy][]Collision)
-		for _, strat := range []SemanticStrategy{StrategyPairwise, StrategyAssume, StrategySweep} {
+		for _, strat := range []SemanticStrategy{
+			StrategyPairwise, StrategyAssume, StrategySweep, StrategyWord, StrategyWordOff,
+		} {
 			sc := NewSemanticChecker()
 			sc.Strategy = strat
 			out, err := sc.FindCollisionsContext(context.Background(), regions, width)
@@ -185,22 +190,16 @@ func TestStrategiesAgreeOnRandomRegions(t *testing.T) {
 			}
 		}
 		ref := results[StrategyPairwise]
-		for _, strat := range []SemanticStrategy{StrategyAssume, StrategySweep} {
+		for _, strat := range []SemanticStrategy{StrategyAssume, StrategySweep, StrategyWord, StrategyWordOff} {
 			out := results[strat]
 			if len(out) != len(ref) {
 				t.Fatalf("iter %d (width %d): %s found %d collisions, pairwise %d\nregions: %+v",
 					iter, width, strat, len(out), len(ref), regions)
 			}
-			for i := range out {
-				if out[i].A != ref[i].A || out[i].B != ref[i].B {
-					t.Fatalf("iter %d: %s collision %d is (%s, %s), pairwise has (%s, %s)",
-						iter, strat, i, out[i].A.Path, out[i].B.Path, ref[i].A.Path, ref[i].B.Path)
-				}
+			if !reflect.DeepEqual(out, ref) {
+				t.Fatalf("iter %d (width %d): %s disagrees with pairwise (verdicts or witnesses):\n%v\n%v",
+					iter, width, strat, out, ref)
 			}
-		}
-		if !reflect.DeepEqual(results[StrategyAssume], results[StrategySweep]) {
-			t.Fatalf("iter %d: assume and sweep disagree:\n%v\n%v",
-				iter, results[StrategyAssume], results[StrategySweep])
 		}
 	}
 }

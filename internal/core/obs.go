@@ -24,6 +24,9 @@ type FamilyStats struct {
 	PairsPruned int `json:"pairsPruned,omitempty"`
 	// SolverCalls counts SMT check invocations.
 	SolverCalls int `json:"solverCalls,omitempty"`
+	// WordDecided counts region pairs the word-level interval tier
+	// settled without any solver involvement (DESIGN.md §13).
+	WordDecided int `json:"wordDecided,omitempty"`
 	// SAT-solver work underneath the family's queries.
 	Conflicts    uint64 `json:"conflicts,omitempty"`
 	Propagations uint64 `json:"propagations,omitempty"`
@@ -39,6 +42,7 @@ func (fs FamilyStats) add(other FamilyStats) FamilyStats {
 	fs.Pairs += other.Pairs
 	fs.PairsPruned += other.PairsPruned
 	fs.SolverCalls += other.SolverCalls
+	fs.WordDecided += other.WordDecided
 	fs.Conflicts += other.Conflicts
 	fs.Propagations += other.Propagations
 	fs.Restarts += other.Restarts
@@ -55,6 +59,7 @@ func familyStatsFrom(st constraints.SemanticStats) FamilyStats {
 		Pairs:        st.Pairs,
 		PairsPruned:  st.PairsPruned,
 		SolverCalls:  st.SolverCalls,
+		WordDecided:  st.WordDecided,
 		Conflicts:    st.Solver.Conflicts,
 		Propagations: st.Solver.Propagations,
 		Restarts:     st.Solver.Restarts,
@@ -130,6 +135,7 @@ type PipelineMetrics struct {
 	solverCalls     *obs.CounterVec
 	pairs           *obs.CounterVec
 	pairsPruned     *obs.Counter
+	wordDecided     *obs.CounterVec
 	internHits      *obs.Counter
 	internMisses    *obs.Counter
 	runs            *obs.Counter
@@ -151,6 +157,8 @@ func NewPipelineMetrics(reg *obs.Registry) *PipelineMetrics {
 			"Candidate pairs submitted to the solver, by checker family.", "family"),
 		pairsPruned: reg.NewCounter("llhsc_constraints_pairs_pruned_total",
 			"Naive region pairs the sweep prefilter discarded before reaching the solver."),
+		wordDecided: reg.NewCounterVec("llhsc_constraints_word_decided_total",
+			"Region pairs decided by the word-level interval tier, no solver involved.", "family"),
 		internHits: reg.NewCounter("llhsc_smt_intern_hits_total",
 			"Hash-consing intern table hits."),
 		internMisses: reg.NewCounter("llhsc_smt_intern_misses_total",
@@ -169,6 +177,7 @@ func (m *PipelineMetrics) observe(rs RunStats) {
 		m.solverCalls.With(name).Add(uint64(fs.SolverCalls))
 		m.pairs.With(name).Add(uint64(fs.Pairs))
 		m.pairsPruned.Add(uint64(fs.PairsPruned))
+		m.wordDecided.With(name).Add(uint64(fs.WordDecided))
 		m.internHits.Add(fs.InternHits)
 		m.internMisses.Add(fs.InternMisses)
 	}

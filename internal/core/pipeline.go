@@ -249,7 +249,7 @@ func (p *Pipeline) RunContext(ctx context.Context, limits Limits) (*Report, erro
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	report := &Report{}
+	report := AcquireReport()
 	workers := limits.parallelism()
 	st := &runState{limits: limits, parallel: workers > 1}
 	if p.Cache != nil {
@@ -279,7 +279,7 @@ func (p *Pipeline) RunContext(ctx context.Context, limits Limits) (*Report, erro
 	}
 
 	// ---- per-VM products + the platform union ----
-	report.VMs = make([]VMResult, len(p.VMConfigs))
+	report.vmSlots(len(p.VMConfigs))
 	union := featmodel.PlatformUnion(p.VMConfigs)
 
 	if !st.parallel {
@@ -605,7 +605,9 @@ func (p *Pipeline) runFamily(ctx context.Context, st *runState, f checkerFamily,
 // goroutine starts, so the span tree is schedule-independent too.
 func (p *Pipeline) checkTree(ctx context.Context, st *runState, tree *dts.Tree, span *obs.Span) ([]constraints.Violation, error) {
 	families := p.checkerFamilies(st, tree)
-	spans := make([]*obs.Span, len(families))
+	scratch := acquireTreeScratch(len(families))
+	defer scratch.release()
+	spans := scratch.spans
 	if span != nil {
 		for i, f := range families {
 			spans[i] = span.StartChild("family:" + f.name)
@@ -625,8 +627,8 @@ func (p *Pipeline) checkTree(ctx context.Context, st *runState, tree *dts.Tree, 
 
 	fctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	results := make([][]constraints.Violation, len(families))
-	famErrs := make([]error, len(families))
+	results := scratch.results
+	famErrs := scratch.errs
 	var (
 		wg        sync.WaitGroup
 		panicOnce sync.Once

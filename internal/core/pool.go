@@ -1,0 +1,114 @@
+package core
+
+import (
+	"sync"
+
+	"llhsc/internal/constraints"
+	"llhsc/internal/obs"
+)
+
+// This file is the pooled-buffer half of the zero-allocation hot path
+// (DESIGN.md §13): the Report shell and the per-tree checker fan-out
+// scratch are recycled through sync.Pools instead of re-allocated per
+// run. The server pays these allocations once per request, so in
+// steady state a /check that hits the word tier and the check cache
+// touches the allocator only for data that actually escapes into the
+// response.
+
+// reportPool recycles Report shells between runs. Only memory that
+// never escapes a released report is reused: the struct itself, the
+// VMs slot array and the JailhouseCellsC backing array.
+var reportPool = sync.Pool{New: func() interface{} { return new(Report) }}
+
+// AcquireReport returns an empty Report drawing on capacity from
+// previously Released reports. RunContext uses it internally, so
+// callers normally never see this function; it is exported alongside
+// Release for callers that build reports themselves.
+func AcquireReport() *Report {
+	return reportPool.Get().(*Report)
+}
+
+// Release clears the report and returns its recyclable buffers to the
+// pool. The caller must be completely done with the report AND with
+// every slice read out of it that Release clears (VMs, QEMUArgs,
+// JailhouseCellsC, Allocation) — copy anything that outlives the
+// report first, as the service layer does when building a response.
+// Releasing is optional: an un-Released report is ordinary garbage.
+func (r *Report) Release() {
+	for i := range r.Allocation {
+		r.Allocation[i] = constraints.Violation{}
+	}
+	r.Allocation = r.Allocation[:0]
+	for i := range r.VMs {
+		r.VMs[i] = VMResult{}
+	}
+	r.VMs = r.VMs[:0]
+	r.Platform = PlatformResult{}
+	r.PlatformC, r.ConfigC = "", ""
+	for i := range r.QEMUArgs {
+		r.QEMUArgs[i] = ""
+	}
+	r.QEMUArgs = r.QEMUArgs[:0]
+	r.JailhouseRootC = ""
+	for i := range r.JailhouseCellsC {
+		r.JailhouseCellsC[i] = ""
+	}
+	r.JailhouseCellsC = r.JailhouseCellsC[:0]
+	r.Stats = RunStats{}
+	reportPool.Put(r)
+}
+
+// vmSlots resizes r.VMs to n zeroed entries, reusing a released
+// report's backing array when it is large enough.
+func (r *Report) vmSlots(n int) {
+	if cap(r.VMs) < n {
+		r.VMs = make([]VMResult, n)
+		return
+	}
+	r.VMs = r.VMs[:n]
+	for i := range r.VMs {
+		r.VMs[i] = VMResult{}
+	}
+}
+
+// treeScratch is the per-tree fan-out scratch checkTree recycles: the
+// family span list plus the per-family result and error slots of the
+// parallel path. None of it escapes the call — the merged violation
+// slice is built fresh because it lands in the Report — so pooling
+// removes the fan-out's fixed slice allocations for every tree checked.
+type treeScratch struct {
+	spans   []*obs.Span
+	results [][]constraints.Violation
+	errs    []error
+}
+
+var treeScratchPool = sync.Pool{New: func() interface{} { return new(treeScratch) }}
+
+// acquireTreeScratch returns a scratch with n zeroed slots in each
+// buffer.
+func acquireTreeScratch(n int) *treeScratch {
+	s := treeScratchPool.Get().(*treeScratch)
+	if cap(s.spans) < n {
+		s.spans = make([]*obs.Span, n)
+		s.results = make([][]constraints.Violation, n)
+		s.errs = make([]error, n)
+		return s
+	}
+	s.spans = s.spans[:n]
+	s.results = s.results[:n]
+	s.errs = s.errs[:n]
+	for i := 0; i < n; i++ {
+		s.spans[i], s.results[i], s.errs[i] = nil, nil, nil
+	}
+	return s
+}
+
+// release drops every reference the scratch still holds (spans stay
+// alive through their parent; violations through the merged slice) and
+// returns it to the pool.
+func (s *treeScratch) release() {
+	for i := range s.spans {
+		s.spans[i], s.results[i], s.errs[i] = nil, nil, nil
+	}
+	treeScratchPool.Put(s)
+}

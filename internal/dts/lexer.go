@@ -323,7 +323,7 @@ func (l *lexer) next() (token, error) {
 		switch c {
 		case '+', '-', '*', '%', '^', '~', '?', ':':
 			l.pos++
-			return token{kind: tokOp, text: string(c), line: line}, nil
+			return token{kind: tokOp, text: opText(c), line: line}, nil
 		case '|':
 			l.pos++
 			if l.peekByte() == '|' {
@@ -359,12 +359,45 @@ func (l *lexer) next() (token, error) {
 	if isNameByte(c, l.cellMode) || c == '\\' {
 		return l.lexIdentOrLabel()
 	}
-	return token{}, l.errf("unexpected character %q", string(c))
+	return token{}, l.errUnexpected(c)
+}
+
+// opText returns the preinterned spelling of a single-character
+// operator, so the cell-expression token loop never allocates a string
+// per operator (string(c) materializes a fresh 1-byte string).
+func opText(c byte) string { return singleCharOps[c] }
+
+var singleCharOps = [256]string{
+	'+': "+", '-': "-", '*': "*", '%': "%", '^': "^", '~': "~",
+	'?': "?", ':': ":", '<': "<", '>': ">", '&': "&", '|': "|",
+	'!': "!", '=': "=", '/': "/",
+}
+
+// errUnexpected formats the stray-character diagnostic. The byte-to-
+// string conversion lives here, on the cold error path, so the token
+// loop itself stays conversion-free.
+func (l *lexer) errUnexpected(c byte) error {
+	return l.errf("unexpected character %q", string(c))
 }
 
 func (l *lexer) lexString() (token, error) {
 	line := l.line
 	l.pos++ // opening quote
+	// Fast path: a string with no escapes is a slice of the source —
+	// no builder, no copy. Escapes (and the newline/unterminated error
+	// cases) fall through to the building path below, which re-scans
+	// from the same position.
+	for i := l.pos; i < len(l.src); i++ {
+		c := l.src[i]
+		if c == '"' {
+			text := l.src[l.pos:i]
+			l.pos = i + 1
+			return token{kind: tokString, text: text, line: line}, nil
+		}
+		if c == '\\' || c == '\n' {
+			break
+		}
+	}
 	var b strings.Builder
 	for {
 		if l.pos >= len(l.src) {
@@ -583,7 +616,7 @@ func (l *lexer) lexNumber() (token, error) {
 		for i := 1; i < len(text); i++ {
 			d := text[i]
 			if d > '7' {
-				return token{}, l.errf("invalid digit %q in octal literal %s", string(d), text)
+				return token{}, l.errBadOctalDigit(d, text)
 			}
 			if val > maxU64>>3 {
 				return token{}, l.errf("octal literal %s overflows 64 bits", text)
@@ -602,6 +635,12 @@ func (l *lexer) lexNumber() (token, error) {
 	return token{kind: tokNumber, num: val, text: text, line: line}, nil
 }
 
+// errBadOctalDigit keeps the byte-to-string conversion off the number
+// scanning path; it only runs once a literal is already known bad.
+func (l *lexer) errBadOctalDigit(d byte, text string) error {
+	return l.errf("invalid digit %q in octal literal %s", string(d), text)
+}
+
 func (l *lexer) lexIdentOrLabel() (token, error) {
 	line := l.line
 	start := l.pos
@@ -609,7 +648,7 @@ func (l *lexer) lexIdentOrLabel() (token, error) {
 		l.pos++
 	}
 	if l.pos == start {
-		return token{}, l.errf("unexpected character %q", string(l.src[l.pos]))
+		return token{}, l.errUnexpected(l.src[l.pos])
 	}
 	text := l.src[start:l.pos]
 	if l.peekByte() == ':' && !l.cellMode {

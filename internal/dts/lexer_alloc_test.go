@@ -1,0 +1,54 @@
+package dts
+
+import "testing"
+
+// TestLexerTokenLoopAllocs pins the lexer's token loop under a fixed
+// allocation budget. With the preinterned operator table and the
+// zero-copy string fast path, every token of an escape-free source is
+// either a value-typed token struct or a slice of the source string —
+// nothing on the loop should reach the heap. The budget is allocations
+// per full pass over the source (not per token), so any regression —
+// a string(c) conversion creeping back in, a builder on the fast path
+// — shows up as a whole number.
+func TestLexerTokenLoopAllocs(t *testing.T) {
+	const src = `/dts-v1/;
+/memreserve/ 0x10000000 0x4000;
+/ {
+	#address-cells = <2>;
+	#size-cells = <2>;
+	compatible = "vendor,board", "vendor,soc";
+	uart0: serial@9000000 {
+		compatible = "arm,pl011";
+		reg = <0x0 0x9000000 0x0 0x1000>;
+		interrupts = <0 1 4>;
+		clock-frequency = <(24000000 / (1 + 1) * 2 - 0x100 % 7)>;
+		status = "okay";
+	};
+	memory@40000000 {
+		device_type = "memory";
+		reg = <0x0 0x40000000 0x0 0x80000000>;
+	};
+	aliases {
+		serial0 = &uart0;
+	};
+};
+`
+	lexPass := func() {
+		l := newLexer("alloc.dts", src)
+		for {
+			tok, err := l.next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tok.kind == tokEOF {
+				return
+			}
+		}
+	}
+	lexPass() // warm up before measuring
+
+	const budget = 2 // one lexer struct + slack; the loop itself must not allocate
+	if allocs := testing.AllocsPerRun(200, lexPass); allocs > budget {
+		t.Errorf("lexer pass allocates %.1f allocs, budget %d", allocs, budget)
+	}
+}

@@ -139,6 +139,7 @@ type clause struct {
 	act     float64
 	learnt  bool
 	deleted bool
+	locked  bool // transient reduceDB mark: clause is a reason right now
 }
 
 type watcher struct {
@@ -174,7 +175,13 @@ type Solver struct {
 	claInc float64
 
 	// analyze temporaries
-	seen []bool
+	seen        []bool
+	addTmp      []ilit // AddClause normalization scratch
+	analyzeBuf  []ilit // analyze learnt-clause scratch
+	analyzeOrig []ilit // analyze pre-minimization copy scratch
+
+	// arena-backed clause storage (arena.go)
+	arena clauseArena
 
 	// incremental state
 	assumptions []ilit
@@ -257,7 +264,10 @@ func (s *Solver) AddClause(lits ...logic.Lit) bool {
 	}
 	s.cancelUntil(0)
 	// normalize: sort, dedupe, drop false lits, detect tautology.
-	tmp := make([]ilit, 0, len(lits))
+	// The scratch buffer is reused across calls; the literals that
+	// survive are copied into the arena below, so nothing here escapes.
+	tmp := s.addTmp[:0]
+	defer func() { s.addTmp = tmp[:0] }()
 	for _, l := range lits {
 		if l == 0 {
 			panic("sat: zero literal in clause")
@@ -302,7 +312,7 @@ func (s *Solver) AddClause(lits ...logic.Lit) bool {
 		}
 		return true
 	}
-	c := &clause{lits: append([]ilit(nil), out...)}
+	c := s.arena.newClause(out, false, 0)
 	s.clauses = append(s.clauses, c)
 	s.stats.Clauses = len(s.clauses)
 	s.attach(c)
@@ -464,7 +474,9 @@ func (s *Solver) claDecay() { s.claInc /= 0.999 }
 // analyze performs first-UIP conflict analysis and returns the learnt
 // clause (asserting literal first) and the backtrack level.
 func (s *Solver) analyze(conflict *clause) ([]ilit, int) {
-	learnt := make([]ilit, 1, 8) // slot 0 for the asserting literal
+	// The returned slice aliases reusable scratch; the caller must copy
+	// it (search does, into the clause arena) before the next conflict.
+	learnt := append(s.analyzeBuf[:0], litUndef) // slot 0 for the asserting literal
 	counter := 0
 	p := litUndef
 	index := len(s.trail) - 1
@@ -508,7 +520,9 @@ func (s *Solver) analyze(conflict *clause) ([]ilit, int) {
 	learnt[0] = p.neg()
 
 	// clause minimization: drop literals implied by the rest.
-	orig := append([]ilit(nil), learnt...)
+	s.analyzeBuf = learnt[:0]
+	orig := append(s.analyzeOrig[:0], learnt...)
+	s.analyzeOrig = orig[:0]
 	j := 1
 	for i := 1; i < len(learnt); i++ {
 		if !s.redundant(learnt[i]) {
@@ -636,16 +650,18 @@ func (s *Solver) reduceDB() {
 	sort.Slice(s.learnts, func(i, j int) bool {
 		return s.learnts[i].act < s.learnts[j].act
 	})
-	locked := make(map[*clause]bool)
+	// Mark reason clauses in place instead of building a set — reduceDB
+	// runs on the search hot path and the transient map was its only
+	// allocation.
 	for _, r := range s.reason {
 		if r != nil {
-			locked[r] = true
+			r.locked = true
 		}
 	}
 	keepFrom := len(s.learnts) / 2
 	kept := s.learnts[:0]
 	for i, c := range s.learnts {
-		if i < keepFrom && len(c.lits) > 2 && !locked[c] {
+		if i < keepFrom && len(c.lits) > 2 && !c.locked {
 			c.deleted = true // lazily removed from watch lists
 			s.learntLits -= len(c.lits)
 			continue
@@ -653,6 +669,11 @@ func (s *Solver) reduceDB() {
 		kept = append(kept, c)
 	}
 	s.learnts = kept
+	for _, r := range s.reason {
+		if r != nil {
+			r.locked = false
+		}
+	}
 }
 
 // Solve determines satisfiability of the clause set under the given
@@ -737,7 +758,7 @@ func (s *Solver) search(budget uint64) Status {
 				}
 				s.uncheckedEnqueue(learnt[0], nil)
 			} else {
-				c := &clause{lits: learnt, learnt: true, act: s.claInc}
+				c := s.arena.newClause(learnt, true, s.claInc)
 				s.learnts = append(s.learnts, c)
 				s.learntLits += len(c.lits)
 				s.stats.Learnts = len(s.learnts)
@@ -797,7 +818,10 @@ func (s *Solver) search(budget uint64) Status {
 }
 
 func (s *Solver) extractModel() {
-	s.model = make([]lbool, len(s.assigns))
+	if cap(s.model) < len(s.assigns) {
+		s.model = make([]lbool, len(s.assigns))
+	}
+	s.model = s.model[:len(s.assigns)]
 	copy(s.model, s.assigns)
 }
 

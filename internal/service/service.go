@@ -597,11 +597,13 @@ func (s *server) runCheck(ctx context.Context, req *CheckRequest) (*CheckRespons
 			DTS:        report.Platform.DTS,
 			Violations: toViolations(report.Platform.Violations),
 		},
-		PlatformC:       report.PlatformC,
-		ConfigC:         report.ConfigC,
-		JailhouseRootC:  report.JailhouseRootC,
-		JailhouseCellsC: report.JailhouseCellsC,
-		QEMUArgs:        report.QEMUArgs,
+		PlatformC:      report.PlatformC,
+		ConfigC:        report.ConfigC,
+		JailhouseRootC: report.JailhouseRootC,
+		// Copied, not aliased: Release clears these two backing arrays
+		// when the report shell goes back to its pool below.
+		JailhouseCellsC: append([]string(nil), report.JailhouseCellsC...),
+		QEMUArgs:        append([]string(nil), report.QEMUArgs...),
 	}
 	for _, vm := range report.VMs {
 		resp.VMs = append(resp.VMs, VMResult{
@@ -611,6 +613,8 @@ func (s *server) runCheck(ctx context.Context, req *CheckRequest) (*CheckRespons
 			Violations: toViolations(vm.Violations),
 		})
 	}
+	// Everything the response needs is copied out; recycle the shell.
+	report.Release()
 	if lintOnly {
 		resp.Degraded = "lint-only"
 	}

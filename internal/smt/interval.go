@@ -1,0 +1,241 @@
+package smt
+
+import "math/bits"
+
+// This file is the word-level interval engine beneath the semantic
+// checker's three-tier decision ladder (DESIGN.md §13). It bounds the
+// value of a bit-vector term by propagating unsigned intervals through
+// the term DAG, so callers can decide containment queries arithmetically
+// and keep the whole pair off the bit-blaster. The engine is sound by
+// construction — a returned interval always encloses every value the
+// term can take under the environment — and it is *exact* (both
+// endpoints achieved by some assignment) whenever ClassifyTerm reports
+// the term concrete or affine, which is what lets the caller promote an
+// interval answer to a definite verdict with a canonical witness.
+
+// Interval is an inclusive range [Lo, Hi] of unsigned bit-vector
+// values. The zero value is the point interval {0}.
+type Interval struct {
+	Lo, Hi uint64
+}
+
+// Point returns the interval holding exactly v.
+func Point(v uint64) Interval { return Interval{Lo: v, Hi: v} }
+
+// FullInterval is the complete value range of a width-bit vector.
+func FullInterval(width int) Interval { return Interval{Hi: maskOf(width)} }
+
+// IsPoint reports whether the interval holds a single value.
+func (iv Interval) IsPoint() bool { return iv.Lo == iv.Hi }
+
+// RangeEnv bounds symbolic bit-vector variables by name. Variables
+// absent from the environment range over their full width.
+type RangeEnv map[string]Interval
+
+// Fragment classifies a term for the word-level decision ladder.
+type Fragment int
+
+const (
+	// FragmentConcrete terms are built from constants only; TermBounds
+	// returns a point interval and fully decides them.
+	FragmentConcrete Fragment = iota
+	// FragmentAffine terms combine variables with +, −, constant ×,
+	// constant shifts, bitwise-not and concatenation — operators that
+	// are monotone in each argument, so interval propagation is exact:
+	// both endpoints of the TermBounds result are achieved.
+	FragmentAffine
+	// FragmentSymbolic terms use operators whose interval enclosure can
+	// be loose (general bitwise logic, data-dependent extracts, Ite):
+	// only the bit-blaster decides them.
+	FragmentSymbolic
+)
+
+func (f Fragment) String() string {
+	switch f {
+	case FragmentConcrete:
+		return "concrete"
+	case FragmentAffine:
+		return "affine"
+	default:
+		return "symbolic"
+	}
+}
+
+// ClassifyTerm places a bit-vector term on the decision ladder. Terms
+// of other sorts are symbolic.
+func ClassifyTerm(t *Term) Fragment {
+	if t.sort != SortBV {
+		return FragmentSymbolic
+	}
+	switch t.op {
+	case OpBVConst:
+		return FragmentConcrete
+	case OpBVVar:
+		return FragmentAffine
+	case OpBVAdd, OpBVSub, OpBVConcat:
+		return maxFragment(ClassifyTerm(t.args[0]), ClassifyTerm(t.args[1]))
+	case OpBVMul:
+		// Linear only while one factor is constant; variable×variable
+		// is nonlinear and its interval minimum need not be achieved
+		// jointly with other occurrences of the same variables.
+		a, b := ClassifyTerm(t.args[0]), ClassifyTerm(t.args[1])
+		if a != FragmentConcrete && b != FragmentConcrete {
+			return FragmentSymbolic
+		}
+		return maxFragment(a, b)
+	case OpBVShl, OpBVLshr:
+		return maxFragment(ClassifyTerm(t.args[0]), FragmentAffine)
+	case OpBVNot:
+		// ¬x = mask − x: affine with coefficient −1.
+		return maxFragment(ClassifyTerm(t.args[0]), FragmentAffine)
+	case OpBVExtract:
+		if ClassifyTerm(t.args[0]) == FragmentConcrete {
+			return FragmentConcrete
+		}
+		return FragmentSymbolic
+	default:
+		return FragmentSymbolic
+	}
+}
+
+func maxFragment(a, b Fragment) Fragment {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// CollectBVVars adds the names of every bit-vector variable under t to
+// the set. Used to prove two regions' bounds draw on disjoint symbolic
+// cells, so their minimizing assignments can be combined.
+func CollectBVVars(t *Term, into map[string]struct{}) {
+	if t.op == OpBVVar {
+		into[t.name] = struct{}{}
+		return
+	}
+	for _, a := range t.args {
+		CollectBVVars(a, into)
+	}
+}
+
+// TermBounds computes a sound enclosure of t's value under env: every
+// assignment within env yields a value inside the returned interval.
+// ok is false when the propagation cannot bound the term — an operator
+// outside the monotone fragment, or an addition/multiplication that may
+// wrap modulo 2^width (wrapped arithmetic is not interval-monotone, so
+// the engine refuses rather than returning a loose full-range answer
+// the caller might mistake for informative).
+//
+// For terms ClassifyTerm reports concrete or affine, a returned
+// interval is exact: Lo is achieved by pinning every variable to the
+// low end of its range and Hi by pinning to the high end (operators in
+// that fragment are monotone in each argument, with anti-monotone
+// positions — subtrahends, bitwise-not — flipped consistently).
+func TermBounds(t *Term, env RangeEnv) (Interval, bool) {
+	if t.sort != SortBV {
+		return Interval{}, false
+	}
+	mask := maskOf(t.width)
+	switch t.op {
+	case OpBVConst:
+		return Point(t.val), true
+	case OpBVVar:
+		if iv, okEnv := env[t.name]; okEnv {
+			if iv.Lo > iv.Hi || iv.Hi > mask {
+				return Interval{}, false
+			}
+			return iv, true
+		}
+		return FullInterval(t.width), true
+	case OpBVAdd:
+		a, okA := TermBounds(t.args[0], env)
+		b, okB := TermBounds(t.args[1], env)
+		if !okA || !okB {
+			return Interval{}, false
+		}
+		hi, carry := bits.Add64(a.Hi, b.Hi, 0)
+		if carry != 0 || hi > mask {
+			return Interval{}, false // may wrap modulo 2^width
+		}
+		return Interval{Lo: a.Lo + b.Lo, Hi: hi}, true
+	case OpBVSub:
+		a, okA := TermBounds(t.args[0], env)
+		b, okB := TermBounds(t.args[1], env)
+		if !okA || !okB || a.Lo < b.Hi {
+			return Interval{}, false // may wrap below zero
+		}
+		return Interval{Lo: a.Lo - b.Hi, Hi: a.Hi - b.Lo}, true
+	case OpBVMul:
+		a, okA := TermBounds(t.args[0], env)
+		b, okB := TermBounds(t.args[1], env)
+		if !okA || !okB {
+			return Interval{}, false
+		}
+		hiHi, hiLo := bits.Mul64(a.Hi, b.Hi)
+		if hiHi != 0 || hiLo > mask {
+			return Interval{}, false
+		}
+		return Interval{Lo: a.Lo * b.Lo, Hi: hiLo}, true
+	case OpBVShl:
+		a, okA := TermBounds(t.args[0], env)
+		n := uint(t.val) // shift amount lives in val, as in the blaster
+		if !okA || n >= 64 || a.Hi > mask>>n {
+			return Interval{}, false
+		}
+		return Interval{Lo: a.Lo << n, Hi: a.Hi << n}, true
+	case OpBVLshr:
+		a, okA := TermBounds(t.args[0], env)
+		if !okA {
+			return Interval{}, false
+		}
+		n := uint(t.val)
+		if n >= 64 {
+			return Point(0), true
+		}
+		return Interval{Lo: a.Lo >> n, Hi: a.Hi >> n}, true
+	case OpBVNot:
+		a, okA := TermBounds(t.args[0], env)
+		if !okA {
+			return Interval{}, false
+		}
+		return Interval{Lo: mask - a.Hi, Hi: mask - a.Lo}, true
+	case OpBVConcat:
+		hi, okH := TermBounds(t.args[0], env)
+		lo, okL := TermBounds(t.args[1], env)
+		if !okH || !okL || !hi.IsPoint() && !lo.isFullWidth(t.args[1].width) {
+			// hi<<w | lo is monotone lexicographically, but the joint
+			// range is a union of strided windows unless the low part
+			// spans its full width or the high part is fixed.
+			return Interval{}, false
+		}
+		w := uint(t.args[1].width)
+		return Interval{Lo: hi.Lo<<w | lo.Lo, Hi: hi.Hi<<w | lo.Hi}, true
+	case OpBVExtract:
+		a, okA := TermBounds(t.args[0], env)
+		if !okA {
+			return Interval{}, false
+		}
+		ehi, elo := int(t.val>>8), int(t.val&0xff)
+		outMask := maskOf(ehi - elo + 1)
+		if a.IsPoint() {
+			return Point(a.Lo >> uint(elo) & outMask), true
+		}
+		if elo == 0 && a.Hi <= outMask {
+			return a, true // pure truncation that never truncates
+		}
+		return Interval{}, false
+	default:
+		return Interval{}, false
+	}
+}
+
+func (iv Interval) isFullWidth(width int) bool {
+	return iv.Lo == 0 && iv.Hi == maskOf(width)
+}
+
+func maskOf(width int) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(width) - 1
+}

@@ -203,6 +203,16 @@ type Context struct {
 	// intern table for the finite string domain, in first-seen order
 	strIndex map[string]int
 	strNames []string
+
+	// Arena-backed term storage: interned terms live in fixed-capacity
+	// slabs (stable pointers — a full slab is retired, never grown),
+	// their argument slices in append-only pointer slabs, so an intern
+	// miss costs amortized slab appends instead of two heap objects,
+	// and an intern hit costs nothing at all (the candidate Term is
+	// passed by value and its args may alias argScratch).
+	termSlab   []Term
+	argSlab    []*Term
+	argScratch [3]*Term
 }
 
 // ContextOption configures a Context.
@@ -225,30 +235,88 @@ func NewContext(opts ...ContextOption) *Context {
 	for _, o := range opts {
 		o(c)
 	}
-	c.trueT = c.mk(&Term{op: OpTrue, sort: SortBool})
-	c.falseT = c.mk(&Term{op: OpFalse, sort: SortBool})
+	c.trueT = c.mk(Term{op: OpTrue, sort: SortBool})
+	c.falseT = c.mk(Term{op: OpFalse, sort: SortBool})
 	return c
 }
 
-func (c *Context) mk(t *Term) *Term {
+// mk interns a candidate term. The candidate is passed by value so an
+// intern hit performs no allocation; its args slice may alias the
+// context's shared scratch (pair/single/triple) and is copied into the
+// arena only on a miss, when the term is given identity.
+func (c *Context) mk(t Term) *Term {
 	if !c.consing {
 		c.nextID++
 		t.id = c.nextID
 		c.internMisses++
-		return t
+		return c.alloc(t)
 	}
-	h := hashTerm(t)
+	h := hashTerm(&t)
 	for _, e := range c.table[h] {
-		if sameShape(e, t) {
+		if sameShape(e, &t) {
 			c.internHits++
 			return e
 		}
 	}
 	c.nextID++
 	t.id = c.nextID
-	c.table[h] = append(c.table[h], t)
+	p := c.alloc(t)
+	c.table[h] = append(c.table[h], p)
 	c.internMisses++
-	return t
+	return p
+}
+
+const (
+	termSlabSize = 512
+	argSlabSize  = 1024
+)
+
+// alloc copies the term (and its possibly scratch-backed args) into
+// arena storage and returns a pointer that stays valid for the life of
+// the context.
+func (c *Context) alloc(t Term) *Term {
+	t.args = c.copyArgs(t.args)
+	if len(c.termSlab) == cap(c.termSlab) {
+		// Full slabs stay referenced by the interned pointers; only the
+		// context's handle moves on, so handed-out *Term never move.
+		c.termSlab = make([]Term, 0, termSlabSize)
+	}
+	c.termSlab = append(c.termSlab, t)
+	return &c.termSlab[len(c.termSlab)-1]
+}
+
+func (c *Context) copyArgs(args []*Term) []*Term {
+	if len(args) == 0 {
+		return nil
+	}
+	if len(args) > argSlabSize/2 {
+		return append([]*Term(nil), args...)
+	}
+	if cap(c.argSlab)-len(c.argSlab) < len(args) {
+		c.argSlab = make([]*Term, 0, argSlabSize)
+	}
+	start := len(c.argSlab)
+	c.argSlab = append(c.argSlab, args...)
+	return c.argSlab[start:len(c.argSlab):len(c.argSlab)]
+}
+
+// pair, single and triple stage argument lists in a scratch array that
+// mk's miss path copies out of, so building a term that turns out to be
+// interned already allocates nothing. The scratch must only be passed
+// straight into mk — never stored.
+func (c *Context) pair(a, b *Term) []*Term {
+	c.argScratch[0], c.argScratch[1] = a, b
+	return c.argScratch[:2]
+}
+
+func (c *Context) single(a *Term) []*Term {
+	c.argScratch[0] = a
+	return c.argScratch[:1]
+}
+
+func (c *Context) triple(a, b, d *Term) []*Term {
+	c.argScratch[0], c.argScratch[1], c.argScratch[2] = a, b, d
+	return c.argScratch[:3]
 }
 
 // InternStats reports the hash-consing table's hit/miss counts since
@@ -325,20 +393,20 @@ func (c *Context) Bool(v bool) *Term {
 
 // BoolVar returns the Boolean variable with the given name.
 func (c *Context) BoolVar(name string) *Term {
-	return c.mk(&Term{op: OpBoolVar, sort: SortBool, name: name})
+	return c.mk(Term{op: OpBoolVar, sort: SortBool, name: name})
 }
 
 // BVConst returns a bit-vector constant of the given width (1..64).
 // Values wider than the width are truncated.
 func (c *Context) BVConst(width int, val uint64) *Term {
 	checkWidth(width)
-	return c.mk(&Term{op: OpBVConst, sort: SortBV, width: width, val: maskTo(val, width)})
+	return c.mk(Term{op: OpBVConst, sort: SortBV, width: width, val: maskTo(val, width)})
 }
 
 // BVVar returns the bit-vector variable with the given name and width.
 func (c *Context) BVVar(name string, width int) *Term {
 	checkWidth(width)
-	return c.mk(&Term{op: OpBVVar, sort: SortBV, width: width, name: name})
+	return c.mk(Term{op: OpBVVar, sort: SortBV, width: width, name: name})
 }
 
 // StrConst returns the string constant for value, interning it into the
@@ -348,13 +416,13 @@ func (c *Context) StrConst(value string) *Term {
 		c.strIndex[value] = len(c.strNames)
 		c.strNames = append(c.strNames, value)
 	}
-	return c.mk(&Term{op: OpStrConst, sort: SortString, name: value})
+	return c.mk(Term{op: OpStrConst, sort: SortString, name: value})
 }
 
 // StrVar returns the string variable with the given name. String
 // variables range over the finite domain of interned string constants.
 func (c *Context) StrVar(name string) *Term {
-	return c.mk(&Term{op: OpStrVar, sort: SortString, name: name})
+	return c.mk(Term{op: OpStrVar, sort: SortString, name: name})
 }
 
 // StrDomain returns the interned string constants, in first-seen order.
@@ -386,7 +454,7 @@ func (c *Context) Not(t *Term) *Term {
 	case OpNot:
 		return t.args[0]
 	}
-	return c.mk(&Term{op: OpNot, sort: SortBool, args: []*Term{t}})
+	return c.mk(Term{op: OpNot, sort: SortBool, args: c.single(t)})
 }
 
 // And returns the conjunction of the given Boolean terms. Nested
@@ -483,7 +551,7 @@ func (c *Context) nary(op Op, ts []*Term) *Term {
 	case 1:
 		return set.args[0]
 	}
-	return c.mk(&Term{op: op, sort: SortBool, args: set.args})
+	return c.mk(Term{op: op, sort: SortBool, args: set.args})
 }
 
 // Implies returns a → b.
@@ -511,7 +579,7 @@ func (c *Context) Ite(cond, a, b *Term) *Term {
 	if a == b {
 		return a
 	}
-	return c.mk(&Term{op: OpIte, sort: a.sort, width: a.width, args: []*Term{cond, a, b}})
+	return c.mk(Term{op: OpIte, sort: a.sort, width: a.width, args: c.triple(cond, a, b)})
 }
 
 // Eq returns equality between two terms of the same sort.
@@ -538,7 +606,7 @@ func (c *Context) Eq(a, b *Term) *Term {
 	if b.id < a.id {
 		a, b = b, a
 	}
-	return c.mk(&Term{op: OpEq, sort: SortBool, args: []*Term{a, b}})
+	return c.mk(Term{op: OpEq, sort: SortBool, args: c.pair(a, b)})
 }
 
 func (c *Context) bvBinary(op Op, a, b *Term) *Term {
@@ -552,7 +620,7 @@ func (c *Context) bvBinary(op Op, a, b *Term) *Term {
 			return c.BVConst(a.width, v)
 		}
 	}
-	return c.mk(&Term{op: op, sort: SortBV, width: a.width, args: []*Term{a, b}})
+	return c.mk(Term{op: op, sort: SortBV, width: a.width, args: c.pair(a, b)})
 }
 
 func foldBV(op Op, x, y uint64, width int) (uint64, bool) {
@@ -597,7 +665,7 @@ func (c *Context) BVNot(a *Term) *Term {
 	if a.op == OpBVConst {
 		return c.BVConst(a.width, ^a.val)
 	}
-	return c.mk(&Term{op: OpBVNot, sort: SortBV, width: a.width, args: []*Term{a}})
+	return c.mk(Term{op: OpBVNot, sort: SortBV, width: a.width, args: c.single(a)})
 }
 
 // Shl returns a << n for a constant shift amount n.
@@ -609,7 +677,7 @@ func (c *Context) Shl(a *Term, n int) *Term {
 	if a.op == OpBVConst {
 		return c.BVConst(a.width, a.val<<uint(n))
 	}
-	return c.mk(&Term{op: OpBVShl, sort: SortBV, width: a.width, val: uint64(n), args: []*Term{a}})
+	return c.mk(Term{op: OpBVShl, sort: SortBV, width: a.width, val: uint64(n), args: c.single(a)})
 }
 
 // Lshr returns a >> n (logical) for a constant shift amount n.
@@ -621,7 +689,7 @@ func (c *Context) Lshr(a *Term, n int) *Term {
 	if a.op == OpBVConst {
 		return c.BVConst(a.width, a.val>>uint(n))
 	}
-	return c.mk(&Term{op: OpBVLshr, sort: SortBV, width: a.width, val: uint64(n), args: []*Term{a}})
+	return c.mk(Term{op: OpBVLshr, sort: SortBV, width: a.width, val: uint64(n), args: c.single(a)})
 }
 
 // Ult returns the unsigned comparison a < b.
@@ -634,7 +702,7 @@ func (c *Context) Ult(a, b *Term) *Term {
 	if a.op == OpBVConst && b.op == OpBVConst {
 		return c.Bool(a.val < b.val)
 	}
-	return c.mk(&Term{op: OpBVUlt, sort: SortBool, args: []*Term{a, b}})
+	return c.mk(Term{op: OpBVUlt, sort: SortBool, args: c.pair(a, b)})
 }
 
 // Ule returns the unsigned comparison a <= b.
@@ -647,7 +715,7 @@ func (c *Context) Ule(a, b *Term) *Term {
 	if a.op == OpBVConst && b.op == OpBVConst {
 		return c.Bool(a.val <= b.val)
 	}
-	return c.mk(&Term{op: OpBVUle, sort: SortBool, args: []*Term{a, b}})
+	return c.mk(Term{op: OpBVUle, sort: SortBool, args: c.pair(a, b)})
 }
 
 // Ugt returns a > b.
@@ -667,9 +735,9 @@ func (c *Context) Extract(a *Term, hi, lo int) *Term {
 	if a.op == OpBVConst {
 		return c.BVConst(w, a.val>>uint(lo))
 	}
-	return c.mk(&Term{
+	return c.mk(Term{
 		op: OpBVExtract, sort: SortBV, width: w,
-		val: uint64(hi)<<8 | uint64(lo), args: []*Term{a},
+		val: uint64(hi)<<8 | uint64(lo), args: c.single(a),
 	})
 }
 
@@ -683,7 +751,7 @@ func (c *Context) Concat(hi, lo *Term) *Term {
 	if hi.op == OpBVConst && lo.op == OpBVConst {
 		return c.BVConst(w, hi.val<<uint(lo.width)|lo.val)
 	}
-	return c.mk(&Term{op: OpBVConcat, sort: SortBV, width: w, args: []*Term{hi, lo}})
+	return c.mk(Term{op: OpBVConcat, sort: SortBV, width: w, args: c.pair(hi, lo)})
 }
 
 // ZeroExtend widens a to the given width by padding with zero bits.
