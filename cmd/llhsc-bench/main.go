@@ -10,6 +10,7 @@
 //	llhsc-bench -parallel-json BENCH_parallel.json   # emit the E13 artifact
 //	llhsc-bench -semantic-json BENCH_semantic.json   # emit the E14 artifact
 //	llhsc-bench -obs-json BENCH_obs.json             # emit the E15 artifact
+//	llhsc-bench -lifted-json BENCH_lifted.json       # emit the E16 artifact
 //	llhsc-bench -persist-json BENCH_persist.json     # emit the E17 artifact
 //	llhsc-bench -word-json BENCH_word.json           # emit the E18 artifact
 //	llhsc-bench -list
@@ -42,6 +43,8 @@ func run(args []string) error {
 	obsJSON := fs.String("obs-json", "",
 		"write the E15 observability-overhead measurement to this JSON file and exit")
 	obsVMs := fs.Int("obs-vms", 6, "product-line size for -obs-json")
+	liftedJSON := fs.String("lifted-json", "",
+		"write the E16 lifted-vs-enumerative measurement to this JSON file and exit")
 	persistJSON := fs.String("persist-json", "",
 		"write the E17 warm-restart recovery measurement to this JSON file and exit")
 	persistVMs := fs.Int("persist-vms", 6, "product-line size for -persist-json")
@@ -69,6 +72,13 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *obsJSON)
+		return nil
+	}
+	if *liftedJSON != "" {
+		if err := bench.WriteLiftedJSON(*liftedJSON); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *liftedJSON)
 		return nil
 	}
 	if *persistJSON != "" {

@@ -10,7 +10,8 @@
 //	             [-max-body 4194304] [-solver-conflicts 0]
 //	             [-shutdown-grace 15s] [-parallel 0] [-cache-size 256]
 //	             [-cache-dir ""] [-cache-max-bytes 0] [-degrade off]
-//	             [-semantic-strategy sweep] [-pprof 0] [-log-requests=true]
+//	             [-semantic-strategy sweep] [-mode enumerate]
+//	             [-pprof 0] [-log-requests=true]
 //
 // The server always serves Prometheus-format metrics on GET /metrics
 // (request latency, solver work, cache counters) and, unless
@@ -98,18 +99,17 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		"total on-disk byte cap for -cache-dir; oldest segments are dropped first (0 = the built-in default)")
 	degrade := fs.String("degrade", "off",
 		"overload shedding for /check: off, auto (lint-only while the in-flight semaphore stays saturated), force")
-	semStrategy := fs.String("semantic-strategy", "sweep",
+	var strategy constraints.SemanticStrategy
+	fs.Var(&strategy, "semantic-strategy",
 		"semantic-check strategy: word (interval tier, sweep spelling), sweep (O(n log n) prefilter + word tier + SMT), assume (one incremental solver + word tier), pairwise (one solve per pair, no word tier), word-off (sweep without the word tier)")
+	var mode core.Mode
+	fs.Var(&mode, "mode",
+		"default checking mode for /check: enumerate (per-product) or lifted (whole product line, one solver session); requests may override per-call")
 	pprofPort := fs.Int("pprof", 0,
 		"expose net/http/pprof on 127.0.0.1:<port> (0 = disabled)")
 	logRequests := fs.Bool("log-requests", true,
 		"emit one structured JSON log line per request on stderr")
 	if err := fs.Parse(args); err != nil {
-		return err
-	}
-
-	strategy, err := constraints.ParseSemanticStrategy(*semStrategy)
-	if err != nil {
 		return err
 	}
 
@@ -128,6 +128,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		CacheMaxBytes:    *cacheMaxBytes,
 		Degrade:          *degrade,
 		SemanticStrategy: strategy,
+		Mode:             mode,
 		Registry:         obs.NewRegistry(), // serves GET /metrics
 		Limits: core.Limits{
 			Solver:      sat.Budget{MaxConflicts: *solverConflicts},

@@ -68,8 +68,8 @@ func run(args []string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  llhsc check    -core <dts> -deltas <file> -fm <file> -vm <features> [-vm ...] [-schemas <dir>] [-parallel n] [-semantic-strategy word|sweep|assume|pairwise|word-off] [-trace]
-  llhsc generate -core <dts> -deltas <file> -fm <file> -vm <features> [-vm ...] [-o <dir>] [-parallel n] [-semantic-strategy word|sweep|assume|pairwise|word-off]
+  llhsc check    -core <dts> -deltas <file> -fm <file> -vm <features> [-vm ...] [-schemas <dir>] [-parallel n] [-mode enumerate|lifted] [-semantic-strategy word|sweep|assume|pairwise|word-off] [-trace]
+  llhsc generate -core <dts> -deltas <file> -fm <file> -vm <features> [-vm ...] [-o <dir>] [-parallel n] [-mode enumerate|lifted] [-semantic-strategy word|sweep|assume|pairwise|word-off]
   llhsc products -fm <file> [-limit n]
   llhsc infer-fm -core <dts>
   llhsc demo     [-o <dir>]`)
@@ -93,8 +93,12 @@ func cmdCheckOrGenerate(args []string, generate bool) error {
 	outDir := fs.String("o", "out", "output directory (generate only)")
 	parallel := fs.Int("parallel", 0,
 		"worker count for per-VM checking (0 = GOMAXPROCS, 1 = serial)")
-	semStrategy := fs.String("semantic-strategy", "sweep",
+	var strategy constraints.SemanticStrategy
+	fs.Var(&strategy, "semantic-strategy",
 		"semantic-check strategy: word (interval tier, sweep spelling), sweep (O(n log n) prefilter + word tier + SMT), assume (one incremental solver + word tier), pairwise (one solve per pair, no word tier), word-off (sweep without the word tier)")
+	var mode core.Mode
+	fs.Var(&mode, "mode",
+		"checking mode: enumerate (derive and check each requested product) or lifted (verify the whole product line in one incremental solver session)")
 	trace := fs.Bool("trace", false,
 		"print the phase span tree and solver statistics to stderr")
 	var vms vmFlags
@@ -139,11 +143,6 @@ func cmdCheckOrGenerate(args []string, generate bool) error {
 		configs[i] = completeConfig(model, strings.Split(list, ","))
 	}
 
-	strategy, err := constraints.ParseSemanticStrategy(*semStrategy)
-	if err != nil {
-		return err
-	}
-
 	pipeline := &core.Pipeline{
 		Core:             tree,
 		Deltas:           deltas,
@@ -151,6 +150,7 @@ func cmdCheckOrGenerate(args []string, generate bool) error {
 		Schemas:          schemas,
 		VMConfigs:        configs,
 		SemanticStrategy: strategy,
+		Mode:             mode,
 	}
 	ctx := context.Background()
 	var root *obs.Span
@@ -247,6 +247,10 @@ func printTrace(w io.Writer, root *obs.Span, r *core.Report) {
 			name, fs.Checks, fs.SolverCalls, fs.Pairs, fs.PairsPruned,
 			fs.Conflicts, fs.Propagations, fs.Restarts, fs.InternHits, fs.InternMisses)
 	}
+	if ls := r.Stats.Lifted; ls != nil {
+		fmt.Fprintf(w, "lifted       queries=%d pruned=%d word_decided=%d sessions=%d findings=%d\n",
+			ls.Queries, ls.Pruned, ls.WordDecided, ls.Sessions, ls.Findings)
+	}
 	if r.Stats.CacheHits+r.Stats.CacheMisses > 0 {
 		fmt.Fprintf(w, "cache        hits=%d misses=%d\n", r.Stats.CacheHits, r.Stats.CacheMisses)
 	}
@@ -261,6 +265,9 @@ func printReport(r *core.Report) {
 		status, len(r.VMs), len(r.AllViolations()))
 	for _, v := range r.Allocation {
 		fmt.Printf("  allocation: %s\n", v)
+	}
+	for _, f := range r.Lifted {
+		fmt.Printf("  lifted: %s\n", f)
 	}
 	for _, vm := range r.VMs {
 		fmt.Printf("  %s: deltas %v, %d violation(s)\n", vm.Name, vm.Trace, len(vm.Violations))

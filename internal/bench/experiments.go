@@ -26,8 +26,7 @@ type Experiment struct {
 	Run   func(w io.Writer) error
 }
 
-// Experiments returns all experiments in order (e16 is reserved for
-// the lifted-checking comparison on the roadmap).
+// Experiments returns all experiments in order.
 func Experiments() []Experiment {
 	return []Experiment{
 		{"e1", "Parse the running example (Listings 1+2), round trip", RunE1},
@@ -45,6 +44,7 @@ func Experiments() []Experiment {
 		{"e13", "Parallel pipeline speedup over worker counts", RunE13},
 		{"e14", "Semantic-check strategies: sweep vs assume vs pairwise", RunE14},
 		{"e15", "Observability overhead: tracing and metrics off vs on", RunE15},
+		{"e16", "Family-based lifted checking vs product enumeration", RunE16},
 		{"e17", "Persistent cache tier: warm-restart hit-rate recovery", RunE17},
 		{"e18", "Word-level tier vs bit-blast: concrete corpus and cell ladder", RunE18},
 	}

@@ -192,8 +192,15 @@ func (sc *SemanticChecker) candidatePairs(regions []addr.Region) [][2]int {
 // under CheckMemoryBanks, and virtual-device windows never clash with
 // memory regions (see candidatePairs).
 func (sc *SemanticChecker) pairEligible(a, b addr.Region) bool {
+	return eligiblePair(a, b, sc.CheckMemoryBanks)
+}
+
+// eligiblePair is the package-level form of the eligibility rules,
+// shared with the lifted checker so family-based and enumerative runs
+// schedule exactly the same pairs.
+func eligiblePair(a, b addr.Region, checkMemoryBanks bool) bool {
 	if a.Path == b.Path {
-		if !sc.CheckMemoryBanks {
+		if !checkMemoryBanks {
 			return false
 		}
 		if a.Index == b.Index {

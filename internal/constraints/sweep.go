@@ -77,6 +77,19 @@ func (s SemanticStrategy) String() string {
 	}
 }
 
+// Set implements flag.Value, so binaries can register a
+// *SemanticStrategy directly with flag.Var and an invalid spelling
+// fails at flag-parse time with the list of valid ones, before any
+// input is read.
+func (s *SemanticStrategy) Set(v string) error {
+	parsed, err := ParseSemanticStrategy(v)
+	if err != nil {
+		return err
+	}
+	*s = parsed
+	return nil
+}
+
 // ParseSemanticStrategy parses a -semantic-strategy flag value.
 func ParseSemanticStrategy(s string) (SemanticStrategy, error) {
 	switch s {

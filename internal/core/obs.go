@@ -79,6 +79,76 @@ func familyStatsFromSAT(d sat.Stats) FamilyStats {
 	}
 }
 
+// familyStatsFromLifted converts the lifted checker's counters into the
+// per-family report shape, under the "lifted" family name: its
+// assumption solves are the solver calls, and the word tier's share is
+// reported like the semantic sweep's.
+func familyStatsFromLifted(st constraints.LiftedStats) FamilyStats {
+	return FamilyStats{
+		Checks:       1,
+		SolverCalls:  st.Queries,
+		WordDecided:  st.WordDecided,
+		Conflicts:    st.Solver.Conflicts,
+		Propagations: st.Solver.Propagations,
+		Restarts:     st.Solver.Restarts,
+	}
+}
+
+// LiftedRunStats summarizes a lifted (ModeLifted) run's family-based
+// solver work; RunStats.Lifted is nil for enumerative runs and for
+// lifted runs answered entirely from the check cache.
+type LiftedRunStats struct {
+	// Queries is the number of assumption solves the shared incremental
+	// session answered.
+	Queries int `json:"queries"`
+	// Pruned counts candidate violations (and coverage worlds) the
+	// session proved no valid configuration can exhibit.
+	Pruned int `json:"pruned"`
+	// WordDecided counts region pairs the word-level tier settled
+	// without the session.
+	WordDecided int `json:"wordDecided,omitempty"`
+	// Regions / Contexts / Worlds describe the merged tree's guarded
+	// variant space (see constraints.LiftedStats).
+	Regions  int `json:"regions,omitempty"`
+	Contexts int `json:"contexts,omitempty"`
+	Worlds   int `json:"worlds,omitempty"`
+	// Findings is the number of reachable violations reported.
+	Findings int `json:"findings"`
+	// Sessions counts solver sessions opened — one per uncached lifted
+	// run. Queries/Sessions is the session-reuse ratio the mode exists
+	// for: the enumerative baseline opens a fresh solver per product
+	// per family.
+	Sessions int `json:"sessions"`
+}
+
+// liftedRunStatsFrom converts one lifted check's counters, counting the
+// session it opened.
+func liftedRunStatsFrom(st constraints.LiftedStats) LiftedRunStats {
+	return LiftedRunStats{
+		Queries:     st.Queries,
+		Pruned:      st.Pruned,
+		WordDecided: st.WordDecided,
+		Regions:     st.Regions,
+		Contexts:    st.Contexts,
+		Worlds:      st.Worlds,
+		Findings:    st.Findings,
+		Sessions:    1,
+	}
+}
+
+// add returns the field-wise sum.
+func (ls LiftedRunStats) add(other LiftedRunStats) LiftedRunStats {
+	ls.Queries += other.Queries
+	ls.Pruned += other.Pruned
+	ls.WordDecided += other.WordDecided
+	ls.Regions += other.Regions
+	ls.Contexts += other.Contexts
+	ls.Worlds += other.Worlds
+	ls.Findings += other.Findings
+	ls.Sessions += other.Sessions
+	return ls
+}
+
 // RunStats is the per-run work summary carried by Report.Stats. All
 // counters are totals for one RunContext call; per-family numbers are
 // aggregated across every product tree. Trees answered from the check
@@ -87,6 +157,9 @@ type RunStats struct {
 	Families    map[string]FamilyStats `json:"families,omitempty"`
 	CacheHits   int                    `json:"cacheHits"`
 	CacheMisses int                    `json:"cacheMisses"`
+	// Lifted is the lifted session's work summary (ModeLifted runs that
+	// actually solved; nil otherwise).
+	Lifted *LiftedRunStats `json:"lifted,omitempty"`
 }
 
 // addFamily folds one family's contribution into the run totals.
@@ -97,6 +170,16 @@ func (st *runState) addFamily(name string, fs FamilyStats) {
 		st.stats.Families = make(map[string]FamilyStats)
 	}
 	st.stats.Families[name] = st.stats.Families[name].add(fs)
+}
+
+// addLifted folds one lifted check's contribution into the run totals.
+func (st *runState) addLifted(ls LiftedRunStats) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.stats.Lifted == nil {
+		st.stats.Lifted = &LiftedRunStats{}
+	}
+	*st.stats.Lifted = st.stats.Lifted.add(ls)
 }
 
 // addCache records one cache lookup outcome.
@@ -120,6 +203,10 @@ func (st *runState) snapshot() RunStats {
 	for k, v := range st.stats.Families {
 		out.Families[k] = v
 	}
+	if st.stats.Lifted != nil {
+		l := *st.stats.Lifted
+		out.Lifted = &l
+	}
 	return out
 }
 
@@ -139,12 +226,19 @@ type PipelineMetrics struct {
 	internHits      *obs.Counter
 	internMisses    *obs.Counter
 	runs            *obs.Counter
+
+	// Lifted-mode counters (DESIGN.md §14): total lifted queries,
+	// configurations pruned as unreachable, and solver sessions opened;
+	// llhsc_lifted_session_reuse derives queries/session at scrape time.
+	liftedQueries  *obs.Counter
+	liftedPruned   *obs.Counter
+	liftedSessions *obs.Counter
 }
 
 // NewPipelineMetrics registers the pipeline's metric families on reg.
 // Register once per registry: duplicate registration panics.
 func NewPipelineMetrics(reg *obs.Registry) *PipelineMetrics {
-	return &PipelineMetrics{
+	m := &PipelineMetrics{
 		satConflicts: reg.NewCounterVec("llhsc_sat_conflicts_total",
 			"CDCL conflicts, by checker family.", "family"),
 		satPropagations: reg.NewCounterVec("llhsc_sat_propagations_total",
@@ -165,7 +259,23 @@ func NewPipelineMetrics(reg *obs.Registry) *PipelineMetrics {
 			"Hash-consing intern table misses (terms allocated)."),
 		runs: reg.NewCounter("llhsc_core_runs_total",
 			"Completed pipeline runs (including runs that found violations)."),
+		liftedQueries: reg.NewCounter("llhsc_lifted_queries_total",
+			"Assumption solves issued against lifted (family-based) solver sessions."),
+		liftedPruned: reg.NewCounter("llhsc_lifted_configs_pruned_total",
+			"Candidate violations the lifted session proved unreachable by any valid configuration."),
+		liftedSessions: reg.NewCounter("llhsc_lifted_sessions_total",
+			"Lifted solver sessions opened (one per uncached ModeLifted run)."),
 	}
+	reg.Register("llhsc_lifted_session_reuse",
+		"Average lifted queries discharged per solver session (the incremental-reuse ratio).",
+		obs.FuncGauge(func() float64 {
+			sessions := m.liftedSessions.Value()
+			if sessions == 0 {
+				return 0
+			}
+			return float64(m.liftedQueries.Value()) / float64(sessions)
+		}))
+	return m
 }
 
 // observe folds one run's stats into the cross-run counters.
@@ -180,6 +290,11 @@ func (m *PipelineMetrics) observe(rs RunStats) {
 		m.wordDecided.With(name).Add(uint64(fs.WordDecided))
 		m.internHits.Add(fs.InternHits)
 		m.internMisses.Add(fs.InternMisses)
+	}
+	if rs.Lifted != nil {
+		m.liftedQueries.Add(uint64(rs.Lifted.Queries))
+		m.liftedPruned.Add(uint64(rs.Lifted.Pruned))
+		m.liftedSessions.Add(uint64(rs.Lifted.Sessions))
 	}
 	m.runs.Inc()
 }

@@ -110,6 +110,11 @@ type Pipeline struct {
 	// constraints.SemanticStrategy). Folded into the cache key: a
 	// strategy change never reuses another strategy's cached verdicts.
 	SemanticStrategy constraints.SemanticStrategy
+	// Mode selects enumerative (default) or family-based lifted
+	// checking (see Mode and internal/core/lifted.go). Folded into the
+	// cache key: a lifted verdict covers the whole product line and
+	// must never be served as a per-tree one, or vice versa.
+	Mode Mode
 	// SkipDTS leaves VMResult.DTS / PlatformResult.DTS empty instead
 	// of rendering each product tree, for callers that only need the
 	// verdict. When a Cache is installed the tree is still printed
@@ -154,6 +159,13 @@ type Report struct {
 	VMs        []VMResult
 	Platform   PlatformResult
 
+	// Lifted holds the family-based findings of a ModeLifted run: every
+	// constraint violation ANY valid configuration of the product line
+	// exhibits, each with a decoded witness configuration. Always empty
+	// under ModeEnumerate (where per-VM Violations carry the verdict);
+	// under ModeLifted the per-VM and platform Violations stay empty.
+	Lifted []constraints.LiftedFinding
+
 	// Generated artifacts; empty unless OK().
 	PlatformC string
 	ConfigC   string
@@ -174,7 +186,7 @@ type Report struct {
 
 // OK reports whether every check passed.
 func (r *Report) OK() bool {
-	if len(r.Allocation) > 0 || len(r.Platform.Violations) > 0 {
+	if len(r.Allocation) > 0 || len(r.Lifted) > 0 || len(r.Platform.Violations) > 0 {
 		return false
 	}
 	for _, vm := range r.VMs {
@@ -185,10 +197,14 @@ func (r *Report) OK() bool {
 	return true
 }
 
-// AllViolations flattens every violation in the report.
+// AllViolations flattens every violation in the report (for lifted
+// findings, the inner violation without its witness configuration).
 func (r *Report) AllViolations() []constraints.Violation {
 	var out []constraints.Violation
 	out = append(out, r.Allocation...)
+	for _, f := range r.Lifted {
+		out = append(out, f.Violation)
+	}
 	for _, vm := range r.VMs {
 		out = append(out, vm.Violations...)
 	}
@@ -276,6 +292,16 @@ func (p *Pipeline) RunContext(ctx context.Context, limits Limits) (*Report, erro
 	allocSpan.End()
 	if err != nil {
 		return nil, &LimitError{Phase: "allocation", Err: err}
+	}
+
+	// ---- family-based lifted checking (DESIGN.md §14) ----
+	// One merged tree, one solver session, the whole product line.
+	// Products are still derived below for traces, DTS renderings and
+	// artifact generation, but skip their per-tree family checks.
+	if p.Mode == ModeLifted {
+		if err := p.runLifted(ctx, st, report, root); err != nil {
+			return nil, err
+		}
 	}
 
 	// ---- per-VM products + the platform union ----
@@ -501,6 +527,11 @@ func (p *Pipeline) checkProductTree(ctx context.Context, st *runState, tree *dts
 	if !p.SkipDTS {
 		reportDTS = printed
 	}
+	if p.Mode == ModeLifted {
+		// The lifted session already discharged every family for the
+		// whole product line — which includes this product.
+		return reportDTS, nil, nil
+	}
 	check := span.StartChild("check")
 	defer check.End()
 	if p.Cache == nil {
@@ -511,9 +542,7 @@ func (p *Pipeline) checkProductTree(ctx context.Context, st *runState, tree *dts
 		printed,
 		tree.OriginDump(),
 		st.schemaFP,
-		fmt.Sprintf("conflicts=%d;learntlits=%d;skipirq=%v;semstrat=%s;lintonly=%v",
-			st.limits.Solver.MaxConflicts, st.limits.Solver.MaxLearntLits, p.SkipInterrupts,
-			p.SemanticStrategy, p.LintOnly),
+		p.knobString(st),
 	)
 	violations, hit, err := p.Cache.Do(ctx, key, func() ([]constraints.Violation, error) {
 		return p.checkTree(ctx, st, tree, check)
@@ -525,6 +554,15 @@ func (p *Pipeline) checkProductTree(ctx context.Context, st *runState, tree *dts
 	}
 	st.addCache(hit)
 	return reportDTS, violations, err
+}
+
+// knobString serializes every deterministic knob that can change a
+// check verdict, for the cache key. Shared by the per-product keys and
+// the lifted-run key, so a knob added here invalidates both.
+func (p *Pipeline) knobString(st *runState) string {
+	return fmt.Sprintf("conflicts=%d;learntlits=%d;skipirq=%v;semstrat=%s;lintonly=%v;mode=%s",
+		st.limits.Solver.MaxConflicts, st.limits.Solver.MaxLearntLits, p.SkipInterrupts,
+		p.SemanticStrategy, p.LintOnly, p.Mode)
 }
 
 // checkerFamily is one independent checker family for one tree: a name

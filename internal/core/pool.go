@@ -39,6 +39,10 @@ func (r *Report) Release() {
 		r.Allocation[i] = constraints.Violation{}
 	}
 	r.Allocation = r.Allocation[:0]
+	for i := range r.Lifted {
+		r.Lifted[i] = constraints.LiftedFinding{}
+	}
+	r.Lifted = r.Lifted[:0]
 	for i := range r.VMs {
 		r.VMs[i] = VMResult{}
 	}

@@ -1,0 +1,632 @@
+package delta
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"llhsc/internal/dts"
+	"llhsc/internal/featmodel"
+)
+
+// This file builds the variability-aware merged tree ("150% model")
+// behind family-based lifted checking (DESIGN.md §14): instead of
+// deriving one product tree per configuration, every delta is applied
+// once to a shared tree whose nodes and property values carry *presence
+// conditions* — guard expressions over feature names that say in which
+// configurations the artifact exists. Checkers then conjoin these
+// guards with the feature-model formula and ask the solver whether any
+// valid configuration exhibits a violation, following Bayha's
+// constraint-lifting construction and Haber et al.'s family-based
+// treatment of delta applicability.
+//
+// Presence conditions are absolute: a node's Cond already accounts for
+// the activation guards of every delta that created, widened or removed
+// it, including removal of its ancestors (removals push their negated
+// guard down the subtree). A nil condition means "in every
+// configuration". Property values are variant lists — each write by a
+// delta appends a guarded variant and restricts the guards of the
+// variants it overwrites — so the variant whose guard holds under a
+// configuration is exactly the value the enumerative Apply would have
+// produced (Project materializes this and the differential tests pin
+// it against Apply).
+
+// LiftedVariant is one guarded value of a property: the value the
+// property has in configurations satisfying Cond (nil = always).
+type LiftedVariant struct {
+	Cond   *featmodel.Expr
+	Value  dts.Value
+	Origin dts.Origin
+}
+
+// LiftedProperty is a property of the merged tree: a name with one
+// variant per delta write that can reach a configuration.
+type LiftedProperty struct {
+	Name     string
+	Variants []*LiftedVariant
+}
+
+// LiftedLabel is a guarded node label.
+type LiftedLabel struct {
+	Cond  *featmodel.Expr
+	Label string
+}
+
+// LiftedNode is a node of the merged tree, present in configurations
+// satisfying Cond (nil = always).
+type LiftedNode struct {
+	Name     string
+	Cond     *featmodel.Expr
+	Labels   []LiftedLabel
+	Props    []*LiftedProperty
+	Children []*LiftedNode
+	Origin   dts.Origin
+}
+
+// LiftedConflict records a delta-application failure or ambiguity that
+// occurs in the configurations satisfying Cond (nil = every
+// configuration): a missing target, a double-add, an unordered write
+// pair. The enumerative pipeline surfaces these as Apply/Order errors
+// per product; the lifted pipeline discharges each conflict with one
+// SAT query against the feature model and reports only the reachable
+// ones.
+type LiftedConflict struct {
+	Cond     *featmodel.Expr
+	Delta    string // delta whose application fails (first of the pair, for ambiguities)
+	Location string // contested target path / property
+	Msg      string // enumerative error text
+}
+
+func (c *LiftedConflict) String() string {
+	cond := "always"
+	if c.Cond != nil {
+		cond = "when " + c.Cond.String()
+	}
+	return fmt.Sprintf("delta %s: %s: %s (%s)", c.Delta, c.Location, c.Msg, cond)
+}
+
+// LiftedTree is the variability-aware merged tree for a whole product
+// line: the union of every product's tree with presence conditions,
+// plus the application conflicts that enumeration would hit.
+type LiftedTree struct {
+	Root        *LiftedNode
+	MemReserves []dts.MemReserve // deltas cannot edit memreserves; copied from the core
+	Conflicts   []LiftedConflict
+	Order       []string // delta application order used for the merge
+}
+
+// Lift applies every delta of the set — regardless of activation — to a
+// lifted copy of the core tree, guarding each edit with the delta's
+// activation condition. Deltas are ordered by one topological sort of
+// the full after-relation with declaration-order tie-breaking, the
+// same rule Order uses per configuration; any order consistent with
+// the full relation is consistent with each configuration's restriction
+// of it. A cycle anywhere in the after-relation is an error (slightly
+// stricter than per-product ordering, which only sees cycles among
+// co-active deltas).
+//
+// Ambiguity detection is lifted too: unordered delta pairs contending
+// for a write location become Conflicts guarded by the conjunction of
+// the pair's activation conditions. Orderedness is judged on the full
+// after-relation, so a pair ordered only through an inactive
+// intermediary counts as ordered here; the declaration-order tie-break
+// keeps application deterministic in those configurations.
+func (s *Set) Lift(core *dts.Tree) (*LiftedTree, error) {
+	ordered, err := s.orderAll()
+	if err != nil {
+		return nil, err
+	}
+	lt := &LiftedTree{
+		Root:        liftConcreteNode(core.Root),
+		MemReserves: append([]dts.MemReserve(nil), core.MemReserves...),
+	}
+	for _, d := range ordered {
+		lt.Order = append(lt.Order, d.Name)
+		lt.applyLifted(d)
+	}
+	lt.recordAmbiguities(s, ordered)
+	return lt, nil
+}
+
+// orderAll topologically sorts all deltas over the full after-relation
+// with declaration-order tie-breaking.
+func (s *Set) orderAll() ([]*Delta, error) {
+	pos := make(map[string]int, len(s.Deltas))
+	for i, d := range s.Deltas {
+		pos[d.Name] = i
+	}
+	succ := make(map[string][]string)
+	indeg := make(map[string]int)
+	for _, d := range s.Deltas {
+		indeg[d.Name] += 0
+		for _, dep := range d.After {
+			succ[dep] = append(succ[dep], d.Name)
+			indeg[d.Name]++
+		}
+	}
+	var ready []string
+	for _, d := range s.Deltas {
+		if indeg[d.Name] == 0 {
+			ready = append(ready, d.Name)
+		}
+	}
+	var out []*Delta
+	for len(ready) > 0 {
+		sort.Slice(ready, func(i, j int) bool { return pos[ready[i]] < pos[ready[j]] })
+		next := ready[0]
+		ready = ready[1:]
+		out = append(out, s.byName[next])
+		for _, m := range succ[next] {
+			indeg[m]--
+			if indeg[m] == 0 {
+				ready = append(ready, m)
+			}
+		}
+	}
+	if len(out) != len(s.Deltas) {
+		var cyc []string
+		for _, d := range s.Deltas {
+			if indeg[d.Name] > 0 {
+				cyc = append(cyc, d.Name)
+			}
+		}
+		return nil, &CycleError{Names: cyc}
+	}
+	return out, nil
+}
+
+// recordAmbiguities lifts checkAmbiguity: every unordered pair with a
+// write conflict becomes a Conflict guarded by both activation
+// conditions.
+func (lt *LiftedTree) recordAmbiguities(s *Set, ordered []*Delta) {
+	reach := make(map[string]map[string]bool, len(s.Deltas))
+	var visit func(name string) map[string]bool
+	visit = func(name string) map[string]bool {
+		if r, ok := reach[name]; ok {
+			return r
+		}
+		r := make(map[string]bool)
+		reach[name] = r
+		for _, dep := range s.byName[name].After {
+			r[dep] = true
+			for k := range visit(dep) {
+				r[k] = true
+			}
+		}
+		return r
+	}
+	for _, d := range s.Deltas {
+		visit(d.Name)
+	}
+	for i := 0; i < len(ordered); i++ {
+		for j := i + 1; j < len(ordered); j++ {
+			a, b := ordered[i], ordered[j]
+			if reach[a.Name][b.Name] || reach[b.Name][a.Name] {
+				continue
+			}
+			if loc := writeConflict(a, b); loc != "" {
+				lt.Conflicts = append(lt.Conflicts, LiftedConflict{
+					Cond:     featmodel.AndOpt(a.When, b.When),
+					Delta:    a.Name,
+					Location: loc,
+					Msg: fmt.Sprintf("%s and %s both write %s with no order between them",
+						a.Name, b.Name, loc),
+				})
+			}
+		}
+	}
+}
+
+// liftConcreteNode converts a concrete (core) node into an
+// unconditional lifted node.
+func liftConcreteNode(n *dts.Node) *LiftedNode {
+	ln := &LiftedNode{Name: n.Name, Origin: n.Origin}
+	if n.Label != "" {
+		ln.Labels = []LiftedLabel{{Label: n.Label}}
+	}
+	for _, p := range n.Properties {
+		ln.Props = append(ln.Props, &LiftedProperty{
+			Name:     p.Name,
+			Variants: []*LiftedVariant{{Value: p.Value.Clone(), Origin: p.Origin}},
+		})
+	}
+	for _, c := range n.Children {
+		ln.Children = append(ln.Children, liftConcreteNode(c))
+	}
+	return ln
+}
+
+// liftFragmentNode converts a delta fragment into a lifted node whose
+// whole subtree is guarded by cond and stamped with the delta name.
+func liftFragmentNode(n *dts.Node, cond *featmodel.Expr, deltaName string) *LiftedNode {
+	origin := n.Origin
+	origin.Delta = deltaName
+	ln := &LiftedNode{Name: n.Name, Cond: cond, Origin: origin}
+	if n.Label != "" {
+		ln.Labels = []LiftedLabel{{Cond: cond, Label: n.Label}}
+	}
+	for _, p := range n.Properties {
+		po := p.Origin
+		po.Delta = deltaName
+		ln.Props = append(ln.Props, &LiftedProperty{
+			Name:     p.Name,
+			Variants: []*LiftedVariant{{Cond: cond, Value: p.Value.Clone(), Origin: po}},
+		})
+	}
+	for _, c := range n.Children {
+		ln.Children = append(ln.Children, liftFragmentNode(c, cond, deltaName))
+	}
+	return ln
+}
+
+// Prop returns the lifted property with the given name, or nil.
+func (ln *LiftedNode) Prop(name string) *LiftedProperty {
+	for _, p := range ln.Props {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Child returns the direct child with the given name, or nil.
+func (ln *LiftedNode) Child(name string) *LiftedNode {
+	for _, c := range ln.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Walk visits the lifted subtree in depth-first pre-order with dts path
+// conventions. Returning false stops the walk.
+func (ln *LiftedNode) Walk(fn func(path string, n *LiftedNode) bool) {
+	var rec func(path string, n *LiftedNode) bool
+	rec = func(path string, n *LiftedNode) bool {
+		if !fn(path, n) {
+			return false
+		}
+		prefix := path
+		if prefix == "/" {
+			prefix = ""
+		}
+		for _, c := range n.Children {
+			if !rec(prefix+"/"+c.Name, c) {
+				return false
+			}
+		}
+		return true
+	}
+	start := "/"
+	if ln.Name != "/" {
+		start = "/" + ln.Name
+	}
+	rec(start, ln)
+}
+
+// resolveLifted finds a target in the merged tree: "/" or an absolute
+// path directly, a bare name as the first depth-first match — the same
+// rule resolveTarget uses on concrete trees. Bare names resolve against
+// the union tree, so a name that different configurations would resolve
+// to different nodes resolves here to the union's first match;
+// conditional presence of the match is handled by the caller through
+// the missing-target conflict.
+func (lt *LiftedTree) resolveLifted(target string) (*LiftedNode, string) {
+	if target == "/" || strings.HasPrefix(target, "/") {
+		if target == "/" || target == "" {
+			return lt.Root, "/"
+		}
+		parts := strings.Split(strings.Trim(target, "/"), "/")
+		n := lt.Root
+		for _, p := range parts {
+			n = n.Child(p)
+			if n == nil {
+				return nil, target
+			}
+		}
+		return n, target
+	}
+	var found *LiftedNode
+	var foundPath string
+	lt.Root.Walk(func(path string, n *LiftedNode) bool {
+		if n.Name == target {
+			found, foundPath = n, path
+			return false
+		}
+		return true
+	})
+	return found, foundPath
+}
+
+func (lt *LiftedTree) conflict(cond *featmodel.Expr, deltaName, location, format string, args ...interface{}) {
+	lt.Conflicts = append(lt.Conflicts, LiftedConflict{
+		Cond:     cond,
+		Delta:    deltaName,
+		Location: location,
+		Msg:      fmt.Sprintf(format, args...),
+	})
+}
+
+// applyLifted performs one delta's operations on the merged tree,
+// guarded by the delta's activation condition. Each branch mirrors the
+// corresponding case of applyDelta; where the concrete branch fails
+// with an ApplyError, the lifted branch records a Conflict guarded by
+// the configurations that would hit the failure and carries on, so one
+// Lift covers every product.
+func (lt *LiftedTree) applyLifted(d *Delta) {
+	g := d.When
+	for _, op := range d.Ops {
+		target, loc := lt.resolveLifted(op.Target)
+		if target == nil {
+			lt.conflict(g, d.Name, op.Target, "%v %s: target node not found", op.Kind, op.Target)
+			continue
+		}
+		if target.Cond != nil {
+			// The target exists only conditionally: configurations that
+			// activate the delta but not the target fail enumeratively.
+			lt.conflict(featmodel.AndOpt(g, featmodel.Not(target.Cond)), d.Name, loc,
+				"%v %s: target node not found", op.Kind, op.Target)
+		}
+		gAbs := featmodel.AndOpt(target.Cond, g)
+
+		switch op.Kind {
+		case OpAdds:
+			for _, fp := range op.Fragment.Properties {
+				if lp := target.Prop(fp.Name); lp != nil && len(lp.Variants) > 0 {
+					present, always := orConds(lp.Variants)
+					cond := gAbs
+					if !always {
+						cond = featmodel.AndOpt(gAbs, present)
+					}
+					lt.conflict(cond, d.Name, loc+"#"+fp.Name,
+						"%v %s: property %s already exists", op.Kind, op.Target, fp.Name)
+				}
+				target.setVariant(fp, gAbs, d.Name, false)
+			}
+			for _, fc := range op.Fragment.Children {
+				if existing := target.Child(fc.Name); existing != nil {
+					lt.conflict(featmodel.AndOpt(gAbs, existing.Cond), d.Name, loc+"/"+fc.Name,
+						"%v %s: node %s already exists", op.Kind, op.Target, fc.Name)
+					existing.Cond = featmodel.OrOpt(existing.Cond, gAbs)
+					existing.mergeLifted(fc, gAbs, d.Name)
+				} else {
+					target.Children = append(target.Children, liftFragmentNode(fc, gAbs, d.Name))
+				}
+			}
+
+		case OpModifies:
+			target.mergeLifted(op.Fragment, gAbs, d.Name)
+
+		case OpRemovesNode:
+			if target == lt.Root {
+				lt.conflict(g, d.Name, loc, "%v %s: cannot remove the root node", op.Kind, op.Target)
+				continue
+			}
+			lt.removeNode(target, gAbs)
+
+		case OpRemovesProperty:
+			lp := target.Prop(op.PropName)
+			if lp == nil || len(lp.Variants) == 0 {
+				lt.conflict(gAbs, d.Name, loc+"#"+op.PropName,
+					"%v %s: property %s not found", op.Kind, op.Target, op.PropName)
+				continue
+			}
+			if present, always := orConds(lp.Variants); !always {
+				lt.conflict(featmodel.AndOpt(gAbs, featmodel.Not(present)), d.Name, loc+"#"+op.PropName,
+					"%v %s: property %s not found", op.Kind, op.Target, op.PropName)
+			}
+			restrictVariants(lp, gAbs)
+		}
+	}
+}
+
+// setVariant appends a guarded variant for a fragment property. With
+// overwrite (modifies semantics) the previous variants are restricted
+// to configurations where the write does not happen; without it
+// (adds semantics) they are left alone — the overlap is flagged as a
+// Conflict by the caller and the merged value there is don't-care.
+func (ln *LiftedNode) setVariant(p *dts.Property, cond *featmodel.Expr, deltaName string, overwrite bool) {
+	lp := ln.Prop(p.Name)
+	if lp == nil {
+		lp = &LiftedProperty{Name: p.Name}
+		ln.Props = append(ln.Props, lp)
+	} else if overwrite {
+		restrictVariants(lp, cond)
+	}
+	origin := p.Origin
+	origin.Delta = deltaName
+	lp.Variants = append(lp.Variants, &LiftedVariant{Cond: cond, Value: p.Value.Clone(), Origin: origin})
+}
+
+// restrictVariants conjoins ¬cond onto every variant; an unconditional
+// restriction (cond == nil) erases them.
+func restrictVariants(lp *LiftedProperty, cond *featmodel.Expr) {
+	if cond == nil {
+		lp.Variants = nil
+		return
+	}
+	not := featmodel.Not(cond)
+	for _, v := range lp.Variants {
+		v.Cond = featmodel.AndOpt(v.Cond, not)
+	}
+}
+
+// mergeLifted is Node.Merge lifted under a guard: properties are
+// overwritten in the configurations satisfying cond, children merged
+// recursively (widening their presence) or appended guarded, and
+// delete markers replayed as guarded removals.
+func (ln *LiftedNode) mergeLifted(frag *dts.Node, cond *featmodel.Expr, deltaName string) {
+	if frag.Label != "" {
+		ln.Labels = append(ln.Labels, LiftedLabel{Cond: cond, Label: frag.Label})
+	}
+	for _, name := range frag.DeletedProperties() {
+		if lp := ln.Prop(name); lp != nil {
+			restrictVariants(lp, cond)
+		}
+	}
+	for _, name := range frag.DeletedNodes() {
+		if c := ln.Child(name); c != nil {
+			restrictNode(c, cond)
+		}
+	}
+	for _, p := range frag.Properties {
+		ln.setVariant(p, cond, deltaName, true)
+	}
+	for _, c := range frag.Children {
+		if mine := ln.Child(c.Name); mine != nil {
+			mine.Cond = featmodel.OrOpt(mine.Cond, cond)
+			mine.mergeLifted(c, cond, deltaName)
+		} else {
+			ln.Children = append(ln.Children, liftFragmentNode(c, cond, deltaName))
+		}
+	}
+	if deltaName != "" {
+		// Advisory only: reports re-derive the witness product
+		// concretely, which regenerates exact blame.
+		ln.Origin.Delta = deltaName
+	}
+}
+
+// removeNode restricts a node's presence (and its whole subtree's) to
+// configurations where the removal is inactive; an unconditional
+// removal detaches the node.
+func (lt *LiftedTree) removeNode(target *LiftedNode, cond *featmodel.Expr) {
+	if cond == nil {
+		lt.Root.Walk(func(_ string, n *LiftedNode) bool {
+			for i, c := range n.Children {
+				if c == target {
+					n.Children = append(n.Children[:i], n.Children[i+1:]...)
+					return false
+				}
+			}
+			return true
+		})
+		return
+	}
+	restrictNode(target, cond)
+}
+
+// restrictNode conjoins ¬cond onto the node and every descendant, so
+// descendants of a removed node stay absent even if a later delta
+// re-creates the node name.
+func restrictNode(ln *LiftedNode, cond *featmodel.Expr) {
+	not := featmodel.Not(cond)
+	var rec func(n *LiftedNode)
+	rec = func(n *LiftedNode) {
+		n.Cond = featmodel.AndOpt(n.Cond, not)
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(ln)
+}
+
+// orConds disjoins the variants' presence conditions; always reports
+// that some variant is unconditional (so the property always exists).
+func orConds(vs []*LiftedVariant) (cond *featmodel.Expr, always bool) {
+	if len(vs) == 0 {
+		return nil, false
+	}
+	cond = vs[0].Cond
+	for _, v := range vs[1:] {
+		cond = featmodel.OrOpt(cond, v.Cond)
+	}
+	return cond, cond == nil
+}
+
+// Project materializes the concrete tree of one configuration from the
+// merged tree: nodes whose presence condition holds, each property
+// taking its last variant whose guard holds (later deltas append later,
+// so last-true is last-writer-wins, matching enumerative application
+// order). Subtrees of absent nodes are skipped wholesale. Project is
+// the semantic ground truth the differential tests compare against
+// Set.Apply; the lifted checkers never project — they query guards
+// symbolically.
+func (lt *LiftedTree) Project(cfg featmodel.Configuration) *dts.Tree {
+	sel := map[string]bool(cfg)
+	return &dts.Tree{
+		Root:        projectNode(lt.Root, sel),
+		MemReserves: append([]dts.MemReserve(nil), lt.MemReserves...),
+	}
+}
+
+func projectNode(ln *LiftedNode, sel map[string]bool) *dts.Node {
+	n := &dts.Node{Name: ln.Name, Origin: ln.Origin}
+	for _, l := range ln.Labels {
+		if featmodel.EvalOpt(l.Cond, sel) {
+			n.Label = l.Label
+		}
+	}
+	for _, lp := range ln.Props {
+		var chosen *LiftedVariant
+		for _, v := range lp.Variants {
+			if featmodel.EvalOpt(v.Cond, sel) {
+				chosen = v
+			}
+		}
+		if chosen != nil {
+			n.Properties = append(n.Properties, &dts.Property{
+				Name: lp.Name, Value: chosen.Value.Clone(), Origin: chosen.Origin,
+			})
+		}
+	}
+	for _, c := range ln.Children {
+		if featmodel.EvalOpt(c.Cond, sel) {
+			n.Children = append(n.Children, projectNode(c, sel))
+		}
+	}
+	return n
+}
+
+// ActiveConflicts returns the conflicts whose guard holds under the
+// configuration — the lifted image of the ApplyError / AmbiguityError
+// the enumerative pipeline would raise for that product.
+func (lt *LiftedTree) ActiveConflicts(cfg featmodel.Configuration) []LiftedConflict {
+	sel := map[string]bool(cfg)
+	var out []LiftedConflict
+	for _, c := range lt.Conflicts {
+		if featmodel.EvalOpt(c.Cond, sel) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Dump renders the merged tree — structure, guards, values, origins,
+// conflicts and application order — as deterministic text. The check
+// cache folds this into its content address for lifted runs: two
+// product lines whose merged trees dump identically have identical
+// lifted findings.
+func (lt *LiftedTree) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "order %q\n", lt.Order)
+	for _, mr := range lt.MemReserves {
+		fmt.Fprintf(&b, "memreserve 0x%x 0x%x\n", mr.Address, mr.Size)
+	}
+	cond := func(e *featmodel.Expr) string {
+		if e == nil {
+			return "-"
+		}
+		return e.String()
+	}
+	lt.Root.Walk(func(path string, n *LiftedNode) bool {
+		fmt.Fprintf(&b, "node %q cond %q origin %q\n", path, cond(n.Cond), n.Origin.String())
+		for _, l := range n.Labels {
+			fmt.Fprintf(&b, "  label %q cond %q\n", l.Label, cond(l.Cond))
+		}
+		for _, p := range n.Props {
+			fmt.Fprintf(&b, "  prop %q\n", p.Name)
+			for _, v := range p.Variants {
+				fmt.Fprintf(&b, "    variant cond %q value %q origin %q\n",
+					cond(v.Cond), dts.FormatValue(v.Value), v.Origin.String())
+			}
+		}
+		return true
+	})
+	for _, c := range lt.Conflicts {
+		fmt.Fprintf(&b, "conflict cond %q delta %q loc %q msg %q\n",
+			cond(c.Cond), c.Delta, c.Location, c.Msg)
+	}
+	return b.String()
+}

@@ -60,6 +60,16 @@ func printNode(b *strings.Builder, n *Node, depth int) {
 	b.WriteString("};\n")
 }
 
+// FormatValue renders a property value in the canonical DTS syntax the
+// printer uses, for consumers that need a deterministic textual form of
+// a value outside a full tree print (e.g. the lifted-tree dump that
+// feeds the check cache key).
+func FormatValue(v Value) string {
+	var b strings.Builder
+	printValue(&b, v)
+	return b.String()
+}
+
 func printValue(b *strings.Builder, v Value) {
 	for i, c := range v.Chunks {
 		if i > 0 {

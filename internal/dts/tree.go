@@ -228,6 +228,21 @@ func (n *Node) RemoveProperty(name string) bool {
 	return false
 }
 
+// DeletedProperties returns the /delete-property/ markers recorded on
+// the node, in declaration order. Merge replays these against its
+// target; consumers that reimplement merge semantics over a different
+// tree representation (the lifted tree in internal/delta) need to see
+// them too.
+func (n *Node) DeletedProperties() []string {
+	return append([]string(nil), n.delProps...)
+}
+
+// DeletedNodes returns the /delete-node/ markers recorded on the node,
+// in declaration order.
+func (n *Node) DeletedNodes() []string {
+	return append([]string(nil), n.delNodes...)
+}
+
 // Walk visits the subtree rooted at n in depth-first order, passing
 // each node's path (absolute when n is the root node). Returning false
 // from fn stops the walk.

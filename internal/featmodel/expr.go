@@ -44,6 +44,37 @@ func Or(a, b *Expr) *Expr { return &Expr{Kind: ExprOr, Args: []*Expr{a, b}} }
 // Implies returns a → b.
 func Implies(a, b *Expr) *Expr { return &Expr{Kind: ExprImplies, Args: []*Expr{a, b}} }
 
+// AndOpt conjoins two optional guard expressions, where nil stands for
+// "true" (unconditionally present). The lifted checking machinery
+// composes presence conditions with these helpers so that fully
+// unconditional artifacts keep a nil guard and cost nothing to encode.
+func AndOpt(a, b *Expr) *Expr {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return And(a, b)
+}
+
+// OrOpt disjoins two optional guard expressions (nil = "true"); the
+// result is nil whenever either side is unconditional.
+func OrOpt(a, b *Expr) *Expr {
+	if a == nil || b == nil {
+		return nil
+	}
+	return Or(a, b)
+}
+
+// EvalOpt evaluates an optional guard expression (nil = "true").
+func EvalOpt(e *Expr, selected map[string]bool) bool {
+	if e == nil {
+		return true
+	}
+	return e.Eval(selected)
+}
+
 // Names returns the set of feature names mentioned by the expression.
 func (e *Expr) Names() []string {
 	seen := make(map[string]bool)

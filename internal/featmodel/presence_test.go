@@ -1,0 +1,163 @@
+package featmodel
+
+import (
+	"math/rand"
+	"testing"
+
+	"llhsc/internal/logic"
+	"llhsc/internal/sat"
+)
+
+// randomGuardExpr builds a random guard expression over the given
+// feature names, occasionally negated or compounded, mirroring the
+// shapes delta "when" clauses take.
+func randomGuardExpr(rng *rand.Rand, names []string, depth int) *Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		e := Var(names[rng.Intn(len(names))])
+		if rng.Intn(3) == 0 {
+			return Not(e)
+		}
+		return e
+	}
+	a := randomGuardExpr(rng, names, depth-1)
+	b := randomGuardExpr(rng, names, depth-1)
+	switch rng.Intn(3) {
+	case 0:
+		return And(a, b)
+	case 1:
+		return Or(a, b)
+	default:
+		return Implies(a, b)
+	}
+}
+
+// TestPresenceLiteralEquivalence is the property-based check behind
+// lifted checking: for random small models and random guards, the
+// presence literal is satisfiable together with the feature-model
+// formula exactly when some enumerated valid configuration satisfies
+// the guard, and pinning any configuration makes the literal agree with
+// Expr.Eval on that configuration.
+func TestPresenceLiteralEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		m := randomSmallModel(seed)
+		if len(m.Names()) > 14 {
+			continue
+		}
+		products := bruteForceProducts(t, m)
+		pe := NewPresenceEncoder(m)
+		rng := rand.New(rand.NewSource(seed + 1000))
+		names := m.Names()
+
+		for trial := 0; trial < 8; trial++ {
+			e := randomGuardExpr(rng, names, 2)
+			lit := pe.Literal(e)
+			if again := pe.Literal(e); again != lit {
+				t.Fatalf("seed %d: Literal(%s) not cached: %v vs %v", seed, e, lit, again)
+			}
+
+			// Direction 1: enumerated valid configurations → lifted.
+			// Pinning every feature to a valid product forces the
+			// presence literal to Eval's verdict on that product.
+			anyHolds := false
+			for _, p := range products {
+				cfg := ConfigOf(p...)
+				want := e.Eval(cfg)
+				if want {
+					anyHolds = true
+				}
+				assumptions := append(pinAll(pe, m, cfg), lit)
+				got := pe.Solve(assumptions...) == sat.Sat
+				if got != want {
+					t.Errorf("seed %d: guard %s on product %v: lifted=%v eval=%v",
+						seed, e, p, got, want)
+				}
+			}
+
+			// Direction 2: lifted → enumerated valid configurations.
+			// A free solve over FM ∧ lit is Sat exactly when some valid
+			// product satisfies the guard, and the decoded model must be
+			// such a product.
+			st := pe.Solve(lit)
+			if got := st == sat.Sat; got != anyHolds {
+				t.Errorf("seed %d: guard %s: SAT(FM ∧ guard)=%v but brute force says %v",
+					seed, e, got, anyHolds)
+				continue
+			}
+			if st == sat.Sat {
+				cfg := pe.Config()
+				if !e.Eval(cfg) {
+					t.Errorf("seed %d: guard %s: decoded config %v does not satisfy the guard",
+						seed, e, cfg.Sorted())
+				}
+				if !containsProduct(products, cfg.Sorted()) {
+					t.Errorf("seed %d: guard %s: decoded config %v is not a valid product",
+						seed, e, cfg.Sorted())
+				}
+			}
+		}
+	}
+}
+
+// pinAll returns assumptions fixing every feature to its value in cfg.
+func pinAll(pe *PresenceEncoder, m *Model, cfg Configuration) []logic.Lit {
+	var out []logic.Lit
+	for _, name := range m.Names() {
+		l := pe.FeatureLit(name)
+		if !cfg[name] {
+			l = -l
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// containsProduct reports whether the lexicographically sorted
+// selection appears among the brute-forced products (which list names
+// in model DFS order).
+func containsProduct(products [][]string, sorted []string) bool {
+	for _, p := range products {
+		if equalStrings(sortedCopy(p), sorted) {
+			return true
+		}
+	}
+	return false
+}
+
+// nonVoidSmallModel returns a deterministic random model that admits at
+// least one product (some seeds produce void models).
+func nonVoidSmallModel(t *testing.T) *Model {
+	t.Helper()
+	for seed := int64(0); seed < 50; seed++ {
+		m := randomSmallModel(seed)
+		if !NewAnalyzer(m).IsVoid() {
+			return m
+		}
+	}
+	t.Fatal("no non-void model among the first 50 seeds")
+	return nil
+}
+
+func TestPresenceUnknownFeatureIsFalse(t *testing.T) {
+	m := nonVoidSmallModel(t)
+	pe := NewPresenceEncoder(m)
+	if pe.Solve(pe.Literal(Var("no-such-feature"))) == sat.Sat {
+		t.Errorf("guard over an unknown feature must be unsatisfiable")
+	}
+	if pe.Solve(pe.Literal(Not(Var("no-such-feature")))) != sat.Sat {
+		t.Errorf("negated unknown feature must be satisfiable in a non-void model")
+	}
+}
+
+func TestPresenceNilGuardIsTrue(t *testing.T) {
+	m := nonVoidSmallModel(t)
+	pe := NewPresenceEncoder(m)
+	if pe.Solve(pe.Literal(nil)) != sat.Sat {
+		t.Errorf("nil guard must be satisfiable exactly when the model is non-void")
+	}
+	if pe.Solve(-pe.Literal(nil)) == sat.Sat {
+		t.Errorf("negated constant-true literal must be unsatisfiable")
+	}
+	if pe.Queries() != 2 {
+		t.Errorf("Queries() = %d, want 2", pe.Queries())
+	}
+}

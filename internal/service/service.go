@@ -97,6 +97,10 @@ type Options struct {
 	// region-overlap queries (sweep by default; the -semantic-strategy
 	// server flag).
 	SemanticStrategy constraints.SemanticStrategy
+	// Mode is the default checking mode for /check (enumerate by
+	// default; the -mode server flag). A request's "mode" field
+	// overrides it per call.
+	Mode core.Mode
 	// Registry, when non-nil, enables metrics: per-endpoint latency
 	// histograms, the in-flight gauge, pipeline solver counters and the
 	// check-cache counters all register on it, and the handler serves
@@ -127,6 +131,11 @@ type CheckRequest struct {
 	// VMs selects the features of each VM product; abstract ancestors
 	// are implied automatically.
 	VMs [][]string `json:"vms"`
+	// Mode overrides the server's default checking mode for this
+	// request: "enumerate" (per-product) or "lifted" (whole product
+	// line in one solver session). Empty keeps the server default;
+	// anything else answers 400.
+	Mode string `json:"mode,omitempty"`
 }
 
 // Violation is the JSON form of a constraint violation.
@@ -136,6 +145,16 @@ type Violation struct {
 	Rule     string `json:"rule"`
 	Message  string `json:"message"`
 	Delta    string `json:"delta,omitempty"`
+}
+
+// LiftedFinding is the JSON form of one family-based finding: a
+// violation that some valid configuration of the product line
+// exhibits, together with that witness configuration (sorted feature
+// names). Only lifted-mode responses carry these.
+type LiftedFinding struct {
+	Family    string    `json:"family"`
+	Violation Violation `json:"violation"`
+	Config    []string  `json:"config"`
 }
 
 // VMResult is the JSON form of one VM's outcome.
@@ -150,8 +169,11 @@ type VMResult struct {
 type CheckResponse struct {
 	OK         bool        `json:"ok"`
 	Allocation []Violation `json:"allocation,omitempty"`
-	VMs        []VMResult  `json:"vms"`
-	Platform   VMResult    `json:"platform"`
+	// Lifted carries the family-based findings of a lifted-mode run;
+	// per-VM and platform violation lists stay empty in that mode.
+	Lifted   []LiftedFinding `json:"lifted,omitempty"`
+	VMs      []VMResult      `json:"vms"`
+	Platform VMResult        `json:"platform"`
 
 	PlatformC       string   `json:"platformC,omitempty"`
 	ConfigC         string   `json:"configC,omitempty"`
@@ -567,6 +589,14 @@ func (s *server) runCheck(ctx context.Context, req *CheckRequest) (*CheckRespons
 		configs[i] = cfg
 	}
 
+	mode := s.opts.Mode
+	if req.Mode != "" {
+		mode, err = core.ParseMode(req.Mode)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+	}
+
 	markPhase(ctx, "pipeline")
 	lintOnly := s.degrade.active()
 	pipeline := &core.Pipeline{
@@ -578,6 +608,7 @@ func (s *server) runCheck(ctx context.Context, req *CheckRequest) (*CheckRespons
 		Cache:            s.cache,
 		Metrics:          s.pipeMetrics,
 		SemanticStrategy: s.opts.SemanticStrategy,
+		Mode:             mode,
 		LintOnly:         lintOnly,
 	}
 	report, err := pipeline.RunContext(ctx, s.opts.Limits)
@@ -591,6 +622,7 @@ func (s *server) runCheck(ctx context.Context, req *CheckRequest) (*CheckRespons
 		OK:         report.OK(),
 		Stats:      &stats,
 		Allocation: toViolations(report.Allocation),
+		Lifted:     toLiftedFindings(report.Lifted),
 		Platform: VMResult{
 			Name:       "platform",
 			Deltas:     report.Platform.Trace,
@@ -622,6 +654,30 @@ func (s *server) runCheck(ctx context.Context, req *CheckRequest) (*CheckRespons
 		resp.RequestID = sc.id
 	}
 	return resp, http.StatusOK, nil
+}
+
+// toLiftedFindings copies a lifted-mode report's findings into their
+// JSON shape (the witness configuration flattens to its sorted feature
+// names). Nothing aliases the report, so Release stays safe.
+func toLiftedFindings(fs []constraints.LiftedFinding) []LiftedFinding {
+	if len(fs) == 0 {
+		return nil
+	}
+	out := make([]LiftedFinding, 0, len(fs))
+	for _, f := range fs {
+		out = append(out, LiftedFinding{
+			Family: f.Family,
+			Violation: Violation{
+				Path:     f.Violation.Path,
+				Property: f.Violation.Property,
+				Rule:     f.Violation.Rule,
+				Message:  f.Violation.Message,
+				Delta:    f.Violation.Origin.Delta,
+			},
+			Config: f.Config.Sorted(),
+		})
+	}
+	return out
 }
 
 func toViolations(vs []constraints.Violation) []Violation {

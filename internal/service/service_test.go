@@ -134,6 +134,86 @@ delta clash after d6 when uart1 && (veth0 || veth1) {
 	}
 }
 
+// TestCheckLiftedMode exercises the per-request mode override: the
+// clean running example passes in lifted mode with lifted metadata in
+// the stats; the clash corpus fails with findings carrying witness
+// configurations; an unknown mode answers 400.
+func TestCheckLiftedMode(t *testing.T) {
+	srv := newServer(t)
+	var req CheckRequest
+	getJSON(t, srv.URL+"/example", &req)
+	req.Mode = "lifted"
+
+	var out CheckResponse
+	if resp := postJSON(t, srv.URL+"/check", req, &out); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/check status %d", resp.StatusCode)
+	}
+	if !out.OK {
+		t.Fatalf("running example rejected in lifted mode: %+v", out.Lifted)
+	}
+	if len(out.Lifted) != 0 {
+		t.Errorf("clean line produced lifted findings: %+v", out.Lifted)
+	}
+	if out.Stats == nil || out.Stats.Lifted == nil {
+		t.Fatal("lifted-mode response missing lifted stats")
+	}
+	if out.Stats.Lifted.Queries == 0 {
+		t.Error("lifted stats report no solver queries")
+	}
+	if out.ConfigC == "" {
+		t.Error("passing lifted run generated no artifacts")
+	}
+
+	t.Run("findings with witnesses", func(t *testing.T) {
+		clash := req
+		clash.Deltas += `
+delta clash after d6 when uart1 && (veth0 || veth1) {
+    modifies uart@30000000 {
+        reg = <0x60000000 0x1000>;
+    }
+}
+`
+		var out CheckResponse
+		if resp := postJSON(t, srv.URL+"/check", clash, &out); resp.StatusCode != http.StatusOK {
+			t.Fatalf("/check status %d", resp.StatusCode)
+		}
+		if out.OK {
+			t.Fatal("clash not detected in lifted mode")
+		}
+		if len(out.Lifted) == 0 {
+			t.Fatal("no lifted findings on the clash corpus")
+		}
+		blamed := false
+		for _, f := range out.Lifted {
+			if len(f.Config) == 0 {
+				t.Errorf("finding without witness configuration: %+v", f)
+			}
+			if f.Violation.Rule == "semantic:overlap" && f.Violation.Delta == "clash" {
+				blamed = true
+			}
+		}
+		if !blamed {
+			t.Errorf("no lifted finding blamed on delta 'clash': %+v", out.Lifted)
+		}
+		if out.ConfigC != "" {
+			t.Error("artifacts must not be generated on failure")
+		}
+	})
+
+	t.Run("unknown mode", func(t *testing.T) {
+		bad := req
+		bad.Mode = "family"
+		var out errorResponse
+		resp := postJSON(t, srv.URL+"/check", bad, &out)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("status = %d, want 400", resp.StatusCode)
+		}
+		if !strings.Contains(out.Error, "enumerate or lifted") {
+			t.Errorf("error does not list valid modes: %q", out.Error)
+		}
+	})
+}
+
 func TestCheckInputValidation(t *testing.T) {
 	srv := newServer(t)
 
