@@ -1,5 +1,5 @@
 // Command llhsc-bench regenerates every table and figure of the paper
-// (experiments E1–E7) plus the scaling/ablation extensions (E8–E18).
+// (experiments E1–E7) plus the scaling/ablation extensions (E8–E19).
 // See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
 // recorded results.
 //
@@ -13,6 +13,7 @@
 //	llhsc-bench -lifted-json BENCH_lifted.json       # emit the E16 artifact
 //	llhsc-bench -persist-json BENCH_persist.json     # emit the E17 artifact
 //	llhsc-bench -word-json BENCH_word.json           # emit the E18 artifact
+//	llhsc-bench -obsdeep-json BENCH_obsdeep.json     # emit the E19 artifact
 //	llhsc-bench -list
 package main
 
@@ -33,7 +34,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("llhsc-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id (e1..e18) or 'all'")
+	exp := fs.String("exp", "all", "experiment id (e1..e19) or 'all'")
 	list := fs.Bool("list", false, "list experiments")
 	parallelJSON := fs.String("parallel-json", "",
 		"write the E13 parallel-speedup measurement to this JSON file and exit")
@@ -50,6 +51,9 @@ func run(args []string) error {
 	persistVMs := fs.Int("persist-vms", 6, "product-line size for -persist-json")
 	wordJSON := fs.String("word-json", "",
 		"write the E18 word-tier measurement to this JSON file and exit")
+	obsdeepJSON := fs.String("obsdeep-json", "",
+		"write the E19 deep-diagnostics overhead measurement to this JSON file and exit")
+	obsdeepVMs := fs.Int("obsdeep-vms", 6, "product-line size for -obsdeep-json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,6 +97,13 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *wordJSON)
+		return nil
+	}
+	if *obsdeepJSON != "" {
+		if err := bench.WriteDeepObsJSON(*obsdeepJSON, *obsdeepVMs); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *obsdeepJSON)
 		return nil
 	}
 	if *list {

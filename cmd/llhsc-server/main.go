@@ -11,7 +11,8 @@
 //	             [-shutdown-grace 15s] [-parallel 0] [-cache-size 256]
 //	             [-cache-dir ""] [-cache-max-bytes 0] [-degrade off]
 //	             [-semantic-strategy sweep] [-mode enumerate]
-//	             [-pprof 0] [-log-requests=true]
+//	             [-pprof 0] [-log-requests=true] [-flight-size 64]
+//	             [-flight-dump ""] [-slow-query-ms 0] [-slow-query-dir ""]
 //
 // The server always serves Prometheus-format metrics on GET /metrics
 // (request latency, solver work, cache counters) and, unless
@@ -34,6 +35,21 @@
 //
 // -pprof <port> exposes net/http/pprof on 127.0.0.1:<port> (loopback
 // only, never the service listener); 0 keeps profiling off.
+//
+// -flight-size keeps the last N requests in a flight-recorder ring,
+// served as JSON on GET /debug/flight to loopback peers; with
+// -flight-dump the ring is written to disk when a request panics, a
+// solver budget runs out, or the process receives SIGQUIT.
+// -slow-query-ms logs solver queries over the threshold as structured
+// warn lines, and -slow-query-dir additionally writes a replayable
+// reproducer bundle per slow query for `llhsc replay`.
+//
+// Build metadata (llhsc_build_info on /metrics, the "build" block on
+// /healthz, the startup log line) is stamped at build time:
+//
+//	go build -ldflags "-X llhsc/internal/buildinfo.Version=v1.2.3 \
+//	  -X llhsc/internal/buildinfo.Commit=$(git rev-parse --short HEAD) \
+//	  -X llhsc/internal/buildinfo.Date=$(date -u +%Y-%m-%dT%H:%M:%SZ)" ./cmd/llhsc-server
 package main
 
 import (
@@ -50,6 +66,7 @@ import (
 	"syscall"
 	"time"
 
+	"llhsc/internal/buildinfo"
 	"llhsc/internal/constraints"
 	"llhsc/internal/core"
 	"llhsc/internal/obs"
@@ -109,6 +126,14 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		"expose net/http/pprof on 127.0.0.1:<port> (0 = disabled)")
 	logRequests := fs.Bool("log-requests", true,
 		"emit one structured JSON log line per request on stderr")
+	flightSize := fs.Int("flight-size", obs.DefaultFlightCapacity,
+		"flight-recorder ring size: last N requests served on GET /debug/flight, loopback only (0 = disabled)")
+	flightDump := fs.String("flight-dump", "",
+		"file the flight ring is dumped to on a panic, a budget-limit stop or SIGQUIT (empty = no dumps)")
+	slowQueryMs := fs.Float64("slow-query-ms", 0,
+		"log solver queries at or over this many milliseconds as structured warn lines (0 = off)")
+	slowQueryDir := fs.String("slow-query-dir", "",
+		"write a replayable reproducer bundle per slow query into this directory, for `llhsc replay` (requires -slow-query-ms)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -120,16 +145,20 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	}
 
 	opts := service.Options{
-		RequestTimeout:   *requestTimeout,
-		MaxInFlight:      *maxInflight,
-		MaxBodyBytes:     *maxBody,
-		CacheSize:        *cacheSize,
-		CacheDir:         *cacheDir,
-		CacheMaxBytes:    *cacheMaxBytes,
-		Degrade:          *degrade,
-		SemanticStrategy: strategy,
-		Mode:             mode,
-		Registry:         obs.NewRegistry(), // serves GET /metrics
+		RequestTimeout:     *requestTimeout,
+		MaxInFlight:        *maxInflight,
+		MaxBodyBytes:       *maxBody,
+		CacheSize:          *cacheSize,
+		CacheDir:           *cacheDir,
+		CacheMaxBytes:      *cacheMaxBytes,
+		Degrade:            *degrade,
+		SemanticStrategy:   strategy,
+		Mode:               mode,
+		Registry:           obs.NewRegistry(), // serves GET /metrics
+		FlightSize:         *flightSize,
+		FlightDumpPath:     *flightDump,
+		SlowQueryMs:        *slowQueryMs,
+		SlowQueryBundleDir: *slowQueryDir,
 		Limits: core.Limits{
 			Solver:      sat.Budget{MaxConflicts: *solverConflicts},
 			Parallelism: *parallel,
@@ -147,8 +176,27 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	}
 	defer svc.Close()
 	handler := http.Handler(svc)
+	info := buildinfo.Get()
+	log.Printf("llhsc-server %s (commit %s, built %s, %s)",
+		info.Version, info.Commit, info.Date, info.GoVersion)
 	if *cacheDir != "" {
 		log.Printf("llhsc-server persistent cache tier at %s", *cacheDir)
+	}
+
+	if fr := svc.FlightRecorder(); fr != nil && *flightDump != "" {
+		// SIGQUIT dumps the flight ring on demand (kill -QUIT <pid>)
+		// instead of the Go runtime's goroutine-dump-and-exit default.
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		go func() {
+			for range quit {
+				if path, derr := fr.Dump("sigquit", ""); derr != nil {
+					log.Printf("flight dump: %v", derr)
+				} else if path != "" {
+					log.Printf("flight ring dumped to %s", path)
+				}
+			}
+		}()
 	}
 
 	if *pprofPort != 0 {

@@ -47,6 +47,7 @@ func Experiments() []Experiment {
 		{"e16", "Family-based lifted checking vs product enumeration", RunE16},
 		{"e17", "Persistent cache tier: warm-restart hit-rate recovery", RunE17},
 		{"e18", "Word-level tier vs bit-blast: concrete corpus and cell ladder", RunE18},
+		{"e19", "Deep diagnostics overhead: slow-query instrumentation off vs on", RunE19},
 	}
 }
 

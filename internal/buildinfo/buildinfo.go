@@ -1,0 +1,52 @@
+// Package buildinfo carries the build identity stamped into llhsc
+// binaries. CI (and any release build) overrides the defaults with
+//
+//	go build -ldflags "\
+//	  -X llhsc/internal/buildinfo.Version=$(git describe --tags --always) \
+//	  -X llhsc/internal/buildinfo.Commit=$(git rev-parse --short HEAD) \
+//	  -X llhsc/internal/buildinfo.Date=$(date -u +%Y-%m-%dT%H:%M:%SZ)" ./...
+//
+// An unstamped build reports version "dev" so dashboards can tell a
+// local binary from a released one.
+package buildinfo
+
+import (
+	"runtime"
+
+	"llhsc/internal/obs"
+)
+
+// Stamped via -ldflags -X; see the package comment.
+var (
+	Version = "dev"
+	Commit  = "unknown"
+	Date    = "unknown"
+)
+
+// Info is the JSON-ready build identity block (the /healthz "build"
+// field and the `llhsc version` output).
+type Info struct {
+	Version   string `json:"version"`
+	Commit    string `json:"commit"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go"`
+}
+
+// Get returns the build identity of the running binary.
+func Get() Info {
+	return Info{Version: Version, Commit: Commit, Date: Date, GoVersion: runtime.Version()}
+}
+
+// Register exposes the identity as the llhsc_build_info gauge: a
+// constant 1 whose labels carry the interesting values, the standard
+// Prometheus idiom for build metadata.
+func Register(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	info := Get()
+	reg.NewGaugeVec("llhsc_build_info",
+		"Build identity of the running binary (constant 1; values in labels).",
+		"version", "commit", "goversion").
+		With(info.Version, info.Commit, info.GoVersion).Set(1)
+}

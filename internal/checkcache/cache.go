@@ -23,6 +23,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"sync"
+	"time"
 
 	"llhsc/internal/checkcache/persist"
 	"llhsc/internal/constraints"
@@ -97,6 +98,12 @@ type Cache struct {
 	// Disk-tier counters, separate from the in-memory hit/miss pair so
 	// the pinned Stats shape is untouched.
 	diskHits, diskMisses, diskErrors, diskWrites obs.Counter
+
+	// lookupSeconds, set by RegisterMetrics, exposes per-tier lookup
+	// latency distributions (memory hit, single-flight join, disk hit,
+	// full compute). Nil on an unregistered cache: the lookup path then
+	// pays one nil check and never reads a clock.
+	lookupSeconds *obs.HistogramVec
 }
 
 // New returns a cache holding at most capacity results. capacity <= 0
@@ -143,6 +150,18 @@ func (c *Cache) RegisterMetrics(reg *obs.Registry) {
 			st := c.Stats()
 			return st.HitRate
 		}))
+	c.lookupSeconds = reg.NewHistogramVec("llhsc_checkcache_lookup_seconds",
+		"Cache lookup latency by serving tier: memory hit, single-flight join, disk hit, or full compute.",
+		nil, "tier")
+}
+
+// observeLookup records one successful lookup's latency under its
+// serving tier. No-op until RegisterMetrics installs the histogram.
+func (c *Cache) observeLookup(tier string, t0 time.Time) {
+	if c.lookupSeconds == nil {
+		return
+	}
+	c.lookupSeconds.With(tier).Observe(time.Since(t0).Seconds())
 }
 
 // Stats returns a snapshot of the counters. Safe on a nil cache.
@@ -180,6 +199,10 @@ func (c *Cache) Do(ctx context.Context, key string, fn func() ([]constraints.Vio
 		v, err := fn()
 		return v, false, err
 	}
+	var t0 time.Time
+	if c.lookupSeconds != nil {
+		t0 = time.Now()
+	}
 	for {
 		// A caller whose deadline already passed must not become a
 		// leader (it would compute a result nobody can use) or re-join
@@ -193,6 +216,7 @@ func (c *Cache) Do(ctx context.Context, key string, fn func() ([]constraints.Vio
 			c.hits.Inc()
 			v := el.Value.(*entry).violations
 			c.mu.Unlock()
+			c.observeLookup("memory", t0)
 			return copyViolations(v), true, nil
 		}
 		if f, ok := c.inflight[key]; ok {
@@ -206,6 +230,7 @@ func (c *Cache) Do(ctx context.Context, key string, fn func() ([]constraints.Vio
 				c.mu.Lock()
 				c.hits.Inc()
 				c.mu.Unlock()
+				c.observeLookup("join", t0)
 				return copyViolations(f.val), true, nil
 			}
 			// The leader failed (budget, cancellation). If this
@@ -239,6 +264,13 @@ func (c *Cache) Do(ctx context.Context, key string, fn func() ([]constraints.Vio
 		}
 		c.mu.Unlock()
 		close(f.done)
+		if f.err == nil {
+			if f.fromDisk {
+				c.observeLookup("disk", t0)
+			} else {
+				c.observeLookup("compute", t0)
+			}
+		}
 		return copyViolations(f.val), f.fromDisk, f.err
 	}
 }

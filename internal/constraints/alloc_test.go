@@ -1,6 +1,8 @@
 package constraints
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"llhsc/internal/addr"
@@ -26,5 +28,48 @@ func TestDecideConcretePairZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("DecideConcretePair allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestWordTierSweepUninstrumentedNoPerPairAllocs pins the other half of
+// the hot-path contract: with OnQuery nil (slow-query logging off, the
+// production default) the word-tier pair sweep must not allocate per
+// pair. A fixed per-call setup cost is tolerated; what must not happen
+// is allocation scaling with the pair count — that would mean the
+// instrumentation hooks leak onto the disabled path.
+func TestWordTierSweepUninstrumentedNoPerPairAllocs(t *testing.T) {
+	const n = 32
+	regions := make([]addr.Region, n)
+	for i := range regions {
+		regions[i] = addr.Region{
+			Base: 0x1000_0000 + uint64(i)*0x1_0000,
+			Size: 0x100,
+			Path: fmt.Sprintf("/dev@%d", i),
+		}
+	}
+	var pairs [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+
+	sc := NewSemanticChecker() // OnQuery nil: instrumentation disabled
+	ctx := context.Background()
+	allocsFor := func(ps [][2]int) float64 {
+		return testing.AllocsPerRun(200, func() {
+			out, err := sc.findAssume(ctx, regions, 64, ps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) != 0 {
+				t.Fatal("disjoint regions produced collisions")
+			}
+		})
+	}
+	few, many := allocsFor(pairs[:4]), allocsFor(pairs)
+	if many > few {
+		t.Errorf("word-tier sweep allocates per pair with OnQuery nil: %.1f allocs for %d pairs vs %.1f for 4",
+			many, len(pairs), few)
 	}
 }

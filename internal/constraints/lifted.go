@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"llhsc/internal/addr"
 	"llhsc/internal/delta"
 	"llhsc/internal/dts"
 	"llhsc/internal/featmodel"
+	"llhsc/internal/obs"
 	"llhsc/internal/sat"
 	"llhsc/internal/schema"
 )
@@ -104,6 +106,12 @@ type LiftedChecker struct {
 	LintOnly bool
 	// Budget bounds the shared session's work per CheckContext call.
 	Budget sat.Budget
+	// OnQuery, when non-nil, receives one QueryRecord per reachability
+	// query the shared session answers (cache hits in the guard cache
+	// never reach it). Same contract as SemanticChecker.OnQuery: the
+	// hook runs inline, and leaving it nil keeps the query loop free of
+	// record construction.
+	OnQuery func(obs.QueryRecord)
 
 	stats LiftedStats
 }
@@ -211,19 +219,52 @@ func (r *liftedRun) reachable(cond *featmodel.Expr) (bool, featmodel.Configurati
 		return res.ok, res.cfg
 	}
 	lit := r.pe.Literal(cond)
+	var t0 time.Time
+	var before sat.Stats
+	if r.lc.OnQuery != nil {
+		t0 = time.Now()
+		before = r.pe.Stats()
+	}
 	st, err := r.pe.SolveContext(r.ctx, lit)
+	res := reachResult{ok: err == nil && st == sat.Sat}
+	if res.ok {
+		res.cfg = r.pe.Config()
+	}
+	if r.lc.OnQuery != nil {
+		r.lc.emitReach(key, st, err, time.Since(t0), r.pe.Stats().Sub(before), res.cfg)
+	}
 	if err != nil {
 		r.err = err
 		return false, nil
 	}
-	res := reachResult{ok: st == sat.Sat}
-	if res.ok {
-		res.cfg = r.pe.Config()
-	} else {
+	if !res.ok {
 		r.lc.stats.Pruned++
 	}
 	r.reach[key] = res
 	return res.ok, res.cfg
+}
+
+// emitReach builds and delivers one lifted reachability record. Called
+// only when OnQuery is non-nil.
+func (lc *LiftedChecker) emitReach(key string, st sat.Status, err error, elapsed time.Duration, d sat.Stats, cfg featmodel.Configuration) {
+	q := obs.QueryRecord{
+		Family:       "lifted",
+		Tier:         "lifted",
+		Query:        key,
+		Verdict:      "unsat",
+		Millis:       float64(elapsed) / float64(time.Millisecond),
+		Conflicts:    d.Conflicts,
+		Decisions:    d.Decisions,
+		Propagations: d.Propagations,
+	}
+	switch {
+	case err != nil:
+		q.Verdict = "limit"
+	case st == sat.Sat:
+		q.Verdict = "sat"
+		q.Witness = fmt.Sprintf("%v", cfg.Sorted())
+	}
+	lc.OnQuery(q)
 }
 
 // emit reports a violation if its guard is reachable.

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"llhsc/internal/addr"
 	"llhsc/internal/dts"
+	"llhsc/internal/obs"
 	"llhsc/internal/sat"
 	"llhsc/internal/smt"
 )
@@ -82,6 +84,13 @@ type SemanticChecker struct {
 	// Strategy selects how pair queries reach the solver (see
 	// SemanticStrategy). The zero value is StrategySweep.
 	Strategy SemanticStrategy
+	// OnQuery, when non-nil, receives one QueryRecord per pair decision
+	// — word tier and SAT tier alike — with wall time and the per-query
+	// solver-work delta (including witness extraction). The hook runs
+	// inline on the checking goroutine; keep it cheap. Leaving it nil
+	// (the default) keeps the decision loops on their zero-allocation
+	// path: not even a QueryRecord is built (see alloc_test.go).
+	OnQuery func(obs.QueryRecord)
 
 	stats SemanticStats
 }
@@ -274,22 +283,41 @@ func (sc *SemanticChecker) findPairwise(ctx context.Context, regions []addr.Regi
 	var lim error
 	for _, pair := range pairs {
 		a, b := regions[pair[0]], regions[pair[1]]
+		var t0 time.Time
+		var before sat.Stats
+		callsBefore := sc.stats.SolverCalls
+		if sc.OnQuery != nil {
+			t0 = time.Now()
+			before = sc.stats.Solver.Add(solver.Stats().SAT)
+		}
 		solver.Push()
 		solver.Assert(overlapTerm(sctx, x, a, width))
 		solver.Assert(overlapTerm(sctx, x, b, width))
 		st, err := solver.CheckContext(ctx)
 		sc.stats.SolverCalls++
 		solver.Pop()
+		var w uint64
 		if st == sat.Sat {
-			w, werr := sc.witnessFor(ctx, a, b, width)
+			var werr error
+			w, werr = sc.witnessFor(ctx, a, b, width)
 			if werr != nil {
 				lim = werr
-				break
+			} else {
+				out = append(out, Collision{A: a, B: b, Witness: w})
 			}
-			out = append(out, Collision{A: a, B: b, Witness: w})
 		}
-		if err != nil {
+		if lim == nil && err != nil {
 			lim = err
+		}
+		if sc.OnQuery != nil {
+			// stats.Solver already holds the witness solvers' work
+			// (witnessFor absorbs on return), so the delta against the
+			// combined snapshot covers the whole decision.
+			after := sc.stats.Solver.Add(solver.Stats().SAT)
+			sc.emitPair("sat", a, b, st == sat.Sat, w, time.Since(t0),
+				after.Sub(before), sc.stats.SolverCalls-callsBefore, lim)
+		}
+		if lim != nil {
 			break
 		}
 	}
@@ -347,10 +375,17 @@ func (sc *SemanticChecker) findAssume(ctx context.Context, regions []addr.Region
 				lim = &sat.LimitError{Reason: sat.StopCanceled, Err: err}
 				break
 			}
+			var t0 time.Time
+			if sc.OnQuery != nil {
+				t0 = time.Now()
+			}
 			overlap, w := DecideConcretePair(a, b, width)
 			sc.stats.WordDecided++
 			if overlap {
 				out = append(out, Collision{A: a, B: b, Witness: w})
+			}
+			if sc.OnQuery != nil {
+				sc.emitPair("word", a, b, overlap, w, time.Since(t0), sat.Stats{}, 0, nil)
 			}
 			continue
 		}
@@ -361,6 +396,13 @@ func (sc *SemanticChecker) findAssume(ctx context.Context, regions []addr.Region
 			x = sctx.BVVar("x", width)
 			acts = make([]*smt.Term, len(regions))
 		}
+		var t0 time.Time
+		var before sat.Stats
+		callsBefore := sc.stats.SolverCalls
+		if sc.OnQuery != nil {
+			t0 = time.Now()
+			before = sc.stats.Solver.Add(solver.Stats().SAT)
+		}
 		// Only the pair's literals are assumed; the others stay free.
 		// Forcing every inactive literal false measures slower here —
 		// each extra assumption is a decision level whose watch lists
@@ -370,16 +412,25 @@ func (sc *SemanticChecker) findAssume(ctx context.Context, regions []addr.Region
 		assumptions = append(assumptions, act(pair[0]), act(pair[1]))
 		st, err := solver.CheckAssumingContext(ctx, assumptions...)
 		sc.stats.SolverCalls++
+		var w uint64
 		if st == sat.Sat {
-			w, werr := sc.witnessFor(ctx, a, b, width)
+			var werr error
+			w, werr = sc.witnessFor(ctx, a, b, width)
 			if werr != nil {
 				lim = werr
-				break
+			} else {
+				out = append(out, Collision{A: a, B: b, Witness: w})
 			}
-			out = append(out, Collision{A: a, B: b, Witness: w})
 		}
-		if err != nil {
+		if lim == nil && err != nil {
 			lim = err
+		}
+		if sc.OnQuery != nil {
+			after := sc.stats.Solver.Add(solver.Stats().SAT)
+			sc.emitPair("sat", a, b, st == sat.Sat, w, time.Since(t0),
+				after.Sub(before), sc.stats.SolverCalls-callsBefore, lim)
+		}
+		if lim != nil {
 			break
 		}
 	}
@@ -457,6 +508,39 @@ func minimizeBV(ctx context.Context, solver *smt.Solver, x *smt.Term, width int,
 		}
 	}
 	return val, nil
+}
+
+// RegionLabel is the stable identity of one region in query records
+// and reproducer bundles: node path plus reg-entry index. Replay
+// matches re-run collisions against bundle queries by this label.
+func RegionLabel(r addr.Region) string {
+	return fmt.Sprintf("%s[%d]", r.Path, r.Index)
+}
+
+// emitPair builds and delivers one pair-decision record. Called only
+// when OnQuery is non-nil, so the disabled path never reaches the
+// formatting below.
+func (sc *SemanticChecker) emitPair(tier string, a, b addr.Region, overlap bool, witness uint64, elapsed time.Duration, d sat.Stats, calls int, lim error) {
+	q := obs.QueryRecord{
+		Family:       "semantic",
+		Tier:         tier,
+		A:            RegionLabel(a),
+		B:            RegionLabel(b),
+		Verdict:      "disjoint",
+		Millis:       float64(elapsed) / float64(time.Millisecond),
+		SolverCalls:  calls,
+		Conflicts:    d.Conflicts,
+		Decisions:    d.Decisions,
+		Propagations: d.Propagations,
+	}
+	if overlap {
+		q.Verdict = "overlap"
+		q.Witness = fmt.Sprintf("0x%x", witness)
+	}
+	if lim != nil {
+		q.Verdict = "limit"
+	}
+	sc.OnQuery(q)
 }
 
 func sortCollisions(out []Collision) {

@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"llhsc/internal/checkcache"
 	"llhsc/internal/constraints"
@@ -91,7 +92,15 @@ func (p *Pipeline) runLifted(ctx context.Context, st *runState, report *Report, 
 		lc.Budget = st.limits.Solver
 		lc.SkipInterrupts = p.SkipInterrupts
 		lc.LintOnly = p.LintOnly
+		lc.OnQuery = p.liftedObserver(st)
+		var t0 time.Time
+		if p.Metrics != nil {
+			t0 = time.Now()
+		}
 		findings, err := lc.CheckContext(ctx, lt)
+		if p.Metrics != nil {
+			p.Metrics.observeFamily("lifted", "lifted", time.Since(t0).Seconds())
+		}
 		stats := lc.LastStats()
 		st.addFamily("lifted", familyStatsFromLifted(stats))
 		st.addLifted(liftedRunStatsFrom(stats))

@@ -226,6 +226,7 @@ type PipelineMetrics struct {
 	internHits      *obs.Counter
 	internMisses    *obs.Counter
 	runs            *obs.Counter
+	checkSeconds    *obs.HistogramVec
 
 	// Lifted-mode counters (DESIGN.md §14): total lifted queries,
 	// configurations pruned as unreachable, and solver sessions opened;
@@ -265,6 +266,9 @@ func NewPipelineMetrics(reg *obs.Registry) *PipelineMetrics {
 			"Candidate violations the lifted session proved unreachable by any valid configuration."),
 		liftedSessions: reg.NewCounter("llhsc_lifted_sessions_total",
 			"Lifted solver sessions opened (one per uncached ModeLifted run)."),
+		checkSeconds: reg.NewHistogramVec("llhsc_check_seconds",
+			"Per-family check latency by dominant decision tier (word/sat/lifted/none).",
+			nil, "family", "tier"),
 	}
 	reg.Register("llhsc_lifted_session_reuse",
 		"Average lifted queries discharged per solver session (the incremental-reuse ratio).",
@@ -276,6 +280,30 @@ func NewPipelineMetrics(reg *obs.Registry) *PipelineMetrics {
 			return float64(m.liftedQueries.Value()) / float64(sessions)
 		}))
 	return m
+}
+
+// observeFamily records one family check's wall time under its
+// dominant decision tier — the llhsc_check_seconds{family,tier}
+// distribution. Nil-safe so call sites stay unconditional-looking.
+func (m *PipelineMetrics) observeFamily(family, tier string, seconds float64) {
+	if m == nil {
+		return
+	}
+	m.checkSeconds.With(family, tier).Observe(seconds)
+}
+
+// familyTier names the decision tier that dominated one family check:
+// "sat" if any query reached a solver, "word" if the interval tier
+// decided everything, "none" for purely structural families.
+func familyTier(fs FamilyStats) string {
+	switch {
+	case fs.SolverCalls > 0:
+		return "sat"
+	case fs.WordDecided > 0:
+		return "word"
+	default:
+		return "none"
+	}
 }
 
 // observe folds one run's stats into the cross-run counters.

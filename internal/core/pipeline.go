@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"llhsc/internal/baogen"
 	"llhsc/internal/checkcache"
@@ -125,6 +126,17 @@ type Pipeline struct {
 	// cache counters (see PipelineMetrics). Safe to share across
 	// pipelines; the server shares one instance across requests.
 	Metrics *PipelineMetrics
+	// SlowQuery, when non-nil, receives one record per semantic pair
+	// decision and lifted reachability query; records at or over its
+	// threshold emit a structured log line. Nil (the default) leaves
+	// the checkers' OnQuery hooks unset, so the decision loops never
+	// build a record. Safe to share across pipelines.
+	SlowQuery *obs.SlowQueryLog
+	// SlowQueryBundleDir, when set alongside SlowQuery, receives one
+	// self-contained reproducer bundle per slow query (see ReproBundle
+	// and `llhsc replay`). Bundles are content-addressed and
+	// deduplicated.
+	SlowQueryBundleDir string
 	// Cache, when non-nil, memoizes per-tree check results keyed by
 	// the canonical tree text, the tree's origin dump (blame metadata
 	// is invisible in the printed text but embedded in cached
@@ -284,7 +296,14 @@ func (p *Pipeline) RunContext(ctx context.Context, limits Limits) (*Report, erro
 	alloc.SetBudget(limits.Solver)
 	allocSpan := root.StartChild("allocation")
 	before := alloc.Stats()
+	var allocStart time.Time
+	if p.Metrics != nil {
+		allocStart = time.Now()
+	}
 	report.Allocation, err = alloc.CheckContext(ctx, p.VMConfigs)
+	if p.Metrics != nil {
+		p.Metrics.observeFamily("allocation", "sat", time.Since(allocStart).Seconds())
+	}
 	d := alloc.Stats().Sub(before)
 	st.addFamily("allocation", familyStatsFromSAT(d))
 	allocSpan.SetInt("conflicts", d.Conflicts)
@@ -592,6 +611,7 @@ func (p *Pipeline) checkerFamilies(st *runState, tree *dts.Tree) []checkerFamily
 			sem := constraints.NewSemanticChecker()
 			sem.Budget = st.limits.Solver
 			sem.Strategy = p.SemanticStrategy
+			sem.OnQuery = p.semanticObserver(st, tree)
 			_, violations, err := sem.CheckContext(ctx, tree)
 			return violations, familyStatsFrom(sem.LastStats()), err
 		}},
@@ -619,7 +639,14 @@ func (p *Pipeline) checkerFamilies(st *runState, tree *dts.Tree) []checkerFamily
 func (p *Pipeline) runFamily(ctx context.Context, st *runState, f checkerFamily, span *obs.Span) ([]constraints.Violation, error) {
 	span.Begin() // pre-created for deterministic order; work starts here
 	defer span.End()
+	var t0 time.Time
+	if p.Metrics != nil {
+		t0 = time.Now()
+	}
 	vs, fs, err := f.run(ctx)
+	if p.Metrics != nil {
+		p.Metrics.observeFamily(f.name, familyTier(fs), time.Since(t0).Seconds())
+	}
 	st.addFamily(f.name, fs)
 	if span != nil {
 		span.SetInt("violations", uint64(len(vs)))

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// traceEvent is one Chrome trace-event ("X" = complete event, "M" =
+// metadata). Timestamps and durations are microseconds, per the trace
+// event format spec.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  *float64          `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTraceDoc is the JSON-object form of the trace event format,
+// loadable by chrome://tracing and Perfetto.
+type chromeTraceDoc struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serializes a span snapshot as Chrome trace-event
+// JSON. The output is a pure function of the snapshot: events are
+// emitted in depth-first pre-order, args maps marshal with sorted
+// keys, and no clocks are consulted — identical snapshots produce
+// identical bytes, which the determinism tests pin.
+//
+// Track layout: everything runs in pid 1. The root span and each of
+// its direct children's subtrees get their own tid (root = 0, i-th
+// direct child's subtree = i+1), so parallel per-product work renders
+// as parallel tracks instead of overlapping on one.
+func WriteChromeTrace(w io.Writer, root SpanSnapshot) error {
+	events := []traceEvent{{
+		Name: "process_name",
+		Ph:   "M",
+		Pid:  1,
+		Args: map[string]string{"name": "llhsc"},
+	}}
+	var walk func(sn SpanSnapshot, tid int)
+	walk = func(sn SpanSnapshot, tid int) {
+		dur := sn.Millis * 1000
+		ev := traceEvent{
+			Name: sn.Name,
+			Ph:   "X",
+			Ts:   sn.StartMs * 1000,
+			Dur:  &dur,
+			Pid:  1,
+			Tid:  tid,
+		}
+		if len(sn.Attrs) > 0 {
+			ev.Args = make(map[string]string, len(sn.Attrs))
+			for _, a := range sn.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		events = append(events, ev)
+		for _, c := range sn.Children {
+			walk(c, tid)
+		}
+	}
+	rootEv := traceEvent{Name: root.Name, Ph: "X", Ts: root.StartMs * 1000, Pid: 1, Tid: 0}
+	rootDur := root.Millis * 1000
+	rootEv.Dur = &rootDur
+	if len(root.Attrs) > 0 {
+		rootEv.Args = make(map[string]string, len(root.Attrs))
+		for _, a := range root.Attrs {
+			rootEv.Args[a.Key] = a.Value
+		}
+	}
+	events = append(events, rootEv)
+	for i, c := range root.Children {
+		walk(c, i+1)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTraceDoc{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

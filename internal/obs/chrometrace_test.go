@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixedSnapshot is a hand-built span tree with known offsets, so the
+// expected trace bytes are fully determined.
+func fixedSnapshot() SpanSnapshot {
+	return SpanSnapshot{
+		Name:   "request",
+		Millis: 10,
+		Attrs:  []Attr{{Key: "mode", Value: "enumerate"}},
+		Children: []SpanSnapshot{
+			{Name: "vm:vm1", StartMs: 1, Millis: 4, Children: []SpanSnapshot{
+				{Name: "semantic", StartMs: 2, Millis: 2},
+			}},
+			{Name: "platform", StartMs: 5, Millis: 4},
+		},
+	}
+}
+
+func TestWriteChromeTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, fixedSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Pid  int               `json:"pid"`
+			Tid  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	// metadata + root + 3 spans
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("event count = %d, want 5", len(doc.TraceEvents))
+	}
+	meta := doc.TraceEvents[0]
+	if meta.Ph != "M" || meta.Name != "process_name" || meta.Args["name"] != "llhsc" {
+		t.Errorf("first event = %+v, want process_name metadata", meta)
+	}
+	root := doc.TraceEvents[1]
+	if root.Name != "request" || root.Ph != "X" || root.Tid != 0 || root.Dur != 10000 {
+		t.Errorf("root event = %+v, want request X tid=0 dur=10000us", root)
+	}
+	if root.Args["mode"] != "enumerate" {
+		t.Errorf("root args = %v, want mode=enumerate", root.Args)
+	}
+	// The vm subtree shares tid 1; platform gets tid 2. Timestamps are
+	// microseconds of the StartMs offsets.
+	byName := map[string]int{}
+	for i, ev := range doc.TraceEvents {
+		byName[ev.Name] = i
+	}
+	vm := doc.TraceEvents[byName["vm:vm1"]]
+	sem := doc.TraceEvents[byName["semantic"]]
+	plat := doc.TraceEvents[byName["platform"]]
+	if vm.Tid != 1 || sem.Tid != 1 || plat.Tid != 2 {
+		t.Errorf("tids = vm:%d semantic:%d platform:%d, want 1 1 2", vm.Tid, sem.Tid, plat.Tid)
+	}
+	if vm.Ts != 1000 || sem.Ts != 2000 || plat.Ts != 5000 {
+		t.Errorf("ts = vm:%v semantic:%v platform:%v, want 1000 2000 5000", vm.Ts, sem.Ts, plat.Ts)
+	}
+}
+
+// TestWriteChromeTraceDeterministic pins the byte-determinism contract:
+// the same snapshot must serialize to the same bytes, every time.
+func TestWriteChromeTraceDeterministic(t *testing.T) {
+	var first bytes.Buffer
+	if err := WriteChromeTrace(&first, fixedSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		var again bytes.Buffer
+		if err := WriteChromeTrace(&again, fixedSnapshot()); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatalf("run %d produced different bytes:\n%s\nvs\n%s", i, first.String(), again.String())
+		}
+	}
+}
+
+// TestSnapshotStartOffsets pins that Snapshot records child start
+// offsets relative to the root, which the trace exporter depends on.
+func TestSnapshotStartOffsets(t *testing.T) {
+	root := NewSpan("root")
+	time.Sleep(2 * time.Millisecond)
+	child := root.StartChild("child")
+	time.Sleep(1 * time.Millisecond)
+	child.End()
+	root.End()
+	sn := root.Snapshot()
+	if sn.StartMs != 0 {
+		t.Errorf("root StartMs = %v, want 0", sn.StartMs)
+	}
+	if len(sn.Children) != 1 {
+		t.Fatalf("children = %d, want 1", len(sn.Children))
+	}
+	if got := sn.Children[0].StartMs; got < 1 {
+		t.Errorf("child StartMs = %v, want >= 1ms after root", got)
+	}
+	if sn.Children[0].StartMs > sn.Millis {
+		t.Errorf("child starts (%vms) after root ended (%vms)", sn.Children[0].StartMs, sn.Millis)
+	}
+}
+
+func TestWriteChromeTraceOfLiveTree(t *testing.T) {
+	root := NewSpan("llhsc")
+	c := root.StartChild("phase")
+	c.SetAttr("cache", "miss")
+	c.End()
+	root.End()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, root.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"phase"`) || !strings.Contains(buf.String(), `"cache": "miss"`) {
+		t.Errorf("trace missing phase or attr:\n%s", buf.String())
+	}
+}

@@ -372,6 +372,24 @@ func (r *Registry) NewHistogramVec(name, help string, bounds []float64, labelNam
 	return hv
 }
 
+// FamilyInfo describes one registered metric family — the metrics
+// hygiene tests iterate these to check naming and help conventions.
+type FamilyInfo struct {
+	Name, Help, Type string
+}
+
+// Families returns every registered family sorted by name.
+func (r *Registry) Families() []FamilyInfo {
+	r.mu.Lock()
+	out := make([]FamilyInfo, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, FamilyInfo{Name: f.name, Help: f.help, Type: f.metric.metricType()})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // WritePrometheus renders every registered family in Prometheus text
 // exposition format, sorted by family name for a stable scrape.
 func (r *Registry) WritePrometheus(w io.Writer) {

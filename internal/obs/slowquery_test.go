@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestSlowQueryLogThreshold(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowQueryLog(&buf, 5)
+	l.Observe(QueryRecord{Family: "semantic", Tier: "word", Millis: 0.01})
+	l.Observe(QueryRecord{Family: "semantic", Tier: "sat", A: "/a[0]", B: "/b[0]",
+		Verdict: "overlap", Witness: "0x40000000", Millis: 12.5, Conflicts: 3})
+	if l.Observed() != 2 {
+		t.Errorf("Observed = %d, want 2", l.Observed())
+	}
+	if l.SlowCount() != 1 {
+		t.Errorf("SlowCount = %d, want 1", l.SlowCount())
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 1 {
+		t.Fatalf("log lines = %d, want 1 (only the slow query)", len(lines))
+	}
+	var line map[string]any
+	if err := json.Unmarshal(lines[0], &line); err != nil {
+		t.Fatalf("line is not valid JSON: %v", err)
+	}
+	for k, want := range map[string]any{
+		"level":   "warn",
+		"msg":     "slow-query",
+		"family":  "semantic",
+		"tier":    "sat",
+		"a":       "/a[0]",
+		"b":       "/b[0]",
+		"verdict": "overlap",
+		"witness": "0x40000000",
+	} {
+		if line[k] != want {
+			t.Errorf("line[%s] = %v, want %v", k, line[k], want)
+		}
+	}
+	if line["millis"].(float64) != 12.5 {
+		t.Errorf("millis = %v, want 12.5", line["millis"])
+	}
+	if line["time"] == "" || line["time"] == nil {
+		t.Error("line has no timestamp")
+	}
+}
+
+func TestSlowQueryLogNilSafe(t *testing.T) {
+	var l *SlowQueryLog
+	l.Observe(QueryRecord{Millis: 100}) // must not panic
+	if l.Slow(100) {
+		t.Error("nil log claims queries are slow")
+	}
+	if l.Observed() != 0 || l.SlowCount() != 0 || l.ThresholdMs() != 0 {
+		t.Error("nil log must report zero counters")
+	}
+}
+
+func TestSlowQueryLogNilWriterCountsOnly(t *testing.T) {
+	l := NewSlowQueryLog(nil, 0)
+	l.Observe(QueryRecord{Millis: 50})
+	if l.Observed() != 1 || l.SlowCount() != 1 {
+		t.Errorf("counters = (%d, %d), want (1, 1)", l.Observed(), l.SlowCount())
+	}
+}
+
+// TestSlowQueryLogConcurrent pins line atomicity under -race: parallel
+// observers must interleave whole lines, never bytes.
+func TestSlowQueryLogConcurrent(t *testing.T) {
+	var buf syncBuffer
+	l := NewSlowQueryLog(&buf, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Observe(QueryRecord{Family: "semantic", Tier: "sat", Verdict: "disjoint", Millis: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Observed() != 400 {
+		t.Fatalf("Observed = %d, want 400", l.Observed())
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 400 {
+		t.Fatalf("log lines = %d, want 400", len(lines))
+	}
+	for i, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal(ln, &m); err != nil {
+			t.Fatalf("line %d is torn: %v: %s", i, err, ln)
+		}
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for concurrent log tests.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) Bytes() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.b.Bytes()...)
+}

@@ -115,9 +115,12 @@ func (s *Span) Duration() time.Duration {
 }
 
 // SpanSnapshot is an immutable copy of a span tree, JSON-ready for the
-// /check response's "stats" block.
+// /check response's "stats" block. StartMs is the span's start offset
+// relative to the snapshotted root (0 for the root itself) — the trace
+// exporter turns it into Chrome trace-event timestamps.
 type SpanSnapshot struct {
 	Name     string         `json:"name"`
+	StartMs  float64        `json:"startMs"`
 	Millis   float64        `json:"ms"`
 	Attrs    []Attr         `json:"attrs,omitempty"`
 	Children []SpanSnapshot `json:"children,omitempty"`
@@ -130,9 +133,18 @@ func (s *Span) Snapshot() SpanSnapshot {
 		return SpanSnapshot{}
 	}
 	s.mu.Lock()
+	base := s.start
+	s.mu.Unlock()
+	return s.snapshotRel(base)
+}
+
+// snapshotRel copies the subtree with start offsets relative to base.
+func (s *Span) snapshotRel(base time.Time) SpanSnapshot {
+	s.mu.Lock()
 	snap := SpanSnapshot{
-		Name:   s.name,
-		Millis: float64(s.dur) / float64(time.Millisecond),
+		Name:    s.name,
+		StartMs: float64(s.start.Sub(base)) / float64(time.Millisecond),
+		Millis:  float64(s.dur) / float64(time.Millisecond),
 	}
 	if !s.ended {
 		snap.Millis = float64(time.Since(s.start)) / float64(time.Millisecond)
@@ -141,7 +153,7 @@ func (s *Span) Snapshot() SpanSnapshot {
 	kids := append([]*Span(nil), s.children...)
 	s.mu.Unlock()
 	for _, c := range kids {
-		snap.Children = append(snap.Children, c.Snapshot())
+		snap.Children = append(snap.Children, c.snapshotRel(base))
 	}
 	return snap
 }

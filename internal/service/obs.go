@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,15 +40,20 @@ func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 
 // reqScope is the per-request observability state carried in the
 // context: the correlation ID, the request's root span (nil unless
-// logging or tracing is enabled), and the last phase/reason a handler
-// recorded before answering.
+// logging or tracing is enabled), the last phase/reason a handler
+// recorded before answering, and the check annotations (mode,
+// strategy, cache tier, stats) the flight record picks up.
 type reqScope struct {
 	id   string
 	span *obs.Span
 
-	mu     sync.Mutex
-	phase  string
-	reason string
+	mu        sync.Mutex
+	phase     string
+	reason    string
+	mode      string
+	strategy  string
+	cacheTier string
+	stats     any
 }
 
 type scopeKey struct{}
@@ -74,6 +80,26 @@ func markReason(ctx context.Context, reason string) {
 	if sc := scopeFrom(ctx); sc != nil {
 		sc.mu.Lock()
 		sc.reason = reason
+		sc.mu.Unlock()
+	}
+}
+
+// markCheck records the check request's resolved mode and semantic
+// strategy for its flight record.
+func markCheck(ctx context.Context, mode, strategy string) {
+	if sc := scopeFrom(ctx); sc != nil {
+		sc.mu.Lock()
+		sc.mode, sc.strategy = mode, strategy
+		sc.mu.Unlock()
+	}
+}
+
+// markCheckOutcome records how a finished check was served (cache tier)
+// and its work summary for its flight record.
+func markCheckOutcome(ctx context.Context, cacheTier string, stats any) {
+	if sc := scopeFrom(ctx); sc != nil {
+		sc.mu.Lock()
+		sc.cacheTier, sc.stats = cacheTier, stats
 		sc.mu.Unlock()
 	}
 }
@@ -191,11 +217,12 @@ func (l *jsonLogger) log(line logLine) {
 }
 
 // observe is the outermost middleware: it assigns the X-Request-ID,
-// installs the request scope (and, when logging is enabled, a root
-// span the pipeline hangs its phase spans off), tracks latency and
-// in-flight metrics, and emits exactly one structured log line per
-// request — for non-2xx responses including the phase reached and the
-// taxonomy class.
+// installs the request scope (and, when logging or the flight recorder
+// is enabled, a root span the pipeline hangs its phase spans off),
+// tracks latency and in-flight metrics, emits exactly one structured
+// log line per request — for non-2xx responses including the phase
+// reached and the taxonomy class — and files the request's flight
+// record.
 func (s *server) observe(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -205,7 +232,7 @@ func (s *server) observe(next http.Handler) http.Handler {
 		}
 		sc := &reqScope{id: id}
 		ctx := context.WithValue(r.Context(), scopeKey{}, sc)
-		if s.logger != nil {
+		if s.logger != nil || s.flight != nil {
 			sc.span = obs.NewSpan("request")
 			ctx = obs.ContextWithSpan(ctx, sc.span)
 		}
@@ -223,11 +250,54 @@ func (s *server) observe(next http.Handler) http.Handler {
 			s.metrics.requestSeconds.With(ep, class).Observe(elapsed.Seconds())
 			s.metrics.requests.With(ep, class).Inc()
 		}
-		if s.logger != nil {
+		if sc.span != nil {
 			sc.span.End()
+		}
+		if s.logger != nil {
 			s.logger.log(requestLogLine(r, sc, status, elapsed, start))
 		}
+		if s.flight != nil {
+			s.recordFlight(r, sc, status, elapsed, start)
+		}
 	})
+}
+
+// recordFlight captures one finished request into the flight ring and,
+// when the request ended in a panic or a budget-limit stop, dumps the
+// ring — including this record — to the configured crash-dump file.
+func (s *server) recordFlight(r *http.Request, sc *reqScope, status int, elapsed time.Duration, start time.Time) {
+	sc.mu.Lock()
+	reason := sc.reason
+	rec := obs.FlightRecord{
+		Time:       start.UTC().Format(time.RFC3339Nano),
+		RequestID:  sc.id,
+		Method:     r.Method,
+		Path:       r.URL.Path,
+		Status:     status,
+		Mode:       sc.mode,
+		Strategy:   sc.strategy,
+		CacheTier:  sc.cacheTier,
+		DurationMs: float64(elapsed) / float64(time.Millisecond),
+		Stats:      sc.stats,
+	}
+	sc.mu.Unlock()
+	rec.Outcome = reason
+	if rec.Outcome == "" {
+		if status >= 300 {
+			rec.Outcome = reasonForStatus(status)
+		} else {
+			rec.Outcome = "ok"
+		}
+	}
+	rec.PhaseMs = topLevelPhaseMillis(sc.span)
+	if sc.span != nil {
+		sn := sc.span.Snapshot()
+		rec.Span = &sn
+	}
+	s.flight.Record(rec)
+	if rec.Outcome == "panic" || strings.HasPrefix(rec.Outcome, "budget:") {
+		s.flight.Dump(rec.Outcome, "")
+	}
 }
 
 // requestLogLine assembles the log record for one finished request.

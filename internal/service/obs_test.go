@@ -15,6 +15,7 @@ import (
 	"sync"
 	"testing"
 
+	"llhsc/internal/buildinfo"
 	"llhsc/internal/obs"
 )
 
@@ -339,9 +340,11 @@ func TestNon2xxLogged(t *testing.T) {
 	}
 }
 
-// TestHealthzJSONShapeUnchanged pins the byte-level /healthz cache
-// object: migrating the counters onto the metrics registry must not
-// change the externally observable JSON.
+// TestHealthzJSONShapeUnchanged pins the byte-level /healthz document
+// for a baseline deployment: evolving the internals (metrics registry,
+// build stamping) must not silently change the externally observable
+// JSON. The build block's values come from the binary itself, so the
+// expectation folds them in from the same source.
 func TestHealthzJSONShapeUnchanged(t *testing.T) {
 	srv := httptest.NewServer(NewHandler(Options{CacheSize: 8}))
 	t.Cleanup(srv.Close)
@@ -354,7 +357,14 @@ func TestHealthzJSONShapeUnchanged(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := `{
+	info := buildinfo.Get()
+	want := fmt.Sprintf(`{
+  "build": {
+    "version": %q,
+    "commit": %q,
+    "date": %q,
+    "go": %q
+  },
   "checkCache": {
     "hits": 0,
     "misses": 0,
@@ -365,7 +375,7 @@ func TestHealthzJSONShapeUnchanged(t *testing.T) {
   },
   "status": "ok"
 }
-`
+`, info.Version, info.Commit, info.Date, info.GoVersion)
 	if string(raw) != want {
 		t.Errorf("/healthz JSON changed:\n got: %s\nwant: %s", raw, want)
 	}

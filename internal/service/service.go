@@ -40,10 +40,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"llhsc/internal/buildinfo"
 	"llhsc/internal/checkcache"
 	"llhsc/internal/checkcache/persist"
 	"llhsc/internal/constraints"
 	"llhsc/internal/core"
+	"llhsc/internal/faultinject"
 	"llhsc/internal/delta"
 	"llhsc/internal/dts"
 	"llhsc/internal/featmodel"
@@ -111,6 +113,31 @@ type Options struct {
 	// lines additionally carry the phase reached and the taxonomy
 	// class). Typically os.Stderr.
 	LogWriter io.Writer
+	// FlightSize, when > 0, enables the flight recorder: a ring buffer
+	// keeping the last FlightSize completed requests (ID, mode,
+	// strategy, per-phase millis, span tree, stats, taxonomy outcome),
+	// served as JSON on GET /debug/flight to loopback peers and dumped
+	// to FlightDumpPath when a request ends in a panic or a
+	// budget-limit stop (the -flight-size server flag).
+	FlightSize int
+	// FlightDumpPath is the file flight-recorder crash dumps write to
+	// ("" = record in memory only, never dump).
+	FlightDumpPath string
+	// SlowQueryMs, when > 0, enables the solver slow-query log: every
+	// semantic pair decision and lifted reachability query is counted,
+	// and queries at or over the threshold emit a structured warn line
+	// on LogWriter plus — with SlowQueryBundleDir set — a self-contained
+	// reproducer bundle `llhsc replay` can re-execute offline.
+	SlowQueryMs float64
+	// SlowQueryBundleDir is the directory slow-query reproducer bundles
+	// are written to ("" = log lines only).
+	SlowQueryBundleDir string
+	// Faults, when non-nil, arms fault-injection points on the request
+	// path (the "service.check" point fires at the top of every /check
+	// pipeline run). Chaos tests use it to drive panics and errors
+	// through the real handler stack; production deployments leave it
+	// nil.
+	Faults *faultinject.Set
 }
 
 const defaultMaxBodyBytes = 4 << 20
@@ -136,6 +163,11 @@ type CheckRequest struct {
 	// line in one solver session). Empty keeps the server default;
 	// anything else answers 400.
 	Mode string `json:"mode,omitempty"`
+	// Trace opts this request into returning its span tree: the
+	// response's "trace" block carries the per-phase timing hierarchy
+	// the pipeline recorded (the same tree `llhsc check -trace-json`
+	// exports in Chrome trace-event form).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Violation is the JSON form of a constraint violation.
@@ -193,6 +225,9 @@ type CheckResponse struct {
 	// Stats is the run's solver and cache work summary (per checker
 	// family), straight from the pipeline.
 	Stats *core.RunStats `json:"stats,omitempty"`
+	// Trace is the request's span tree, present only when the request
+	// set "trace": true.
+	Trace *obs.SpanSnapshot `json:"trace,omitempty"`
 }
 
 // errorResponse is the JSON error envelope. Reason is a stable
@@ -261,6 +296,7 @@ func NewService(opts Options) (*Service, error) {
 	if opts.Registry != nil {
 		s.metrics = newServiceMetrics(opts.Registry)
 		s.pipeMetrics = core.NewPipelineMetrics(opts.Registry)
+		buildinfo.Register(opts.Registry)
 		s.cache.RegisterMetrics(opts.Registry)
 		s.cache.RegisterTierMetrics(opts.Registry)
 		opts.Registry.Register("llhsc_service_draining",
@@ -289,6 +325,13 @@ func NewService(opts Options) (*Service, error) {
 	if opts.LogWriter != nil {
 		s.logger = &jsonLogger{w: opts.LogWriter}
 	}
+	if opts.FlightSize > 0 {
+		s.flight = obs.NewFlightRecorder(opts.FlightSize)
+		s.flight.SetDumpPath(opts.FlightDumpPath)
+	}
+	if opts.SlowQueryMs > 0 {
+		s.slowLog = obs.NewSlowQueryLog(opts.LogWriter, opts.SlowQueryMs)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/example", handleExample)
@@ -296,6 +339,9 @@ func NewService(opts Options) (*Service, error) {
 	mux.Handle("/lint", s.guard(s.handleLint))
 	if opts.Registry != nil {
 		mux.Handle("/metrics", opts.Registry.Handler())
+	}
+	if s.flight != nil {
+		mux.Handle("/debug/flight", obs.LoopbackOnly(s.flight.Handler()))
 	}
 	return &Service{Handler: s.observe(recoverPanics(mux)), srv: s}, nil
 }
@@ -331,7 +377,14 @@ type server struct {
 	metrics     *serviceMetrics       // nil = no Registry configured
 	pipeMetrics *core.PipelineMetrics // nil = no Registry configured
 	logger      *jsonLogger           // nil = no LogWriter configured
+	flight      *obs.FlightRecorder   // nil = flight recorder disabled
+	slowLog     *obs.SlowQueryLog     // nil = slow-query log disabled
 }
+
+// FlightRecorder exposes the service's flight recorder (nil when
+// Options.FlightSize is 0), so the binary's SIGQUIT handler can dump
+// the ring on demand.
+func (svc *Service) FlightRecorder() *obs.FlightRecorder { return svc.srv.flight }
 
 // recoverPanics isolates handler panics: the request answers a JSON
 // 500 (when nothing has been written yet) and the server keeps
@@ -340,6 +393,10 @@ func recoverPanics(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if p := recover(); p != nil {
+				// The precise reason makes the request's log line and
+				// flight record say "panic" (and triggers the flight
+				// recorder's crash dump) instead of the generic class.
+				markReason(r.Context(), "panic")
 				writeError(w, http.StatusInternalServerError, "internal error: %v", p)
 			}
 		}()
@@ -443,12 +500,12 @@ func writeError(w http.ResponseWriter, status int, format string, args ...interf
 }
 
 // handleHealthz serializes the health document. Fields beyond the
-// baseline {status, checkCache} appear only when their feature is
-// configured — a memory-only, no-degradation deployment keeps the
+// baseline {build, status, checkCache} appear only when their feature
+// is configured — a memory-only, no-degradation deployment keeps the
 // exact health shape it always had (pinned by
 // TestHealthzJSONShapeUnchanged).
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	resp := map[string]interface{}{"status": "ok"}
+	resp := map[string]interface{}{"status": "ok", "build": buildinfo.Get()}
 	if s.draining.Load() {
 		resp["status"] = "draining"
 		resp["draining"] = true
@@ -559,6 +616,11 @@ func (s *server) runCheck(ctx context.Context, req *CheckRequest) (*CheckRespons
 		return nil, http.StatusBadRequest,
 			fmt.Errorf("coreDts, deltas, featureModel and vms are all required")
 	}
+	if s.opts.Faults != nil {
+		if err := s.opts.Faults.Fire("service.check"); err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
+	}
 	markPhase(ctx, "parse")
 	includer := dts.MapIncluder(req.Includes)
 	tree, err := dts.Parse("core.dts", req.CoreDTS, s.parseOpts(includer)...)
@@ -596,20 +658,31 @@ func (s *server) runCheck(ctx context.Context, req *CheckRequest) (*CheckRespons
 			return nil, http.StatusBadRequest, err
 		}
 	}
+	markCheck(ctx, mode.String(), s.opts.SemanticStrategy.String())
+
+	// A trace request needs a span tree even when neither logging nor
+	// the flight recorder put one in the context.
+	var traceSpan *obs.Span
+	if req.Trace && obs.SpanFromContext(ctx) == nil {
+		traceSpan = obs.NewSpan("request")
+		ctx = obs.ContextWithSpan(ctx, traceSpan)
+	}
 
 	markPhase(ctx, "pipeline")
 	lintOnly := s.degrade.active()
 	pipeline := &core.Pipeline{
-		Core:             tree,
-		Deltas:           deltas,
-		Model:            model,
-		Schemas:          schema.StandardSet(),
-		VMConfigs:        configs,
-		Cache:            s.cache,
-		Metrics:          s.pipeMetrics,
-		SemanticStrategy: s.opts.SemanticStrategy,
-		Mode:             mode,
-		LintOnly:         lintOnly,
+		Core:               tree,
+		Deltas:             deltas,
+		Model:              model,
+		Schemas:            schema.StandardSet(),
+		VMConfigs:          configs,
+		Cache:              s.cache,
+		Metrics:            s.pipeMetrics,
+		SemanticStrategy:   s.opts.SemanticStrategy,
+		Mode:               mode,
+		LintOnly:           lintOnly,
+		SlowQuery:          s.slowLog,
+		SlowQueryBundleDir: s.opts.SlowQueryBundleDir,
 	}
 	report, err := pipeline.RunContext(ctx, s.opts.Limits)
 	if err != nil {
@@ -653,7 +726,32 @@ func (s *server) runCheck(ctx context.Context, req *CheckRequest) (*CheckRespons
 	if sc := scopeFrom(ctx); sc != nil {
 		resp.RequestID = sc.id
 	}
+	markCheckOutcome(ctx, cacheTierOf(stats), &stats)
+	if req.Trace {
+		span := obs.SpanFromContext(ctx)
+		if traceSpan != nil {
+			traceSpan.End()
+		}
+		if span != nil {
+			sn := span.Snapshot()
+			resp.Trace = &sn
+		}
+	}
 	return resp, http.StatusOK, nil
+}
+
+// cacheTierOf folds a run's cache counters into the single tier label
+// the flight record carries.
+func cacheTierOf(stats core.RunStats) string {
+	switch {
+	case stats.CacheHits > 0 && stats.CacheMisses == 0:
+		return "hit"
+	case stats.CacheHits > 0:
+		return "mixed"
+	case stats.CacheMisses > 0:
+		return "miss"
+	}
+	return "none"
 }
 
 // toLiftedFindings copies a lifted-mode report's findings into their
