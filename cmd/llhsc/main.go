@@ -30,6 +30,7 @@ import (
 	"llhsc/internal/core"
 	"llhsc/internal/delta"
 	"llhsc/internal/dts"
+	"llhsc/internal/dts/preproc"
 	"llhsc/internal/featmodel"
 	"llhsc/internal/obs"
 	"llhsc/internal/runningexample"
@@ -77,13 +78,18 @@ func run(args []string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  llhsc check    -core <dts> -deltas <file> -fm <file> -vm <features> [-vm ...] [-schemas <dir>] [-parallel n] [-mode enumerate|lifted] [-semantic-strategy word|sweep|assume|pairwise|word-off] [-trace] [-trace-json <file>] [-slow-query-ms <t> [-slow-query-dir <dir>]]
-  llhsc generate -core <dts> -deltas <file> -fm <file> -vm <features> [-vm ...] [-o <dir>] [-parallel n] [-mode enumerate|lifted] [-semantic-strategy word|sweep|assume|pairwise|word-off]
+  llhsc check    -core <dts> -deltas <file> -fm <file> -vm <features> [-vm ...] [-I <dir> ...] [-D <name[=value]> ...] [-schemas <dir>] [-parallel n] [-mode enumerate|lifted] [-semantic-strategy word|sweep|assume|pairwise|word-off] [-trace] [-trace-json <file>] [-slow-query-ms <t> [-slow-query-dir <dir>]]
+  llhsc generate -core <dts> -deltas <file> -fm <file> -vm <features> [-vm ...] [-I <dir> ...] [-D <name[=value]> ...] [-o <dir>] [-parallel n] [-mode enumerate|lifted] [-semantic-strategy word|sweep|assume|pairwise|word-off]
   llhsc products -fm <file> [-limit n]
-  llhsc infer-fm -core <dts>
+  llhsc infer-fm -core <dts> [-I <dir> ...] [-D <name[=value]> ...]
   llhsc replay   <bundle.json> [...]   (re-execute slow-query reproducer bundles)
   llhsc demo     [-o <dir>]
-  llhsc version`)
+  llhsc version
+
+Core DTS files are run through the built-in cpp-style preprocessor:
+#include (searching -I directories), #define/-D macros and
+#ifdef/#ifndef conditionals work as they do in the Linux kernel's DTS
+build, and diagnostics point at the original file and line.`)
 }
 
 // vmFlags accumulates repeated -vm flags.
@@ -93,6 +99,52 @@ func (v *vmFlags) String() string { return strings.Join(*v, ";") }
 func (v *vmFlags) Set(s string) error {
 	*v = append(*v, s)
 	return nil
+}
+
+// includeFlags accumulates repeated -I include directories.
+type includeFlags []string
+
+func (v *includeFlags) String() string { return strings.Join(*v, ":") }
+func (v *includeFlags) Set(s string) error {
+	*v = append(*v, s)
+	return nil
+}
+
+// defineFlags accumulates repeated -D NAME[=VALUE] macro definitions;
+// a bare NAME defines it as 1, matching cpp.
+type defineFlags map[string]string
+
+func (d defineFlags) String() string {
+	parts := make([]string, 0, len(d))
+	for name, val := range d {
+		parts = append(parts, name+"="+val)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}
+
+func (d defineFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if name == "" {
+		return fmt.Errorf("-D requires NAME or NAME=VALUE")
+	}
+	if !ok {
+		val = "1"
+	}
+	d[name] = val
+	return nil
+}
+
+// parseCoreDTS runs the real-world ingestion pipeline on a DTS file:
+// cpp preprocessing (#include/#define/#ifdef with the -I search path
+// and -D definitions) followed by parsing, with error positions mapped
+// back to the original files. dtc-style /include/ directives still
+// resolve relative to the file.
+func parseCoreDTS(path string, includes []string, defines map[string]string) (*dts.Tree, error) {
+	return preproc.ParseFile(path, preproc.Options{
+		IncludePaths: includes,
+		Defines:      defines,
+	}, dts.WithIncluder(dts.DirIncluder(filepath.Dir(path))))
 }
 
 func cmdCheckOrGenerate(args []string, generate bool) error {
@@ -120,6 +172,10 @@ func cmdCheckOrGenerate(args []string, generate bool) error {
 		"write a replayable reproducer bundle per slow query into this directory (requires -slow-query-ms)")
 	var vms vmFlags
 	fs.Var(&vms, "vm", "feature list for one VM (repeatable)")
+	var includes includeFlags
+	fs.Var(&includes, "I", "cpp include search directory for the core DTS (repeatable)")
+	defines := defineFlags{}
+	fs.Var(defines, "D", "cpp macro NAME[=VALUE] predefined for the core DTS (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -130,7 +186,7 @@ func cmdCheckOrGenerate(args []string, generate bool) error {
 		return fmt.Errorf("at least one -vm configuration is required")
 	}
 
-	tree, err := dts.ParseFile(*corePath)
+	tree, err := parseCoreDTS(*corePath, includes, defines)
 	if err != nil {
 		return err
 	}
@@ -427,13 +483,17 @@ func cmdProducts(args []string) error {
 func cmdInferFM(args []string) error {
 	fs := flag.NewFlagSet("infer-fm", flag.ContinueOnError)
 	corePath := fs.String("core", "", "core-module DTS file")
+	var includes includeFlags
+	fs.Var(&includes, "I", "cpp include search directory (repeatable)")
+	defines := defineFlags{}
+	fs.Var(defines, "D", "cpp macro NAME[=VALUE] (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *corePath == "" {
 		return fmt.Errorf("infer-fm requires -core")
 	}
-	tree, err := dts.ParseFile(*corePath)
+	tree, err := parseCoreDTS(*corePath, includes, defines)
 	if err != nil {
 		return err
 	}

@@ -82,6 +82,86 @@ func TestInferFM(t *testing.T) {
 	}
 }
 
+// TestParseCoreDTSPreprocesses: the core loader must run the cpp
+// pipeline — resolving -I includes, honoring -D definitions — and map
+// error positions back to the original files.
+func TestParseCoreDTSPreprocesses(t *testing.T) {
+	dir := t.TempDir()
+	inc := filepath.Join(dir, "inc")
+	if err := os.MkdirAll(inc, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite := func(path, src string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustWrite(filepath.Join(inc, "board.h"), "#define UART_BASE 0x9000000\n")
+	core := filepath.Join(dir, "core.dts")
+	mustWrite(core, `/dts-v1/;
+#include <board.h>
+/ {
+	uart0: uart@9000000 {
+		compatible = "ns16550a";
+		reg = <UART_BASE 0x1000>;
+#ifdef WITH_EXTRA
+		extra-prop;
+#endif
+	};
+};
+`)
+
+	tree, err := parseCoreDTS(core, []string{inc}, map[string]string{"WITH_EXTRA": "1"})
+	if err != nil {
+		t.Fatalf("parseCoreDTS: %v", err)
+	}
+	uart := tree.Root.Child("uart@9000000")
+	if uart == nil {
+		t.Fatal("uart node missing")
+	}
+	if v, ok := uart.CellValue("reg"); !ok || v != 0x9000000 {
+		t.Errorf("reg[0] = %#x, %v; want UART_BASE expanded to 0x9000000", v, ok)
+	}
+	if uart.Property("extra-prop") == nil {
+		t.Error("-D WITH_EXTRA did not enable the #ifdef branch")
+	}
+
+	plain, err := parseCoreDTS(core, []string{inc}, nil)
+	if err != nil {
+		t.Fatalf("parseCoreDTS without defines: %v", err)
+	}
+	if plain.Root.Child("uart@9000000").Property("extra-prop") != nil {
+		t.Error("#ifdef branch active without -D WITH_EXTRA")
+	}
+
+	// A syntax error inside an include must be blamed on the header.
+	mustWrite(filepath.Join(inc, "bad.h"), "/ { broken = ; };\n")
+	badCore := filepath.Join(dir, "bad.dts")
+	mustWrite(badCore, "/dts-v1/;\n#include <bad.h>\n")
+	if _, err := parseCoreDTS(badCore, []string{inc}, nil); err == nil {
+		t.Fatal("expected error from broken include")
+	} else if !strings.Contains(err.Error(), "bad.h") {
+		t.Errorf("error not mapped to the include: %v", err)
+	}
+}
+
+func TestDefineFlags(t *testing.T) {
+	d := defineFlags{}
+	if err := d.Set("PLAIN"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Set("PAIR=0x10"); err != nil {
+		t.Fatal(err)
+	}
+	if d["PLAIN"] != "1" || d["PAIR"] != "0x10" {
+		t.Errorf("defines = %v", d)
+	}
+	if err := d.Set("=oops"); err == nil {
+		t.Error("empty macro name must be rejected")
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	tests := [][]string{
 		{},

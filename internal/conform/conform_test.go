@@ -1,6 +1,7 @@
 package conform
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -8,6 +9,7 @@ import (
 
 	"llhsc/internal/delta"
 	"llhsc/internal/dts"
+	"llhsc/internal/dts/preproc"
 	"llhsc/internal/featmodel"
 )
 
@@ -51,6 +53,7 @@ func TestGeneratorCoversGrammar(t *testing.T) {
 	for _, construct := range []string{
 		"/memreserve/", "/delete-node/", "@", ": ", "&", "&{/",
 		"<<", "?", "==", "&&", `\x`, `\\`, "[", `"`, " % ", "'",
+		"/bits/ ", "fwd-prop",
 	} {
 		if !strings.Contains(src, construct) {
 			t.Errorf("100 generated sources never use %q", construct)
@@ -58,6 +61,58 @@ func TestGeneratorCoversGrammar(t *testing.T) {
 	}
 	if !strings.Contains(src, "0x") {
 		t.Error("no hex literals generated")
+	}
+}
+
+// TestGeneratedOverlayOracles: for each seed, generate a base tree and
+// a /plugin/ overlay targeting it, then check that (a) the overlay
+// itself round-trips through the printer, (b) the applied result
+// round-trips, and (c) deriving the overlay as a delta module
+// (delta.FromOverlay) and applying it with the feature on reproduces
+// dts.ApplyOverlay exactly, while the feature off reproduces the base.
+func TestGeneratedOverlayOracles(t *testing.T) {
+	for seed := int64(1); seed <= 100; seed++ {
+		g := NewGenerator(seed)
+		base, err := dts.Parse("base.dts", g.Source())
+		if err != nil {
+			t.Fatalf("seed %d: base does not parse: %v", seed, err)
+		}
+		ovSrc := g.OverlaySource(base)
+		ov, err := dts.Parse("ov.dtso", ovSrc)
+		if err != nil {
+			t.Fatalf("seed %d: overlay does not parse: %v\n%s", seed, err, ovSrc)
+		}
+		if !ov.Plugin {
+			t.Fatalf("seed %d: overlay not marked /plugin/", seed)
+		}
+		if err := CheckRoundTrip(ov); err != nil {
+			t.Fatalf("seed %d: overlay round trip: %v\n%s", seed, err, ovSrc)
+		}
+		merged, err := dts.ApplyOverlay(base, ov)
+		if err != nil {
+			t.Fatalf("seed %d: apply: %v\n%s", seed, err, ovSrc)
+		}
+		if err := CheckRoundTrip(merged); err != nil {
+			t.Fatalf("seed %d: merged round trip: %v", seed, err)
+		}
+		set, err := delta.FromOverlay("gen-overlay", ov, "fa")
+		if err != nil {
+			t.Fatalf("seed %d: FromOverlay: %v", seed, err)
+		}
+		on, _, err := set.Apply(base, featmodel.Configuration{"fa": true})
+		if err != nil {
+			t.Fatalf("seed %d: delta apply: %v", seed, err)
+		}
+		if on.Print() != merged.Print() {
+			t.Fatalf("seed %d: delta-derived product differs from ApplyOverlay\n%s", seed, ovSrc)
+		}
+		off, _, err := set.Apply(base, featmodel.Configuration{})
+		if err != nil {
+			t.Fatalf("seed %d: delta apply (off): %v", seed, err)
+		}
+		if off.Print() != base.Print() {
+			t.Fatalf("seed %d: overlay-off product differs from base", seed)
+		}
 	}
 }
 
@@ -106,6 +161,40 @@ func TestSeedCorpusFiles(t *testing.T) {
 		cfg := featmodel.Configuration{"fa": true, "fb": false, "fc": true}
 		if err := CheckDeltaCommute(core, set, cfg); err != nil {
 			t.Errorf("%s: %v", f, err)
+		}
+	}
+}
+
+// TestPreprocSeedCorpusFiles pins the behavior of each checked-in
+// preprocessor fuzz seed, so corpus rot (or a guard regression) is
+// caught by plain `go test`: the pathological seeds must fail with a
+// *dts.ParseError, the well-formed ones must preprocess cleanly.
+func TestPreprocSeedCorpusFiles(t *testing.T) {
+	wantErr := map[string]bool{
+		"seed_pp_unterminated.pp": true, // unbalanced #ifdef/#ifndef
+		"seed_pp_cycle.pp":        true, // loop.h includes itself
+	}
+	files, err := filepath.Glob("testdata/seed_pp_*.pp")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no preproc seed corpus files: %v", err)
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, perr := preproc.Source(filepath.Base(f), string(data), preprocFuzzOptions())
+		if wantErr[filepath.Base(f)] {
+			var pe *dts.ParseError
+			if perr == nil {
+				t.Errorf("%s: expected a preprocessing error", f)
+			} else if !errors.As(perr, &pe) {
+				t.Errorf("%s: error is not a *dts.ParseError: %T", f, perr)
+			}
+			continue
+		}
+		if perr != nil {
+			t.Errorf("%s: %v", f, perr)
 		}
 	}
 }

@@ -2,6 +2,7 @@ package conform
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"llhsc/internal/dts"
@@ -81,6 +82,77 @@ var dtcConformanceCorpus = []struct {
 	// Multiple cells per property, mixed bases.
 	{"1 010 0x10", []uint32{1, 8, 16}},
 	{"(2 > 1 ? 10 : 20) 0777 'B'", []uint32{10, 511, 66}},
+}
+
+// dtcSourceConformanceCorpus covers whole-unit constructs whose dtc
+// semantics can't be expressed as a single cell expression: /bits/
+// arrays (values truncated to the element width, as dtc does),
+// forward label references in both extension and cell position,
+// root-level /delete-node/ by reference, /omit-if-no-ref/, and
+// /plugin/ overlay fragments. Each source must parse and its canonical
+// print must contain every `want` substring.
+var dtcSourceConformanceCorpus = []struct {
+	name string
+	src  string
+	want []string
+}{
+	{
+		name: "bits widths truncate",
+		src:  "/dts-v1/;\n/ { a = /bits/ 8 <0x1ff 2>; b = /bits/ 16 <0x12345 3>; c = /bits/ 64 <0x100000000 4>; };\n",
+		want: []string{"/bits/ 8 <0xff 0x2>", "/bits/ 16 <0x2345 0x3>", "/bits/ 64 <0x100000000 0x4>"},
+	},
+	{
+		name: "forward label extension",
+		src:  "/dts-v1/;\n&later { added = <1>; };\n/ { later: dev { base = <2>; }; };\n",
+		want: []string{"later: dev", "added = <0x1>", "base = <0x2>"},
+	},
+	{
+		name: "forward cell reference",
+		src:  "/dts-v1/;\n/ { a { link = <&tgt 5>; }; tgt: b { }; };\n",
+		want: []string{"link = <&tgt 0x5>", "tgt: b"},
+	},
+	{
+		name: "delete-node by reference",
+		src:  "/dts-v1/;\n/ { victim: dead { }; alive { }; };\n/delete-node/ &victim;\n",
+		want: []string{"alive"},
+	},
+	{
+		name: "omit-if-no-ref is accepted",
+		src:  "/dts-v1/;\n/ { /omit-if-no-ref/ keep: spare { marker; }; };\n",
+		want: []string{"keep: spare", "marker;"},
+	},
+	{
+		name: "plugin overlay fragments",
+		src:  "/dts-v1/;\n/plugin/;\n/ { shared; };\n&target { status = \"okay\"; };\n&{/soc/dev} { extra = <1>; };\n",
+		want: []string{"/plugin/;", "&target {", "&{/soc/dev} {", "status = \"okay\""},
+	},
+}
+
+func TestDTCSourceConformanceCorpus(t *testing.T) {
+	for _, tc := range dtcSourceConformanceCorpus {
+		tree, err := dts.Parse("corpus.dts", tc.src)
+		if err != nil {
+			t.Errorf("%s: parse failed: %v", tc.name, err)
+			continue
+		}
+		printed := tree.Print()
+		for _, w := range tc.want {
+			if !strings.Contains(printed, w) {
+				t.Errorf("%s: print missing %q:\n%s", tc.name, w, printed)
+			}
+		}
+		if err := CheckRoundTrip(tree); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+	// The delete-node case must actually delete.
+	tree, err := dts.Parse("del.dts", dtcSourceConformanceCorpus[3].src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(tree.Print(), "dead") {
+		t.Error("/delete-node/ &victim; left the node in place")
+	}
 }
 
 // TestDTCConformanceCorpus compiles every corpus expression and checks

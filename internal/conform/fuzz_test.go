@@ -1,13 +1,16 @@
 package conform
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"llhsc/internal/delta"
 	"llhsc/internal/dtb"
 	"llhsc/internal/dts"
+	"llhsc/internal/dts/preproc"
 	"llhsc/internal/featmodel"
 )
 
@@ -68,6 +71,56 @@ func FuzzParse(f *testing.F) {
 		}
 		if _, err := ParseOracle("fuzz.dts", src); err != nil {
 			t.Fatal(err)
+		}
+	})
+}
+
+// preprocFuzzOptions is the fixed environment FuzzPreproc (and the
+// seed-corpus test) runs under: a small in-memory include universe
+// (with a self-include to make cycles reachable) and tight budgets so
+// mutated inputs that probe the guards fail fast instead of stalling
+// the loop.
+func preprocFuzzOptions() preproc.Options {
+	return preproc.Options{
+		IncludePaths: []string{"."},
+		FS: preproc.MapFS{
+			"inc.h":  "#define FROM_INC 1\n",
+			"loop.h": "#include \"loop.h\"\n",
+		},
+		MaxDepth:  8,
+		MaxBytes:  1 << 20,
+		MaxExpand: 1 << 16,
+	}
+}
+
+// FuzzPreproc asserts the preprocessor's error contract on arbitrary
+// input: preproc.Source never panics and never hangs — macro recursion,
+// unterminated conditionals, include cycles and expansion blow-ups must
+// all come back as *dts.ParseError (the guards wrap dts.ErrTooDeep or
+// dts.ErrSourceTooLarge). Accepted outputs must have a resolvable
+// origin for every line.
+func FuzzPreproc(f *testing.F) {
+	addFileSeeds(f, "seed_pp_*.pp")
+	f.Add("#define A(x) ((x) + 1)\nv = <A(A(2))>;\n")
+	f.Add("#ifdef X\n#else\nok;\n#endif\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > maxFuzzInput {
+			t.Skip()
+		}
+		res, err := preproc.Source("fuzz.dts", src, preprocFuzzOptions())
+		if err != nil {
+			var pe *dts.ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("preproc rejection is not a *dts.ParseError: %T: %v", err, err)
+			}
+			return
+		}
+		// Text is newline-terminated when non-empty, so the "\n" count
+		// is exactly the number of output lines.
+		for i := 1; i <= strings.Count(res.Text, "\n"); i++ {
+			if file, line := res.Origin(i); file == "" || line <= 0 {
+				t.Fatalf("output line %d has no origin", i)
+			}
 		}
 	})
 }

@@ -39,9 +39,20 @@ func NewGenerator(seed int64) *Generator {
 // interesting corners: /memreserve/, labels and phandle references,
 // unit addresses, cell expressions (all operators, all literal bases,
 // character literals), string escapes, byte arrays, string lists,
-// label-extension blocks and in-body /delete-node/.
+// /bits/ arrays, label-extension blocks (including forward references
+// placed before the node that defines the label, which dtc resolves in
+// a second pass) and in-body /delete-node/.
 func (g *Generator) Source() string {
 	g.labels, g.paths = nil, nil
+	// The root node is generated first into its own buffer so extension
+	// blocks can be placed before it in the output, turning their label
+	// and cell references into forward references.
+	var root strings.Builder
+	root.WriteString("/ {\n")
+	g.paths = append(g.paths, "/")
+	g.genBody(&root, "", 1)
+	root.WriteString("};\n")
+
 	var b strings.Builder
 	b.WriteString("/dts-v1/;\n\n")
 	for i := g.rng.Intn(3); i > 0; i-- {
@@ -50,14 +61,56 @@ func (g *Generator) Source() string {
 		fmt.Fprintf(&b, "/memreserve/ %s %s;\n",
 			g.literal(uint64(g.rng.Uint32())), g.literal(uint64(g.rng.Uint32())|1))
 	}
-	b.WriteString("/ {\n")
-	g.paths = append(g.paths, "/")
-	g.genBody(&b, "", 1)
-	b.WriteString("};\n")
+	if len(g.labels) > 0 && g.rng.Intn(2) == 0 {
+		// forward extension block: both the target label and the in-cell
+		// reference are defined only later, inside the root node
+		lbl := g.labels[g.rng.Intn(len(g.labels))]
+		ref := g.labels[g.rng.Intn(len(g.labels))]
+		fmt.Fprintf(&b, "&%s {\n\tfwd-prop = <%s &%s>;\n};\n\n",
+			lbl, g.literal(uint64(g.rng.Uint32())), ref)
+	}
+	b.WriteString(root.String())
 	if len(g.labels) > 0 && g.rng.Intn(2) == 0 {
 		// label-extension block, exercising dtc merge semantics
 		lbl := g.labels[g.rng.Intn(len(g.labels))]
 		fmt.Fprintf(&b, "\n&%s {\n\text-prop = <%s>;\n};\n", lbl, g.literal(uint64(g.rng.Uint32())))
+	}
+	return b.String()
+}
+
+// OverlaySource emits a random /plugin/ overlay unit whose fragments
+// target labels and paths that exist in base, so the overlay always
+// applies cleanly via dts.ApplyOverlay.
+func (g *Generator) OverlaySource(base *dts.Tree) string {
+	var labels, paths []string
+	base.Root.Walk(func(path string, n *dts.Node) bool {
+		if n.Label != "" {
+			labels = append(labels, n.Label)
+		}
+		if path != "/" {
+			paths = append(paths, path)
+		}
+		return true
+	})
+	var b strings.Builder
+	b.WriteString("/dts-v1/;\n/plugin/;\n\n")
+	if g.rng.Intn(2) == 0 {
+		fmt.Fprintf(&b, "/ {\n\toverlay-marker = <%s>;\n};\n\n", g.literal(uint64(g.rng.Uint32())))
+	}
+	for i, n := 0, 1+g.rng.Intn(3); i < n; i++ {
+		switch {
+		case len(labels) > 0 && (len(paths) == 0 || g.rng.Intn(2) == 0):
+			fmt.Fprintf(&b, "&%s {\n", labels[g.rng.Intn(len(labels))])
+		case len(paths) > 0:
+			fmt.Fprintf(&b, "&{%s} {\n", paths[g.rng.Intn(len(paths))])
+		default:
+			continue // base has no addressable nodes
+		}
+		fmt.Fprintf(&b, "\tov-prop-%d = <%s>;\n", i, g.literal(uint64(g.rng.Uint32())))
+		if g.rng.Intn(2) == 0 {
+			fmt.Fprintf(&b, "\tov-node-%d {\n\t\tcompatible = \"gen,ov\";\n\t};\n", i)
+		}
+		b.WriteString("};\n\n")
 	}
 	return b.String()
 }
@@ -118,7 +171,7 @@ func (g *Generator) genNodeName() string {
 
 // genProperty emits one property definition line (terminated ";\n").
 func (g *Generator) genProperty(name string) string {
-	switch g.rng.Intn(8) {
+	switch g.rng.Intn(9) {
 	case 0: // boolean marker
 		return name + ";\n"
 	case 1: // single string
@@ -134,6 +187,19 @@ func (g *Generator) genProperty(name string) string {
 		return fmt.Sprintf("%s = &{%s};\n", name, g.paths[g.rng.Intn(len(g.paths))])
 	case 5: // mixed chunks
 		return fmt.Sprintf("%s = %s, <%s>, [%s];\n", name, g.genString(), g.genCells(), g.genBytes())
+	case 6: // /bits/ array at a non-default width
+		widths := []uint{8, 16, 64}
+		w := widths[g.rng.Intn(len(widths))]
+		n := 1 + g.rng.Intn(4)
+		items := make([]string, n)
+		for i := range items {
+			v := g.rng.Uint64()
+			if w < 64 {
+				v &= 1<<w - 1
+			}
+			items[i] = g.literal(v)
+		}
+		return fmt.Sprintf("%s = /bits/ %d <%s>;\n", name, w, strings.Join(items, " "))
 	default: // cells
 		return fmt.Sprintf("%s = <%s>;\n", name, g.genCells())
 	}

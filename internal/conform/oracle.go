@@ -98,7 +98,8 @@ func CheckDeltaCommute(core *dts.Tree, set *delta.Set, cfg featmodel.Configurati
 
 // TreesStructurallyEqual compares two trees on everything the DTS
 // syntax can express — node names, labels, property order and values
-// (chunk-exact), children order, memreserves — ignoring only Origin
+// (chunk-exact, including /bits/ widths), children order, memreserves,
+// the /plugin/ flag and overlay fragments — ignoring only Origin
 // metadata, which Print deliberately omits.
 func TreesStructurallyEqual(a, b *dts.Tree) error {
 	if len(a.MemReserves) != len(b.MemReserves) {
@@ -107,6 +108,22 @@ func TreesStructurallyEqual(a, b *dts.Tree) error {
 	for i, mr := range a.MemReserves {
 		if mr != b.MemReserves[i] {
 			return fmt.Errorf("memreserve %d: %+v vs %+v", i, mr, b.MemReserves[i])
+		}
+	}
+	if a.Plugin != b.Plugin {
+		return fmt.Errorf("plugin flag %v vs %v", a.Plugin, b.Plugin)
+	}
+	if len(a.Fragments) != len(b.Fragments) {
+		return fmt.Errorf("%d vs %d overlay fragments", len(a.Fragments), len(b.Fragments))
+	}
+	for i, f := range a.Fragments {
+		g := b.Fragments[i]
+		if f.Ref != g.Ref || f.IsPath != g.IsPath {
+			return fmt.Errorf("fragment %d: target &%s (path=%v) vs &%s (path=%v)",
+				i, f.Ref, f.IsPath, g.Ref, g.IsPath)
+		}
+		if err := nodesEqual(fmt.Sprintf("fragment %d &%s", i, f.Ref), f.Node, g.Node); err != nil {
+			return err
 		}
 	}
 	return nodesEqual("/", a.Root, b.Root)
@@ -154,6 +171,9 @@ func valuesEqual(a, b dts.Value) error {
 		d := b.Chunks[i]
 		if c.Kind != d.Kind {
 			return fmt.Errorf("chunk %d: kind %d vs %d", i, c.Kind, d.Kind)
+		}
+		if c.Bits != d.Bits {
+			return fmt.Errorf("chunk %d: /bits/ %d vs %d", i, c.Bits, d.Bits)
 		}
 		if c.Str != d.Str {
 			return fmt.Errorf("chunk %d: string %q vs %q", i, c.Str, d.Str)

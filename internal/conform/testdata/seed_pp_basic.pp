@@ -1,0 +1,11 @@
+#include "inc.h"
+#define BASE 0x1000
+#define REG(n) (BASE + (n) * 0x100)
+#ifdef FROM_INC
+/dts-v1/;
+/ {
+	dev@1000 {
+		reg = <REG(0) 0x100>;
+	};
+};
+#endif

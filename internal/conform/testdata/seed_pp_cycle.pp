@@ -1,0 +1,2 @@
+#include "loop.h"
+unreached;

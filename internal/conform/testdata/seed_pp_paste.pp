@@ -1,0 +1,5 @@
+#define GLUE(a, b) a ## b
+#define NAME(n) uart ## n
+#define WIDE(hi, lo) ((hi) << 16 | (lo))
+GLUE(va, lue) = <WIDE(1, 2)>;
+ref = <&NAME(0)>;

@@ -1,0 +1,4 @@
+#define A B A
+#define B A B
+v = <A>;
+w = <B>;

@@ -1,0 +1,5 @@
+#ifdef NEVER_SET
+#ifndef ALSO_OPEN
+dead;
+#else
+also-dead;

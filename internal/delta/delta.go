@@ -307,11 +307,15 @@ func writeSet(d *Delta) map[string]bool {
 }
 
 // resolveTarget finds the node a target string refers to: "/" or an
-// absolute path is looked up directly, a bare name matches the first
-// node with that name in depth-first order.
+// absolute path is looked up directly, "&label" resolves through the
+// node labels (the form FromOverlay emits for overlay fragments), and a
+// bare name matches the first node with that name in depth-first order.
 func resolveTarget(t *dts.Tree, target string) *dts.Node {
 	if target == "/" || strings.HasPrefix(target, "/") {
 		return t.Lookup(target)
+	}
+	if strings.HasPrefix(target, "&") {
+		return t.LookupLabel(target[1:])
 	}
 	var found *dts.Node
 	t.Root.Walk(func(_ string, n *dts.Node) bool {

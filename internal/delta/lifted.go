@@ -306,12 +306,14 @@ func (ln *LiftedNode) Walk(fn func(path string, n *LiftedNode) bool) {
 }
 
 // resolveLifted finds a target in the merged tree: "/" or an absolute
-// path directly, a bare name as the first depth-first match — the same
-// rule resolveTarget uses on concrete trees. Bare names resolve against
-// the union tree, so a name that different configurations would resolve
-// to different nodes resolves here to the union's first match;
-// conditional presence of the match is handled by the caller through
-// the missing-target conflict.
+// path directly, "&label" through the lifted node labels, a bare name
+// as the first depth-first match — the same rules resolveTarget uses on
+// concrete trees. Bare names and labels resolve against the union
+// tree, so a name that different configurations would resolve to
+// different nodes resolves here to the union's first match; conditional
+// presence of the match is handled by the caller through the
+// missing-target conflict. (A label whose own presence is conditional
+// is approximated by its node's condition.)
 func (lt *LiftedTree) resolveLifted(target string) (*LiftedNode, string) {
 	if target == "/" || strings.HasPrefix(target, "/") {
 		if target == "/" || target == "" {
@@ -329,6 +331,18 @@ func (lt *LiftedTree) resolveLifted(target string) (*LiftedNode, string) {
 	}
 	var found *LiftedNode
 	var foundPath string
+	if label, isRef := strings.CutPrefix(target, "&"); isRef {
+		lt.Root.Walk(func(path string, n *LiftedNode) bool {
+			for _, l := range n.Labels {
+				if l.Label == label {
+					found, foundPath = n, path
+					return false
+				}
+			}
+			return true
+		})
+		return found, foundPath
+	}
 	lt.Root.Walk(func(path string, n *LiftedNode) bool {
 		if n.Name == target {
 			found, foundPath = n, path

@@ -1,0 +1,49 @@
+// Overlay-to-delta bridge: a /plugin/ overlay is, in delta-oriented
+// terms, one delta module whose operations merge the overlay fragments
+// into their targets, activated exactly when the overlay is applied.
+// Modeling it this way lets the lifted pipeline (Set.Lift) verify the
+// overlay-applied and overlay-absent variants of a base tree in one
+// solver session, with the overlay's presence as an ordinary feature
+// guard — instead of checking two concrete trees separately.
+package delta
+
+import (
+	"fmt"
+
+	"llhsc/internal/dts"
+	"llhsc/internal/featmodel"
+)
+
+// FromOverlay converts a parsed /plugin/ overlay into a Set holding a
+// single delta named name, guarded by the feature (the overlay is
+// applied in exactly the configurations that select it; an empty
+// feature makes the delta unconditional). The overlay's own root
+// content becomes a modifies-"/" operation, and each fragment becomes a
+// modifies operation targeting "&label" or the literal path — the same
+// resolution ApplyOverlay performs, so applying the Set with the
+// feature selected must agree with dts.ApplyOverlay on the same base
+// (the conformance tests pin this).
+func FromOverlay(name string, ov *dts.Tree, feature string) (*Set, error) {
+	if !ov.Plugin {
+		return nil, fmt.Errorf("delta: FromOverlay %s: tree is not a /plugin/ overlay", name)
+	}
+	d := &Delta{Name: name}
+	if feature != "" {
+		d.When = featmodel.Var(feature)
+	}
+	if len(ov.Root.Properties) > 0 || len(ov.Root.Children) > 0 {
+		frag := ov.Root.Clone()
+		frag.Label = ""
+		d.Ops = append(d.Ops, Operation{Kind: OpModifies, Target: "/", Fragment: frag})
+	}
+	for _, f := range ov.Fragments {
+		target := f.Ref
+		if !f.IsPath {
+			target = "&" + f.Ref
+		}
+		frag := f.Node.Clone()
+		frag.Label = ""
+		d.Ops = append(d.Ops, Operation{Kind: OpModifies, Target: target, Fragment: frag})
+	}
+	return NewSet([]*Delta{d})
+}

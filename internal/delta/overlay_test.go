@@ -1,0 +1,155 @@
+package delta
+
+import (
+	"testing"
+
+	"llhsc/internal/dts"
+	"llhsc/internal/featmodel"
+)
+
+const ovBaseSrc = `/dts-v1/;
+/ {
+	soc {
+		uart0: serial@10000000 {
+			compatible = "ns16550a";
+			status = "disabled";
+		};
+		i2c0: i2c@20000000 {
+			status = "disabled";
+		};
+	};
+};
+`
+
+const ovSrc = `/dts-v1/;
+/plugin/;
+/ {
+	chosen {
+		overlay-loaded;
+	};
+};
+&uart0 {
+	status = "okay";
+	current-speed = <115200>;
+};
+&{/soc/i2c@20000000} {
+	status = "okay";
+};
+`
+
+func parseOverlayPair(t *testing.T) (base, ov *dts.Tree) {
+	t.Helper()
+	base, err := dts.Parse("base.dts", ovBaseSrc)
+	if err != nil {
+		t.Fatalf("parse base: %v", err)
+	}
+	ov, err = dts.Parse("ov.dtso", ovSrc)
+	if err != nil {
+		t.Fatalf("parse overlay: %v", err)
+	}
+	return base, ov
+}
+
+// TestFromOverlayMatchesApplyOverlay pins the cross-validation the
+// ingestion pipeline relies on: deriving the overlay-on product through
+// the delta Set must agree, on canonical print, with dts.ApplyOverlay.
+func TestFromOverlayMatchesApplyOverlay(t *testing.T) {
+	base, ov := parseOverlayPair(t)
+	set, err := FromOverlay("uart-overlay", ov, "OVERLAY")
+	if err != nil {
+		t.Fatalf("FromOverlay: %v", err)
+	}
+
+	direct, err := dts.ApplyOverlay(base, ov)
+	if err != nil {
+		t.Fatalf("ApplyOverlay: %v", err)
+	}
+
+	viaDeltas, trace, err := set.Apply(base, featmodel.ConfigOf("OVERLAY"))
+	if err != nil {
+		t.Fatalf("Set.Apply: %v", err)
+	}
+	if len(trace) != 1 || trace[0] != "uart-overlay" {
+		t.Errorf("trace = %v", trace)
+	}
+	if got, want := viaDeltas.Print(), direct.Print(); got != want {
+		t.Errorf("delta-derived product differs from ApplyOverlay:\n--- delta\n%s\n--- direct\n%s", got, want)
+	}
+}
+
+// TestFromOverlayOffLeavesBase: with the feature deselected the delta
+// is inactive and the product is the unmodified base.
+func TestFromOverlayOffLeavesBase(t *testing.T) {
+	base, ov := parseOverlayPair(t)
+	set, err := FromOverlay("uart-overlay", ov, "OVERLAY")
+	if err != nil {
+		t.Fatalf("FromOverlay: %v", err)
+	}
+	product, trace, err := set.Apply(base, featmodel.ConfigOf())
+	if err != nil {
+		t.Fatalf("Set.Apply: %v", err)
+	}
+	if len(trace) != 0 {
+		t.Errorf("trace = %v, want empty", trace)
+	}
+	if product.Print() != base.Print() {
+		t.Error("overlay-off product differs from base")
+	}
+}
+
+// TestFromOverlayBlame: nodes merged by the overlay delta carry its
+// name in Origin.Delta, so violations inside overlay content blame the
+// overlay.
+func TestFromOverlayBlame(t *testing.T) {
+	base, ov := parseOverlayPair(t)
+	set, err := FromOverlay("uart-overlay", ov, "OVERLAY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	product, _, err := set.Apply(base, featmodel.ConfigOf("OVERLAY"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uart := product.Lookup("/soc/serial@10000000")
+	if p := uart.Property("current-speed"); p == nil || p.Origin.Delta != "uart-overlay" {
+		t.Errorf("overlay-written property should blame the overlay delta, got %+v", p)
+	}
+}
+
+// TestFromOverlayLifted: the overlay delta participates in lifted
+// checking — the merged tree guards overlay content with the feature,
+// and &label targets resolve through lifted node labels.
+func TestFromOverlayLifted(t *testing.T) {
+	base, ov := parseOverlayPair(t)
+	set, err := FromOverlay("uart-overlay", ov, "OVERLAY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt, err := set.Lift(base)
+	if err != nil {
+		t.Fatalf("Lift: %v", err)
+	}
+	if len(lt.Conflicts) != 0 {
+		t.Fatalf("unexpected lifted conflicts: %v", lt.Conflicts)
+	}
+	uart, _ := lt.resolveLifted("&uart0")
+	if uart == nil {
+		t.Fatal("lifted &uart0 did not resolve")
+	}
+	status := uart.Prop("status")
+	if status == nil || len(status.Variants) != 2 {
+		t.Fatalf("status variants = %+v, want base + overlay", status)
+	}
+	overlayVariant := status.Variants[1]
+	if overlayVariant.Cond == nil || overlayVariant.Cond.String() != "OVERLAY" {
+		t.Errorf("overlay write should be guarded by OVERLAY, got %v", overlayVariant.Cond)
+	}
+}
+
+// TestFromOverlayRejectsPlainTree: only /plugin/ sources convert.
+func TestFromOverlayRejectsPlainTree(t *testing.T) {
+	base, _ := parseOverlayPair(t)
+	if _, err := FromOverlay("x", base, "F"); err == nil {
+		t.Error("FromOverlay should reject a non-plugin tree")
+	}
+}

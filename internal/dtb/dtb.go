@@ -257,8 +257,9 @@ func Decode(blob []byte) (*dts.Tree, error) {
 }
 
 // propertyBytes serializes a property value per the FDT rules: cells as
-// big-endian u32, strings NUL-terminated, bytes verbatim, and path
-// references as NUL-terminated path strings.
+// big-endian integers of their /bits/ width (u32 by default), strings
+// NUL-terminated, bytes verbatim, and path references as NUL-terminated
+// path strings.
 func propertyBytes(v dts.Value) ([]byte, error) {
 	var out []byte
 	for _, c := range v.Chunks {
@@ -268,7 +269,16 @@ func propertyBytes(v dts.Value) ([]byte, error) {
 				if cell.Ref != "" {
 					return nil, fmt.Errorf("unresolved reference &%s", cell.Ref)
 				}
-				out = appendU32(out, cell.Val)
+				switch c.Bits {
+				case 8:
+					out = append(out, byte(cell.Val))
+				case 16:
+					out = append(out, byte(cell.Val>>8), byte(cell.Val))
+				case 64:
+					out = appendU64(out, cell.Val64)
+				default: // 0 or 32
+					out = appendU32(out, cell.Val)
+				}
 			}
 		case dts.ChunkString:
 			out = append(out, c.Str...)

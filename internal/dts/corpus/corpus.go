@@ -1,0 +1,192 @@
+// Package corpus drives the real-world ingestion gate (DESIGN.md §16):
+// every vendored kernel-style source under testdata/corpus must survive
+// the full pipeline — cpp preprocessing, parsing, semantic checking,
+// and a byte-stable print round trip — and every /plugin/ overlay must
+// apply onto its declared base tree, with the application
+// cross-validated against the equivalent delta-module derivation
+// (delta.FromOverlay). CI runs this as a merge gate; the Summary
+// formats into the failure artifact it uploads.
+package corpus
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"llhsc/internal/conform"
+	"llhsc/internal/constraints"
+	"llhsc/internal/delta"
+	"llhsc/internal/dts"
+	"llhsc/internal/dts/preproc"
+	"llhsc/internal/featmodel"
+)
+
+// Failure is one corpus file failing one pipeline stage.
+type Failure struct {
+	File  string
+	Stage string // preprocess+parse | check | roundtrip | overlay-base | overlay-apply | overlay-delta
+	Err   error
+}
+
+func (f Failure) String() string {
+	return fmt.Sprintf("%s [%s]: %v", f.File, f.Stage, f.Err)
+}
+
+// Summary is the outcome of a corpus run.
+type Summary struct {
+	Files    []string // top-level .dts/.dtso files processed, sorted
+	Overlays int      // how many of them were /plugin/ overlays
+	Failures []Failure
+}
+
+// Format renders the summary as the text artifact CI uploads on
+// failure.
+func (s *Summary) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "corpus: %d files (%d overlays), %d failures\n",
+		len(s.Files), s.Overlays, len(s.Failures))
+	for _, f := range s.Failures {
+		fmt.Fprintf(&b, "FAIL %s\n", f)
+	}
+	return b.String()
+}
+
+// baseMarker declares which base tree an overlay applies to:
+// a `corpus:base=<file>` annotation anywhere in the overlay source.
+var baseMarker = regexp.MustCompile(`corpus:base=([^\s*]+)`)
+
+// Run processes every top-level .dts and .dtso file in dir. Includes
+// resolve against dir and dir/include (plus the including file's own
+// directory, as cpp does). The returned error covers only harness-level
+// problems (unreadable directory); per-file problems are Failures.
+func Run(dir string) (*Summary, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		switch filepath.Ext(e.Name()) {
+		case ".dts", ".dtso":
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+
+	s := &Summary{Files: files}
+	popts := preproc.Options{IncludePaths: []string{dir, filepath.Join(dir, "include")}}
+	trees := make(map[string]*dts.Tree)
+	fail := func(file, stage string, err error) {
+		s.Failures = append(s.Failures, Failure{File: file, Stage: stage, Err: err})
+	}
+
+	// load runs preprocess+parse once per file, memoized, since overlay
+	// validation re-reads base trees.
+	load := func(name string) (*dts.Tree, string, error) {
+		if t, ok := trees[name]; ok {
+			return t, "", nil
+		}
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, "", err
+		}
+		tree, err := preproc.Parse(filepath.Join(dir, name), string(src), popts,
+			dts.WithIncluder(dts.DirIncluder(dir)))
+		if err != nil {
+			return nil, "", err
+		}
+		trees[name] = tree
+		return tree, string(src), nil
+	}
+
+	for _, name := range files {
+		tree, src, err := load(name)
+		if err != nil {
+			fail(name, "preprocess+parse", err)
+			continue
+		}
+
+		if err := conform.CheckRoundTrip(tree); err != nil {
+			fail(name, "roundtrip", err)
+		}
+
+		if !tree.Plugin {
+			if err := semanticClean(tree); err != nil {
+				fail(name, "check", err)
+			}
+			continue
+		}
+
+		// Overlay: find and load the declared base, apply, check the
+		// merged tree, and cross-validate against the delta derivation.
+		s.Overlays++
+		m := baseMarker.FindStringSubmatch(src)
+		if m == nil {
+			fail(name, "overlay-base", fmt.Errorf("no corpus:base=<file> annotation"))
+			continue
+		}
+		base, _, err := load(m[1])
+		if err != nil {
+			fail(name, "overlay-base", fmt.Errorf("base %s: %w", m[1], err))
+			continue
+		}
+		merged, err := dts.ApplyOverlay(base, tree)
+		if err != nil {
+			fail(name, "overlay-apply", err)
+			continue
+		}
+		if err := semanticClean(merged); err != nil {
+			fail(name, "check", fmt.Errorf("after applying to %s: %w", m[1], err))
+		}
+		if err := conform.CheckRoundTrip(merged); err != nil {
+			fail(name, "roundtrip", fmt.Errorf("after applying to %s: %w", m[1], err))
+		}
+
+		set, err := delta.FromOverlay(name, tree, "OVERLAY")
+		if err != nil {
+			fail(name, "overlay-delta", err)
+			continue
+		}
+		viaDelta, _, err := set.Apply(base, featmodel.ConfigOf("OVERLAY"))
+		if err != nil {
+			fail(name, "overlay-delta", err)
+			continue
+		}
+		if got, want := viaDelta.Print(), merged.Print(); got != want {
+			fail(name, "overlay-delta", fmt.Errorf(
+				"delta-derived product differs from ApplyOverlay\n--- delta\n%s--- direct\n%s", got, want))
+		}
+		off, _, err := set.Apply(base, featmodel.ConfigOf())
+		if err != nil {
+			fail(name, "overlay-delta", err)
+			continue
+		}
+		if off.Print() != base.Print() {
+			fail(name, "overlay-delta", fmt.Errorf("overlay-off product differs from base"))
+		}
+	}
+	return s, nil
+}
+
+// semanticClean runs the semantic checker and fails on any collision or
+// violation: corpus fixtures are expected to be well-formed.
+func semanticClean(tree *dts.Tree) error {
+	collisions, violations := constraints.NewSemanticChecker().Check(tree)
+	if len(collisions) == 0 && len(violations) == 0 {
+		return nil
+	}
+	var msgs []string
+	for _, c := range collisions {
+		msgs = append(msgs, c.String())
+	}
+	for _, v := range violations {
+		msgs = append(msgs, v.String())
+	}
+	return fmt.Errorf("semantic checker: %s", strings.Join(msgs, "; "))
+}

@@ -1,0 +1,82 @@
+package corpus
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(path, src string) error {
+	return os.WriteFile(path, []byte(src), 0o644)
+}
+
+const corpusDir = "../../../testdata/corpus"
+
+func TestCorpusGate(t *testing.T) {
+	s, err := Run(corpusDir)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// CI sets LLHSC_CORPUS_REPORT so the formatted summary survives a
+	// failing run as an uploadable artifact.
+	if path := os.Getenv("LLHSC_CORPUS_REPORT"); path != "" {
+		if werr := os.WriteFile(path, []byte(s.Format()), 0o644); werr != nil {
+			t.Errorf("writing corpus report: %v", werr)
+		}
+	}
+	if len(s.Failures) > 0 {
+		t.Fatalf("corpus failures:\n%s", s.Format())
+	}
+	// The gate is only meaningful with real coverage: kernel-style
+	// include chains and at least one applied overlay (ISSUE 10).
+	if len(s.Files) < 5 {
+		t.Fatalf("corpus too small: %d top-level files", len(s.Files))
+	}
+	if s.Overlays < 2 {
+		t.Fatalf("corpus has %d overlays, want >= 2", s.Overlays)
+	}
+	for _, want := range []string{"board-alpha.dts", "board-beta.dts", "uart-overlay.dtso"} {
+		found := false
+		for _, f := range s.Files {
+			if f == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("expected corpus file %s not processed (got %v)", want, s.Files)
+		}
+	}
+}
+
+func TestCorpusReportsFailures(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		if err := writeFile(filepath.Join(dir, name), src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("broken.dts", "/dts-v1/;\n/ { compatible = ; };\n")
+	write("orphan.dtso", "/dts-v1/;\n/plugin/;\n&nowhere { x; };\n")
+
+	s, err := Run(dir)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(s.Failures) != 2 {
+		t.Fatalf("want 2 failures, got: %s", s.Format())
+	}
+	report := s.Format()
+	if !strings.Contains(report, "broken.dts [preprocess+parse]") {
+		t.Errorf("report missing parse failure: %s", report)
+	}
+	if !strings.Contains(report, "orphan.dtso [overlay-base]") {
+		t.Errorf("report missing overlay-base failure: %s", report)
+	}
+}
+
+func TestCorpusRunMissingDir(t *testing.T) {
+	if _, err := Run(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("want error for missing directory")
+	}
+}

@@ -15,7 +15,7 @@ const (
 	tokString
 	tokLabel     // ident ':'
 	tokRef       // &ident or &{/path}
-	tokDirective // /dts-v1/, /include/, /memreserve/, /delete-node/, /delete-property/, /bits/
+	tokDirective // /dts-v1/, /plugin/, /include/, /memreserve/, /delete-node/, /delete-property/, /bits/, /omit-if-no-ref/
 	tokLBrace    // {
 	tokRBrace    // }
 	tokLAngle    // <

@@ -27,12 +27,22 @@ func (t *Tree) OriginDump() string {
 		}
 		fmt.Fprintf(&b, "@%d\n", o.Line)
 	}
-	t.Root.Walk(func(path string, n *Node) bool {
-		record("node", path, n.Origin)
-		for _, p := range n.Properties {
-			record("prop", path+"#"+p.Name, p.Origin)
-		}
-		return true
-	})
+	walk := func(root *Node) {
+		root.Walk(func(path string, n *Node) bool {
+			record("node", path, n.Origin)
+			for _, p := range n.Properties {
+				record("prop", path+"#"+p.Name, p.Origin)
+			}
+			return true
+		})
+	}
+	walk(t.Root)
+	// Overlay fragments live outside the root; their provenance must be
+	// keyed too, or two overlays differing only in fragment blame could
+	// share a cache entry.
+	for i, f := range t.Fragments {
+		fmt.Fprintf(&b, "frag%d:%d:%s\n", i, len(f.Ref), f.Ref)
+		walk(f.Node)
+	}
 	return b.String()
 }

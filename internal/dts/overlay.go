@@ -1,0 +1,281 @@
+package dts
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the /plugin/ overlay semantics of dtc (DESIGN.md
+// §16): applying an overlay's fragments onto a base tree, generating
+// the __symbols__ table dtc emits under -@, and compiling the sugar
+// form (`&label { ... }` extension blocks) into the fragment@N /
+// __overlay__ / __fixups__ structure that ends up in a .dtbo.
+
+// OverlayError reports a failed overlay operation (application or
+// compilation). It is distinct from ParseError: the overlay parsed
+// fine, but could not be combined with the base tree it was given.
+type OverlayError struct {
+	Ref string // offending fragment target or reference ("" if none)
+	Msg string
+}
+
+func (e *OverlayError) Error() string {
+	if e.Ref == "" {
+		return "overlay: " + e.Msg
+	}
+	return fmt.Sprintf("overlay: %s: %s", e.Ref, e.Msg)
+}
+
+// BuildSymbols returns a __symbols__ node for the tree: one string
+// property per label, mapping the label to the absolute path of the
+// node carrying it, sorted by label for determinism. This is the table
+// dtc generates under -@ so that later overlays can resolve base-tree
+// labels at application time.
+func BuildSymbols(t *Tree) *Node {
+	byLabel := make(map[string]string)
+	t.Root.Walk(func(path string, n *Node) bool {
+		if n.Label != "" {
+			if _, dup := byLabel[n.Label]; !dup {
+				byLabel[n.Label] = path
+			}
+		}
+		return true
+	})
+	labels := make([]string, 0, len(byLabel))
+	for l := range byLabel {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	sym := &Node{Name: "__symbols__"}
+	for _, l := range labels {
+		sym.Properties = append(sym.Properties, &Property{
+			Name:  l,
+			Value: StringValueOf(byLabel[l]),
+		})
+	}
+	return sym
+}
+
+// AddSymbols attaches a freshly built __symbols__ node to the tree
+// root, replacing any previous one (the dtc -@ behavior). The symbols
+// are computed before insertion, so the table does not list itself.
+func (t *Tree) AddSymbols() {
+	sym := BuildSymbols(t)
+	t.Root.RemoveChild("__symbols__")
+	t.Root.Children = append(t.Root.Children, sym)
+}
+
+// ApplyOverlay merges a /plugin/ overlay into a clone of base and
+// returns the combined tree. The overlay's own root content (dtc
+// compiles top-level `/ { }` blocks of a plugin into fragments with
+// target-path "/") merges into the base root first; then each fragment
+// merges into its target, resolved by label (&label, via the label
+// actually carried by a base node — a __symbols__ table is not
+// required) or by path (&{/path}) against the partially merged tree in
+// document order. An unresolvable target is an *OverlayError. The
+// result is a plain tree: Plugin is cleared and no fragments remain.
+func ApplyOverlay(base, ov *Tree) (*Tree, error) {
+	if !ov.Plugin {
+		return nil, &OverlayError{Msg: "tree is not a /plugin/ overlay"}
+	}
+	out := base.Clone()
+	if len(ov.Root.Properties) > 0 || len(ov.Root.Children) > 0 {
+		out.Root.Merge(ov.Root)
+	}
+	for _, f := range ov.Fragments {
+		var target *Node
+		if f.IsPath {
+			target = out.Lookup(f.Ref)
+		} else {
+			target = out.LookupLabel(f.Ref)
+		}
+		if target == nil {
+			what := "label"
+			if f.IsPath {
+				what = "path"
+			}
+			return nil, &OverlayError{Ref: f.Ref,
+				Msg: fmt.Sprintf("fragment target %s not found in base tree", what)}
+		}
+		target.Merge(f.Node)
+	}
+	out.Plugin = false
+	out.Fragments = nil
+	return out, nil
+}
+
+// CompileOverlay converts a parsed sugar-form overlay into the
+// compiled structure dtc writes to a .dtbo: one fragment@N node per
+// extension block (the overlay's own root content becomes fragment 0
+// with target-path "/"), each holding a target (cell reference) or
+// target-path (string) property and an __overlay__ child with the
+// fragment body; a __symbols__ node mapping overlay-local labels to
+// their compiled paths; a __fixups__ node listing, per external label,
+// the "path:property:offset" locations of cells that must be patched
+// with the base tree's phandle at application time; and a
+// __local_fixups__ hierarchy mirroring the locations of cells that
+// reference overlay-local labels.
+func CompileOverlay(ov *Tree) (*Tree, error) {
+	if !ov.Plugin {
+		return nil, &OverlayError{Msg: "tree is not a /plugin/ overlay"}
+	}
+
+	type fragSrc struct {
+		ref    string
+		isPath bool
+		node   *Node
+	}
+	var srcs []fragSrc
+	if len(ov.Root.Properties) > 0 || len(ov.Root.Children) > 0 {
+		srcs = append(srcs, fragSrc{ref: "/", isPath: true, node: ov.Root})
+	}
+	for _, f := range ov.Fragments {
+		srcs = append(srcs, fragSrc{ref: f.Ref, isPath: f.IsPath, node: f.Node})
+	}
+
+	out := NewTree()
+	for i, s := range srcs {
+		frag := &Node{Name: fmt.Sprintf("fragment@%d", i)}
+		if s.isPath {
+			frag.SetProperty(&Property{Name: "target-path", Value: StringValueOf(s.ref)})
+		} else {
+			frag.SetProperty(&Property{Name: "target", Value: Value{Chunks: []Chunk{
+				{Kind: ChunkCells, CellList: []Cell{{Ref: s.ref}}},
+			}}})
+		}
+		body := s.node.Clone()
+		body.Name = "__overlay__"
+		body.Label = ""
+		frag.Children = append(frag.Children, body)
+		out.Root.Children = append(out.Root.Children, frag)
+	}
+
+	// Pass 1: overlay-local labels and their compiled paths.
+	local := make(map[string]string)
+	out.Root.Walk(func(path string, n *Node) bool {
+		if n.Label != "" {
+			if _, dup := local[n.Label]; dup {
+				return true
+			}
+			local[n.Label] = path
+		}
+		return true
+	})
+
+	// Pass 2: classify every cell reference as local or external and
+	// record its encoded location.
+	fixups := make(map[string][]string) // external label -> "path:prop:offset"
+	type localFix struct {
+		path, prop string
+		offset     int
+	}
+	var localFixes []localFix
+	var scanErr error
+	out.Root.Walk(func(path string, n *Node) bool {
+		for _, p := range n.Properties {
+			offsets, refs, err := refCellOffsets(p.Value)
+			if err != nil {
+				scanErr = &OverlayError{Ref: path + ":" + p.Name, Msg: err.Error()}
+				return false
+			}
+			for i, ref := range refs {
+				if _, ok := local[ref]; ok {
+					localFixes = append(localFixes, localFix{path, p.Name, offsets[i]})
+				} else {
+					fixups[ref] = append(fixups[ref],
+						fmt.Sprintf("%s:%s:%d", path, p.Name, offsets[i]))
+				}
+			}
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+
+	if len(local) > 0 {
+		labels := make([]string, 0, len(local))
+		for l := range local {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		sym := &Node{Name: "__symbols__"}
+		for _, l := range labels {
+			sym.Properties = append(sym.Properties, &Property{Name: l, Value: StringValueOf(local[l])})
+		}
+		out.Root.Children = append(out.Root.Children, sym)
+	}
+
+	if len(fixups) > 0 {
+		labels := make([]string, 0, len(fixups))
+		for l := range fixups {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		fx := &Node{Name: "__fixups__"}
+		for _, l := range labels {
+			fx.Properties = append(fx.Properties, &Property{Name: l, Value: StringValueOf(fixups[l]...)})
+		}
+		out.Root.Children = append(out.Root.Children, fx)
+	}
+
+	if len(localFixes) > 0 {
+		lf := &Node{Name: "__local_fixups__"}
+		for _, f := range localFixes {
+			n := lf
+			for _, part := range strings.Split(strings.Trim(f.path, "/"), "/") {
+				if part == "" {
+					continue
+				}
+				n = n.EnsureChild(part)
+			}
+			if p := n.Property(f.prop); p != nil {
+				p.Value.Chunks[0].CellList = append(p.Value.Chunks[0].CellList,
+					Cell{Val: uint32(f.offset)})
+			} else {
+				n.SetProperty(&Property{Name: f.prop, Value: CellsValue(uint32(f.offset))})
+			}
+		}
+		out.Root.Children = append(out.Root.Children, lf)
+	}
+
+	return out, nil
+}
+
+// refCellOffsets returns, for each reference cell in the value, its
+// byte offset in the dtb encoding of the property, with the label it
+// references. A path reference chunk (&label outside angle brackets)
+// before a reference cell makes the offset depend on the base tree's
+// node paths, which is not representable in a compiled overlay.
+func refCellOffsets(v Value) (offsets []int, refs []string, err error) {
+	off := 0
+	pathRef := "" // set once a base-dependent chunk makes later offsets unknowable
+	for _, c := range v.Chunks {
+		switch c.Kind {
+		case ChunkString:
+			off += len(c.Str) + 1
+		case ChunkBytes:
+			off += len(c.Bytes)
+		case ChunkRef:
+			pathRef = c.Ref
+		case ChunkCells:
+			width := c.Bits
+			if width == 0 {
+				width = 32
+			}
+			for _, cell := range c.CellList {
+				if cell.Ref != "" {
+					if pathRef != "" {
+						return nil, nil, fmt.Errorf(
+							"path reference &%s has base-dependent size; cannot compute fixup offsets past it", pathRef)
+					}
+					offsets = append(offsets, off)
+					refs = append(refs, cell.Ref)
+				}
+				off += width / 8
+			}
+		}
+	}
+	return offsets, refs, nil
+}

@@ -1,0 +1,278 @@
+package dts
+
+import (
+	"strings"
+	"testing"
+)
+
+const overlayBaseSrc = `/dts-v1/;
+/ {
+	soc {
+		uart0: serial@10000000 {
+			compatible = "ns16550a";
+			status = "disabled";
+		};
+		i2c@20000000 {
+			#address-cells = <1>;
+			#size-cells = <0>;
+			status = "disabled";
+		};
+	};
+};
+`
+
+const overlaySrc = `/dts-v1/;
+/plugin/;
+/ {
+	chosen {
+		overlay-loaded;
+	};
+};
+&uart0 {
+	status = "okay";
+	current-speed = <115200>;
+};
+&{/soc/i2c@20000000} {
+	status = "okay";
+
+	sensor@48 {
+		compatible = "ti,tmp102";
+		reg = <0x48>;
+	};
+};
+`
+
+func parseBoth(t *testing.T) (base, ov *Tree) {
+	t.Helper()
+	base, err := Parse("base.dts", overlayBaseSrc)
+	if err != nil {
+		t.Fatalf("parse base: %v", err)
+	}
+	ov, err = Parse("overlay.dtso", overlaySrc)
+	if err != nil {
+		t.Fatalf("parse overlay: %v", err)
+	}
+	return base, ov
+}
+
+func TestApplyOverlay(t *testing.T) {
+	base, ov := parseBoth(t)
+	merged, err := ApplyOverlay(base, ov)
+	if err != nil {
+		t.Fatalf("ApplyOverlay: %v", err)
+	}
+	if merged.Plugin || len(merged.Fragments) != 0 {
+		t.Error("merged tree should be a plain tree")
+	}
+	uart := merged.Lookup("/soc/serial@10000000")
+	if s, _ := uart.StringValue("status"); s != "okay" {
+		t.Errorf("uart status = %q, want okay", s)
+	}
+	if v, _ := uart.CellValue("current-speed"); v != 115200 {
+		t.Errorf("current-speed = %d", v)
+	}
+	if merged.Lookup("/soc/i2c@20000000/sensor@48") == nil {
+		t.Error("path-targeted fragment did not merge")
+	}
+	if merged.Lookup("/chosen") == nil {
+		t.Error("overlay root content did not merge")
+	}
+	// The base must be untouched.
+	if s, _ := base.Lookup("/soc/serial@10000000").StringValue("status"); s != "disabled" {
+		t.Error("ApplyOverlay mutated the base tree")
+	}
+}
+
+func TestApplyOverlayErrors(t *testing.T) {
+	base, _ := parseBoth(t)
+	if _, err := ApplyOverlay(base, base); err == nil {
+		t.Error("applying a non-plugin tree should fail")
+	}
+	ov, err := Parse("bad.dtso", "/dts-v1/;\n/plugin/;\n&missing { x = <1>; };\n")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = ApplyOverlay(base, ov)
+	var oe *OverlayError
+	if err == nil {
+		t.Fatal("expected OverlayError for unresolvable target")
+	}
+	if !asOverlayError(err, &oe) || oe.Ref != "missing" {
+		t.Errorf("err = %v, want OverlayError on &missing", err)
+	}
+}
+
+func asOverlayError(err error, out **OverlayError) bool {
+	oe, ok := err.(*OverlayError)
+	if ok {
+		*out = oe
+	}
+	return ok
+}
+
+func TestBuildSymbols(t *testing.T) {
+	base, _ := parseBoth(t)
+	base.AddSymbols()
+	sym := base.Lookup("/__symbols__")
+	if sym == nil {
+		t.Fatal("__symbols__ missing")
+	}
+	if p, _ := sym.StringValue("uart0"); p != "/soc/serial@10000000" {
+		t.Errorf("uart0 symbol = %q", p)
+	}
+	// Idempotent: re-adding replaces rather than duplicating, and the
+	// table never lists itself.
+	base.AddSymbols()
+	count := 0
+	for _, c := range base.Root.Children {
+		if c.Name == "__symbols__" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("%d __symbols__ nodes after re-add", count)
+	}
+	if sym := base.Lookup("/__symbols__"); len(sym.Properties) != 1 {
+		t.Errorf("symbols = %v, want just uart0", sym.SortedPropertyNames())
+	}
+}
+
+func TestCompileOverlay(t *testing.T) {
+	src := `/dts-v1/;
+/plugin/;
+&uart0 {
+	status = "okay";
+	local: child {
+		friend = <&local 7>;
+		remote = <&basedev>;
+	};
+};
+`
+	ov, err := Parse("c.dtso", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	comp, err := CompileOverlay(ov)
+	if err != nil {
+		t.Fatalf("CompileOverlay: %v", err)
+	}
+	frag := comp.Lookup("/fragment@0")
+	if frag == nil {
+		t.Fatal("fragment@0 missing")
+	}
+	tc := frag.Property("target").Value.Cells()
+	if len(tc) != 1 || tc[0].Ref != "uart0" {
+		t.Errorf("target = %+v, want &uart0", tc)
+	}
+	if comp.Lookup("/fragment@0/__overlay__/child") == nil {
+		t.Error("__overlay__ body missing")
+	}
+
+	sym := comp.Lookup("/__symbols__")
+	if sym == nil {
+		t.Fatal("__symbols__ missing")
+	}
+	if p, _ := sym.StringValue("local"); p != "/fragment@0/__overlay__/child" {
+		t.Errorf("local symbol = %q", p)
+	}
+
+	fx := comp.Lookup("/__fixups__")
+	if fx == nil {
+		t.Fatal("__fixups__ missing")
+	}
+	// &uart0 in the target property (offset 0) and &basedev in remote.
+	if got, _ := fx.StringValue("uart0"); got != "/fragment@0:target:0" {
+		t.Errorf("uart0 fixup = %q", got)
+	}
+	if got, _ := fx.StringValue("basedev"); got != "/fragment@0/__overlay__/child:remote:0" {
+		t.Errorf("basedev fixup = %q", got)
+	}
+
+	lf := comp.Lookup("/__local_fixups__/fragment@0/__overlay__/child")
+	if lf == nil {
+		t.Fatal("__local_fixups__ entry missing")
+	}
+	if offs := lf.Property("friend").Value.U32s(); len(offs) != 1 || offs[0] != 0 {
+		t.Errorf("friend local fixup offsets = %v, want [0]", offs)
+	}
+
+	// The compiled form is still a valid printable/reparsable tree.
+	printed := comp.Print()
+	if _, err := Parse("compiled.dts", printed); err != nil {
+		t.Fatalf("compiled form does not reparse: %v\n%s", err, printed)
+	}
+}
+
+func TestCompileOverlayTargetPath(t *testing.T) {
+	ov, err := Parse("p.dtso", "/dts-v1/;\n/plugin/;\n&{/soc/uart} { status = \"okay\"; };\n")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	comp, err := CompileOverlay(ov)
+	if err != nil {
+		t.Fatalf("CompileOverlay: %v", err)
+	}
+	frag := comp.Lookup("/fragment@0")
+	if p, _ := frag.StringValue("target-path"); p != "/soc/uart" {
+		t.Errorf("target-path = %q", p)
+	}
+	if frag.Property("target") != nil {
+		t.Error("path fragment should not carry a target property")
+	}
+	if comp.Lookup("/__fixups__") != nil {
+		t.Error("no external label refs, so no __fixups__ expected")
+	}
+}
+
+func TestCompileOverlayFixupOffsets(t *testing.T) {
+	// A string chunk before the ref shifts the fixup offset by len+1;
+	// /bits/ widths count at their element size.
+	src := `/dts-v1/;
+/plugin/;
+&target {
+	mixed = "ab", <1 &ext 2>;
+	wide = /bits/ 16 <1 2>, <&ext>;
+};
+`
+	ov, err := Parse("o.dtso", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	comp, err := CompileOverlay(ov)
+	if err != nil {
+		t.Fatalf("CompileOverlay: %v", err)
+	}
+	fx := comp.Lookup("/__fixups__")
+	got := fx.Property("ext").Value.Strings()
+	want := []string{
+		"/fragment@0/__overlay__:mixed:7", // "ab\0" = 3, then one cell = 4
+		"/fragment@0/__overlay__:wide:4",  // two 16-bit elements = 4
+	}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("ext fixups = %v, want %v", got, want)
+	}
+}
+
+func TestOverlayRoundTripThroughPrint(t *testing.T) {
+	_, ov := parseBoth(t)
+	printed := ov.Print()
+	re, err := Parse("re.dtso", printed)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if !strings.Contains(printed, "/plugin/;") {
+		t.Error("printed overlay lost /plugin/")
+	}
+	base, _ := Parse("base.dts", overlayBaseSrc)
+	m1, err := ApplyOverlay(base, ov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ApplyOverlay(base, re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Print() != m2.Print() {
+		t.Error("overlay application differs after a print round trip")
+	}
+}

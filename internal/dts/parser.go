@@ -82,9 +82,21 @@ func WithMaxSourceBytes(n int) ParseOption {
 
 // Parse parses DTS source text into a Tree. file is used in error
 // messages and origins.
+//
+// Parsing is two-pass: the first pass tokenizes every source unit
+// (recursing into /include/s) and records top-level operations — root
+// merges, named nodes, &label extensions, /delete-node/ — in document
+// order; the second pass applies them, deferring label references that
+// are not yet resolvable so forward references (a `&label { ... }`
+// block before the label's definition) work as they do in dtc. In
+// /plugin/ sources, references that never resolve become overlay
+// fragments on the tree instead of errors.
 func Parse(file, src string, opts ...ParseOption) (*Tree, error) {
 	p := newParser(opts)
 	if err := p.parseSource(file, src, 0); err != nil {
+		return nil, err
+	}
+	if err := p.resolveTopLevel(); err != nil {
 		return nil, err
 	}
 	return p.tree, nil
@@ -145,6 +157,29 @@ type parser struct {
 	nodeDepth      int
 	maxSourceBytes int // cumulative source size guard (0 = unlimited)
 	sourceBytes    int
+
+	ops []topOp // top-level operations in document order
+}
+
+// topOpKind discriminates deferred top-level operations.
+type topOpKind int
+
+const (
+	opRootMerge topOpKind = iota + 1 // / { ... };
+	opNamedNode                      // name { ... }; at top level
+	opRefMerge                       // &label { ... }; or &{/path} { ... };
+	opRefDelete                      // /delete-node/ &label;
+	opNameDelete                     // /delete-node/ name; (root child)
+)
+
+// topOp is one top-level operation recorded by the first parse pass.
+type topOp struct {
+	kind topOpKind
+	ref  string // label or absolute path for opRefMerge/opRefDelete
+	name string // node name for opNameDelete
+	node *Node  // payload for the merge kinds
+	file string // position for unresolved-reference diagnostics
+	line int
 }
 
 func (p *parser) errf(format string, args ...interface{}) error {
@@ -224,6 +259,22 @@ func (p *parser) parseTopLevel(depth int) error {
 				if err := p.parseSource(name.text, string(src), depth+1); err != nil {
 					return err
 				}
+			case "/plugin/":
+				if err := p.advance(); err != nil {
+					return err
+				}
+				if _, err := p.expect(tokSemi); err != nil {
+					return err
+				}
+				p.tree.Plugin = true
+			case "/omit-if-no-ref/":
+				// dtc uses this as a hint that the following node may be
+				// dropped from the dtb when nothing references it. We keep
+				// every node, so the directive is an explicit no-op: skip
+				// it and parse the node definition that follows normally.
+				if err := p.advance(); err != nil {
+					return err
+				}
 			case "/memreserve/":
 				if err := p.advance(); err != nil {
 					return err
@@ -243,18 +294,29 @@ func (p *parser) parseTopLevel(depth int) error {
 					Address: addr.num, Size: size.num,
 				})
 			case "/delete-node/":
+				// Both dtc forms: the reference form `/delete-node/ &label;`
+				// (resolved post-parse, so forward labels work) and the
+				// name form `/delete-node/ name;` deleting a root child.
+				line := p.tok.line
 				if err := p.advance(); err != nil {
 					return err
 				}
-				ref, err := p.expect(tokRef)
-				if err != nil {
+				switch p.tok.kind {
+				case tokRef:
+					p.ops = append(p.ops, topOp{kind: opRefDelete, ref: p.tok.text,
+						file: p.lex.file, line: line})
+				case tokIdent:
+					p.ops = append(p.ops, topOp{kind: opNameDelete, name: p.tok.text,
+						file: p.lex.file, line: line})
+				default:
+					return p.errf("/delete-node/ at top level takes &label, &{/path} or a root child name, found %v",
+						p.tok.kind)
+				}
+				if err := p.advance(); err != nil {
 					return err
 				}
 				if _, err := p.expect(tokSemi); err != nil {
 					return err
-				}
-				if n := p.tree.LookupLabel(ref.text); n != nil {
-					p.deleteNode(n)
 				}
 			default:
 				return p.errf("unsupported directive %s", p.tok.text)
@@ -272,26 +334,26 @@ func (p *parser) parseTopLevel(depth int) error {
 			if _, err := p.expect(tokSemi); err != nil {
 				return err
 			}
-			p.tree.Root.Merge(n)
+			p.ops = append(p.ops, topOp{kind: opRootMerge, node: n})
 
 		case tokRef:
-			// &label { ... }; extends a previously defined node
-			label := p.tok.text
+			// &label { ... }; extends a node defined elsewhere — possibly
+			// later in the file (forward reference) or, in /plugin/
+			// sources, in the base tree the overlay targets.
+			ref := p.tok.text
+			line := p.tok.line
 			if err := p.advance(); err != nil {
 				return err
 			}
-			target := p.tree.LookupLabel(label)
-			if target == nil {
-				return p.errf("reference to undefined label &%s", label)
-			}
-			n, err := p.parseNodeBody(target.Name)
+			n, err := p.parseNodeBody("&" + ref)
 			if err != nil {
 				return err
 			}
 			if _, err := p.expect(tokSemi); err != nil {
 				return err
 			}
-			target.Merge(n)
+			p.ops = append(p.ops, topOp{kind: opRefMerge, ref: ref, node: n,
+				file: p.lex.file, line: line})
 
 		case tokLabel, tokIdent:
 			// top-level named node (non-standard but common in fragments)
@@ -302,16 +364,124 @@ func (p *parser) parseTopLevel(depth int) error {
 			if _, err := p.expect(tokSemi); err != nil {
 				return err
 			}
-			if mine := p.tree.Root.Child(n.Name); mine != nil {
-				mine.Merge(n)
-			} else {
-				p.tree.Root.Children = append(p.tree.Root.Children, n)
-			}
+			p.ops = append(p.ops, topOp{kind: opNamedNode, node: n})
 
 		default:
 			return p.errf("unexpected %v at top level", p.tok.kind)
 		}
 	}
+}
+
+// resolveTopLevel is the second pass: it applies the recorded top-level
+// operations in document order. An operation whose label or path target
+// is not resolvable yet is deferred and retried after the rest have
+// been applied, which is what makes forward references work; operations
+// that never resolve are an error — except in /plugin/ sources, where
+// unresolved extension blocks become overlay fragments targeting the
+// base tree.
+func (p *parser) resolveTopLevel() error {
+	pending := p.ops
+	p.ops = nil
+	for len(pending) > 0 {
+		var deferred []topOp
+		progress := false
+		for _, op := range pending {
+			applied, err := p.applyTopOp(op)
+			if err != nil {
+				return err
+			}
+			if applied {
+				progress = true
+			} else {
+				deferred = append(deferred, op)
+			}
+		}
+		if !progress {
+			return p.finishUnresolved(deferred)
+		}
+		pending = deferred
+	}
+	return nil
+}
+
+// applyTopOp applies one top-level operation; ok=false means the
+// operation's reference target does not exist yet and it should be
+// retried once more definitions have been applied.
+func (p *parser) applyTopOp(op topOp) (ok bool, err error) {
+	switch op.kind {
+	case opRootMerge:
+		p.tree.Root.Merge(op.node)
+	case opNamedNode:
+		if mine := p.tree.Root.Child(op.node.Name); mine != nil {
+			mine.Merge(op.node)
+		} else {
+			p.tree.Root.Children = append(p.tree.Root.Children, op.node)
+		}
+	case opRefMerge:
+		target := p.lookupRef(op.ref)
+		if target == nil {
+			return false, nil
+		}
+		target.Merge(op.node)
+	case opRefDelete:
+		target := p.lookupRef(op.ref)
+		if target == nil {
+			return false, nil
+		}
+		p.deleteNode(target)
+	case opNameDelete:
+		// dtc semantics: deleting an absent node is a no-op.
+		p.tree.Root.RemoveChild(op.name)
+	}
+	return true, nil
+}
+
+// lookupRef resolves a reference target: absolute paths via Lookup,
+// labels via LookupLabel.
+func (p *parser) lookupRef(ref string) *Node {
+	if strings.HasPrefix(ref, "/") {
+		return p.tree.Lookup(ref)
+	}
+	return p.tree.LookupLabel(ref)
+}
+
+// finishUnresolved handles the operations left after the resolver
+// stalls: in plugin mode, unresolved extension blocks become overlay
+// fragments (their targets live in the base tree); everything else is
+// a precise ParseError at the reference's source position.
+func (p *parser) finishUnresolved(deferred []topOp) error {
+	for _, op := range deferred {
+		switch op.kind {
+		case opRefMerge:
+			if p.tree.Plugin {
+				p.tree.Fragments = append(p.tree.Fragments, OverlayFragment{
+					Ref:    op.ref,
+					IsPath: strings.HasPrefix(op.ref, "/"),
+					Node:   op.node,
+				})
+				continue
+			}
+			return &ParseError{File: op.file, Line: op.line,
+				Msg: fmt.Sprintf("reference to undefined label &%s", op.ref)}
+		case opRefDelete:
+			if strings.HasPrefix(op.ref, "/") {
+				return &ParseError{File: op.file, Line: op.line,
+					Msg: fmt.Sprintf("/delete-node/ &{%s}: no node at that path", op.ref)}
+			}
+			if p.tree.Plugin {
+				return &ParseError{File: op.file, Line: op.line,
+					Msg: fmt.Sprintf("/delete-node/ &%s targeting the base tree is not supported in a /plugin/ overlay", op.ref)}
+			}
+			return &ParseError{File: op.file, Line: op.line,
+				Msg: fmt.Sprintf("/delete-node/ &%s: reference to undefined label", op.ref)}
+		default:
+			// Root/named merges and name deletes always apply; reaching
+			// here would be a resolver bug.
+			return &ParseError{File: op.file, Line: op.line,
+				Msg: "internal error: unresolvable top-level operation"}
+		}
+	}
+	return nil
 }
 
 func (p *parser) deleteNode(target *Node) {
@@ -396,6 +566,12 @@ func (p *parser) parseNodeBody(name string) (*Node, error) {
 				}
 				n.RemoveProperty(prop.text)
 				n.delProps = append(n.delProps, prop.text)
+			case "/omit-if-no-ref/":
+				// no-op hint; the node definition that follows parses
+				// normally (see the top-level case for rationale)
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
 			default:
 				return nil, p.errf("unsupported directive %s in node", p.tok.text)
 			}
@@ -473,14 +649,36 @@ func (p *parser) mergeChild(parent, child *Node) {
 	}
 }
 
-// parseValue parses a property value: comma-separated chunks of cells,
-// strings, byte arrays or references.
+// parseValue parses a property value: comma-separated chunks of cells
+// (optionally width-prefixed with /bits/), strings, byte arrays or
+// references.
 func (p *parser) parseValue() (Value, error) {
 	var v Value
 	for {
 		switch p.tok.kind {
+		case tokDirective:
+			if p.tok.text != "/bits/" {
+				return Value{}, p.errf("unexpected directive %s in property value", p.tok.text)
+			}
+			if err := p.advance(); err != nil {
+				return Value{}, err
+			}
+			width, err := p.expect(tokNumber)
+			if err != nil {
+				return Value{}, err
+			}
+			switch width.num {
+			case 8, 16, 32, 64:
+			default:
+				return Value{}, p.errf("/bits/ width must be 8, 16, 32 or 64, got %d", width.num)
+			}
+			chunk, err := p.parseCells(int(width.num))
+			if err != nil {
+				return Value{}, err
+			}
+			v.Chunks = append(v.Chunks, chunk)
 		case tokLAngle:
-			chunk, err := p.parseCells()
+			chunk, err := p.parseCells(0)
 			if err != nil {
 				return Value{}, err
 			}
@@ -513,11 +711,16 @@ func (p *parser) parseValue() (Value, error) {
 	}
 }
 
-func (p *parser) parseCells() (Chunk, error) {
+// parseCells parses one <...> cell array. bits is the element width
+// from a /bits/ prefix (0 = default 32). Values are masked to the
+// element width as in dtc; 64-bit elements keep their full value in
+// Val64. Phandle references are only meaningful as u32 cells, so dtc
+// (and we) reject them at any other width.
+func (p *parser) parseCells(bits int) (Chunk, error) {
 	if _, err := p.expect(tokLAngle); err != nil {
 		return Chunk{}, err
 	}
-	chunk := Chunk{Kind: ChunkCells}
+	chunk := Chunk{Kind: ChunkCells, Bits: bits}
 	for p.tok.kind != tokRAngle {
 		switch p.tok.kind {
 		case tokNumber, tokLParen:
@@ -525,8 +728,20 @@ func (p *parser) parseCells() (Chunk, error) {
 			if err != nil {
 				return Chunk{}, err
 			}
-			chunk.CellList = append(chunk.CellList, Cell{Val: uint32(val)})
+			cell := Cell{Val: uint32(val)}
+			switch bits {
+			case 8:
+				cell.Val = uint32(uint8(val))
+			case 16:
+				cell.Val = uint32(uint16(val))
+			case 64:
+				cell.Val64 = val
+			}
+			chunk.CellList = append(chunk.CellList, cell)
 		case tokRef:
+			if bits != 0 && bits != 32 {
+				return Chunk{}, p.errf("references are only allowed in 32-bit cell arrays, not /bits/ %d", bits)
+			}
 			chunk.CellList = append(chunk.CellList, Cell{Ref: p.tok.text})
 			if err := p.advance(); err != nil {
 				return Chunk{}, err

@@ -1,0 +1,814 @@
+// Package preproc implements the subset of the C preprocessor that
+// kernel DeviceTree sources rely on. The kernel build pipes every .dts
+// through `cpp -x assembler-with-cpp` before dtc sees it, so real-world
+// inputs are full of `#include <dt-bindings/...>`, constant macros like
+// GPIO_ACTIVE_HIGH, function-like helpers, and `#ifdef` blocks — none
+// of which dtc (or internal/dts) understands on its own.
+//
+// The assembler-with-cpp mode matters: a DTS line like
+// `#address-cells = <1>;` starts with '#' but is not a preprocessor
+// directive, and cpp in this mode passes unknown directives through
+// verbatim instead of rejecting them. This package does the same,
+// which is the only reason DTS and cpp can coexist in one file.
+//
+// Every output line carries its origin (original file and line), so
+// parse errors and blame positions from the combined text can be
+// remapped onto the files the user actually wrote (DESIGN.md §16).
+// All failures are *dts.ParseError values; resource guards wrap the
+// parser's existing sentinels (dts.ErrTooDeep for include/expansion
+// nesting, dts.ErrSourceTooLarge for size budgets), so server-side
+// callers classify preprocessor blowups exactly like parser blowups.
+package preproc
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"llhsc/internal/dts"
+)
+
+// FS abstracts file access for #include resolution, so the server can
+// preprocess from an in-memory request and tests need no tempdirs.
+type FS interface {
+	ReadFile(name string) ([]byte, error)
+}
+
+type osFS struct{}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// MapFS serves includes from an in-memory map keyed by path.
+type MapFS map[string]string
+
+// ReadFile implements FS.
+func (m MapFS) ReadFile(name string) ([]byte, error) {
+	src, ok := m[name]
+	if !ok {
+		return nil, fmt.Errorf("file %q not found", name)
+	}
+	return []byte(src), nil
+}
+
+// Defaults for the resource guards (overridable via Options).
+const (
+	defaultMaxDepth    = 32
+	defaultMaxExpand   = 1 << 20 // bytes a single line may expand to
+	defaultMaxExpDepth = 200     // nested macro expansions
+)
+
+// Options configures a preprocessor run.
+type Options struct {
+	// IncludePaths are the -I search directories: the only candidates
+	// for <...> includes, and the fallback for "..." includes after the
+	// including file's own directory.
+	IncludePaths []string
+	// Defines are -D command-line macros (object-like; value may be "").
+	Defines map[string]string
+	// FS resolves include files; nil means the operating system.
+	FS FS
+	// MaxDepth bounds include nesting (0 = default 32). Exceeding it
+	// fails with an error wrapping dts.ErrTooDeep.
+	MaxDepth int
+	// MaxBytes bounds the cumulative size of all processed source,
+	// matching the parser's WithMaxSourceBytes (0 = unlimited).
+	// Exceeding it fails with an error wrapping dts.ErrSourceTooLarge.
+	MaxBytes int
+	// MaxExpand bounds the size a single line may reach through macro
+	// expansion (0 = default 1MiB), guarding against exponential
+	// macro growth. Exceeding it wraps dts.ErrSourceTooLarge.
+	MaxExpand int
+}
+
+type origin struct {
+	file string
+	line int
+}
+
+// Result is preprocessed source plus the line-origin map.
+type Result struct {
+	// Text is the preprocessed source, ready for dts.Parse.
+	Text    string
+	origins []origin
+}
+
+// Origin maps a 1-based line number of Text to the original file and
+// line it came from; ("", 0) if out of range.
+func (r *Result) Origin(line int) (string, int) {
+	if line < 1 || line > len(r.origins) {
+		return "", 0
+	}
+	o := r.origins[line-1]
+	return o.file, o.line
+}
+
+type macro struct {
+	name     string
+	funcLike bool
+	params   []string
+	body     string
+}
+
+type state struct {
+	opts       Options
+	fs         FS
+	macros     map[string]*macro
+	lines      []string
+	origins    []origin
+	totalBytes int
+	including  []string // active include chain, for cycle detection
+}
+
+func errAt(file string, line int, sentinel error, format string, args ...interface{}) error {
+	return &dts.ParseError{File: file, Line: line, Err: sentinel,
+		Msg: fmt.Sprintf(format, args...)}
+}
+
+// Source preprocesses src (named file in diagnostics and origins).
+func Source(file, src string, opts Options) (*Result, error) {
+	s := &state{opts: opts, fs: opts.FS, macros: make(map[string]*macro)}
+	if s.fs == nil {
+		s.fs = osFS{}
+	}
+	if s.opts.MaxDepth <= 0 {
+		s.opts.MaxDepth = defaultMaxDepth
+	}
+	if s.opts.MaxExpand <= 0 {
+		s.opts.MaxExpand = defaultMaxExpand
+	}
+	for name, body := range opts.Defines {
+		if !isIdent(name) {
+			return nil, errAt(file, 0, nil, "invalid -D macro name %q", name)
+		}
+		s.macros[name] = &macro{name: name, body: body}
+	}
+	if err := s.processFile(file, src, 0); err != nil {
+		return nil, err
+	}
+	text := strings.Join(s.lines, "\n")
+	if len(s.lines) > 0 {
+		text += "\n"
+	}
+	return &Result{Text: text, origins: s.origins}, nil
+}
+
+// File reads and preprocesses a file; quoted includes resolve relative
+// to its directory first.
+func File(path string, opts Options) (*Result, error) {
+	fs := opts.FS
+	if fs == nil {
+		fs = osFS{}
+	}
+	src, err := fs.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Source(path, string(src), opts)
+}
+
+// condFrame is one open #ifdef/#ifndef.
+type condFrame struct {
+	active   bool // branch currently emitting (parent active too)
+	taken    bool // some branch of this conditional was taken
+	seenElse bool
+	line     int // of the opening directive, for unterminated-ifdef errors
+}
+
+func (s *state) processFile(file, src string, depth int) error {
+	if depth > s.opts.MaxDepth {
+		return errAt(file, 1, dts.ErrTooDeep,
+			"includes nested deeper than %d (cycle?): %v", s.opts.MaxDepth, dts.ErrTooDeep)
+	}
+	s.totalBytes += len(src)
+	if s.opts.MaxBytes > 0 && s.totalBytes > s.opts.MaxBytes {
+		return errAt(file, 1, dts.ErrSourceTooLarge,
+			"%d bytes of source (limit %d): %v", s.totalBytes, s.opts.MaxBytes, dts.ErrSourceTooLarge)
+	}
+	s.including = append(s.including, file)
+	defer func() { s.including = s.including[:len(s.including)-1] }()
+
+	lines := strings.Split(src, "\n")
+	// A trailing newline is a line terminator, not an extra empty line:
+	// dropping the final empty element keeps included files from
+	// injecting blank lines into the output.
+	if n := len(lines); n > 0 && lines[n-1] == "" {
+		lines = lines[:n-1]
+	}
+	var conds []condFrame
+	inComment := false
+	active := func() bool {
+		for _, c := range conds {
+			if !c.active {
+				return false
+			}
+		}
+		return true
+	}
+
+	for i := 0; i < len(lines); i++ {
+		lineno := i + 1
+		line := lines[i]
+
+		if !inComment {
+			if name, rest, ok := directiveOf(line); ok {
+				// Backslash continuations: join the logical line.
+				for strings.HasSuffix(rest, "\\") && i+1 < len(lines) {
+					i++
+					rest = strings.TrimRight(strings.TrimSuffix(rest, "\\"), " \t") +
+						" " + strings.TrimSpace(lines[i])
+				}
+				handled, err := s.directive(file, lineno, name, rest, &conds, active(), depth)
+				if err != nil {
+					return err
+				}
+				if handled {
+					continue
+				}
+				// Not a recognized directive: assembler-with-cpp
+				// passthrough (e.g. `#address-cells = <1>;`), expanded
+				// and emitted like any other line below. Continuations
+				// were not joined for these (directiveOf only matches
+				// known names), so `line` is intact.
+			}
+		}
+
+		if !active() {
+			// Still must track block comments inside skipped regions, or
+			// a `*/` in dead code would desynchronize the scanner.
+			_, inComment = stripComments(line, inComment)
+			continue
+		}
+
+		expanded, nowInComment, err := s.expandLine(file, lineno, line, inComment)
+		if err != nil {
+			return err
+		}
+		inComment = nowInComment
+		s.emit(expanded, file, lineno)
+	}
+
+	if len(conds) > 0 {
+		return errAt(file, conds[len(conds)-1].line, nil,
+			"unterminated #ifdef/#ifndef (opened here)")
+	}
+	return nil
+}
+
+func (s *state) emit(text, file string, line int) {
+	s.lines = append(s.lines, text)
+	s.origins = append(s.origins, origin{file, line})
+}
+
+// directiveOf recognizes a preprocessor directive line: optional
+// whitespace, '#', optional whitespace, then a known directive name.
+// It returns the name and the remainder of the line. Lines starting
+// with '#' but not naming a known directive (DTS properties like
+// #address-cells) are not directives.
+func directiveOf(line string) (name, rest string, ok bool) {
+	t := strings.TrimLeft(line, " \t")
+	if !strings.HasPrefix(t, "#") {
+		return "", "", false
+	}
+	t = strings.TrimLeft(t[1:], " \t")
+	j := 0
+	for j < len(t) && (t[j] >= 'a' && t[j] <= 'z') {
+		j++
+	}
+	name = t[:j]
+	switch name {
+	case "include", "define", "undef", "ifdef", "ifndef", "else", "endif",
+		"if", "elif", "error", "warning", "pragma", "line":
+		return name, strings.TrimSpace(t[j:]), true
+	}
+	return "", "", false
+}
+
+// directive executes one recognized directive. It returns handled=false
+// never — recognition already happened — but keeps the signature
+// uniform with future passthrough cases.
+func (s *state) directive(file string, line int, name, rest string, conds *[]condFrame, active bool, depth int) (bool, error) {
+	switch name {
+	case "ifdef", "ifndef":
+		if !isIdent(rest) {
+			return true, errAt(file, line, nil, "#%s needs a macro name, got %q", name, rest)
+		}
+		_, defined := s.macros[rest]
+		branch := defined == (name == "ifdef")
+		*conds = append(*conds, condFrame{active: active && branch, taken: branch, line: line})
+		return true, nil
+
+	case "else":
+		if len(*conds) == 0 {
+			return true, errAt(file, line, nil, "#else without #ifdef")
+		}
+		c := &(*conds)[len(*conds)-1]
+		if c.seenElse {
+			return true, errAt(file, line, nil, "#else after #else")
+		}
+		c.seenElse = true
+		c.active = !c.taken && parentActive(*conds)
+		c.taken = true
+		return true, nil
+
+	case "endif":
+		if len(*conds) == 0 {
+			return true, errAt(file, line, nil, "#endif without #ifdef")
+		}
+		*conds = (*conds)[:len(*conds)-1]
+		return true, nil
+	}
+
+	if !active {
+		return true, nil
+	}
+
+	switch name {
+	case "include":
+		return true, s.include(file, line, rest, depth)
+	case "define":
+		return true, s.define(file, line, rest)
+	case "undef":
+		if !isIdent(rest) {
+			return true, errAt(file, line, nil, "#undef needs a macro name, got %q", rest)
+		}
+		delete(s.macros, rest)
+		return true, nil
+	case "error":
+		return true, errAt(file, line, nil, "#error %s", rest)
+	case "warning", "pragma", "line":
+		// Accepted and dropped: none of these affect the token stream we
+		// care about, and kernel DTS does not depend on them.
+		return true, nil
+	case "if", "elif":
+		return true, errAt(file, line, nil,
+			"#%s is not supported (only #ifdef/#ifndef conditionals); guard with defined-ness instead", name)
+	}
+	return true, errAt(file, line, nil, "unhandled directive #%s", name)
+}
+
+// parentActive reports whether every frame but the last is active.
+func parentActive(conds []condFrame) bool {
+	for _, c := range conds[:len(conds)-1] {
+		if !c.active {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *state) include(file string, line int, rest string, depth int) error {
+	var name string
+	var angled bool
+	switch {
+	case len(rest) >= 2 && rest[0] == '"':
+		end := strings.IndexByte(rest[1:], '"')
+		if end < 0 {
+			return errAt(file, line, nil, "unterminated #include filename")
+		}
+		name = rest[1 : 1+end]
+	case len(rest) >= 2 && rest[0] == '<':
+		end := strings.IndexByte(rest, '>')
+		if end < 0 {
+			return errAt(file, line, nil, "unterminated #include filename")
+		}
+		name = rest[1:end]
+		angled = true
+	default:
+		return errAt(file, line, nil, `#include expects "file" or <file>, got %q`, rest)
+	}
+	if name == "" {
+		return errAt(file, line, nil, "#include with empty filename")
+	}
+
+	var candidates []string
+	if !angled {
+		candidates = append(candidates, filepath.Join(filepath.Dir(file), name))
+	}
+	for _, dir := range s.opts.IncludePaths {
+		candidates = append(candidates, filepath.Join(dir, name))
+	}
+	for _, cand := range candidates {
+		src, err := s.fs.ReadFile(cand)
+		if err != nil {
+			continue
+		}
+		for _, open := range s.including {
+			if open == cand {
+				return errAt(file, line, dts.ErrTooDeep,
+					"include cycle: %s already being processed: %v", cand, dts.ErrTooDeep)
+			}
+		}
+		return s.processFile(cand, string(src), depth+1)
+	}
+	return errAt(file, line, nil, "#include %q not found in include paths", name)
+}
+
+func (s *state) define(file string, line int, rest string) error {
+	j := identLen(rest)
+	if j == 0 {
+		return errAt(file, line, nil, "#define needs a macro name, got %q", rest)
+	}
+	m := &macro{name: rest[:j]}
+	rest = rest[j:]
+	if strings.HasPrefix(rest, "(") {
+		// Function-like only when '(' immediately follows the name.
+		m.funcLike = true
+		end := strings.IndexByte(rest, ')')
+		if end < 0 {
+			return errAt(file, line, nil, "#define %s: unterminated parameter list", m.name)
+		}
+		for _, p := range strings.Split(rest[1:end], ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				if end == 1 { // empty list: NAME()
+					break
+				}
+				return errAt(file, line, nil, "#define %s: empty parameter name", m.name)
+			}
+			if !isIdent(p) {
+				return errAt(file, line, nil, "#define %s: invalid parameter %q", m.name, p)
+			}
+			m.params = append(m.params, p)
+		}
+		rest = rest[end+1:]
+	}
+	m.body = strings.TrimSpace(rest)
+	s.macros[m.name] = m
+	return nil
+}
+
+func isIdent(s string) bool { return s != "" && identLen(s) == len(s) }
+
+func identLen(s string) int {
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		alpha := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if i == 0 && !alpha {
+			return 0
+		}
+		if !alpha && !(c >= '0' && c <= '9') {
+			break
+		}
+		i++
+	}
+	return i
+}
+
+// stripComments walks a line only to track comment state: it returns
+// the line with comment interiors blanked and the block-comment state
+// at the end of the line.
+func stripComments(line string, inComment bool) (string, bool) {
+	var b strings.Builder
+	i := 0
+	for i < len(line) {
+		if inComment {
+			if j := strings.Index(line[i:], "*/"); j >= 0 {
+				i += j + 2
+				inComment = false
+				continue
+			}
+			break
+		}
+		if strings.HasPrefix(line[i:], "/*") {
+			inComment = true
+			i += 2
+			continue
+		}
+		if strings.HasPrefix(line[i:], "//") {
+			break
+		}
+		b.WriteByte(line[i])
+		i++
+	}
+	return b.String(), inComment
+}
+
+// expandLine macro-expands one source line, respecting string literals
+// and comments. inComment is the block-comment state carried in from
+// the previous line; the updated state is returned.
+func (s *state) expandLine(file string, line int, text string, inComment bool) (string, bool, error) {
+	var b strings.Builder
+	budget := s.opts.MaxExpand
+	i := 0
+	for i < len(text) {
+		if inComment {
+			if j := strings.Index(text[i:], "*/"); j >= 0 {
+				b.WriteString(text[i : i+j+2])
+				i += j + 2
+				inComment = false
+				continue
+			}
+			b.WriteString(text[i:])
+			i = len(text)
+			break
+		}
+		c := text[i]
+		switch {
+		case strings.HasPrefix(text[i:], "/*"):
+			inComment = true
+			b.WriteString("/*")
+			i += 2
+		case strings.HasPrefix(text[i:], "//"):
+			b.WriteString(text[i:])
+			i = len(text)
+		case c == '"':
+			j := i + 1
+			for j < len(text) && text[j] != '"' {
+				if text[j] == '\\' && j+1 < len(text) {
+					j++
+				}
+				j++
+			}
+			if j < len(text) {
+				j++ // closing quote
+			}
+			b.WriteString(text[i:j])
+			i = j
+		case c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+			j := i + identLen(text[i:])
+			word := text[i:j]
+			rest, out, err := s.expandIdent(file, line, word, text[j:], nil, 0, &budget)
+			if err != nil {
+				return "", inComment, err
+			}
+			b.WriteString(out)
+			text = rest
+			i = 0
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return b.String(), inComment, nil
+}
+
+// expandIdent expands one identifier occurrence. rest is the text
+// following the identifier (consulted for function-like argument
+// lists); it returns the unconsumed remainder and the expansion.
+// hide carries the macros currently being expanded (cpp's blue paint),
+// which is what terminates self-referential macros.
+func (s *state) expandIdent(file string, line int, word, rest string, hide []string, depth int, budget *int) (string, string, error) {
+	m, ok := s.macros[word]
+	if !ok || hidden(hide, word) {
+		return rest, word, nil
+	}
+	if depth > defaultMaxExpDepth {
+		return "", "", errAt(file, line, dts.ErrTooDeep,
+			"macro expansion nested deeper than %d: %v", defaultMaxExpDepth, dts.ErrTooDeep)
+	}
+
+	body := m.body
+	if m.funcLike {
+		args, after, ok, err := scanArgs(file, line, rest, word)
+		if err != nil {
+			return "", "", err
+		}
+		if !ok {
+			// Function-like macro name without an argument list stays a
+			// plain identifier, as in cpp.
+			return rest, word, nil
+		}
+		if len(args) != len(m.params) && !(len(m.params) == 0 && len(args) == 1 && strings.TrimSpace(args[0]) == "") {
+			return "", "", errAt(file, line, nil,
+				"macro %s expects %d arguments, got %d", word, len(m.params), len(args))
+		}
+		body = substituteParams(body, m.params, args)
+		rest = after
+	}
+
+	*budget -= len(body)
+	if *budget < 0 {
+		return "", "", errAt(file, line, dts.ErrSourceTooLarge,
+			"macro expansion of %s exceeds %d bytes: %v", word, s.opts.MaxExpand, dts.ErrSourceTooLarge)
+	}
+
+	// Rescan the substituted body with this macro hidden.
+	hide = append(hide, word)
+	var b strings.Builder
+	i := 0
+	for i < len(body) {
+		c := body[i]
+		switch {
+		case c == '"':
+			j := i + 1
+			for j < len(body) && body[j] != '"' {
+				if body[j] == '\\' && j+1 < len(body) {
+					j++
+				}
+				j++
+			}
+			if j < len(body) {
+				j++
+			}
+			b.WriteString(body[i:j])
+			i = j
+		case c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+			j := i + identLen(body[i:])
+			inner := body[i:j]
+			tail := body[j:]
+			// The argument list of a nested invocation may continue in
+			// rest (e.g. `#define A F` used as `A(1)`): when the body
+			// ends right after the identifier, let it consume from rest.
+			if tail == "" {
+				newRest, out, err := s.expandIdent(file, line, inner, rest, hide, depth+1, budget)
+				if err != nil {
+					return "", "", err
+				}
+				b.WriteString(out)
+				rest = newRest
+				i = len(body)
+				continue
+			}
+			newTail, out, err := s.expandIdent(file, line, inner, tail, hide, depth+1, budget)
+			if err != nil {
+				return "", "", err
+			}
+			b.WriteString(out)
+			body = newTail
+			i = 0
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return rest, b.String(), nil
+}
+
+func hidden(hide []string, name string) bool {
+	for _, h := range hide {
+		if h == name {
+			return true
+		}
+	}
+	return false
+}
+
+// scanArgs reads a parenthesized argument list from text (which follows
+// a function-like macro name). ok=false when no list starts after
+// optional whitespace. Arguments split on top-level commas; nested
+// parentheses are respected. The list must close on the same line.
+func scanArgs(file string, line int, text, macroName string) (args []string, rest string, ok bool, err error) {
+	i := 0
+	for i < len(text) && (text[i] == ' ' || text[i] == '\t') {
+		i++
+	}
+	if i >= len(text) || text[i] != '(' {
+		return nil, "", false, nil
+	}
+	depth := 0
+	start := i + 1
+	inStr := false
+	for j := i; j < len(text); j++ {
+		c := text[j]
+		if inStr {
+			if c == '\\' {
+				j++
+			} else if c == '"' {
+				inStr = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inStr = true
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				args = append(args, strings.TrimSpace(text[start:j]))
+				return args, text[j+1:], true, nil
+			}
+		case ',':
+			if depth == 1 {
+				args = append(args, strings.TrimSpace(text[start:j]))
+				start = j + 1
+			}
+		}
+	}
+	return nil, "", false, errAt(file, line, nil,
+		"unterminated argument list for macro %s (must close on the same line)", macroName)
+}
+
+// substituteParams replaces parameter identifiers in a macro body with
+// the given argument texts and resolves ## token pasting by deleting
+// the operator and surrounding whitespace.
+func substituteParams(body string, params, args []string) string {
+	byName := make(map[string]string, len(params))
+	for i, p := range params {
+		if i < len(args) {
+			byName[p] = args[i]
+		}
+	}
+	var b strings.Builder
+	i := 0
+	for i < len(body) {
+		c := body[i]
+		switch {
+		case c == '"':
+			j := i + 1
+			for j < len(body) && body[j] != '"' {
+				if body[j] == '\\' && j+1 < len(body) {
+					j++
+				}
+				j++
+			}
+			if j < len(body) {
+				j++
+			}
+			b.WriteString(body[i:j])
+			i = j
+		case c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+			j := i + identLen(body[i:])
+			word := body[i:j]
+			if arg, ok := byName[word]; ok {
+				b.WriteString(arg)
+			} else {
+				b.WriteString(word)
+			}
+			i = j
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	out := b.String()
+	for {
+		k := strings.Index(out, "##")
+		if k < 0 {
+			return out
+		}
+		left := strings.TrimRight(out[:k], " \t")
+		right := strings.TrimLeft(out[k+2:], " \t")
+		out = left + right
+	}
+}
+
+// Parse preprocesses source text and parses the result, remapping
+// every parse-error position and tree/fragment Origin back to the
+// original files through the line-origin map. Parser options (include
+// resolution for /include/, depth and size limits) pass through.
+func Parse(file, src string, opts Options, popts ...dts.ParseOption) (*dts.Tree, error) {
+	res, err := Source(file, src, opts)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := dts.Parse(file, res.Text, popts...)
+	if err != nil {
+		var pe *dts.ParseError
+		if errors.As(err, &pe) && pe.File == file {
+			if of, ol := res.Origin(pe.Line); of != "" {
+				pe.File, pe.Line = of, ol
+			}
+		}
+		return nil, err
+	}
+	remapOrigins(tree, file, res)
+	return tree, nil
+}
+
+// ParseFile preprocesses and parses a file from disk (or opts.FS),
+// with quoted includes resolving against the file's directory.
+func ParseFile(path string, opts Options, popts ...dts.ParseOption) (*dts.Tree, error) {
+	fs := opts.FS
+	if fs == nil {
+		fs = osFS{}
+	}
+	src, err := fs.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(path, string(src), opts, popts...)
+}
+
+// remapOrigins rewrites Origin positions that point into the combined
+// preprocessed text back to the original files. Only origins naming
+// the combined file are touched: /include/-resolved units keep their
+// own file names from the parser.
+func remapOrigins(t *dts.Tree, file string, res *Result) {
+	fix := func(o *dts.Origin) {
+		if o.File != file {
+			return
+		}
+		if of, ol := res.Origin(o.Line); of != "" {
+			o.File, o.Line = of, ol
+		}
+	}
+	var walk func(n *dts.Node)
+	walk = func(n *dts.Node) {
+		fix(&n.Origin)
+		for _, p := range n.Properties {
+			fix(&p.Origin)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	for _, f := range t.Fragments {
+		walk(f.Node)
+	}
+}

@@ -5,11 +5,17 @@ import (
 	"strings"
 )
 
-// Print renders the tree as canonical DTS text: /dts-v1/ header,
-// tab indentation, cells in hexadecimal, properties before children.
+// Print renders the tree as canonical DTS text: /dts-v1/ header (plus
+// /plugin/ for overlays), tab indentation, cells in hexadecimal,
+// properties before children, then overlay fragments as `&label { }`
+// extension blocks in document order.
 func (t *Tree) Print() string {
 	var b strings.Builder
-	b.WriteString("/dts-v1/;\n\n")
+	b.WriteString("/dts-v1/;\n")
+	if t.Plugin {
+		b.WriteString("/plugin/;\n")
+	}
+	b.WriteString("\n")
 	for _, mr := range t.MemReserves {
 		fmt.Fprintf(&b, "/memreserve/ 0x%x 0x%x;\n", mr.Address, mr.Size)
 	}
@@ -17,6 +23,13 @@ func (t *Tree) Print() string {
 		b.WriteString("\n")
 	}
 	printNode(&b, t.Root, 0)
+	for _, f := range t.Fragments {
+		b.WriteString("\n")
+		printRef(&b, f.Ref)
+		b.WriteString(" {\n")
+		printNodeInner(&b, f.Node, 0)
+		b.WriteString("};\n")
+	}
 	return b.String()
 }
 
@@ -37,6 +50,16 @@ func printNode(b *strings.Builder, n *Node, depth int) {
 	}
 	b.WriteString(n.Name)
 	b.WriteString(" {\n")
+	printNodeInner(b, n, depth)
+	b.WriteString(indent)
+	b.WriteString("};\n")
+}
+
+// printNodeInner renders a node's properties and children without the
+// surrounding header/footer, shared by printNode and the overlay
+// fragment printer (whose header is a reference, not a name).
+func printNodeInner(b *strings.Builder, n *Node, depth int) {
+	indent := strings.Repeat("\t", depth)
 	inner := indent + "\t"
 	for _, p := range n.Properties {
 		b.WriteString(inner)
@@ -56,8 +79,6 @@ func printNode(b *strings.Builder, n *Node, depth int) {
 		}
 		printNode(b, c, depth+1)
 	}
-	b.WriteString(indent)
-	b.WriteString("};\n")
 }
 
 // FormatValue renders a property value in the canonical DTS syntax the
@@ -77,14 +98,20 @@ func printValue(b *strings.Builder, v Value) {
 		}
 		switch c.Kind {
 		case ChunkCells:
+			if c.Bits != 0 {
+				fmt.Fprintf(b, "/bits/ %d ", c.Bits)
+			}
 			b.WriteString("<")
 			for j, cell := range c.CellList {
 				if j > 0 {
 					b.WriteString(" ")
 				}
-				if cell.Ref != "" {
+				switch {
+				case cell.Ref != "":
 					printRef(b, cell.Ref)
-				} else {
+				case c.Bits == 64:
+					fmt.Fprintf(b, "0x%x", cell.Val64)
+				default:
 					fmt.Fprintf(b, "0x%x", cell.Val)
 				}
 			}

@@ -1,0 +1,346 @@
+package dts
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestForwardLabelExtension covers the post-parse resolver: a
+// `&label { ... }` extension block before the label's definition must
+// merge into the later-defined node, as dtc accepts.
+func TestForwardLabelExtension(t *testing.T) {
+	src := `
+/dts-v1/;
+&console {
+	status = "okay";
+	current-speed = <115200>;
+};
+/ {
+	soc {
+		console: uart@10000000 {
+			compatible = "ns16550a";
+		};
+	};
+};
+`
+	tree, err := Parse("fwd.dts", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	uart := tree.Lookup("/soc/uart@10000000")
+	if uart == nil {
+		t.Fatal("uart node missing")
+	}
+	if s, _ := uart.StringValue("status"); s != "okay" {
+		t.Errorf("status = %q, want okay", s)
+	}
+	if v, _ := uart.CellValue("current-speed"); v != 115200 {
+		t.Errorf("current-speed = %d", v)
+	}
+}
+
+// TestForwardLabelInCells: a phandle reference in cell position to a
+// label defined later in the file parses and survives a round trip.
+func TestForwardLabelInCells(t *testing.T) {
+	src := `
+/dts-v1/;
+/ {
+	consumer {
+		clocks = <&pll 1>;
+	};
+	pll: clock-controller {
+		#clock-cells = <1>;
+	};
+};
+`
+	tree, err := Parse("fwdcell.dts", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	cells := tree.Lookup("/consumer").Property("clocks").Value.Cells()
+	if len(cells) != 2 || cells[0].Ref != "pll" || cells[1].Val != 1 {
+		t.Errorf("clocks cells = %+v", cells)
+	}
+	if tree.LookupLabel("pll") == nil {
+		t.Error("label pll not registered")
+	}
+}
+
+// TestForwardChainedExtensions: an extension referencing a label that
+// itself is introduced by a later extension block (two-step forward
+// resolution through the deferral fixpoint).
+func TestForwardChainedExtensions(t *testing.T) {
+	src := `
+/dts-v1/;
+&l2 { from-l2 = <1>; };
+&l1 { l2: deeper { }; };
+/ { l1: top { }; };
+`
+	tree, err := Parse("chain.dts", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	deeper := tree.Lookup("/top/deeper")
+	if deeper == nil {
+		t.Fatal("chained extension did not apply")
+	}
+	if _, ok := deeper.CellValue("from-l2"); !ok {
+		t.Error("from-l2 missing on /top/deeper")
+	}
+}
+
+// TestUndefinedLabelStillErrors: with no definition anywhere, the
+// resolver reports the reference at its source position.
+func TestUndefinedLabelStillErrors(t *testing.T) {
+	_, err := Parse("bad.dts", "/dts-v1/;\n/ { };\n&nope { x; };\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "undefined label") {
+		t.Errorf("error %q should mention undefined label", err)
+	}
+	if !strings.Contains(err.Error(), "bad.dts:3") {
+		t.Errorf("error %q should point at bad.dts:3", err)
+	}
+}
+
+// TestDeleteNodeRefForward: /delete-node/ &label resolves forward too.
+func TestDeleteNodeRefForward(t *testing.T) {
+	src := `
+/dts-v1/;
+/delete-node/ &victim;
+/ {
+	keep { };
+	victim: dropme { };
+};
+`
+	tree, err := Parse("del.dts", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if tree.Lookup("/dropme") != nil {
+		t.Error("dropme should have been deleted")
+	}
+	if tree.Lookup("/keep") == nil {
+		t.Error("keep should survive")
+	}
+}
+
+// TestDeleteNodeNameForm: the root-level name form deletes a root
+// child; deleting an absent name is a no-op as in dtc.
+func TestDeleteNodeNameForm(t *testing.T) {
+	src := `
+/dts-v1/;
+/ {
+	a { };
+	b { };
+};
+/delete-node/ a;
+/delete-node/ never-existed;
+`
+	tree, err := Parse("delname.dts", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if tree.Lookup("/a") != nil {
+		t.Error("a should have been deleted")
+	}
+	if tree.Lookup("/b") == nil {
+		t.Error("b should survive")
+	}
+}
+
+// TestDeleteNodeUndefinedRefErrors: an unresolvable /delete-node/
+// reference is a precise ParseError, not a silent no-op.
+func TestDeleteNodeUndefinedRefErrors(t *testing.T) {
+	_, err := Parse("delbad.dts", "/dts-v1/;\n/ { };\n/delete-node/ &ghost;\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "&ghost") || !strings.Contains(err.Error(), "undefined label") {
+		t.Errorf("error %q should name &ghost and undefined label", err)
+	}
+}
+
+// TestOmitIfNoRef: the directive is an explicitly-skipped no-op at top
+// level and inside node bodies.
+func TestOmitIfNoRef(t *testing.T) {
+	src := `
+/dts-v1/;
+/ {
+	/omit-if-no-ref/ maybe: candidate {
+		compatible = "test,omit";
+	};
+};
+/omit-if-no-ref/ extra {
+	prop = <1>;
+};
+`
+	tree, err := Parse("omit.dts", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if tree.Lookup("/candidate") == nil {
+		t.Error("omit-marked child should be kept")
+	}
+	if tree.Lookup("/extra") == nil {
+		t.Error("omit-marked top-level node should be kept")
+	}
+}
+
+// TestBitsWidths: /bits/ parses at every width, masks values to the
+// element size, keeps the full 64-bit value, and round-trips through
+// the printer byte-stably.
+func TestBitsWidths(t *testing.T) {
+	src := `/dts-v1/;
+/ {
+	b8 = /bits/ 8 <0x1ff 0x02>;
+	b16 = /bits/ 16 <0x12345 0xffff>;
+	b32 = /bits/ 32 <0xdeadbeef>;
+	b64 = /bits/ 64 <0xdeadbeef00000001 2>;
+	plain = <0x1>;
+};
+`
+	tree, err := Parse("bits.dts", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	root := tree.Root
+	check := func(name string, bits int, vals ...uint64) {
+		t.Helper()
+		ch := root.Property(name).Value.Chunks[0]
+		if ch.Bits != bits {
+			t.Errorf("%s: Bits = %d, want %d", name, ch.Bits, bits)
+		}
+		if len(ch.CellList) != len(vals) {
+			t.Fatalf("%s: %d cells, want %d", name, len(ch.CellList), len(vals))
+		}
+		for i, want := range vals {
+			got := uint64(ch.CellList[i].Val)
+			if bits == 64 {
+				got = ch.CellList[i].Val64
+			}
+			if got != want {
+				t.Errorf("%s cell %d = %#x, want %#x", name, i, got, want)
+			}
+		}
+	}
+	check("b8", 8, 0xff, 0x02)
+	check("b16", 16, 0x2345, 0xffff)
+	check("b32", 32, 0xdeadbeef)
+	check("b64", 64, 0xdeadbeef00000001, 2)
+	check("plain", 0, 0x1)
+
+	printed := tree.Print()
+	if !strings.Contains(printed, "/bits/ 8 <0xff 0x2>") {
+		t.Errorf("printed output lacks /bits/ 8 chunk:\n%s", printed)
+	}
+	if !strings.Contains(printed, "/bits/ 64 <0xdeadbeef00000001 0x2>") {
+		t.Errorf("printed output lacks full 64-bit value:\n%s", printed)
+	}
+	re, err := Parse("printed.dts", printed)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if p2 := re.Print(); p2 != printed {
+		t.Errorf("second print differs:\nfirst:\n%s\nsecond:\n%s", printed, p2)
+	}
+}
+
+// TestBitsRejectsBadWidthAndRefs: invalid widths and references inside
+// non-32-bit arrays are precise parse errors.
+func TestBitsRejectsBadWidthAndRefs(t *testing.T) {
+	for _, tc := range []struct{ src, want string }{
+		{`/dts-v1/; / { x = /bits/ 12 <1>; };`, "must be 8, 16, 32 or 64"},
+		{`/dts-v1/; / { l: n { }; x = /bits/ 8 <&l>; };`, "32-bit cell arrays"},
+	} {
+		_, err := Parse("badbits.dts", tc.src)
+		if err == nil {
+			t.Fatalf("%s: expected error", tc.src)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q should mention %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+// TestBitsExcludedFromCells: non-32-bit chunks must not leak into the
+// u32 Cells() view the semantic checkers interpret.
+func TestBitsExcludedFromCells(t *testing.T) {
+	tree, err := Parse("mix.dts", `/dts-v1/; / { m = /bits/ 8 <0x01>, <0x7>; };`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	cells := tree.Root.Property("m").Value.Cells()
+	if len(cells) != 1 || cells[0].Val != 7 {
+		t.Errorf("Cells() = %+v, want just the u32 chunk", cells)
+	}
+}
+
+// TestPluginFragments: a /plugin/ overlay keeps locally-unresolvable
+// extension blocks as fragments, resolves local labels normally, and
+// round-trips byte-stably including the /plugin/ header.
+func TestPluginFragments(t *testing.T) {
+	src := `/dts-v1/;
+/plugin/;
+/ {
+	local: here {
+		a = <1>;
+	};
+};
+&base_uart {
+	status = "okay";
+};
+&local {
+	b = <2>;
+};
+&{/soc/i2c@0} {
+	clock-frequency = <400000>;
+};
+`
+	tree, err := Parse("ov.dts", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !tree.Plugin {
+		t.Fatal("Plugin flag not set")
+	}
+	// &local resolves inside the overlay itself.
+	here := tree.Lookup("/here")
+	if _, ok := here.CellValue("b"); !ok {
+		t.Error("&local extension should merge locally")
+	}
+	if len(tree.Fragments) != 2 {
+		t.Fatalf("%d fragments, want 2", len(tree.Fragments))
+	}
+	if f := tree.Fragments[0]; f.Ref != "base_uart" || f.IsPath {
+		t.Errorf("fragment 0 = %+v", f)
+	}
+	if f := tree.Fragments[1]; f.Ref != "/soc/i2c@0" || !f.IsPath {
+		t.Errorf("fragment 1 = %+v", f)
+	}
+
+	printed := tree.Print()
+	if !strings.Contains(printed, "/plugin/;\n") {
+		t.Errorf("printed overlay lacks /plugin/:\n%s", printed)
+	}
+	re, err := Parse("printed.dts", printed)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if len(re.Fragments) != 2 || !re.Plugin {
+		t.Fatalf("reparse lost overlay structure: plugin=%v fragments=%d", re.Plugin, len(re.Fragments))
+	}
+	if p2 := re.Print(); p2 != printed {
+		t.Errorf("second print differs:\nfirst:\n%s\nsecond:\n%s", printed, p2)
+	}
+}
+
+// TestNonPluginRejectsBaseRefs: without /plugin/, an unresolvable
+// extension stays an error.
+func TestNonPluginRejectsBaseRefs(t *testing.T) {
+	_, err := Parse("noplugin.dts", "/dts-v1/;\n/ { };\n&base_uart { status = \"okay\"; };\n")
+	if err == nil {
+		t.Fatal("expected error without /plugin/")
+	}
+}

@@ -45,10 +45,34 @@ type MemReserve struct {
 	Size    uint64
 }
 
+// OverlayFragment is one unresolved extension block of a /plugin/
+// overlay: a `&label { ... };` or `&{/path} { ... };` whose target is
+// expected to exist in the base tree the overlay is applied to, not in
+// the overlay itself. The fragment's node carries the properties and
+// children to merge into the target. Fragments are kept in document
+// order; ApplyOverlay and delta.FromOverlay both consume them.
+type OverlayFragment struct {
+	Ref    string // label name, or absolute path for &{/path} targets
+	IsPath bool
+	Node   *Node
+}
+
+// Clone returns a deep copy of the fragment.
+func (f OverlayFragment) Clone() OverlayFragment {
+	return OverlayFragment{Ref: f.Ref, IsPath: f.IsPath, Node: f.Node.Clone()}
+}
+
 // Tree is a parsed DeviceTree.
 type Tree struct {
 	Root        *Node
 	MemReserves []MemReserve
+
+	// Plugin is set by the /plugin/ directive: the source is an overlay
+	// meant to be applied onto a base tree. In plugin mode, extension
+	// blocks whose label does not resolve locally become Fragments
+	// instead of parse errors.
+	Plugin    bool
+	Fragments []OverlayFragment
 }
 
 // NewTree returns a tree with an empty root node.
@@ -58,10 +82,18 @@ func NewTree() *Tree {
 
 // Clone returns a deep copy of the tree.
 func (t *Tree) Clone() *Tree {
-	return &Tree{
+	c := &Tree{
 		Root:        t.Root.Clone(),
 		MemReserves: append([]MemReserve(nil), t.MemReserves...),
+		Plugin:      t.Plugin,
 	}
+	if len(t.Fragments) > 0 {
+		c.Fragments = make([]OverlayFragment, len(t.Fragments))
+		for i, f := range t.Fragments {
+			c.Fragments[i] = f.Clone()
+		}
+	}
+	return c
 }
 
 // Lookup resolves an absolute path like "/memory@40000000" or "/" and
@@ -388,16 +420,23 @@ const (
 	ChunkRef                         // &label (outside angle brackets: a path string)
 )
 
-// Cell is one 32-bit cell; Ref is set for phandle references (&label)
-// whose numeric value is resolved late.
+// Cell is one element of a cell array; Ref is set for phandle
+// references (&label) whose numeric value is resolved late. Cells are
+// 32 bits wide unless the enclosing chunk carries a /bits/ override;
+// 64-bit elements live in Val64 (Val holds the truncated low word so
+// 32-bit consumers keep working).
 type Cell struct {
-	Val uint32
-	Ref string
+	Val   uint32
+	Val64 uint64
+	Ref   string
 }
 
-// Chunk is one comma-separated component of a property value.
+// Chunk is one comma-separated component of a property value. Bits is
+// the element width of a cells chunk set by a /bits/ prefix (8, 16, 32
+// or 64); 0 means the default 32-bit width with no explicit prefix.
 type Chunk struct {
 	Kind     ChunkKind
+	Bits     int
 	CellList []Cell
 	Str      string
 	Bytes    []byte
@@ -424,11 +463,14 @@ func (v Value) Clone() Value {
 // IsEmpty reports whether the value is a Boolean marker (no chunks).
 func (v Value) IsEmpty() bool { return len(v.Chunks) == 0 }
 
-// Cells returns the concatenation of all cell chunks.
+// Cells returns the concatenation of all 32-bit cell chunks. Chunks
+// with a /bits/ width other than 32 are excluded: their elements are
+// not u32 cells, and consumers of Cells (reg/interrupt interpretation,
+// the semantic checkers) assume the standard cell size.
 func (v Value) Cells() []Cell {
 	var out []Cell
 	for _, c := range v.Chunks {
-		if c.Kind == ChunkCells {
+		if c.Kind == ChunkCells && (c.Bits == 0 || c.Bits == 32) {
 			out = append(out, c.CellList...)
 		}
 	}

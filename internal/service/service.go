@@ -48,6 +48,7 @@ import (
 	"llhsc/internal/faultinject"
 	"llhsc/internal/delta"
 	"llhsc/internal/dts"
+	"llhsc/internal/dts/preproc"
 	"llhsc/internal/featmodel"
 	"llhsc/internal/obs"
 	"llhsc/internal/runningexample"
@@ -149,8 +150,17 @@ const retryAfterSeconds = 1
 type CheckRequest struct {
 	// CoreDTS is the core-module DeviceTree source (Listing 1).
 	CoreDTS string `json:"coreDts"`
-	// Includes maps include names to contents (e.g. "cpus.dtsi").
+	// Includes maps include names to contents (e.g. "cpus.dtsi"),
+	// serving both dtc-style /include/ and, when preprocessing is on,
+	// cpp-style #include directives.
 	Includes map[string]string `json:"includes,omitempty"`
+	// Defines are cpp macro definitions applied before parsing, like
+	// -D on the llhsc command line. Any definition implies Preprocess.
+	Defines map[string]string `json:"defines,omitempty"`
+	// Preprocess runs the core DTS through the cpp-style preprocessor
+	// (#include/#define/#ifdef), with Includes as the include search
+	// space and diagnostics mapped back to the original lines.
+	Preprocess bool `json:"preprocess,omitempty"`
 	// Deltas is the delta-module source (Listing 4 syntax).
 	Deltas string `json:"deltas"`
 	// FeatureModel is the textual feature model (Fig. 1a).
@@ -571,6 +581,24 @@ func inputStatus(err error) int {
 	return http.StatusUnprocessableEntity
 }
 
+// parseSource parses one DTS body, routing it through the cpp
+// preprocessor when the request asks for it (explicitly or by carrying
+// macro definitions). The request's Includes map doubles as the
+// preprocessor's include filesystem, and the preprocessor's own size
+// budget mirrors the body cap the plain parser gets via parseOpts.
+func (s *server) parseSource(file, src string, includes, defines map[string]string, preprocess bool) (*dts.Tree, error) {
+	popts := s.parseOpts(dts.MapIncluder(includes))
+	if !preprocess && len(defines) == 0 {
+		return dts.Parse(file, src, popts...)
+	}
+	return preproc.Parse(file, src, preproc.Options{
+		FS:           preproc.MapFS(includes),
+		IncludePaths: []string{"."},
+		Defines:      defines,
+		MaxBytes:     int(s.opts.MaxBodyBytes),
+	}, popts...)
+}
+
 func (s *server) parseOpts(inc dts.Includer) []dts.ParseOption {
 	opts := []dts.ParseOption{
 		dts.WithIncluder(inc),
@@ -622,8 +650,7 @@ func (s *server) runCheck(ctx context.Context, req *CheckRequest) (*CheckRespons
 		}
 	}
 	markPhase(ctx, "parse")
-	includer := dts.MapIncluder(req.Includes)
-	tree, err := dts.Parse("core.dts", req.CoreDTS, s.parseOpts(includer)...)
+	tree, err := s.parseSource("core.dts", req.CoreDTS, req.Includes, req.Defines, req.Preprocess)
 	if err != nil {
 		return nil, inputStatus(err), fmt.Errorf("core DTS: %w", err)
 	}
@@ -797,6 +824,12 @@ func toViolations(vs []constraints.Violation) []Violation {
 type LintRequest struct {
 	DTS      string            `json:"dts"`
 	Includes map[string]string `json:"includes,omitempty"`
+	// Defines are cpp macro definitions; any definition implies
+	// Preprocess.
+	Defines map[string]string `json:"defines,omitempty"`
+	// Preprocess runs the DTS through the cpp-style preprocessor
+	// before linting, as for /check.
+	Preprocess bool `json:"preprocess,omitempty"`
 	// Semantic enables the SMT-based overlap/interrupt/memreserve
 	// checks in addition to the structural baseline.
 	Semantic bool `json:"semantic"`
@@ -825,7 +858,7 @@ func (s *server) handleLint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	markPhase(r.Context(), "parse")
-	tree, err := dts.Parse("input.dts", req.DTS, s.parseOpts(dts.MapIncluder(req.Includes))...)
+	tree, err := s.parseSource("input.dts", req.DTS, req.Includes, req.Defines, req.Preprocess)
 	if err != nil {
 		writeError(w, inputStatus(err), "%v", err)
 		return

@@ -268,6 +268,97 @@ func TestCheckInputValidation(t *testing.T) {
 	})
 }
 
+// TestLintPreprocessed: the lint endpoint must run the cpp pipeline
+// when asked — #include against the Includes map, -D-style Defines —
+// and blame preprocessing errors on the original line.
+func TestLintPreprocessed(t *testing.T) {
+	srv := newServer(t)
+
+	req := LintRequest{
+		DTS: `/dts-v1/;
+#include "regs.h"
+/ {
+	#address-cells = <1>;
+	#size-cells = <1>;
+	uart@9000000 {
+		compatible = "ns16550a";
+		reg = <UART_BASE 0x1000>;
+#ifdef WITH_MARKER
+		marker;
+#endif
+	};
+};
+`,
+		Includes:   map[string]string{"regs.h": "#define UART_BASE 0x9000000\n"},
+		Defines:    map[string]string{"WITH_MARKER": "1"},
+		Preprocess: true,
+	}
+	var out LintResponse
+	if resp := postJSON(t, srv.URL+"/lint", req, &out); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %+v", resp.StatusCode, out)
+	}
+	if !out.OK {
+		t.Errorf("preprocessed DTS flagged: %+v", out)
+	}
+
+	// Without Preprocess (and with no Defines) the same body must be
+	// rejected: #include is not plain DTS syntax.
+	plain := req
+	plain.Preprocess = false
+	plain.Defines = nil
+	var errOut errorResponse
+	if resp := postJSON(t, srv.URL+"/lint", plain, &errOut); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("unpreprocessed status = %d, want 422", resp.StatusCode)
+	}
+
+	// A preprocessing error (unterminated #ifdef) is a 422 naming the
+	// original input line.
+	bad := LintRequest{DTS: "/dts-v1/;\n#ifdef NOPE\n/ { };\n", Preprocess: true}
+	resp := postJSON(t, srv.URL+"/lint", bad, &errOut)
+	if resp.StatusCode != http.StatusUnprocessableEntity ||
+		!strings.Contains(errOut.Error, "#ifdef") {
+		t.Errorf("status = %d err = %q", resp.StatusCode, errOut.Error)
+	}
+}
+
+// TestCheckPreprocessed: /check accepts a cpp-preprocessed core module;
+// Defines alone switch preprocessing on.
+func TestCheckPreprocessed(t *testing.T) {
+	srv := newServer(t)
+	req := CheckRequest{
+		CoreDTS: `/dts-v1/;
+/ {
+	#address-cells = <1>;
+	#size-cells = <1>;
+	cpus {
+		#address-cells = <1>;
+		#size-cells = <0>;
+		cpu@0 {
+			device_type = "cpu";
+			compatible = "arm,cortex-a53";
+			reg = <0>;
+		};
+	};
+	memory@40000000 {
+		device_type = "memory";
+		reg = <MEM_BASE 0x1000000>;
+	};
+};
+`,
+		Defines:      map[string]string{"MEM_BASE": "0x40000000"},
+		Deltas:       "delta d1 when board {\n    modifies / {\n        marker = <1>;\n    }\n}\n",
+		FeatureModel: "feature board {\n    feature memory mandatory\n}\n",
+		VMs:          [][]string{{"memory"}},
+	}
+	var out map[string]interface{}
+	if resp := postJSON(t, srv.URL+"/check", req, &out); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/check status %d: %+v", resp.StatusCode, out)
+	}
+	if ok, _ := out["ok"].(bool); !ok {
+		t.Errorf("preprocessed check failed: %+v", out)
+	}
+}
+
 func TestLintEndpoint(t *testing.T) {
 	srv := newServer(t)
 
